@@ -1,0 +1,33 @@
+// Ablation: Neo-BN's confirm-batching window (§6.2 "batch processing
+// confirm messages"). Small windows cost messages and CPU; large windows
+// cost latency. The paper's claim — high throughput at the expense of
+// latency — is the right-hand side of this sweep.
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main() {
+    std::printf("=== Ablation: Neo-BN confirm flush interval ===\n\n");
+    TablePrinter table({"flush_us", "tput_ops", "p50_us", "p99_us"});
+    for (sim::Time flush : {5 * sim::kMicrosecond, 20 * sim::kMicrosecond,
+                            50 * sim::kMicrosecond, 100 * sim::kMicrosecond,
+                            200 * sim::kMicrosecond}) {
+        NeoParams p;
+        p.n_clients = 32;
+        p.variant = NeoVariant::kBn;
+        p.receiver.confirm_flush_interval = flush;
+        p.receiver.gap_timeout = 5 * sim::kMillisecond;  // stay out of gap agreement
+        auto d = make_neobft(p);
+        Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
+                                     160 * sim::kMillisecond);
+        table.row({fmt_double(sim::to_us(flush), 0), fmt_double(m.throughput_ops, 0),
+                   fmt_double(m.p50_us, 1), fmt_double(m.p99_us, 1)});
+    }
+    std::printf("\nreports the §6.2 trade-off: the flush window sets confirm batch sizes\n");
+    std::printf("(messages + verify-batch latency vs per-packet overhead); near saturation\n");
+    std::printf("the verification pipeline dominates and the sensitivity shrinks\n");
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Ablation: NeoBFT's state-sync period N (§B.2). Frequent syncs bound
+// speculative state and shrink view-change payloads, but cost 2(N-1)
+// messages per interval; rare syncs are nearly free but leave large
+// uncommitted suffixes.
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+using namespace neo;
+using namespace neo::bench;
+
+int main() {
+    std::printf("=== Ablation: NeoBFT sync interval (echo-RPC, 64 clients) ===\n\n");
+    TablePrinter table({"sync_interval", "tput_ops", "p50_us", "p99_us"});
+    for (std::uint64_t interval : {8ull, 32ull, 128ull, 512ull, 4096ull}) {
+        NeoParams p;
+        p.n_clients = 64;
+        p.sync_interval = interval;
+        auto d = make_neobft(p);
+        Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
+                                     160 * sim::kMillisecond);
+        table.row({std::to_string(interval), fmt_double(m.throughput_ops, 0),
+                   fmt_double(m.p50_us, 1), fmt_double(m.p99_us, 1)});
+    }
+    std::printf("\nexpected: small intervals tax throughput (sync round each N entries);\n");
+    std::printf("beyond ~128 the cost vanishes into the noise\n");
+    return 0;
+}

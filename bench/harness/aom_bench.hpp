@@ -1,0 +1,154 @@
+// aom micro-benchmark fixture (Figs 4-6): an open-loop packet source, the
+// sequencer switch, and timestamp-recording sink receivers.
+//
+// Links are configured with zero latency so the measured source->receiver
+// delay isolates the switch data plane (the paper uses ingress/egress
+// switch timestamps; see EXPERIMENTS.md).
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "aom/config_service.hpp"
+#include "aom/sequencer.hpp"
+#include "aom/wire.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "crypto/identity.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/costs.hpp"
+#include "sim/network.hpp"
+
+namespace neo::bench {
+
+/// Records per-packet latency using a timestamp the source embeds in the
+/// payload. Counts only the first copy of each sequence number (the HM
+/// variant delivers one packet per subgroup).
+class AomSink : public sim::Node {
+  public:
+    void on_packet(NodeId, BytesView data) override {
+        auto kind = aom::peek_kind(data);
+        if (!kind) return;
+        try {
+            Reader r(data.subspan(1));
+            if (*kind == static_cast<std::uint8_t>(aom::Wire::kSeqHm)) {
+                aom::HmPacket p = aom::HmPacket::parse(r);
+                record(p.seq, p.payload);
+            } else if (*kind == static_cast<std::uint8_t>(aom::Wire::kSeqPk)) {
+                aom::PkPacket p = aom::PkPacket::parse(r);
+                record(p.seq, p.payload);
+            }
+        } catch (const CodecError&) {
+        }
+    }
+
+    Histogram latency_us;
+    std::uint64_t delivered = 0;
+    sim::Time first_arrival = -1;
+    sim::Time last_arrival = 0;
+
+  private:
+    void record(SeqNum seq, const Bytes& payload) {
+        if (seq <= last_seq_) return;  // subsequent subgroup copies
+        last_seq_ = seq;
+        ++delivered;
+        if (payload.size() >= 8) {
+            Reader r(payload);
+            sim::Time sent = r.i64();
+            latency_us.add(sim::to_us(sim().now() - sent));
+        }
+        if (first_arrival < 0) first_arrival = sim().now();
+        last_arrival = sim().now();
+    }
+
+    SeqNum last_seq_ = 0;
+};
+
+struct AomBenchResult {
+    Histogram* latency = nullptr;  // points into the fixture's sink 0
+    std::uint64_t delivered = 0;
+    double delivered_mpps = 0;     // receiver-observed throughput
+    double signed_mpps = 0;        // signature generation rate (PK)
+    std::uint64_t tail_drops = 0;
+};
+
+class AomBench {
+  public:
+    AomBench(aom::AuthVariant variant, int receivers, std::uint64_t seed = 17,
+             aom::SequencerConfig seq_cfg = {})
+        : net_(sim_, seed), root_(crypto::CryptoMode::kModeled, seed + 1), keys_(seed + 2) {
+        sim::LinkConfig link;
+        link.latency = 0;
+        link.jitter = 0;
+        link.ns_per_byte = 0;
+        net_.set_default_link(link);
+
+        aom::GroupConfig group;
+        group.group = 7;
+        group.variant = variant;
+        group.trust = aom::NetworkTrust::kCrashOnly;
+        for (int i = 0; i < receivers; ++i) group.receivers.push_back(1 + static_cast<NodeId>(i));
+
+        switch_ = std::make_unique<aom::SequencerSwitch>(seq_cfg, root_.provision(200), &keys_);
+        net_.add_node(*switch_, 200);
+        switch_->install_group(group, 1);
+
+        for (int i = 0; i < receivers; ++i) {
+            sinks_.push_back(std::make_unique<AomSink>());
+            net_.add_node(*sinks_.back(), 1 + static_cast<NodeId>(i));
+        }
+    }
+
+    /// Service time of one packet at the switch under this configuration
+    /// (used to express load as a fraction of capacity).
+    sim::Time service_ns(aom::AuthVariant variant, int receivers) const {
+        if (variant == aom::AuthVariant::kHmacVector) return sim::hm_service_ns(receivers);
+        return sim::kPkChainServiceNs;
+    }
+
+    /// Sends `packets` 64-byte aom packets with Poisson arrivals at the
+    /// given mean inter-arrival gap (real packet generators are not
+    /// perfectly paced; queuing at high load requires arrival variance).
+    AomBenchResult run(std::uint64_t packets, sim::Time mean_gap_ns) {
+        Rng arrivals(4242);
+        sim::Time t = 0;
+        for (std::uint64_t i = 0; i < packets; ++i) {
+            double u = arrivals.real();
+            t += std::max<sim::Time>(
+                1, static_cast<sim::Time>(-std::log(1.0 - u) * static_cast<double>(mean_gap_ns)));
+            sim_.at(t, [this] {
+                Writer payload(64);
+                payload.i64(sim_.now());
+                payload.raw(Bytes(56, 0xab));  // pad to the paper's 64B packets
+                aom::DataPacket pkt;
+                pkt.group = 7;
+                pkt.payload = payload.bytes();
+                pkt.digest = crypto::sha256(pkt.payload);
+                net_.send(999, 200, pkt.serialize());
+            });
+        }
+        sim_.run();
+
+        AomBenchResult r;
+        r.latency = &sinks_[0]->latency_us;
+        r.delivered = sinks_[0]->delivered;
+        double duration_s =
+            sim::to_sec(std::max<sim::Time>(1, sinks_[0]->last_arrival - sinks_[0]->first_arrival));
+        r.delivered_mpps = static_cast<double>(r.delivered - 1) / duration_s / 1e6;
+        r.signed_mpps = static_cast<double>(switch_->signatures_generated()) / duration_s / 1e6;
+        r.tail_drops = switch_->tail_drops();
+        return r;
+    }
+
+    aom::SequencerSwitch& sequencer() { return *switch_; }
+
+  private:
+    sim::Simulator sim_;
+    sim::Network net_;
+    crypto::TrustRoot root_;
+    aom::AomKeyService keys_;
+    std::unique_ptr<aom::SequencerSwitch> switch_;
+    std::vector<std::unique_ptr<AomSink>> sinks_;
+};
+
+}  // namespace neo::bench

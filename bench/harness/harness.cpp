@@ -1,0 +1,400 @@
+#include "harness.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "aom/config_service.hpp"
+#include "baselines/hotstuff.hpp"
+#include "baselines/minbft.hpp"
+#include "baselines/pbft.hpp"
+#include "baselines/zyzzyva.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "neobft/client.hpp"
+#include "neobft/replica.hpp"
+
+namespace neo::bench {
+
+namespace {
+constexpr NodeId kConfigId = 900;
+constexpr NodeId kSwitchBase = 910;
+constexpr NodeId kServerId = 950;
+constexpr NodeId kClientBase = 1'000;
+constexpr NodeId kReplicaBase = 1;
+constexpr GroupId kGroup = 7;
+}  // namespace
+
+OpGen echo_ops(std::size_t size) {
+    auto rng = std::make_shared<Rng>(99);
+    return [rng, size](int, std::uint64_t) { return rng->bytes(size); };
+}
+
+Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim::Time measure,
+                         const std::function<void()>& at_measure_start) {
+    sim::Simulator& sim = d.simulator();
+    const sim::Time start = sim.now();
+    const sim::Time measure_from = start + warmup;
+    const sim::Time deadline = measure_from + measure;
+    if (at_measure_start) sim.at(measure_from, at_measure_start);
+
+    auto hist = std::make_shared<Histogram>();
+    auto completed = std::make_shared<std::uint64_t>(0);
+    auto per_client_k = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(d.n_clients()), 0);
+
+    // One self-rescheduling closed loop per client.
+    auto issue = std::make_shared<std::function<void(int)>>();
+    *issue = [&d, &ops, issue, hist, completed, per_client_k, measure_from, deadline](int c) {
+        sim::Simulator& s = d.simulator();
+        if (s.now() >= deadline) return;
+        std::uint64_t k = (*per_client_k)[static_cast<std::size_t>(c)]++;
+        sim::Time begin = s.now();
+        d.invoke(c, ops(c, k), [&d, issue, hist, completed, measure_from, deadline, begin, c](Bytes) {
+            sim::Time end = d.simulator().now();
+            if (begin >= measure_from && end < deadline) {
+                hist->add(sim::to_us(end - begin));
+                ++*completed;
+            }
+            (*issue)(c);
+        });
+    };
+    for (int c = 0; c < d.n_clients(); ++c) (*issue)(c);
+
+    sim.run_until(deadline);
+
+    Measured m;
+    m.completed = *completed;
+    m.throughput_ops = static_cast<double>(*completed) / sim::to_sec(measure);
+    if (!hist->empty()) {
+        m.p50_us = hist->percentile(50);
+        m.mean_us = hist->mean();
+        m.p99_us = hist->percentile(99);
+        m.p999_us = hist->percentile(99.9);
+    }
+    return m;
+}
+
+// ----------------------------------------------------------- unreplicated
+
+namespace {
+
+class UnreplicatedDeployment : public Deployment {
+  public:
+    explicit UnreplicatedDeployment(const CommonParams& p)
+        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        net_.set_default_link(sim::datacenter_link());
+        net_.set_global_drop_rate(p.drop_rate);
+        server_ = std::make_unique<baselines::UnreplicatedServer>(root_.provision(kServerId));
+        net_.add_node(*server_, kServerId);
+        for (int i = 0; i < p.n_clients; ++i) {
+            NodeId cid = kClientBase + static_cast<NodeId>(i);
+            clients_.push_back(std::make_unique<baselines::UnreplicatedClient>(
+                kServerId, root_.provision(cid)));
+            net_.add_node(*clients_.back(), cid);
+        }
+    }
+
+    sim::Simulator& simulator() override { return sim_; }
+    sim::Network& network() override { return net_; }
+    int n_clients() const override { return static_cast<int>(clients_.size()); }
+    void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
+        clients_[static_cast<std::size_t>(client)]->invoke(std::move(op), std::move(done));
+    }
+
+  private:
+    sim::Simulator sim_;
+    sim::Network net_;
+    crypto::TrustRoot root_;
+    std::unique_ptr<baselines::UnreplicatedServer> server_;
+    std::vector<std::unique_ptr<baselines::UnreplicatedClient>> clients_;
+};
+
+// ----------------------------------------------------------------- NeoBFT
+
+class NeoDeployment : public Deployment {
+  public:
+    explicit NeoDeployment(const NeoParams& p)
+        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1), keys_(p.seed + 2) {
+        net_.set_default_link(sim::datacenter_link());
+        net_.set_global_drop_rate(p.drop_rate);
+
+        neobft::Config cfg;
+        cfg.f = (p.n_replicas - 1) / 3;
+        cfg.group = kGroup;
+        cfg.config_service = kConfigId;
+        cfg.sync_interval = p.sync_interval;
+        for (int i = 0; i < p.n_replicas; ++i) {
+            cfg.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
+        }
+
+        aom::GroupConfig group;
+        group.group = kGroup;
+        group.variant =
+            p.variant == NeoVariant::kPk ? aom::AuthVariant::kPublicKey : aom::AuthVariant::kHmacVector;
+        group.trust = p.variant == NeoVariant::kBn ? aom::NetworkTrust::kByzantine
+                                                   : aom::NetworkTrust::kCrashOnly;
+        group.f = cfg.f;
+        group.receivers = cfg.replicas;
+
+        aom::SequencerConfig seq_cfg =
+            p.software_sequencer ? aom::SequencerConfig::software_profile() : aom::SequencerConfig{};
+        for (int s = 0; s < 2; ++s) {
+            NodeId sid = kSwitchBase + static_cast<NodeId>(s);
+            switches_.push_back(
+                std::make_unique<aom::SequencerSwitch>(seq_cfg, root_.provision(sid), &keys_));
+            net_.add_node(*switches_.back(), sid);
+        }
+        std::vector<aom::SequencerSwitch*> pool;
+        for (auto& sw : switches_) pool.push_back(sw.get());
+        config_ = std::make_unique<aom::ConfigService>(&keys_, pool);
+        net_.add_node(*config_, kConfigId);
+        config_->register_group(group);
+
+        auto app_factory = p.app_factory
+                               ? p.app_factory
+                               : [] { return std::make_unique<app::EchoApp>(); };
+        for (NodeId rid : cfg.replicas) {
+            auto rep = std::make_unique<neobft::Replica>(cfg, root_.provision(rid), &keys_,
+                                                         app_factory(), p.receiver);
+            net_.add_node(*rep, rid);
+            rep->bootstrap(group, config_->current_sequencer(kGroup));
+            replicas_.push_back(std::move(rep));
+        }
+        for (int i = 0; i < p.n_clients; ++i) {
+            NodeId cid = kClientBase + static_cast<NodeId>(i);
+            clients_.push_back(
+                std::make_unique<neobft::Client>(cfg, root_.provision(cid), config_.get()));
+            net_.add_node(*clients_.back(), cid);
+        }
+    }
+
+    sim::Simulator& simulator() override { return sim_; }
+    sim::Network& network() override { return net_; }
+    int n_clients() const override { return static_cast<int>(clients_.size()); }
+    void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
+        clients_[static_cast<std::size_t>(client)]->invoke(std::move(op), std::move(done));
+    }
+
+    std::vector<NodeId> replica_ids() const override {
+        std::vector<NodeId> out;
+        for (const auto& r : replicas_) out.push_back(r->id());
+        return out;
+    }
+    crypto::CostMeter* replica_meter(NodeId id) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) return &r->node_crypto().meter();
+        }
+        return nullptr;
+    }
+
+    void inject_sequencer_failure() override { switches_[0]->set_stall(true); }
+    std::uint64_t failovers() const override { return config_->failovers_performed(); }
+
+    const std::vector<std::unique_ptr<neobft::Replica>>& replicas() const { return replicas_; }
+
+  private:
+    sim::Simulator sim_;
+    sim::Network net_;
+    crypto::TrustRoot root_;
+    aom::AomKeyService keys_;
+    std::vector<std::unique_ptr<aom::SequencerSwitch>> switches_;
+    std::unique_ptr<aom::ConfigService> config_;
+    std::vector<std::unique_ptr<neobft::Replica>> replicas_;
+    std::vector<std::unique_ptr<neobft::Client>> clients_;
+};
+
+// -------------------------------------------------------------- baselines
+
+template <typename ReplicaT, typename CfgT>
+class BaselineDeployment : public Deployment {
+  public:
+    BaselineDeployment(const CommonParams& p, int n_replicas, std::size_t client_quorum,
+                       const std::function<std::unique_ptr<ReplicaT>(
+                           const CfgT&, std::unique_ptr<crypto::NodeCrypto>)>& make_replica)
+        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        net_.set_default_link(sim::datacenter_link());
+        net_.set_global_drop_rate(p.drop_rate);
+
+        cfg_.f = (p.n_replicas - 1) / 3;
+        cfg_.batch_max = p.batch_max;
+        cfg_.batch_delay = p.batch_delay;
+        for (int i = 0; i < n_replicas; ++i) {
+            cfg_.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
+        }
+        for (NodeId rid : cfg_.replicas) {
+            auto rep = make_replica(cfg_, root_.provision(rid));
+            if (p.baseline_app_factory) rep->set_app(p.baseline_app_factory());
+            net_.add_node(*rep, rid);
+            replicas_.push_back(std::move(rep));
+        }
+        for (int i = 0; i < p.n_clients; ++i) {
+            NodeId cid = kClientBase + static_cast<NodeId>(i);
+            clients_.push_back(std::make_unique<baselines::QuorumClient>(
+                cfg_, root_.provision(cid), client_quorum));
+            net_.add_node(*clients_.back(), cid);
+        }
+    }
+
+    sim::Simulator& simulator() override { return sim_; }
+    sim::Network& network() override { return net_; }
+    int n_clients() const override { return static_cast<int>(clients_.size()); }
+    void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
+        clients_[static_cast<std::size_t>(client)]->invoke(std::move(op), std::move(done));
+    }
+    std::vector<NodeId> replica_ids() const override { return cfg_.replicas; }
+    crypto::CostMeter* replica_meter(NodeId id) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) return &r->node_crypto().meter();
+        }
+        return nullptr;
+    }
+
+    CfgT cfg_;
+    sim::Simulator sim_;
+    sim::Network net_;
+    crypto::TrustRoot root_;
+    std::vector<std::unique_ptr<ReplicaT>> replicas_;
+    std::vector<std::unique_ptr<baselines::QuorumClient>> clients_;
+};
+
+class ZyzzyvaDeployment : public Deployment {
+  public:
+    explicit ZyzzyvaDeployment(const ZyzzyvaParams& p)
+        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        net_.set_default_link(sim::datacenter_link());
+        net_.set_global_drop_rate(p.drop_rate);
+        cfg_.f = (p.n_replicas - 1) / 3;
+        cfg_.batch_max = p.batch_max;
+        cfg_.batch_delay = p.batch_delay;
+        for (int i = 0; i < p.n_replicas; ++i) {
+            cfg_.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
+        }
+        for (NodeId rid : cfg_.replicas) {
+            auto rep = std::make_unique<baselines::ZyzzyvaReplica>(cfg_, root_.provision(rid));
+            if (p.baseline_app_factory) rep->set_app(p.baseline_app_factory());
+            net_.add_node(*rep, rid);
+            replicas_.push_back(std::move(rep));
+        }
+        if (p.faulty_replica) replicas_.back()->set_silent(true);
+        for (int i = 0; i < p.n_clients; ++i) {
+            NodeId cid = kClientBase + static_cast<NodeId>(i);
+            clients_.push_back(
+                std::make_unique<baselines::ZyzzyvaClient>(cfg_, root_.provision(cid)));
+            net_.add_node(*clients_.back(), cid);
+        }
+    }
+
+    sim::Simulator& simulator() override { return sim_; }
+    sim::Network& network() override { return net_; }
+    int n_clients() const override { return static_cast<int>(clients_.size()); }
+    void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
+        clients_[static_cast<std::size_t>(client)]->invoke(std::move(op), std::move(done));
+    }
+    std::vector<NodeId> replica_ids() const override { return cfg_.replicas; }
+    crypto::CostMeter* replica_meter(NodeId id) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) return &r->node_crypto().meter();
+        }
+        return nullptr;
+    }
+
+  private:
+    baselines::ZyzzyvaConfig cfg_;
+    sim::Simulator sim_;
+    sim::Network net_;
+    crypto::TrustRoot root_;
+    std::vector<std::unique_ptr<baselines::ZyzzyvaReplica>> replicas_;
+    std::vector<std::unique_ptr<baselines::ZyzzyvaClient>> clients_;
+};
+
+}  // namespace
+
+std::unique_ptr<Deployment> make_unreplicated(const CommonParams& p) {
+    return std::make_unique<UnreplicatedDeployment>(p);
+}
+
+std::unique_ptr<Deployment> make_neobft(const NeoParams& p) {
+    return std::make_unique<NeoDeployment>(p);
+}
+
+std::unique_ptr<Deployment> make_pbft(const CommonParams& p) {
+    int f = (p.n_replicas - 1) / 3;
+    return std::make_unique<BaselineDeployment<baselines::PbftReplica, baselines::PbftConfig>>(
+        p, p.n_replicas, static_cast<std::size_t>(f + 1),
+        [](const baselines::PbftConfig& cfg, std::unique_ptr<crypto::NodeCrypto> c) {
+            return std::make_unique<baselines::PbftReplica>(cfg, std::move(c));
+        });
+}
+
+std::unique_ptr<Deployment> make_zyzzyva(const ZyzzyvaParams& p) {
+    return std::make_unique<ZyzzyvaDeployment>(p);
+}
+
+std::unique_ptr<Deployment> make_hotstuff(const CommonParams& p) {
+    int f = (p.n_replicas - 1) / 3;
+    return std::make_unique<
+        BaselineDeployment<baselines::HotStuffReplica, baselines::HotStuffConfig>>(
+        p, p.n_replicas, static_cast<std::size_t>(f + 1),
+        [](const baselines::HotStuffConfig& cfg, std::unique_ptr<crypto::NodeCrypto> c) {
+            return std::make_unique<baselines::HotStuffReplica>(cfg, std::move(c));
+        });
+}
+
+std::unique_ptr<Deployment> make_minbft(const CommonParams& p) {
+    int f = (p.n_replicas - 1) / 3;
+    int n = 2 * f + 1;
+    std::uint64_t usig_seed = p.seed + 7;
+    auto d = std::make_unique<
+        BaselineDeployment<baselines::MinbftReplica, baselines::MinbftConfig>>(
+        p, n, static_cast<std::size_t>(f + 1),
+        [usig_seed](const baselines::MinbftConfig& cfg, std::unique_ptr<crypto::NodeCrypto> c) {
+            return std::make_unique<baselines::MinbftReplica>(cfg, std::move(c), usig_seed);
+        });
+    // BaselineDeployment computed f from n_replicas (3f+1 convention); MinBFT
+    // keeps the same f but with 2f+1 replicas.
+    d->cfg_.f = f;
+    return d;
+}
+
+// ------------------------------------------------------------------ output
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) {
+    for (const auto& c : columns) widths_.push_back(std::max<std::size_t>(c.size() + 2, 12));
+    row(columns);
+    std::string sep;
+    for (std::size_t w : widths_) sep += std::string(w, '-') + "  ";
+    std::printf("%s\n", sep.c_str());
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::size_t w = i < widths_.size() ? widths_[i] : 12;
+        std::string cell = cells[i];
+        if (cell.size() < w) cell += std::string(w - cell.size(), ' ');
+        line += cell + "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+}
+
+std::string fmt_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::vector<SweepPoint> latency_throughput_sweep(
+    const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
+    const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
+    sim::Time measure) {
+    std::vector<SweepPoint> out;
+    for (int clients : client_counts) {
+        auto d = factory(clients);
+        Measured m = run_closed_loop(*d, ops, warmup, measure);
+        out.push_back({clients, m});
+    }
+    return out;
+}
+
+}  // namespace neo::bench

@@ -1,0 +1,128 @@
+// Benchmark harness: deployment factories for every protocol in the paper's
+// evaluation and a closed-loop measurement driver (§6.2's methodology: "an
+// increasing number of closed-loop clients", end-to-end latency and
+// throughput observed by the clients).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/state_machine.hpp"
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "aom/receiver.hpp"
+#include "crypto/identity.hpp"
+#include "sim/network.hpp"
+
+namespace neo::bench {
+
+struct Measured {
+    double throughput_ops = 0;  // committed ops per second of virtual time
+    double p50_us = 0;
+    double mean_us = 0;
+    double p99_us = 0;
+    double p999_us = 0;
+    std::uint64_t completed = 0;
+};
+
+/// Type-erased running system: owns all nodes; the driver only needs
+/// per-client invoke().
+class Deployment {
+  public:
+    virtual ~Deployment() = default;
+    virtual sim::Simulator& simulator() = 0;
+    virtual sim::Network& network() = 0;
+    virtual int n_clients() const = 0;
+    virtual void invoke(int client, Bytes op, std::function<void(Bytes)> done) = 0;
+
+    /// Replica instrumentation for the Table 1 reproduction.
+    virtual std::vector<NodeId> replica_ids() const { return {}; }
+    virtual crypto::CostMeter* replica_meter(NodeId) { return nullptr; }
+
+    /// Fault-injection hooks (used by the failover benchmark; no-ops for
+    /// protocols without a sequencer).
+    virtual void inject_sequencer_failure() {}
+    virtual std::uint64_t failovers() const { return 0; }
+};
+
+/// Generates the operation a client issues next (k = per-client op index).
+using OpGen = std::function<Bytes(int client, std::uint64_t k)>;
+
+/// Fixed-size random-string echo ops (the §6.2 workload).
+OpGen echo_ops(std::size_t size);
+
+/// Runs every client closed-loop; latency/throughput measured over
+/// [warmup, warmup+measure) of virtual time. `at_measure_start` (optional)
+/// fires exactly when the measurement window opens — counter resets etc.
+Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim::Time measure,
+                         const std::function<void()>& at_measure_start = nullptr);
+
+// --------------------------------------------------------------- factories
+
+struct CommonParams {
+    int n_replicas = 4;
+    int n_clients = 8;
+    crypto::CryptoMode crypto_mode = crypto::CryptoMode::kModeled;
+    std::uint64_t seed = 42;
+    double drop_rate = 0.0;
+    std::size_t batch_max = 16;
+    sim::Time batch_delay = 100 * sim::kMicrosecond;
+    /// Replica application for NeoBFT (stateful, undo-capable).
+    std::function<std::unique_ptr<app::StateMachine>()> app_factory;
+    /// Replica application for the baselines (one closure per replica).
+    std::function<std::function<Bytes(BytesView)>()> baseline_app_factory;
+};
+
+enum class NeoVariant { kHm, kPk, kBn };
+
+struct NeoParams : CommonParams {
+    NeoVariant variant = NeoVariant::kHm;
+    /// Fig 8's EC2-style software sequencer profile.
+    bool software_sequencer = false;
+    /// aom receiver knobs (gap timeout, confirm batching) — ablations.
+    aom::ReceiverOptions receiver{};
+    /// State-sync period (§B.2) — ablations.
+    std::uint64_t sync_interval = 128;
+};
+
+std::unique_ptr<Deployment> make_unreplicated(const CommonParams& p);
+std::unique_ptr<Deployment> make_neobft(const NeoParams& p);
+std::unique_ptr<Deployment> make_pbft(const CommonParams& p);
+
+struct ZyzzyvaParams : CommonParams {
+    bool faulty_replica = false;  // Zyzzyva-F
+};
+std::unique_ptr<Deployment> make_zyzzyva(const ZyzzyvaParams& p);
+std::unique_ptr<Deployment> make_hotstuff(const CommonParams& p);
+/// MinBFT uses 2f+1 replicas; `n_replicas` is interpreted as f's 3f+1
+/// equivalent (n=4 -> f=1 -> 3 replicas) so sweeps stay uniform.
+std::unique_ptr<Deployment> make_minbft(const CommonParams& p);
+
+// ------------------------------------------------------------------ output
+
+/// Aligned table printer for figure-style output.
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> columns);
+    void row(const std::vector<std::string>& cells);
+
+  private:
+    std::vector<std::size_t> widths_;
+};
+
+std::string fmt_double(double v, int precision = 1);
+
+/// Sweeps client counts and reports one (throughput, latency) point each —
+/// the raw material of Fig 7-style curves.
+struct SweepPoint {
+    int clients;
+    Measured m;
+};
+std::vector<SweepPoint> latency_throughput_sweep(
+    const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
+    const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
+    sim::Time measure);
+
+}  // namespace neo::bench

@@ -1,0 +1,93 @@
+// Crypto primitive micro-benchmarks (google-benchmark): the real-time cost
+// of the from-scratch implementations backing the simulation's cost model.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/hmac_sha256.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/siphash.hpp"
+
+using namespace neo;
+using namespace neo::crypto;
+
+namespace {
+
+Bytes payload(std::size_t n) {
+    Rng rng(7);
+    return rng.bytes(n);
+}
+
+void BM_Sha256(benchmark::State& state) {
+    Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+    Bytes key = payload(32);
+    Bytes data = payload(128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hmac_sha256(key, data));
+    }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SipHash24(benchmark::State& state) {
+    SipKey key{1, 2};
+    Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siphash24(key, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SipHash24)->Arg(52)->Arg(512);
+
+void BM_HalfSipHash(benchmark::State& state) {
+    HalfSipKey key{1, 2};
+    Bytes data = payload(52);  // aom auth input size
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(halfsiphash24(key, data));
+    }
+}
+BENCHMARK(BM_HalfSipHash);
+
+void BM_EcdsaSign(benchmark::State& state) {
+    Rng rng(9);
+    EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(rng.bytes(32));
+    Digest32 h = sha256("benchmark message");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ecdsa_sign(priv, h));
+        h[0] ^= 1;  // vary the message
+    }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+    Rng rng(9);
+    EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(rng.bytes(32));
+    EcdsaPublicKey pub = ecdsa_derive_public(priv);
+    Digest32 h = sha256("benchmark message");
+    EcdsaSignature sig = ecdsa_sign(priv, h);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ecdsa_verify(pub, h, sig));
+    }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_GeneratorMul(benchmark::State& state) {
+    Rng rng(11);
+    Scalar k = Scalar::from_be_bytes_reduce(rng.bytes(32));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generator_mul(k));
+        k = k.add(Scalar::one());
+    }
+}
+BENCHMARK(BM_GeneratorMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

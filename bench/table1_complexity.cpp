@@ -1,0 +1,166 @@
+// Table 1: bottleneck message complexity and authenticator complexity,
+// measured empirically per committed request while sweeping N, plus the
+// analytic columns from the paper.
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+using namespace neo;
+using namespace neo::bench;
+
+namespace {
+
+struct Counts {
+    double bottleneck_msgs_per_req;  // messages at the busiest replica
+    double authenticators_per_req;   // signs+verifies+MACs across replicas
+};
+
+Counts measure(Deployment& d, sim::Time warmup, sim::Time measure_t) {
+    std::vector<NodeId> reps = d.replica_ids();
+    // One continuous run; counters reset exactly when the window opens.
+    Measured m = run_closed_loop(d, echo_ops(64), warmup, measure_t, [&d, &reps] {
+        d.network().reset_counters();
+        for (NodeId r : reps) {
+            if (auto* meter = d.replica_meter(r)) meter->reset_counters();
+        }
+    });
+
+    std::uint64_t max_msgs = 0;
+    std::uint64_t auth_total = 0;
+    for (NodeId r : reps) {
+        max_msgs = std::max(max_msgs, d.network().delivered_to(r));
+        if (auto* meter = d.replica_meter(r)) {
+            auth_total += meter->signs + meter->verifies + meter->macs;
+        }
+    }
+    Counts c;
+    double reqs = std::max<double>(1, static_cast<double>(m.completed));
+    c.bottleneck_msgs_per_req = static_cast<double>(max_msgs) / reqs;
+    c.authenticators_per_req = static_cast<double>(auth_total) / reqs;
+    return c;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Table 1: complexity comparison (measured per committed request) ===\n");
+    std::printf("analytic columns (paper):\n");
+    std::printf("  protocol   repl.factor  bottleneck  authenticators  delays\n");
+    std::printf("  PBFT       3f+1         O(N)        O(N^2)          5\n");
+    std::printf("  Zyzzyva    3f+1         O(N)        O(N)            3\n");
+    std::printf("  SBFT       3f+1         O(N)        O(N)            6   (not measured)\n");
+    std::printf("  HotStuff   3f+1         O(N)        O(N)            4\n");
+    std::printf("  A2M-PBFT   2f+1         O(N)        O(N^2)          5   (not measured)\n");
+    std::printf("  MinBFT     2f+1         O(N)        O(N^2)          4\n");
+    std::printf("  NeoBFT     3f+1         O(1)        O(N)            2\n\n");
+
+    constexpr sim::Time kWarm = 20 * sim::kMillisecond;
+    constexpr sim::Time kMeasure = 100 * sim::kMillisecond;
+    const int kClients = 16;
+
+    for (int n : {4, 7, 10}) {
+        std::printf("--- N = %d (f = %d) ---\n", n, (n - 1) / 3);
+        TablePrinter table({"protocol", "bottleneck_msgs/req", "authenticators/req"});
+
+        {
+            NeoParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            auto d = make_neobft(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            table.row({"NeoBFT-HM", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        {
+            NeoParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            p.variant = NeoVariant::kPk;
+            auto d = make_neobft(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            // The O(1) bottleneck claim is group-size agnostic for aom-pk;
+            // aom-hm replicas receive ceil(N/4) subgroup packets (§6.3).
+            table.row({"NeoBFT-PK", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        {
+            CommonParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            auto d = make_pbft(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            table.row({"PBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        {
+            ZyzzyvaParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            auto d = make_zyzzyva(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            table.row({"Zyzzyva", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        {
+            CommonParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            auto d = make_hotstuff(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            table.row({"HotStuff", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        {
+            CommonParams p;
+            p.n_replicas = n;
+            p.n_clients = kClients;
+            auto d = make_minbft(p);
+            Counts c = measure(*d, kWarm, kMeasure);
+            table.row({"MinBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
+                       fmt_double(c.authenticators_per_req, 2)});
+        }
+        std::printf("\n");
+    }
+
+    // Message-delay column: idle-system commit latency. Absolute values
+    // include constant crypto latencies; the paper's delay counts predict
+    // the ORDERING (NeoBFT 2 < Zyzzyva 3 < MinBFT/HotStuff 4 < PBFT 5, with
+    // per-protocol crypto shifting the constants).
+    std::printf("--- message delays (idle-system commit latency, N=4) ---\n");
+    TablePrinter table({"protocol", "paper_delays", "latency_us"});
+    auto one_shot = [&](const std::string& name, const std::string& delays,
+                        std::unique_ptr<Deployment> d) {
+        Measured m = run_closed_loop(*d, echo_ops(64), 0, 20 * sim::kMillisecond);
+        table.row({name, delays, fmt_double(m.p50_us, 1)});
+    };
+    {
+        NeoParams p;
+        p.n_clients = 1;
+        one_shot("NeoBFT-HM", "2", make_neobft(p));
+    }
+    {
+        ZyzzyvaParams p;
+        p.n_clients = 1;
+        p.batch_delay = 10 * sim::kMicrosecond;
+        one_shot("Zyzzyva", "3", make_zyzzyva(p));
+    }
+    {
+        CommonParams p;
+        p.n_clients = 1;
+        p.batch_delay = 10 * sim::kMicrosecond;
+        one_shot("PBFT", "5", make_pbft(p));
+    }
+    {
+        CommonParams p;
+        p.n_clients = 1;
+        p.batch_delay = 10 * sim::kMicrosecond;
+        one_shot("MinBFT", "4", make_minbft(p));
+    }
+    {
+        CommonParams p;
+        p.n_clients = 1;
+        p.batch_delay = 10 * sim::kMicrosecond;
+        one_shot("HotStuff", "4", make_hotstuff(p));
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+// aom configuration service (§4.1, §4.2).
+//
+// Owns group membership, key provisioning and sequencer assignment. On
+// receiving f+1 distinct failover requests for the next epoch it installs
+// the group on the next switch in the pool (after a reconfiguration delay
+// modelling the network-level routing updates the paper measured at the
+// bulk of the ~100 ms failover, §6.4) and announces the new epoch to all
+// receivers.
+//
+// Per §5.1 the service itself follows the standard trusted-infrastructure
+// assumption: it is modelled as a correct, always-available node.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "aom/keys.hpp"
+#include "aom/sender.hpp"
+#include "aom/sequencer.hpp"
+#include "aom/types.hpp"
+#include "sim/processing_node.hpp"
+
+namespace neo::aom {
+
+class ConfigService : public sim::ProcessingNode, public SequencerDirectory {
+  public:
+    ConfigService(AomKeyService* keys, std::vector<SequencerSwitch*> switch_pool,
+                  sim::Time reconfig_delay = 50 * sim::kMillisecond)
+        : keys_(keys), pool_(std::move(switch_pool)), reconfig_delay_(reconfig_delay) {}
+
+    /// Registers a group and installs it on the first pool switch at epoch 1.
+    void register_group(const GroupConfig& group);
+
+    // SequencerDirectory.
+    NodeId current_sequencer(GroupId group) const override;
+    EpochNum current_epoch(GroupId group) const override;
+
+    const AomKeyService* key_service() const { return keys_; }
+    const GroupConfig& group_config(GroupId group) const;
+
+    /// Test/bench hook: forces an immediate failover without waiting for
+    /// receiver quorum (e.g. operator-driven maintenance).
+    void force_failover(GroupId group);
+
+    std::uint64_t failovers_performed() const { return failovers_performed_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    struct GroupState {
+        GroupConfig cfg;
+        EpochNum epoch = 0;
+        std::size_t switch_index = 0;
+        bool reconfig_in_progress = false;
+        /// next_epoch -> distinct requesting receivers.
+        std::map<EpochNum, std::set<NodeId>> failover_requests;
+    };
+
+    void start_reconfig(GroupState& gs, EpochNum next_epoch);
+
+    AomKeyService* keys_;
+    std::vector<SequencerSwitch*> pool_;
+    sim::Time reconfig_delay_;
+    std::map<GroupId, GroupState> groups_;
+    std::uint64_t failovers_performed_ = 0;
+};
+
+}  // namespace neo::aom

@@ -1,0 +1,50 @@
+// Sender-side aom library (§3.2): wraps an application payload into an aom
+// data packet addressed to a group.
+//
+// Senders never know individual receivers — they address the group, and the
+// network (modelled by the SequencerDirectory routing lookup, standing in
+// for the BGP advertisement of the group address) carries the packet to the
+// current sequencer switch.
+#pragma once
+
+#include "aom/wire.hpp"
+#include "crypto/identity.hpp"
+
+namespace neo::aom {
+
+/// Routing view of the configuration service: which switch currently
+/// advertises a group's address. Implemented by ConfigService.
+class SequencerDirectory {
+  public:
+    virtual ~SequencerDirectory() = default;
+    virtual NodeId current_sequencer(GroupId group) const = 0;
+    virtual EpochNum current_epoch(GroupId group) const = 0;
+};
+
+class AomSender {
+  public:
+    AomSender(GroupId group, crypto::NodeCrypto* crypto, const SequencerDirectory* directory)
+        : group_(group), crypto_(crypto), directory_(directory) {}
+
+    /// Builds the wire packet for `payload` (computes the collision-
+    /// resistant digest the switch will authenticate, §4.1).
+    Bytes make_packet(BytesView payload) {
+        DataPacket pkt;
+        pkt.group = group_;
+        pkt.digest = crypto_->hash(payload);
+        pkt.payload = Bytes(payload.begin(), payload.end());
+        return pkt.serialize();
+    }
+
+    /// Where the network currently routes this group's address.
+    NodeId route() const { return directory_->current_sequencer(group_); }
+
+    GroupId group() const { return group_; }
+
+  private:
+    GroupId group_;
+    crypto::NodeCrypto* crypto_;
+    const SequencerDirectory* directory_;
+};
+
+}  // namespace neo::aom

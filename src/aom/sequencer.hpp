@@ -1,0 +1,122 @@
+// Emulated sequencer switch (§4.2–§4.4).
+//
+// Implements the Tofino data-plane algorithm exactly — per-group counters
+// and epochs, HalfSipHash HMAC vectors with 4-wide subgroup packetisation,
+// or secp256k1 signatures with the FPGA coprocessor's pre-compute stock,
+// signing-ratio controller and SHA-256 hash chaining — while modelling the
+// hardware's service times (pipeline passes, signer throughput, tail-drop
+// queue) in virtual time. See DESIGN.md §1 for the substitution argument.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "aom/keys.hpp"
+#include "aom/types.hpp"
+#include "aom/wire.hpp"
+#include "crypto/identity.hpp"
+#include "sim/costs.hpp"
+#include "sim/network.hpp"
+
+namespace neo::aom {
+
+struct SequencerConfig {
+    /// Base parse/match-action forwarding latency.
+    sim::Time forward_ns = sim::kSwitchForwardNs;
+    /// Latency of the HMAC folded pipeline (occupancy is hm_service_ns;
+    /// the pipeline is deep, so latency >> occupancy).
+    sim::Time hm_auth_latency_ns = sim::kHmacAuthLatencyNs;
+    /// PK pipeline line-rate service (hash-chain stamping).
+    sim::Time pk_chain_service_ns = sim::kPkChainServiceNs;
+    /// FPGA signer service time per signature (1/1.1 Mpps).
+    sim::Time pk_sign_service_ns = sim::kPkSignServiceNs;
+    /// Extra latency of the FPGA round trip on signed packets.
+    sim::Time pk_sign_latency_ns = sim::kPkSignLatencyNs;
+    /// Signer input queue bound; beyond it the controller skips signatures.
+    std::size_t pk_signer_queue = 8;
+    sim::PkPrecomputeConfig precompute{};
+    /// Ingress tail-drop threshold (packets queued in the pipeline).
+    std::size_t max_queue_depth = 4'096;
+    /// Idle period after which an unsigned chain head is retro-signed with a
+    /// checkpoint packet so receivers do not stall (§4.4 batch delivery).
+    sim::Time checkpoint_idle_ns = 100 * sim::kMicrosecond;
+    /// Tofino's 16 loopback ports cap HM groups at 64 receivers (§4.3);
+    /// the Fig 8 software sequencer has no such port budget.
+    bool enforce_hm_port_limit = true;
+
+    /// Software sequencer profile used for the Fig 8 EC2-style scalability
+    /// runs (the paper also substitutes a software switch there).
+    static SequencerConfig software_profile();
+};
+
+class SequencerSwitch : public sim::Node {
+  public:
+    SequencerSwitch(SequencerConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+                    const AomKeyService* keys)
+        : cfg_(cfg), crypto_(std::move(crypto)), keys_(keys) {}
+
+    /// Control plane (configuration service): makes this switch the
+    /// sequencer for `group` starting at `epoch`. Resets counter and chain.
+    void install_group(const GroupConfig& group, EpochNum epoch);
+    void remove_group(GroupId group);
+    bool serves_group(GroupId group) const { return groups_.contains(group); }
+
+    /// Fault injection: a stalled switch accepts packets but emits nothing.
+    void set_stall(bool stalled) { stalled_ = stalled; }
+
+    void on_packet(NodeId from, BytesView data) override;
+
+    // Instrumentation.
+    std::uint64_t packets_sequenced() const { return packets_sequenced_; }
+    std::uint64_t signatures_generated() const { return signatures_generated_; }
+    std::uint64_t signatures_skipped() const { return signatures_skipped_; }
+    std::uint64_t tail_drops() const { return tail_drops_; }
+    double precompute_stock() const { return stock_; }
+
+  protected:
+    /// Emission hook; Byzantine-switch test doubles override this to
+    /// equivocate or drop.
+    virtual void emit(NodeId receiver, sim::Time depart, Bytes packet) {
+        net().send_at(depart, id(), receiver, std::move(packet));
+    }
+
+  private:
+    struct GroupState {
+        GroupConfig cfg;
+        EpochNum epoch = 0;
+        SeqNum next_seq = 1;
+        Digest32 chain{};        // C_{next_seq - 1}
+        // Chain-head bookkeeping for idle checkpoints.
+        SeqNum head_seq = 0;
+        bool head_signed = true;
+        Digest32 head_prev{};
+        Digest32 head_digest{};
+        std::uint32_t unsigned_run = 0;
+        std::uint64_t checkpoint_generation = 0;
+    };
+
+    void process_hm(GroupState& gs, const DataPacket& pkt, sim::Time emit_time);
+    void process_pk(GroupState& gs, const DataPacket& pkt, sim::Time emit_time);
+    void refill_stock();
+    void schedule_checkpoint(GroupId group);
+
+    SequencerConfig cfg_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    const AomKeyService* keys_;
+    std::unordered_map<GroupId, GroupState> groups_;
+
+    sim::Time pipe_busy_until_ = 0;
+    sim::Time signer_busy_until_ = 0;
+    double stock_ = 0.0;
+    sim::Time last_refill_ = 0;
+    std::size_t in_flight_ = 0;
+    bool stalled_ = false;
+    bool stock_initialized_ = false;
+
+    std::uint64_t packets_sequenced_ = 0;
+    std::uint64_t signatures_generated_ = 0;
+    std::uint64_t signatures_skipped_ = 0;
+    std::uint64_t tail_drops_ = 0;
+};
+
+}  // namespace neo::aom

@@ -1,0 +1,54 @@
+// aom deployment configuration types (§3.1, §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace neo::aom {
+
+/// Which in-switch authentication design the sequencer runs (§4.3 / §4.4).
+enum class AuthVariant : std::uint8_t {
+    kHmacVector = 1,  // aom-hm: HalfSipHash MAC vector, folded pipeline
+    kPublicKey = 2,   // aom-pk: secp256k1 via FPGA coprocessor + hash chain
+};
+
+/// Fault model assumed for the network infrastructure (§3.1).
+enum class NetworkTrust : std::uint8_t {
+    kCrashOnly = 1,   // hybrid model: direct delivery on authentication
+    kByzantine = 2,   // confirm-message exchange tolerates equivocation
+};
+
+/// Static description of one aom group.
+struct GroupConfig {
+    GroupId group = 0;
+    AuthVariant variant = AuthVariant::kHmacVector;
+    NetworkTrust trust = NetworkTrust::kCrashOnly;
+    /// Receiver node ids; a receiver's index in this vector is its "slot"
+    /// in the HMAC vector and its identity in confirm quorums.
+    std::vector<NodeId> receivers;
+    /// Maximum number of Byzantine receivers tolerated (confirm quorum is
+    /// 2f+1). Only meaningful under NetworkTrust::kByzantine.
+    int f = 0;
+
+    int receiver_index(NodeId node) const {
+        for (std::size_t i = 0; i < receivers.size(); ++i) {
+            if (receivers[i] == node) return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+/// Maximum receivers per HMAC subgroup packet (4 parallel HalfSipHash
+/// instances per pipeline pass, §4.3).
+constexpr int kHmSubgroupSize = 4;
+
+/// Receivers per group supported by the HM design (16 loopback ports x 4).
+constexpr int kHmMaxReceivers = 64;
+
+inline int hm_subgroup_count(int receivers) {
+    return (receivers + kHmSubgroupSize - 1) / kHmSubgroupSize;
+}
+
+}  // namespace neo::aom

@@ -1,0 +1,285 @@
+#include "apps/btree.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace neo::app {
+
+bool BTreeMap::key_less(BytesView a, BytesView b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool BTreeMap::key_eq(BytesView a, BytesView b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+int BTreeMap::lower_bound(const Node& node, BytesView key) {
+    int lo = 0;
+    int hi = node.nkeys();
+    while (lo < hi) {
+        int mid = (lo + hi) / 2;
+        if (key_less(node.keys[static_cast<std::size_t>(mid)], key)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+const Bytes* BTreeMap::get(BytesView key) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+        int i = lower_bound(*node, key);
+        if (i < node->nkeys() && key_eq(node->keys[static_cast<std::size_t>(i)], key)) {
+            return &node->values[static_cast<std::size_t>(i)];
+        }
+        if (node->leaf()) return nullptr;
+        node = node->children[static_cast<std::size_t>(i)].get();
+    }
+    return nullptr;
+}
+
+void BTreeMap::split_child(Node& parent, int idx) {
+    Node& full = *parent.children[static_cast<std::size_t>(idx)];
+    NEO_ASSERT(full.nkeys() == kMaxKeys);
+    auto right = std::make_unique<Node>();
+
+    // Median moves up; upper half moves to the new right sibling.
+    right->keys.assign(std::make_move_iterator(full.keys.begin() + kT),
+                       std::make_move_iterator(full.keys.end()));
+    right->values.assign(std::make_move_iterator(full.values.begin() + kT),
+                         std::make_move_iterator(full.values.end()));
+    Bytes mid_key = std::move(full.keys[kT - 1]);
+    Bytes mid_val = std::move(full.values[kT - 1]);
+    full.keys.resize(kT - 1);
+    full.values.resize(kT - 1);
+    if (!full.leaf()) {
+        right->children.assign(std::make_move_iterator(full.children.begin() + kT),
+                               std::make_move_iterator(full.children.end()));
+        full.children.resize(kT);
+    }
+
+    parent.keys.insert(parent.keys.begin() + idx, std::move(mid_key));
+    parent.values.insert(parent.values.begin() + idx, std::move(mid_val));
+    parent.children.insert(parent.children.begin() + idx + 1, std::move(right));
+}
+
+bool BTreeMap::put(BytesView key, BytesView value) {
+    if (!root_) root_ = std::make_unique<Node>();
+    if (root_->nkeys() == kMaxKeys) {
+        auto new_root = std::make_unique<Node>();
+        new_root->children.push_back(std::move(root_));
+        root_ = std::move(new_root);
+        split_child(*root_, 0);
+    }
+    bool inserted = insert_nonfull(*root_, key, value);
+    if (inserted) ++size_;
+    return inserted;
+}
+
+bool BTreeMap::insert_nonfull(Node& node, BytesView key, BytesView value) {
+    int i = lower_bound(node, key);
+    if (i < node.nkeys() && key_eq(node.keys[static_cast<std::size_t>(i)], key)) {
+        node.values[static_cast<std::size_t>(i)].assign(value.begin(), value.end());
+        return false;
+    }
+    if (node.leaf()) {
+        node.keys.insert(node.keys.begin() + i, Bytes(key.begin(), key.end()));
+        node.values.insert(node.values.begin() + i, Bytes(value.begin(), value.end()));
+        return true;
+    }
+    if (node.children[static_cast<std::size_t>(i)]->nkeys() == kMaxKeys) {
+        split_child(node, i);
+        if (key_less(node.keys[static_cast<std::size_t>(i)], key)) {
+            ++i;
+        } else if (key_eq(node.keys[static_cast<std::size_t>(i)], key)) {
+            node.values[static_cast<std::size_t>(i)].assign(value.begin(), value.end());
+            return false;
+        }
+    }
+    return insert_nonfull(*node.children[static_cast<std::size_t>(i)], key, value);
+}
+
+bool BTreeMap::erase(BytesView key) {
+    if (!root_) return false;
+    bool erased = erase_from(*root_, key);
+    if (erased) --size_;
+    if (root_->nkeys() == 0 && !root_->leaf()) {
+        root_ = std::move(root_->children[0]);  // shrink height
+    }
+    if (root_ && root_->nkeys() == 0 && root_->leaf()) {
+        root_.reset();
+    }
+    return erased;
+}
+
+std::pair<Bytes, Bytes> BTreeMap::max_entry(Node& node) {
+    Node* cur = &node;
+    while (!cur->leaf()) cur = cur->children.back().get();
+    return {cur->keys.back(), cur->values.back()};
+}
+
+std::pair<Bytes, Bytes> BTreeMap::min_entry(Node& node) {
+    Node* cur = &node;
+    while (!cur->leaf()) cur = cur->children.front().get();
+    return {cur->keys.front(), cur->values.front()};
+}
+
+bool BTreeMap::erase_from(Node& node, BytesView key) {
+    int i = lower_bound(node, key);
+    bool found = i < node.nkeys() && key_eq(node.keys[static_cast<std::size_t>(i)], key);
+
+    if (found && node.leaf()) {
+        node.keys.erase(node.keys.begin() + i);
+        node.values.erase(node.values.begin() + i);
+        return true;
+    }
+
+    if (found) {
+        // Internal node: replace with predecessor or successor, then delete
+        // that entry from the child (ensuring the child has >= kT keys).
+        Node& left = *node.children[static_cast<std::size_t>(i)];
+        Node& right = *node.children[static_cast<std::size_t>(i + 1)];
+        if (left.nkeys() >= kT) {
+            auto [pk, pv] = max_entry(left);
+            node.keys[static_cast<std::size_t>(i)] = pk;
+            node.values[static_cast<std::size_t>(i)] = pv;
+            return erase_from(left, pk);
+        }
+        if (right.nkeys() >= kT) {
+            auto [sk, sv] = min_entry(right);
+            node.keys[static_cast<std::size_t>(i)] = sk;
+            node.values[static_cast<std::size_t>(i)] = sv;
+            return erase_from(right, sk);
+        }
+        merge_children(node, i);
+        return erase_from(*node.children[static_cast<std::size_t>(i)], key);
+    }
+
+    if (node.leaf()) return false;  // not present
+
+    // Descend, topping up the child if it is at minimum occupancy.
+    if (node.children[static_cast<std::size_t>(i)]->nkeys() < kT) {
+        fill_child(node, i);
+        // fill_child may merge and shift indices; recompute.
+        i = lower_bound(node, key);
+        if (i < node.nkeys() && key_eq(node.keys[static_cast<std::size_t>(i)], key)) {
+            return erase_from(node, key);
+        }
+        if (i > node.nkeys()) i = node.nkeys();
+    }
+    return erase_from(*node.children[static_cast<std::size_t>(i)], key);
+}
+
+void BTreeMap::fill_child(Node& node, int idx) {
+    Node& child = *node.children[static_cast<std::size_t>(idx)];
+
+    // Borrow from the left sibling.
+    if (idx > 0 && node.children[static_cast<std::size_t>(idx - 1)]->nkeys() >= kT) {
+        Node& left = *node.children[static_cast<std::size_t>(idx - 1)];
+        child.keys.insert(child.keys.begin(), std::move(node.keys[static_cast<std::size_t>(idx - 1)]));
+        child.values.insert(child.values.begin(),
+                            std::move(node.values[static_cast<std::size_t>(idx - 1)]));
+        node.keys[static_cast<std::size_t>(idx - 1)] = std::move(left.keys.back());
+        node.values[static_cast<std::size_t>(idx - 1)] = std::move(left.values.back());
+        left.keys.pop_back();
+        left.values.pop_back();
+        if (!left.leaf()) {
+            child.children.insert(child.children.begin(), std::move(left.children.back()));
+            left.children.pop_back();
+        }
+        return;
+    }
+
+    // Borrow from the right sibling.
+    if (idx < static_cast<int>(node.children.size()) - 1 &&
+        node.children[static_cast<std::size_t>(idx + 1)]->nkeys() >= kT) {
+        Node& right = *node.children[static_cast<std::size_t>(idx + 1)];
+        child.keys.push_back(std::move(node.keys[static_cast<std::size_t>(idx)]));
+        child.values.push_back(std::move(node.values[static_cast<std::size_t>(idx)]));
+        node.keys[static_cast<std::size_t>(idx)] = std::move(right.keys.front());
+        node.values[static_cast<std::size_t>(idx)] = std::move(right.values.front());
+        right.keys.erase(right.keys.begin());
+        right.values.erase(right.values.begin());
+        if (!right.leaf()) {
+            child.children.push_back(std::move(right.children.front()));
+            right.children.erase(right.children.begin());
+        }
+        return;
+    }
+
+    // Merge with a sibling.
+    if (idx < static_cast<int>(node.children.size()) - 1) {
+        merge_children(node, idx);
+    } else {
+        merge_children(node, idx - 1);
+    }
+}
+
+void BTreeMap::merge_children(Node& node, int idx) {
+    Node& left = *node.children[static_cast<std::size_t>(idx)];
+    std::unique_ptr<Node> right = std::move(node.children[static_cast<std::size_t>(idx + 1)]);
+
+    left.keys.push_back(std::move(node.keys[static_cast<std::size_t>(idx)]));
+    left.values.push_back(std::move(node.values[static_cast<std::size_t>(idx)]));
+    node.keys.erase(node.keys.begin() + idx);
+    node.values.erase(node.values.begin() + idx);
+    node.children.erase(node.children.begin() + idx + 1);
+
+    for (auto& k : right->keys) left.keys.push_back(std::move(k));
+    for (auto& v : right->values) left.values.push_back(std::move(v));
+    for (auto& c : right->children) left.children.push_back(std::move(c));
+}
+
+void BTreeMap::for_each(const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+    walk(root_.get(), fn);
+}
+
+void BTreeMap::walk(const Node* node,
+                    const std::function<void(const Bytes&, const Bytes&)>& fn) const {
+    if (node == nullptr) return;
+    for (int i = 0; i < node->nkeys(); ++i) {
+        if (!node->leaf()) walk(node->children[static_cast<std::size_t>(i)].get(), fn);
+        fn(node->keys[static_cast<std::size_t>(i)], node->values[static_cast<std::size_t>(i)]);
+    }
+    if (!node->leaf()) walk(node->children.back().get(), fn);
+}
+
+bool BTreeMap::check_invariants() const {
+    if (!root_) return true;
+    int leaf_depth = -1;
+    return check_node(root_.get(), nullptr, nullptr, 0, leaf_depth);
+}
+
+bool BTreeMap::check_node(const Node* node, const Bytes* lo, const Bytes* hi, int depth,
+                          int& leaf_depth) const {
+    if (node->nkeys() == 0) return false;
+    if (node != root_.get() && node->nkeys() < kT - 1) return false;
+    if (node->nkeys() > kMaxKeys) return false;
+    if (node->values.size() != node->keys.size()) return false;
+
+    for (int i = 0; i < node->nkeys(); ++i) {
+        const Bytes& k = node->keys[static_cast<std::size_t>(i)];
+        if (i > 0 && !key_less(node->keys[static_cast<std::size_t>(i - 1)], k)) return false;
+        if (lo != nullptr && !key_less(*lo, k)) return false;
+        if (hi != nullptr && !key_less(k, *hi)) return false;
+    }
+
+    if (node->leaf()) {
+        if (leaf_depth == -1) leaf_depth = depth;
+        return leaf_depth == depth;
+    }
+    if (node->children.size() != node->keys.size() + 1) return false;
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+        const Bytes* child_lo = (i == 0) ? lo : &node->keys[i - 1];
+        const Bytes* child_hi = (i == node->keys.size()) ? hi : &node->keys[i];
+        if (!check_node(node->children[i].get(), child_lo, child_hi, depth + 1, leaf_depth)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace neo::app

@@ -1,0 +1,73 @@
+// In-memory B-Tree map (the storage engine behind the paper's §6.5
+// key-value store), implemented from scratch.
+//
+// Classic CLRS B-Tree with minimum degree T: every node holds between T-1
+// and 2T-1 keys (root exempt below), inserts split preemptively on the way
+// down, deletes rebalance by borrowing or merging.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace neo::app {
+
+class BTreeMap {
+  public:
+    /// Inserts or updates. Returns true if the key was new.
+    bool put(BytesView key, BytesView value);
+
+    /// Returns the stored value or nullptr.
+    const Bytes* get(BytesView key) const;
+
+    /// Removes the key. Returns true if it existed.
+    bool erase(BytesView key);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// In-order traversal (validation / scans).
+    void for_each(const std::function<void(const Bytes& key, const Bytes& value)>& fn) const;
+
+    /// Structural invariant check (tests): returns true when every node
+    /// respects occupancy bounds, keys are sorted, and all leaves share a
+    /// depth.
+    bool check_invariants() const;
+
+  private:
+    static constexpr int kT = 8;           // minimum degree
+    static constexpr int kMaxKeys = 2 * kT - 1;
+
+    struct Node {
+        std::vector<Bytes> keys;
+        std::vector<Bytes> values;
+        std::vector<std::unique_ptr<Node>> children;  // empty for leaves
+
+        bool leaf() const { return children.empty(); }
+        int nkeys() const { return static_cast<int>(keys.size()); }
+    };
+
+    static int lower_bound(const Node& node, BytesView key);
+    static bool key_less(BytesView a, BytesView b);
+    static bool key_eq(BytesView a, BytesView b);
+
+    void split_child(Node& parent, int idx);
+    bool insert_nonfull(Node& node, BytesView key, BytesView value);
+    bool erase_from(Node& node, BytesView key);
+    void fill_child(Node& node, int idx);
+    void merge_children(Node& node, int idx);
+    static std::pair<Bytes, Bytes> max_entry(Node& node);
+    static std::pair<Bytes, Bytes> min_entry(Node& node);
+
+    void walk(const Node* node,
+              const std::function<void(const Bytes&, const Bytes&)>& fn) const;
+    bool check_node(const Node* node, const Bytes* lo, const Bytes* hi, int depth,
+                    int& leaf_depth) const;
+
+    std::unique_ptr<Node> root_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace neo::app

@@ -1,0 +1,63 @@
+// Replicated key-value store (the paper's §6.5 application): a B-Tree
+// backed state machine with GET/PUT/DELETE operations and the undo support
+// speculative protocols need.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "apps/btree.hpp"
+#include "apps/state_machine.hpp"
+#include "common/codec.hpp"
+
+namespace neo::app {
+
+enum class KvOpType : std::uint8_t { kGet = 1, kPut = 2, kDelete = 3 };
+
+struct KvOp {
+    KvOpType type = KvOpType::kGet;
+    Bytes key;
+    Bytes value;  // kPut only
+
+    Bytes serialize() const;
+    /// Returns nullopt on malformed input (Byzantine clients).
+    static std::optional<KvOp> parse(BytesView data);
+};
+
+/// Result encoding: status byte + optional value.
+enum class KvStatus : std::uint8_t { kOk = 0, kNotFound = 1, kBadRequest = 2 };
+
+struct KvResult {
+    KvStatus status = KvStatus::kOk;
+    Bytes value;
+
+    Bytes serialize() const;
+    static std::optional<KvResult> parse(BytesView data);
+};
+
+class KvStateMachine : public StateMachine {
+  public:
+    Bytes execute(BytesView op) override;
+    void undo_last() override;
+    void commit_prefix(std::uint64_t n) override;
+    std::int64_t execute_cost_ns(BytesView op) const override;
+
+    const BTreeMap& store() const { return store_; }
+    BTreeMap& store() { return store_; }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct UndoRecord {
+        KvOpType type;
+        Bytes key;
+        bool existed = false;
+        Bytes old_value;
+    };
+
+    BTreeMap store_;
+    std::deque<UndoRecord> undo_log_;
+    std::uint64_t executed_ = 0;
+    std::uint64_t committed_ = 0;
+};
+
+}  // namespace neo::app

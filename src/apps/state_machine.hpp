@@ -1,0 +1,61 @@
+// Replicated application interface.
+//
+// All protocols in this repository (NeoBFT and the four baselines) drive
+// deterministic state machines through this interface. Speculative
+// protocols (NeoBFT, Zyzzyva) additionally need rollback: execute() must
+// record enough undo information for undo_last(), and commit_prefix() tells
+// the application that the first `n` executed operations are durable and
+// their undo records may be discarded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace neo::app {
+
+class StateMachine {
+  public:
+    virtual ~StateMachine() = default;
+
+    /// Applies `op` deterministically and returns its result. Must record
+    /// undo information until the operation is committed.
+    virtual Bytes execute(BytesView op) = 0;
+
+    /// Reverts the most recent uncommitted execute(). Called in LIFO order
+    /// during speculative rollback.
+    virtual void undo_last() = 0;
+
+    /// The first `n` operations ever executed (and not undone) are durable;
+    /// undo records for them may be dropped.
+    virtual void commit_prefix(std::uint64_t n) = 0;
+
+    /// Virtual CPU nanoseconds one execution of `op` costs the hosting
+    /// replica (the simulator charges it; see sim/processing_node.hpp).
+    virtual std::int64_t execute_cost_ns(BytesView op) const {
+        (void)op;
+        return 300;
+    }
+};
+
+/// Trivial echo application used by the paper's protocol-level benchmarks
+/// (§6.2): the result is the operation itself. Stateless, so undo is free.
+class EchoApp : public StateMachine {
+  public:
+    Bytes execute(BytesView op) override {
+        ++executed_;
+        return Bytes(op.begin(), op.end());
+    }
+    void undo_last() override { --executed_; }
+    void commit_prefix(std::uint64_t n) override { committed_ = n; }
+
+    std::uint64_t executed() const { return executed_; }
+    std::uint64_t committed() const { return committed_; }
+
+  private:
+    std::uint64_t executed_ = 0;
+    std::uint64_t committed_ = 0;
+};
+
+}  // namespace neo::app

@@ -1,0 +1,75 @@
+#include "apps/ycsb.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace neo::app {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    NEO_ASSERT(n > 0);
+    zetan_ = zeta(n, theta);
+    zeta2theta_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+    double u = rng.real();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto v = static_cast<std::uint64_t>(static_cast<double>(n_) *
+                                        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+YcsbWorkload::YcsbWorkload(YcsbConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), zipf_(cfg.record_count, cfg.zipf_theta) {}
+
+Bytes YcsbWorkload::key_of(std::uint64_t i) const {
+    // YCSB-style keys: "user" + zero-padded index keeps ordering uniform.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%012llu", static_cast<unsigned long long>(i));
+    return to_bytes(buf);
+}
+
+Bytes YcsbWorkload::value_of(std::uint64_t i) const {
+    Bytes v(cfg_.field_length);
+    std::uint64_t x = i * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+    for (std::size_t j = 0; j < v.size(); ++j) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v[j] = static_cast<std::uint8_t>('a' + (x % 26));
+    }
+    return v;
+}
+
+void YcsbWorkload::load_into(KvStateMachine& sm) const {
+    for (std::uint64_t i = 0; i < cfg_.record_count; ++i) {
+        sm.store().put(key_of(i), value_of(i));
+    }
+}
+
+KvOp YcsbWorkload::next_op() {
+    std::uint64_t record = zipf_.next(rng_);
+    KvOp op;
+    op.key = key_of(record);
+    if (rng_.real() < cfg_.read_proportion) {
+        op.type = KvOpType::kGet;
+    } else {
+        op.type = KvOpType::kPut;
+        op.value = value_of(rng_.next());
+    }
+    return op;
+}
+
+}  // namespace neo::app

@@ -1,0 +1,67 @@
+// YCSB workload generation (Cooper et al., SoCC '10) for the §6.5
+// evaluation: workload A = 50% reads / 50% updates over a zipfian key
+// popularity distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/kvstore.hpp"
+#include "common/rng.hpp"
+
+namespace neo::app {
+
+/// Zipfian generator over [0, n) with parameter theta (YCSB uses 0.99),
+/// following the Gray et al. "Quickly generating billion-record synthetic
+/// databases" rejection-free algorithm YCSB adopted.
+class ZipfianGenerator {
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+    std::uint64_t next(Rng& rng);
+    std::uint64_t n() const { return n_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2theta_;
+};
+
+struct YcsbConfig {
+    std::uint64_t record_count = 100'000;  // paper: 100K records
+    std::size_t field_length = 128;        // paper: 128-byte fields
+    double read_proportion = 0.5;          // workload A
+    double zipf_theta = 0.99;
+};
+
+/// Generates load and transaction operations for the replicated KV store.
+class YcsbWorkload {
+  public:
+    YcsbWorkload(YcsbConfig cfg, std::uint64_t seed);
+
+    /// The i-th record's key (deterministic).
+    Bytes key_of(std::uint64_t i) const;
+    /// Deterministic initial value of the i-th record.
+    Bytes value_of(std::uint64_t i) const;
+
+    /// Pre-loads the dataset directly into a state machine (all replicas
+    /// start from identical state, off the measured path).
+    void load_into(KvStateMachine& sm) const;
+
+    /// The next transaction op (read or update per the workload mix).
+    KvOp next_op();
+
+    const YcsbConfig& config() const { return cfg_; }
+
+  private:
+    YcsbConfig cfg_;
+    Rng rng_;
+    ZipfianGenerator zipf_;
+};
+
+}  // namespace neo::app

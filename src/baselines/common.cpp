@@ -1,0 +1,262 @@
+#include "baselines/common.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::baselines {
+
+namespace {
+constexpr std::size_t kMaxOp = 1u << 20;
+constexpr std::size_t kMaxBatch = 4'096;
+}  // namespace
+
+void put_signer_sigs(Writer& w, const std::vector<SignerSig>& sigs) {
+    w.u32(static_cast<std::uint32_t>(sigs.size()));
+    for (const auto& s : sigs) {
+        w.u32(s.replica);
+        w.blob(s.signature);
+    }
+}
+
+std::vector<SignerSig> get_signer_sigs(Reader& r) {
+    std::uint32_t n = r.u32();
+    if (n > 512) throw CodecError("oversized quorum");
+    std::vector<SignerSig> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        SignerSig s;
+        s.replica = r.u32();
+        s.signature = r.blob(256);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+// ---------------- Request ----------------
+
+Bytes Request::mac_body() const {
+    Writer w(32 + op.size());
+    w.str("bft-request");
+    w.u32(client);
+    w.u64(request_id);
+    w.blob(op);
+    return std::move(w).take();
+}
+
+Bytes Request::serialize() const {
+    Writer w(48 + op.size());
+    w.u8(static_cast<std::uint8_t>(Kind::kRequest));
+    w.u32(client);
+    w.u64(request_id);
+    w.blob(op);
+    w.blob(mac);
+    return std::move(w).take();
+}
+
+Request Request::parse(Reader& r) {
+    Request m;
+    m.client = r.u32();
+    m.request_id = r.u64();
+    m.op = r.blob(kMaxOp);
+    m.mac = r.blob(64);
+    r.expect_end();
+    return m;
+}
+
+Digest32 Request::digest() const { return crypto::sha256(mac_body()); }
+
+// ---------------- Reply ----------------
+
+Bytes Reply::mac_body() const {
+    Writer w(48 + result.size());
+    w.str("bft-reply");
+    w.u64(view);
+    w.u32(replica);
+    w.u64(request_id);
+    w.blob(result);
+    return std::move(w).take();
+}
+
+Bytes Reply::serialize() const {
+    Writer w(64 + result.size());
+    w.u8(static_cast<std::uint8_t>(Kind::kReply));
+    w.u64(view);
+    w.u32(replica);
+    w.u64(request_id);
+    w.blob(result);
+    w.blob(mac);
+    return std::move(w).take();
+}
+
+Reply Reply::parse(Reader& r) {
+    Reply m;
+    m.view = r.u64();
+    m.replica = r.u32();
+    m.request_id = r.u64();
+    m.result = r.blob(kMaxOp);
+    m.mac = r.blob(64);
+    r.expect_end();
+    return m;
+}
+
+// ---------------- Batch helpers ----------------
+
+void put_batch(Writer& w, const std::vector<Request>& batch) {
+    w.u32(static_cast<std::uint32_t>(batch.size()));
+    for (const auto& req : batch) w.blob(req.serialize());
+}
+
+std::vector<Request> get_batch(Reader& r) {
+    std::uint32_t n = r.u32();
+    if (n > kMaxBatch) throw CodecError("oversized batch");
+    std::vector<Request> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Bytes b = r.blob();
+        Reader br(b);
+        if (br.u8() != static_cast<std::uint8_t>(Kind::kRequest)) {
+            throw CodecError("expected request in batch");
+        }
+        out.push_back(Request::parse(br));
+    }
+    return out;
+}
+
+Digest32 batch_digest(const std::vector<Request>& batch) {
+    crypto::Sha256 ctx;
+    ctx.update("bft-batch");
+    for (const auto& req : batch) {
+        Digest32 d = req.digest();
+        ctx.update(BytesView(d.data(), d.size()));
+    }
+    return ctx.finish();
+}
+
+// ---------------- QuorumClient ----------------
+
+QuorumClient::QuorumClient(BaseConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+                           std::size_t required_matches, sim::Time retry_timeout)
+    : cfg_(std::move(cfg)), crypto_(std::move(crypto)), required_(required_matches),
+      retry_timeout_(retry_timeout) {
+    set_meter(&crypto_->meter());
+    set_processing_config(sim::host_processing());
+}
+
+void QuorumClient::invoke(Bytes op, Callback cb) {
+    NEO_ASSERT_MSG(!outstanding_.has_value(), "one outstanding request per client");
+    Request req;
+    req.client = id();
+    req.request_id = next_request_id_++;
+    req.op = std::move(op);
+    req.mac = crypto_->mac_for(cfg_.primary(0), req.mac_body());
+
+    Outstanding out;
+    out.request_id = req.request_id;
+    out.wire = req.serialize();
+    out.cb = std::move(cb);
+    outstanding_ = std::move(out);
+    send_request(/*broadcast=*/false);
+}
+
+void QuorumClient::send_request(bool broadcast) {
+    if (!outstanding_.has_value()) return;
+    if (broadcast) {
+        for (NodeId r : cfg_.replicas) send_to(r, outstanding_->wire);
+    } else {
+        send_to(cfg_.primary(0), outstanding_->wire);
+    }
+    outstanding_->retry_timer = set_timer(retry_timeout_, [this] { send_request(true); });
+}
+
+void QuorumClient::handle(NodeId from, BytesView data) {
+    if (data.empty() || data[0] != static_cast<std::uint8_t>(Kind::kReply)) return;
+    try {
+        Reader r(data.subspan(1));
+        Reply reply = Reply::parse(r);
+        if (!outstanding_.has_value() || reply.request_id != outstanding_->request_id) return;
+        if (reply.replica != from || !cfg_.is_replica(from)) return;
+        if (!crypto_->check_mac_from(from, reply.mac_body(), reply.mac)) return;
+
+        auto& votes = outstanding_->votes[reply.result];
+        votes.insert(from);
+        if (votes.size() >= required_) {
+            Bytes result = reply.result;
+            Callback cb = std::move(outstanding_->cb);
+            cancel_timer(outstanding_->retry_timer);
+            outstanding_.reset();
+            ++completed_;
+            cb(std::move(result));
+        }
+    } catch (const CodecError&) {
+    }
+}
+
+// ---------------- Unreplicated ----------------
+
+UnreplicatedServer::UnreplicatedServer(std::unique_ptr<crypto::NodeCrypto> crypto)
+    : crypto_(std::move(crypto)) {
+    set_meter(&crypto_->meter());
+    set_processing_config(sim::host_processing());
+}
+
+void UnreplicatedServer::handle(NodeId from, BytesView data) {
+    if (data.empty() || data[0] != static_cast<std::uint8_t>(Kind::kUnrepRequest)) return;
+    try {
+        Reader r(data.subspan(1));
+        std::uint64_t request_id = r.u64();
+        Bytes op = r.blob();
+        Bytes mac = r.blob(64);
+        r.expect_end();
+        if (!crypto_->check_mac_from(from, op, mac)) return;
+        ++handled_;
+
+        Writer w(32 + op.size());
+        w.u8(static_cast<std::uint8_t>(Kind::kUnrepReply));
+        w.u64(request_id);
+        w.blob(op);  // echo
+        w.blob(crypto_->mac_for(from, op));
+        send_to(from, std::move(w).take());
+    } catch (const CodecError&) {
+    }
+}
+
+UnreplicatedClient::UnreplicatedClient(NodeId server, std::unique_ptr<crypto::NodeCrypto> crypto)
+    : server_(server), crypto_(std::move(crypto)) {
+    set_meter(&crypto_->meter());
+    set_processing_config(sim::host_processing());
+}
+
+void UnreplicatedClient::invoke(Bytes op, Callback cb) {
+    NEO_ASSERT(!outstanding_.has_value());
+    std::uint64_t rid = next_request_id_++;
+    outstanding_ = {rid, std::move(cb)};
+    Writer w(32 + op.size());
+    w.u8(static_cast<std::uint8_t>(Kind::kUnrepRequest));
+    w.u64(rid);
+    w.blob(op);
+    w.blob(crypto_->mac_for(server_, op));
+    send_to(server_, std::move(w).take());
+}
+
+void UnreplicatedClient::handle(NodeId from, BytesView data) {
+    if (from != server_ || data.empty() ||
+        data[0] != static_cast<std::uint8_t>(Kind::kUnrepReply)) {
+        return;
+    }
+    try {
+        Reader r(data.subspan(1));
+        std::uint64_t rid = r.u64();
+        Bytes result = r.blob();
+        Bytes mac = r.blob(64);
+        r.expect_end();
+        if (!outstanding_.has_value() || outstanding_->first != rid) return;
+        if (!crypto_->check_mac_from(from, result, mac)) return;
+        Callback cb = std::move(outstanding_->second);
+        outstanding_.reset();
+        ++completed_;
+        cb(std::move(result));
+    } catch (const CodecError&) {
+    }
+}
+
+}  // namespace neo::baselines

@@ -1,0 +1,227 @@
+// Shared infrastructure for the four comparison protocols (PBFT, Zyzzyva,
+// HotStuff, MinBFT): request/reply wire formats, batching, a generic
+// leader-directed client, and the unreplicated echo server baseline.
+//
+// All protocols follow the paper's evaluation methodology (§6): the same
+// framework, request batching "following the batching techniques proposed
+// in their original work", MAC-authenticated client requests/replies, and
+// signed replica-to-replica protocol messages.
+//
+// Scope note (see DESIGN.md §6): baseline view-change protocols are not
+// exercised by any figure in the paper (only NeoBFT's leader/sequencer is
+// ever killed), so the baselines implement their normal-case protocols
+// faithfully (message pattern, quorums, authenticator counts) plus
+// checkpointing where it affects steady-state cost.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "crypto/identity.hpp"
+#include "sim/costs.hpp"
+#include "sim/processing_node.hpp"
+
+namespace neo::baselines {
+
+enum class Kind : std::uint8_t {
+    kRequest = 0x40,
+    kReply = 0x41,
+    // PBFT
+    kPrePrepare = 0x42,
+    kPrepare = 0x43,
+    kCommit = 0x44,
+    kCheckpoint = 0x45,
+    // Zyzzyva
+    kOrderReq = 0x48,
+    kSpecResponse = 0x49,
+    kCommitCert = 0x4a,
+    kLocalCommit = 0x4b,
+    // HotStuff
+    kHsProposal = 0x50,
+    kHsVote = 0x51,
+    // MinBFT
+    kMbPrepare = 0x58,
+    kMbCommit = 0x59,
+    // Unreplicated
+    kUnrepRequest = 0x5e,
+    kUnrepReply = 0x5f,
+};
+
+struct BaseConfig {
+    std::vector<NodeId> replicas;
+    int f = 1;
+    /// Batch seal bounds (size OR delay, whichever first).
+    std::size_t batch_max = 16;
+    sim::Time batch_delay = 100 * sim::kMicrosecond;
+
+    int n() const { return static_cast<int>(replicas.size()); }
+    bool is_replica(NodeId node) const {
+        for (NodeId r : replicas) {
+            if (r == node) return true;
+        }
+        return false;
+    }
+    NodeId primary(std::uint64_t view) const {
+        return replicas[static_cast<std::size_t>(view % replicas.size())];
+    }
+    std::vector<NodeId> others(NodeId self) const {
+        std::vector<NodeId> out;
+        for (NodeId r : replicas) {
+            if (r != self) out.push_back(r);
+        }
+        return out;
+    }
+};
+
+/// Signed quorum element used by quorum certificates (HotStuff QCs).
+struct SignerSig {
+    NodeId replica = 0;
+    Bytes signature;
+};
+
+void put_signer_sigs(Writer& w, const std::vector<SignerSig>& sigs);
+std::vector<SignerSig> get_signer_sigs(Reader& r);
+
+// ---------------- Request / Reply ----------------
+
+struct Request {
+    NodeId client = 0;
+    std::uint64_t request_id = 0;
+    Bytes op;
+    Bytes mac;  // pairwise MAC to the primary (verified and re-MACed on forward)
+
+    Bytes mac_body() const;
+    Bytes serialize() const;
+    static Request parse(Reader& r);
+    /// Digest identifying the request inside batches.
+    Digest32 digest() const;
+};
+
+struct Reply {
+    std::uint64_t view = 0;
+    NodeId replica = 0;
+    std::uint64_t request_id = 0;
+    Bytes result;
+    Bytes mac;
+
+    Bytes mac_body() const;
+    Bytes serialize() const;
+    static Reply parse(Reader& r);
+};
+
+/// Serialization helpers for request batches.
+void put_batch(Writer& w, const std::vector<Request>& batch);
+std::vector<Request> get_batch(Reader& r);
+Digest32 batch_digest(const std::vector<Request>& batch);
+
+// ---------------- Batcher ----------------
+
+/// Accumulates client requests at the leader; seals a batch when `max`
+/// requests are waiting or `delay` elapsed since the first one.
+class Batcher {
+  public:
+    using SealFn = std::function<void(std::vector<Request>)>;
+
+    Batcher(std::size_t max, sim::Time delay) : max_(max), delay_(delay) {}
+
+    /// Returns a batch to seal now, or nullopt (timer armed by caller).
+    void add(Request req) { pending_.push_back(std::move(req)); }
+    bool should_seal_by_size() const { return pending_.size() >= max_; }
+    bool empty() const { return pending_.empty(); }
+    std::size_t size() const { return pending_.size(); }
+    sim::Time delay() const { return delay_; }
+
+    std::vector<Request> seal() {
+        std::vector<Request> out = std::move(pending_);
+        pending_.clear();
+        return out;
+    }
+
+  private:
+    std::size_t max_;
+    sim::Time delay_;
+    std::vector<Request> pending_;
+};
+
+// ---------------- Generic client ----------------
+
+/// Closed-loop client for leader-directed protocols: sends the request to
+/// the primary and accepts the result after `required_matches` distinct
+/// replicas return matching MAC-authenticated replies.
+class QuorumClient : public sim::ProcessingNode {
+  public:
+    using Callback = std::function<void(Bytes result)>;
+
+    QuorumClient(BaseConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+                 std::size_t required_matches,
+                 sim::Time retry_timeout = 20 * sim::kMillisecond);
+
+    void invoke(Bytes op, Callback cb);
+    bool busy() const { return outstanding_.has_value(); }
+    std::uint64_t completed() const { return completed_; }
+    crypto::NodeCrypto& node_crypto() { return *crypto_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    struct Outstanding {
+        std::uint64_t request_id;
+        Bytes wire;
+        Callback cb;
+        std::map<Bytes, std::set<NodeId>> votes;  // result -> replicas
+        TimerId retry_timer = 0;
+    };
+
+    void send_request(bool broadcast);
+
+    BaseConfig cfg_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    std::size_t required_;
+    sim::Time retry_timeout_;
+    std::uint64_t next_request_id_ = 1;
+    std::optional<Outstanding> outstanding_;
+    std::uint64_t completed_ = 0;
+};
+
+// ---------------- Unreplicated baseline ----------------
+
+/// Plain echo-RPC server: the "Unreplicated" line in Fig 7.
+class UnreplicatedServer : public sim::ProcessingNode {
+  public:
+    explicit UnreplicatedServer(std::unique_ptr<crypto::NodeCrypto> crypto);
+    std::uint64_t handled() const { return handled_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    std::uint64_t handled_ = 0;
+};
+
+class UnreplicatedClient : public sim::ProcessingNode {
+  public:
+    using Callback = std::function<void(Bytes result)>;
+
+    UnreplicatedClient(NodeId server, std::unique_ptr<crypto::NodeCrypto> crypto);
+    void invoke(Bytes op, Callback cb);
+    std::uint64_t completed() const { return completed_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    NodeId server_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    std::uint64_t next_request_id_ = 1;
+    std::optional<std::pair<std::uint64_t, Callback>> outstanding_;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace neo::baselines

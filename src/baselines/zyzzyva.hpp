@@ -1,0 +1,126 @@
+// Zyzzyva (Kotla et al., SOSP '07): speculative BFT.
+//
+// Fast path (3 message delays): the primary orders requests, replicas
+// execute speculatively and respond directly to the client, who commits on
+// 3f+1 matching speculative responses. Slow path: with only 2f+1 matching
+// responses the client assembles a commit certificate, broadcasts it, and
+// waits for 2f+1 local-commits. A single non-responsive replica therefore
+// pushes every request onto the slow path — the Zyzzyva-F configuration of
+// Fig 7.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace neo::baselines {
+
+struct ZyzzyvaConfig : BaseConfig {};
+
+class ZyzzyvaReplica : public sim::ProcessingNode {
+  public:
+    ZyzzyvaReplica(ZyzzyvaConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto);
+
+    using AppFn = std::function<Bytes(BytesView)>;
+    void set_app(AppFn app) { app_ = std::move(app); }
+
+    struct Stats {
+        std::uint64_t batches_ordered = 0;
+        std::uint64_t requests_executed = 0;
+        std::uint64_t local_commits = 0;
+    };
+    const Stats& stats() const { return stats_; }
+    crypto::NodeCrypto& node_crypto() { return *crypto_; }
+
+    /// Zyzzyva-F: the replica stops responding (but the protocol's safety
+    /// must be unaffected).
+    void set_silent(bool silent) { silent_ = silent; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    bool is_primary() const { return cfg_.primary(view_) == id(); }
+    void on_request(NodeId from, Reader& r);
+    void seal_batch();
+    void on_order_req(NodeId from, Reader& r);
+    void execute_ordered(std::uint64_t seq, std::vector<Request> batch);
+    void on_commit_cert(NodeId from, Reader& r);
+
+    Bytes order_body(std::uint64_t seq, const Digest32& history, const Digest32& digest) const;
+
+    ZyzzyvaConfig cfg_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    AppFn app_;
+    std::uint64_t view_ = 0;
+    std::uint64_t next_seq_ = 1;       // primary
+    std::uint64_t max_executed_ = 0;   // highest executed seq (contiguous)
+    Digest32 history_{};               // hash chain over ordered batches
+    Batcher batcher_;
+    bool batch_timer_armed_ = false;
+    bool silent_ = false;
+
+    std::map<std::uint64_t, std::pair<Digest32, std::vector<Request>>> pending_;  // ooo batches
+    std::map<NodeId, std::pair<std::uint64_t, Bytes>> clients_;
+    std::map<std::uint64_t, Digest32> history_at_;  // seq -> history hash after seq
+    Stats stats_;
+};
+
+struct ZyzzyvaClientOptions {
+    /// How long to wait for 3f+1 matching speculative responses before
+    /// falling back to the commit-certificate slow path.
+    sim::Time fast_path_timeout = 400 * sim::kMicrosecond;
+    sim::Time retry_timeout = 20 * sim::kMillisecond;
+};
+
+/// Zyzzyva's client: drives the fast/slow path decision.
+class ZyzzyvaClient : public sim::ProcessingNode {
+  public:
+    using Callback = std::function<void(Bytes result)>;
+    using Options = ZyzzyvaClientOptions;
+
+    ZyzzyvaClient(ZyzzyvaConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+                  Options opts = {});
+
+    void invoke(Bytes op, Callback cb);
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t fast_commits() const { return fast_commits_; }
+    std::uint64_t slow_commits() const { return slow_commits_; }
+    crypto::NodeCrypto& node_crypto() { return *crypto_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    struct SpecVote {
+        std::set<NodeId> replicas;
+        Bytes result;
+    };
+    struct Outstanding {
+        std::uint64_t request_id;
+        Bytes wire;
+        Callback cb;
+        // (seq, history, result digest) -> votes
+        std::map<Bytes, SpecVote> votes;
+        std::set<NodeId> local_commits;
+        bool slow_path = false;
+        Bytes slow_key;
+        TimerId fast_timer = 0;
+        TimerId retry_timer = 0;
+    };
+
+    void on_spec_response(NodeId from, Reader& r);
+    void on_local_commit(NodeId from, Reader& r);
+    void try_fast_commit();
+    void start_slow_path();
+    void complete(Bytes result);
+
+    ZyzzyvaConfig cfg_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    Options opts_;
+    std::uint64_t next_request_id_ = 1;
+    std::optional<Outstanding> outstanding_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t fast_commits_ = 0;
+    std::uint64_t slow_commits_ = 0;
+};
+
+}  // namespace neo::baselines

@@ -1,0 +1,24 @@
+// Always-on invariant checks. Protocol invariants must hold in Release
+// builds too — a violated invariant in a BFT protocol is a safety bug, not a
+// debugging aid.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace neo::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line, const char* msg) {
+    std::fprintf(stderr, "NEO_ASSERT failed: %s (%s:%d) %s\n", expr, file, line, msg ? msg : "");
+    std::abort();
+}
+}  // namespace neo::detail
+
+#define NEO_ASSERT(cond)                                                        \
+    do {                                                                        \
+        if (!(cond)) ::neo::detail::assert_fail(#cond, __FILE__, __LINE__, nullptr); \
+    } while (0)
+
+#define NEO_ASSERT_MSG(cond, msg)                                            \
+    do {                                                                     \
+        if (!(cond)) ::neo::detail::assert_fail(#cond, __FILE__, __LINE__, msg); \
+    } while (0)

@@ -1,0 +1,53 @@
+// Basic byte-buffer aliases and helpers shared by every module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neo {
+
+/// Owned byte buffer used for wire messages and crypto inputs/outputs.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// 32-byte digest (SHA-256 output, secp256k1 field/scalar encoding, etc.).
+using Digest32 = std::array<std::uint8_t, 32>;
+
+inline Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+    return std::string(b.begin(), b.end());
+}
+
+inline void append(Bytes& dst, BytesView src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline Bytes concat(BytesView a, BytesView b) {
+    Bytes out;
+    out.reserve(a.size() + b.size());
+    append(out, a);
+    append(out, b);
+    return out;
+}
+
+/// Constant-time byte comparison; use for MAC/signature tags so a Byzantine
+/// sender cannot learn tag prefixes through timing (the simulation does not
+/// model timing side channels, but the library API should still be safe).
+inline bool ct_equal(BytesView a, BytesView b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+}  // namespace neo

@@ -1,0 +1,89 @@
+// Bounds-checked little-endian wire codec.
+//
+// Every protocol message in this repository is serialised through Writer and
+// parsed through Reader. Reader throws CodecError on any out-of-bounds or
+// malformed input; message dispatch layers catch it and treat the packet as
+// Byzantine garbage, which is what makes the tamper-injection tests
+// meaningful.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace neo {
+
+/// Thrown by Reader on truncated or malformed input.
+class CodecError : public std::runtime_error {
+  public:
+    explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends little-endian primitives and length-prefixed blobs to a buffer.
+class Writer {
+  public:
+    Writer() = default;
+    explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /// Raw bytes, no length prefix (fixed-size fields like digests).
+    void raw(BytesView b) { append(buf_, b); }
+
+    /// u32 length prefix followed by the bytes.
+    void blob(BytesView b);
+    void str(std::string_view s) { blob(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size())); }
+
+    const Bytes& bytes() const& { return buf_; }
+    Bytes take() && { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    Bytes buf_;
+};
+
+/// Reads little-endian primitives with bounds checks.
+class Reader {
+  public:
+    explicit Reader(BytesView b) : data_(b) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool boolean();
+
+    /// Fixed-size raw field.
+    Bytes raw(std::size_t n);
+    Digest32 digest32();
+
+    /// u32 length-prefixed blob. `max` caps the declared length so a hostile
+    /// packet cannot trigger a huge allocation.
+    Bytes blob(std::size_t max = kDefaultMaxBlob);
+    std::string str(std::size_t max = kDefaultMaxBlob);
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool at_end() const { return pos_ == data_.size(); }
+
+    /// Declares the message fully parsed; trailing garbage is an error.
+    void expect_end();
+
+    static constexpr std::size_t kDefaultMaxBlob = 16u << 20;  // 16 MiB
+
+  private:
+    void need(std::size_t n);
+
+    BytesView data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace neo

@@ -1,0 +1,22 @@
+// Hex encoding/decoding for digests, keys, and log output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace neo {
+
+/// Lower-case hex encoding of a byte string.
+std::string to_hex(BytesView bytes);
+
+/// Decodes a hex string (upper or lower case). Returns nullopt on invalid
+/// characters or odd length.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Decodes a hex string that is known-valid at the call site (test vectors,
+/// embedded constants). Throws std::invalid_argument otherwise.
+Bytes from_hex_strict(std::string_view hex);
+
+}  // namespace neo

@@ -1,0 +1,61 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace neo {
+
+void Histogram::sort() {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double Histogram::min() {
+    NEO_ASSERT(!samples_.empty());
+    sort();
+    return samples_.front();
+}
+
+double Histogram::max() {
+    NEO_ASSERT(!samples_.empty());
+    sort();
+    return samples_.back();
+}
+
+double Histogram::mean() const {
+    NEO_ASSERT(!samples_.empty());
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double p) {
+    NEO_ASSERT(!samples_.empty());
+    NEO_ASSERT(p >= 0.0 && p <= 100.0);
+    sort();
+    if (samples_.size() == 1) return samples_[0];
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf(std::size_t points) {
+    NEO_ASSERT(points >= 2);
+    sort();
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+        std::size_t idx = static_cast<std::size_t>(frac * static_cast<double>(samples_.size() - 1));
+        out.emplace_back(samples_[idx], frac);
+    }
+    return out;
+}
+
+}  // namespace neo

@@ -1,0 +1,37 @@
+// Latency statistics used by the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace neo {
+
+/// Sample-retaining histogram; exact percentiles. The evaluation windows in
+/// this repo collect at most a few million samples, so storing them is fine
+/// and keeps percentile math exact (the paper reports 99.9th percentiles).
+class Histogram {
+  public:
+    void add(double v) { samples_.push_back(v); sorted_ = false; }
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min();
+    double max();
+    double mean() const;
+    /// p in [0, 100].
+    double percentile(double p);
+
+    /// CDF as (value, cumulative fraction) pairs at `points` evenly spaced
+    /// quantiles — used to print the Fig 4 / Fig 5 latency CDFs.
+    std::vector<std::pair<double, double>> cdf(std::size_t points);
+
+    void clear() { samples_.clear(); sorted_ = false; }
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    void sort();
+    std::vector<double> samples_;
+    bool sorted_ = false;
+};
+
+}  // namespace neo

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Off by default so benches are quiet; tests and
+// examples can raise the level per-run.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace neo {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level. Defaults to kWarn.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define NEO_LOG(level, expr)                                              \
+    do {                                                                  \
+        if (static_cast<int>(level) >= static_cast<int>(::neo::log_level())) { \
+            std::ostringstream neo_log_os_;                               \
+            neo_log_os_ << expr;                                          \
+            ::neo::detail::log_emit(level, neo_log_os_.str());            \
+        }                                                                 \
+    } while (0)
+
+#define NEO_TRACE(expr) NEO_LOG(::neo::LogLevel::kTrace, expr)
+#define NEO_DEBUG(expr) NEO_LOG(::neo::LogLevel::kDebug, expr)
+#define NEO_INFO(expr) NEO_LOG(::neo::LogLevel::kInfo, expr)
+#define NEO_WARN(expr) NEO_LOG(::neo::LogLevel::kWarn, expr)
+#define NEO_ERROR(expr) NEO_LOG(::neo::LogLevel::kError, expr)
+
+}  // namespace neo

@@ -1,0 +1,80 @@
+// Deterministic PRNG used everywhere randomness is needed (jitter, drops,
+// workload generation, key generation in tests). A single seed makes every
+// simulation run reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace neo {
+
+/// splitmix64: used to expand a seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& s : s_) s = splitmix64(sm);
+    }
+
+    std::uint64_t next() {
+        std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t uniform(std::uint64_t bound) {
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial.
+    bool chance(double p) { return real() < p; }
+
+    /// Fills a buffer with random bytes (test key generation).
+    void fill(Bytes& out) {
+        for (auto& b : out) b = static_cast<std::uint8_t>(next());
+    }
+
+    Bytes bytes(std::size_t n) {
+        Bytes out(n);
+        fill(out);
+        return out;
+    }
+
+    /// Derives an independent stream (per node, per link...) from this one.
+    Rng fork() { return Rng(next() ^ 0xa5a5a5a55a5a5a5aull); }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+    std::uint64_t s_[4];
+};
+
+}  // namespace neo

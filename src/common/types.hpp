@@ -1,0 +1,26 @@
+// Shared identifier types.
+#pragma once
+
+#include <cstdint>
+
+namespace neo {
+
+/// Identifies any endpoint in the simulated network (replica, client,
+/// sequencer switch, config service).
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// aom multicast group address.
+using GroupId = std::uint32_t;
+
+/// aom epoch (increments on sequencer failover).
+using EpochNum = std::uint64_t;
+
+/// aom per-group sequence number (resets per epoch).
+using SeqNum = std::uint64_t;
+
+/// Replication-protocol view number component (leader index within an epoch).
+using LeaderNum = std::uint64_t;
+
+}  // namespace neo

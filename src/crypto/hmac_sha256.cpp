@@ -1,0 +1,43 @@
+#include "crypto/hmac_sha256.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::crypto {
+
+Digest32 hmac_sha256(BytesView key, BytesView data) {
+    std::uint8_t k0[64];
+    std::memset(k0, 0, sizeof(k0));
+    if (key.size() > 64) {
+        Digest32 kd = sha256(key);
+        std::memcpy(k0, kd.data(), kd.size());
+    } else {
+        std::memcpy(k0, key.data(), key.size());
+    }
+
+    std::uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = k0[i] ^ 0x36;
+        opad[i] = k0[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(BytesView(ipad, 64));
+    inner.update(data);
+    Digest32 inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(BytesView(opad, 64));
+    outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+    return outer.finish();
+}
+
+Bytes hmac_sha256_tag(BytesView key, BytesView data, std::size_t tag_len) {
+    NEO_ASSERT(tag_len >= 4 && tag_len <= 32);
+    Digest32 full = hmac_sha256(key, data);
+    return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(tag_len));
+}
+
+}  // namespace neo::crypto

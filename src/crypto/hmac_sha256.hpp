@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104). Used for deterministic ECDSA nonces, USIG
+// attestations (MinBFT), and end-host message authentication.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace neo::crypto {
+
+Digest32 hmac_sha256(BytesView key, BytesView data);
+
+/// Truncated tag, convenient for wire formats that carry short MACs.
+Bytes hmac_sha256_tag(BytesView key, BytesView data, std::size_t tag_len);
+
+}  // namespace neo::crypto

@@ -1,0 +1,138 @@
+#include "crypto/identity.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/codec.hpp"
+#include "crypto/hmac_sha256.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::crypto {
+
+TrustRoot::TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs)
+    : mode_(mode), costs_(costs) {
+    Writer w(16);
+    w.u64(seed);
+    w.str("neo-trust-root");
+    Digest32 d = sha256(w.bytes());
+    master_secret_.assign(d.begin(), d.end());
+}
+
+Bytes TrustRoot::derive(std::string_view label, std::uint64_t a, std::uint64_t b) const {
+    Writer w(32);
+    w.str(label);
+    w.u64(a);
+    w.u64(b);
+    Digest32 d = hmac_sha256(master_secret_, w.bytes());
+    return Bytes(d.begin(), d.end());
+}
+
+std::unique_ptr<NodeCrypto> TrustRoot::provision(NodeId node) {
+    Bytes seed = derive("node-signing-key", node, 0);
+    EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(seed);
+    if (mode_ == CryptoMode::kReal && !public_keys_.contains(node)) {
+        public_keys_.emplace(node, ecdsa_derive_public(priv));
+    }
+    provisioned_[node] = true;
+    return std::unique_ptr<NodeCrypto>(new NodeCrypto(this, node, priv));
+}
+
+const EcdsaPublicKey& TrustRoot::public_key(NodeId node) const {
+    auto it = public_keys_.find(node);
+    NEO_ASSERT_MSG(it != public_keys_.end(), "public key requested for unprovisioned node");
+    return it->second;
+}
+
+SipKey TrustRoot::pair_key(NodeId a, NodeId b) const {
+    NodeId lo = std::min(a, b);
+    NodeId hi = std::max(a, b);
+    Bytes d = derive("pairwise-mac-key", lo, hi);
+    return SipKey::from_bytes(BytesView(d.data(), 16));
+}
+
+Bytes TrustRoot::modeled_sign(NodeId signer, BytesView msg) const {
+    // Oracle tag: HMAC(master, signer || msg), padded to signature size so
+    // modeled and real wire formats are byte-compatible.
+    Writer w(msg.size() + 8);
+    w.u32(signer);
+    w.raw(msg);
+    Digest32 tag = hmac_sha256(master_secret_, w.bytes());
+    Bytes out(kSignatureSize, 0);
+    std::copy(tag.begin(), tag.end(), out.begin());
+    return out;
+}
+
+bool TrustRoot::verify_unmetered(NodeId signer, BytesView msg, BytesView sig) const {
+    if (sig.size() != kSignatureSize) return false;
+    if (mode_ == CryptoMode::kModeled) {
+        return ct_equal(modeled_sign(signer, msg), sig);
+    }
+    auto it = public_keys_.find(signer);
+    if (it == public_keys_.end()) return false;
+    auto parsed = EcdsaSignature::parse(sig);
+    if (!parsed) return false;
+    return ecdsa_verify(it->second, sha256(msg), *parsed);
+}
+
+NodeCrypto::NodeCrypto(const TrustRoot* root, NodeId self, EcdsaPrivateKey priv)
+    : root_(root), self_(self), priv_(priv) {}
+
+Bytes NodeCrypto::sign(BytesView msg) {
+    meter_.signs++;
+    meter_.charge(root_->costs().ecdsa_dispatch_ns);
+    meter_.charge_async(root_->costs().ecdsa_sign_ns);
+    if (root_->mode_ == CryptoMode::kModeled) {
+        return root_->modeled_sign(self_, msg);
+    }
+    EcdsaSignature sig = ecdsa_sign(priv_, sha256(msg));
+    return sig.serialize();
+}
+
+bool NodeCrypto::verify(NodeId signer, BytesView msg, BytesView sig) {
+    meter_.verifies++;
+    meter_.charge(root_->costs().ecdsa_dispatch_ns);
+    meter_.charge_async(root_->costs().ecdsa_verify_ns);
+    return root_->verify_unmetered(signer, msg, sig);
+}
+
+std::vector<bool> NodeCrypto::verify_batch(const std::vector<BatchItem>& items) {
+    meter_.charge(root_->costs().ecdsa_dispatch_ns);  // one dispatch for all
+    std::vector<bool> out;
+    out.reserve(items.size());
+    for (const auto& item : items) {
+        meter_.verifies++;
+        meter_.charge_async(root_->costs().ecdsa_verify_ns);
+        out.push_back(root_->verify_unmetered(item.signer, item.msg, item.sig));
+    }
+    return out;
+}
+
+Bytes NodeCrypto::mac_for(NodeId peer, BytesView msg) {
+    meter_.macs++;
+    meter_.charge(root_->costs().mac_ns);
+    SipKey key = root_->pair_key(self_, peer);
+    std::uint64_t tag = siphash24(key, msg);
+    Bytes out(kMacSize);
+    for (std::size_t i = 0; i < kMacSize; ++i) out[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+    return out;
+}
+
+bool NodeCrypto::check_mac_from(NodeId peer, BytesView msg, BytesView tag) {
+    meter_.macs++;
+    meter_.charge(root_->costs().mac_ns);
+    if (tag.size() != kMacSize) return false;
+    SipKey key = root_->pair_key(self_, peer);
+    std::uint64_t expect = siphash24(key, msg);
+    Bytes eb(kMacSize);
+    for (std::size_t i = 0; i < kMacSize; ++i) eb[i] = static_cast<std::uint8_t>(expect >> (8 * i));
+    return ct_equal(eb, tag);
+}
+
+Digest32 NodeCrypto::hash(BytesView msg) {
+    meter_.hashes++;
+    meter_.charge(root_->costs().hash_base_ns +
+                  root_->costs().hash_per_byte_ns * static_cast<std::int64_t>(msg.size()));
+    return sha256(msg);
+}
+
+}  // namespace neo::crypto

@@ -1,0 +1,118 @@
+// Node identities, key provisioning, and per-node signing/verification.
+//
+// TrustRoot plays the role the paper assigns to the configuration service's
+// credential setup (§4.1, §5.1): it provisions each node's signing keypair
+// and the pairwise symmetric keys used for MAC authenticators, and
+// distributes public keys. Protocol code never touches another node's
+// private key — a Byzantine node subclass only holds its own NodeCrypto, so
+// forging requires breaking the underlying primitive.
+//
+// Two modes:
+//  - kReal:    secp256k1 ECDSA signatures, SipHash pairwise MACs. Used by
+//              tests and examples; tampering is cryptographically detected.
+//  - kModeled: SipHash-based tags standing in for signatures, with the SAME
+//              virtual-time cost charged as ECDSA. Used by large bench
+//              sweeps so millions of simulated messages stay cheap in real
+//              time. Not adversarially sound (a shared oracle key exists
+//              inside the process) — documented in DESIGN.md.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/cost.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/siphash.hpp"
+
+namespace neo::crypto {
+
+enum class CryptoMode { kReal, kModeled };
+
+/// Byte size of a signature in both modes (modeled tags are padded so wire
+/// sizes — and therefore bandwidth costs — match).
+constexpr std::size_t kSignatureSize = 64;
+/// Byte size of a pairwise MAC tag.
+constexpr std::size_t kMacSize = 8;
+
+class NodeCrypto;
+
+/// System-wide key directory. Create once per simulation, share between all
+/// nodes. Not thread-safe (the simulator is single-threaded by design).
+class TrustRoot {
+  public:
+    TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs = {});
+
+    CryptoMode mode() const { return mode_; }
+    const CryptoCosts& costs() const { return costs_; }
+
+    /// Creates (or returns) the crypto context for a node. Each node keeps
+    /// its own; the TrustRoot retains only public material.
+    std::unique_ptr<NodeCrypto> provision(NodeId node);
+
+    /// Public key lookup (real mode). Asserts the node was provisioned.
+    const EcdsaPublicKey& public_key(NodeId node) const;
+
+    /// Derives the symmetric key shared by a pair of nodes.
+    SipKey pair_key(NodeId a, NodeId b) const;
+
+    /// Verifies a signature without a NodeCrypto context (e.g. external
+    /// checkers in tests). Does not charge any cost meter.
+    bool verify_unmetered(NodeId signer, BytesView msg, BytesView sig) const;
+
+  private:
+    friend class NodeCrypto;
+
+    Bytes derive(std::string_view label, std::uint64_t a, std::uint64_t b) const;
+    Bytes modeled_sign(NodeId signer, BytesView msg) const;
+
+    CryptoMode mode_;
+    CryptoCosts costs_;
+    Bytes master_secret_;
+    std::unordered_map<NodeId, EcdsaPublicKey> public_keys_;
+    std::unordered_map<NodeId, bool> provisioned_;
+};
+
+/// Per-node crypto context. All operations charge the node's CostMeter.
+class NodeCrypto {
+  public:
+    NodeId self() const { return self_; }
+    CostMeter& meter() { return meter_; }
+    const TrustRoot& root() const { return *root_; }
+
+    /// Signs with this node's key. Output is kSignatureSize bytes.
+    Bytes sign(BytesView msg);
+
+    /// Verifies `signer`'s signature over msg.
+    bool verify(NodeId signer, BytesView msg, BytesView sig);
+
+    /// Batch verification: one dispatch for the whole batch (how real
+    /// deployments feed signature batches to worker cores), async cost per
+    /// element. Returns per-element validity.
+    struct BatchItem {
+        NodeId signer;
+        Bytes msg;
+        BytesView sig;
+    };
+    std::vector<bool> verify_batch(const std::vector<BatchItem>& items);
+
+    /// Pairwise MAC tag for messages to `peer` (kMacSize bytes).
+    Bytes mac_for(NodeId peer, BytesView msg);
+    bool check_mac_from(NodeId peer, BytesView msg, BytesView tag);
+
+    /// SHA-256 with cost charging.
+    Digest32 hash(BytesView msg);
+
+  private:
+    friend class TrustRoot;
+    NodeCrypto(const TrustRoot* root, NodeId self, EcdsaPrivateKey priv);
+
+    const TrustRoot* root_;
+    NodeId self_;
+    EcdsaPrivateKey priv_;
+    CostMeter meter_;
+};
+
+}  // namespace neo::crypto

@@ -1,0 +1,160 @@
+// secp256k1 elliptic-curve arithmetic and ECDSA, implemented from scratch.
+//
+// This is the signature algorithm the paper's FPGA coprocessor implements for
+// the aom-pk variant (§4.4). The generator precompute table below mirrors the
+// coprocessor's "pre-computed table in fast block RAM": multiples of the
+// generator point are tabulated so a signing operation needs only table
+// lookups and point additions, no doublings.
+//
+// Curve: y² = x³ + 7 over F_p,
+//   p = 2²⁵⁶ − 2³² − 977
+//   n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace neo::crypto {
+
+/// 256-bit unsigned integer, four little-endian 64-bit limbs.
+struct U256 {
+    std::array<std::uint64_t, 4> v{0, 0, 0, 0};
+
+    static U256 from_be_bytes(BytesView b32);
+    Digest32 to_be_bytes() const;
+
+    bool is_zero() const { return (v[0] | v[1] | v[2] | v[3]) == 0; }
+    bool bit(int i) const { return (v[i / 64] >> (i % 64)) & 1; }
+
+    friend bool operator==(const U256&, const U256&) = default;
+};
+
+/// -1, 0, +1 three-way compare.
+int u256_cmp(const U256& a, const U256& b);
+
+/// Field element mod p, always fully reduced.
+class Fe {
+  public:
+    Fe() = default;
+    static Fe zero() { return Fe(); }
+    static Fe one();
+    static Fe from_u64(std::uint64_t x);
+    /// Reduces an arbitrary 256-bit value mod p.
+    static Fe from_u256(const U256& x);
+    /// Parses 32 big-endian bytes; rejects values >= p.
+    static std::optional<Fe> from_be_bytes_checked(BytesView b32);
+
+    const U256& raw() const { return n_; }
+    Digest32 to_be_bytes() const { return n_.to_be_bytes(); }
+    bool is_zero() const { return n_.is_zero(); }
+
+    Fe add(const Fe& o) const;
+    Fe sub(const Fe& o) const;
+    Fe mul(const Fe& o) const;
+    Fe sqr() const { return mul(*this); }
+    Fe negate() const;
+    /// Multiplicative inverse via Fermat (x^(p-2)). Requires non-zero input.
+    Fe inverse() const;
+    Fe pow(const U256& e) const;
+
+    friend bool operator==(const Fe&, const Fe&) = default;
+
+  private:
+    U256 n_;
+};
+
+/// Batch inversion (Montgomery's trick); every element must be non-zero.
+void fe_batch_inverse(Fe* elems, std::size_t count);
+
+/// Scalar mod the group order n, always fully reduced.
+class Scalar {
+  public:
+    Scalar() = default;
+    static Scalar zero() { return Scalar(); }
+    static Scalar one();
+    static Scalar from_u64(std::uint64_t x);
+    /// Reduces an arbitrary 256-bit value mod n (used for hashes -> z).
+    static Scalar from_u256_reduce(const U256& x);
+    static Scalar from_be_bytes_reduce(BytesView b32) {
+        return from_u256_reduce(U256::from_be_bytes(b32));
+    }
+    /// Strict parse: rejects values >= n (signature components).
+    static std::optional<Scalar> from_be_bytes_checked(BytesView b32);
+
+    const U256& raw() const { return n_; }
+    Digest32 to_be_bytes() const { return n_.to_be_bytes(); }
+    bool is_zero() const { return n_.is_zero(); }
+
+    Scalar add(const Scalar& o) const;
+    Scalar mul(const Scalar& o) const;
+    Scalar negate() const;
+    Scalar inverse() const;
+
+    friend bool operator==(const Scalar&, const Scalar&) = default;
+
+  private:
+    U256 n_;
+};
+
+/// Affine curve point; `infinity` is the group identity.
+struct AffinePoint {
+    Fe x;
+    Fe y;
+    bool infinity = true;
+
+    static AffinePoint generator();
+    bool on_curve() const;
+
+    /// 64-byte uncompressed x||y (big-endian). Identity is not serialisable.
+    Bytes serialize() const;
+    /// Parses and validates (on-curve, coordinates < p).
+    static std::optional<AffinePoint> parse(BytesView b64);
+
+    friend bool operator==(const AffinePoint&, const AffinePoint&) = default;
+};
+
+/// k*G via the generator precompute table (the FPGA fast path).
+AffinePoint generator_mul(const Scalar& k);
+/// k*P via double-and-add.
+AffinePoint point_mul(const AffinePoint& p, const Scalar& k);
+/// P + Q.
+AffinePoint point_add(const AffinePoint& p, const AffinePoint& q);
+/// u1*G + u2*Q — the ECDSA verification combination, shares one
+/// Jacobian accumulation.
+AffinePoint double_mul(const Scalar& u1, const AffinePoint& q, const Scalar& u2);
+
+struct EcdsaSignature {
+    Scalar r;
+    Scalar s;
+
+    /// 64-byte r||s (big-endian).
+    Bytes serialize() const;
+    /// Strict parse: r, s in [1, n-1].
+    static std::optional<EcdsaSignature> parse(BytesView b64);
+
+    friend bool operator==(const EcdsaSignature&, const EcdsaSignature&) = default;
+};
+
+struct EcdsaPrivateKey {
+    Scalar d;
+    /// Derives a valid private key from 32 seed bytes (reduced mod n, never zero).
+    static EcdsaPrivateKey from_seed(BytesView seed32);
+};
+
+struct EcdsaPublicKey {
+    AffinePoint q;
+    Bytes serialize() const { return q.serialize(); }
+    static std::optional<EcdsaPublicKey> parse(BytesView b64);
+};
+
+EcdsaPublicKey ecdsa_derive_public(const EcdsaPrivateKey& priv);
+
+/// Deterministic ECDSA signing (RFC-6979-style HMAC-SHA256 nonce derivation).
+EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& priv, const Digest32& msg_hash);
+
+bool ecdsa_verify(const EcdsaPublicKey& pub, const Digest32& msg_hash, const EcdsaSignature& sig);
+
+}  // namespace neo::crypto

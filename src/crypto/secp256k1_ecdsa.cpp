@@ -1,0 +1,99 @@
+// ECDSA signing and verification over secp256k1 with deterministic
+// (RFC-6979-style) nonce derivation.
+#include "common/assert.hpp"
+#include "common/codec.hpp"
+#include "crypto/hmac_sha256.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace neo::crypto {
+
+namespace {
+
+// Deterministic nonce: HMAC-SHA256(d, msg_hash || counter) reduced mod n.
+// Simpler than full RFC 6979 but shares its key properties: deterministic,
+// unique per (key, message), and never reveals the key. Documented as a
+// deviation in DESIGN.md.
+Scalar derive_nonce(const EcdsaPrivateKey& priv, const Digest32& msg_hash, std::uint32_t counter) {
+    Digest32 d_bytes = priv.d.to_be_bytes();
+    Writer w(40);
+    w.raw(BytesView(msg_hash.data(), msg_hash.size()));
+    w.u32(counter);
+    Digest32 mac = hmac_sha256(BytesView(d_bytes.data(), d_bytes.size()), w.bytes());
+    return Scalar::from_be_bytes_reduce(BytesView(mac.data(), mac.size()));
+}
+
+Scalar hash_to_scalar(const Digest32& msg_hash) {
+    return Scalar::from_be_bytes_reduce(BytesView(msg_hash.data(), msg_hash.size()));
+}
+
+}  // namespace
+
+Bytes EcdsaSignature::serialize() const {
+    Digest32 rb = r.to_be_bytes();
+    Digest32 sb = s.to_be_bytes();
+    Bytes out;
+    out.reserve(64);
+    out.insert(out.end(), rb.begin(), rb.end());
+    out.insert(out.end(), sb.begin(), sb.end());
+    return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::parse(BytesView b64) {
+    if (b64.size() != 64) return std::nullopt;
+    auto r = Scalar::from_be_bytes_checked(b64.subspan(0, 32));
+    auto s = Scalar::from_be_bytes_checked(b64.subspan(32, 32));
+    if (!r || !s || r->is_zero() || s->is_zero()) return std::nullopt;
+    return EcdsaSignature{*r, *s};
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::from_seed(BytesView seed32) {
+    NEO_ASSERT(seed32.size() == 32);
+    Scalar d = Scalar::from_be_bytes_reduce(seed32);
+    if (d.is_zero()) d = Scalar::one();
+    return EcdsaPrivateKey{d};
+}
+
+std::optional<EcdsaPublicKey> EcdsaPublicKey::parse(BytesView b64) {
+    auto p = AffinePoint::parse(b64);
+    if (!p) return std::nullopt;
+    return EcdsaPublicKey{*p};
+}
+
+EcdsaPublicKey ecdsa_derive_public(const EcdsaPrivateKey& priv) {
+    NEO_ASSERT(!priv.d.is_zero());
+    return EcdsaPublicKey{generator_mul(priv.d)};
+}
+
+EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& priv, const Digest32& msg_hash) {
+    Scalar z = hash_to_scalar(msg_hash);
+    for (std::uint32_t counter = 0;; ++counter) {
+        Scalar k = derive_nonce(priv, msg_hash, counter);
+        if (k.is_zero()) continue;
+        AffinePoint rp = generator_mul(k);
+        if (rp.infinity) continue;
+        Digest32 rx = rp.x.to_be_bytes();
+        Scalar r = Scalar::from_be_bytes_reduce(BytesView(rx.data(), rx.size()));
+        if (r.is_zero()) continue;
+        Scalar s = k.inverse().mul(z.add(r.mul(priv.d)));
+        if (s.is_zero()) continue;
+        return EcdsaSignature{r, s};
+    }
+}
+
+bool ecdsa_verify(const EcdsaPublicKey& pub, const Digest32& msg_hash, const EcdsaSignature& sig) {
+    if (sig.r.is_zero() || sig.s.is_zero()) return false;
+    if (pub.q.infinity || !pub.q.on_curve()) return false;
+
+    Scalar z = hash_to_scalar(msg_hash);
+    Scalar w = sig.s.inverse();
+    Scalar u1 = z.mul(w);
+    Scalar u2 = sig.r.mul(w);
+    AffinePoint p = double_mul(u1, pub.q, u2);
+    if (p.infinity) return false;
+
+    Digest32 px = p.x.to_be_bytes();
+    Scalar rx = Scalar::from_be_bytes_reduce(BytesView(px.data(), px.size()));
+    return rx == sig.r;
+}
+
+}  // namespace neo::crypto

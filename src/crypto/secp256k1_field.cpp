@@ -1,0 +1,386 @@
+// U256, field (mod p) and scalar (mod n) arithmetic for secp256k1.
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace neo::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// p = 2^256 - kFieldC, little-endian limbs.
+constexpr U256 kP{{0xFFFFFFFEFFFFFC2Full, 0xFFFFFFFFFFFFFFFFull,
+                   0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}};
+constexpr u64 kFieldC = 0x1000003D1ull;  // 2^32 + 977
+
+// Group order n and K = 2^256 - n (129 bits, 3 limbs).
+constexpr U256 kN{{0xBFD25E8CD0364141ull, 0xBAAEDCE6AF48A03Bull,
+                   0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
+constexpr u64 kNK[3] = {0x402DA1732FC9BEBFull, 0x4551231950B75FC4ull, 0x1ull};
+
+// out = a + b over 4 limbs, returns carry.
+u64 add4(const u64 a[4], const u64 b[4], u64 out[4]) {
+    u128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 cur = (u128)a[i] + b[i] + carry;
+        out[i] = (u64)cur;
+        carry = cur >> 64;
+    }
+    return (u64)carry;
+}
+
+// out = a - b over 4 limbs, returns borrow (1 if a < b).
+u64 sub4(const u64 a[4], const u64 b[4], u64 out[4]) {
+    u64 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        u64 bi = b[i];
+        u64 t = a[i] - bi;
+        u64 borrow_out = (a[i] < bi) ? 1 : 0;
+        u64 t2 = t - borrow;
+        if (t < borrow) borrow_out = 1;
+        out[i] = t2;
+        borrow = borrow_out;
+    }
+    return borrow;
+}
+
+// Schoolbook 4x4 -> 8 limb multiply.
+void mul4x4(const u64 a[4], const u64 b[4], u64 t[8]) {
+    std::memset(t, 0, 8 * sizeof(u64));
+    for (int i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            u128 cur = (u128)a[i] * b[j] + t[i + j] + carry;
+            t[i + j] = (u64)cur;
+            carry = (u64)(cur >> 64);
+        }
+        t[i + 4] = carry;
+    }
+}
+
+// Generic multiprecision multiply: a (na limbs) * b (nb limbs) -> out (na+nb).
+void mp_mul(const u64* a, int na, const u64* b, int nb, u64* out) {
+    std::memset(out, 0, static_cast<std::size_t>(na + nb) * sizeof(u64));
+    for (int i = 0; i < na; ++i) {
+        u64 carry = 0;
+        for (int j = 0; j < nb; ++j) {
+            u128 cur = (u128)a[i] * b[j] + out[i + j] + carry;
+            out[i + j] = (u64)cur;
+            carry = (u64)(cur >> 64);
+        }
+        out[i + nb] = carry;
+    }
+}
+
+// a += b where a has na limbs, b has nb limbs (nb <= na). Returns carry.
+u64 mp_add_into(u64* a, int na, const u64* b, int nb) {
+    u128 carry = 0;
+    for (int i = 0; i < na; ++i) {
+        u128 cur = (u128)a[i] + (i < nb ? b[i] : 0) + carry;
+        a[i] = (u64)cur;
+        carry = cur >> 64;
+    }
+    return (u64)carry;
+}
+
+// Reduce a 256-bit value that may be >= p (but < 2*p after ops) by
+// conditional subtraction.
+void field_normalize(U256& x) {
+    while (u256_cmp(x, kP) >= 0) {
+        u64 out[4];
+        sub4(x.v.data(), kP.v.data(), out);
+        std::memcpy(x.v.data(), out, sizeof(out));
+    }
+}
+
+// Reduce an 8-limb product mod p using 2^256 ≡ kFieldC.
+U256 field_reduce_wide(const u64 t[8]) {
+    // r = lo + hi * C   (5 limbs)
+    u64 r[5];
+    std::memcpy(r, t, 4 * sizeof(u64));
+    r[4] = 0;
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 cur = (u128)t[4 + i] * kFieldC + r[i] + carry;
+        r[i] = (u64)cur;
+        carry = (u64)(cur >> 64);
+    }
+    r[4] = carry;
+
+    // Fold r[4] (<= ~2^33): r' = r[0..3] + r[4] * C.
+    u128 cur = (u128)r[4] * kFieldC + r[0];
+    r[0] = (u64)cur;
+    carry = (u64)(cur >> 64);
+    for (int i = 1; i < 4; ++i) {
+        u128 c2 = (u128)r[i] + carry;
+        r[i] = (u64)c2;
+        carry = (u64)(c2 >> 64);
+    }
+    // A final carry means the value wrapped 2^256 once more; 2^256 ≡ C.
+    while (carry) {
+        u128 c3 = (u128)r[0] + kFieldC;
+        r[0] = (u64)c3;
+        carry = (u64)(c3 >> 64);
+        for (int i = 1; i < 4 && carry; ++i) {
+            u128 c4 = (u128)r[i] + carry;
+            r[i] = (u64)c4;
+            carry = (u64)(c4 >> 64);
+        }
+    }
+
+    U256 out;
+    std::memcpy(out.v.data(), r, 4 * sizeof(u64));
+    field_normalize(out);
+    return out;
+}
+
+void scalar_normalize(U256& x) {
+    while (u256_cmp(x, kN) >= 0) {
+        u64 out[4];
+        sub4(x.v.data(), kN.v.data(), out);
+        std::memcpy(x.v.data(), out, sizeof(out));
+    }
+}
+
+// Reduce an 8-limb value mod n using 2^256 ≡ K (3 limbs).
+U256 scalar_reduce_wide(const u64 t_in[8]) {
+    u64 t[12];
+    std::memcpy(t, t_in, 8 * sizeof(u64));
+    std::memset(t + 8, 0, 4 * sizeof(u64));
+
+    // Repeatedly fold the limbs above 4 down: value = lo + hi * K. Each fold
+    // shrinks the value by ~127 bits; 6 rounds always suffice for a 512-bit
+    // input (the last possible round handles a single wrap past 2^256).
+    for (int round = 0; round < 6; ++round) {
+        bool high_nonzero = false;
+        for (int i = 4; i < 12; ++i) high_nonzero = high_nonzero || (t[i] != 0);
+        if (!high_nonzero) break;
+        NEO_ASSERT_MSG(round < 5, "scalar wide reduction did not converge");
+
+        u64 hi[8];
+        std::memcpy(hi, t + 4, 8 * sizeof(u64));
+        u64 prod[11];  // 8 + 3 limbs
+        mp_mul(hi, 8, kNK, 3, prod);
+
+        u64 next[12];
+        std::memcpy(next, t, 4 * sizeof(u64));
+        std::memset(next + 4, 0, 8 * sizeof(u64));
+        u64 carry = mp_add_into(next, 12, prod, 11);
+        NEO_ASSERT(carry == 0);
+        std::memcpy(t, next, sizeof(next));
+    }
+
+    U256 out;
+    std::memcpy(out.v.data(), t, 4 * sizeof(u64));
+    scalar_normalize(out);
+    return out;
+}
+
+}  // namespace
+
+// ---------- U256 ----------
+
+U256 U256::from_be_bytes(BytesView b32) {
+    NEO_ASSERT(b32.size() == 32);
+    U256 out;
+    for (int limb = 0; limb < 4; ++limb) {
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v = (v << 8) | b32[static_cast<std::size_t>((3 - limb) * 8 + i)];
+        }
+        out.v[static_cast<std::size_t>(limb)] = v;
+    }
+    return out;
+}
+
+Digest32 U256::to_be_bytes() const {
+    Digest32 out;
+    for (int limb = 0; limb < 4; ++limb) {
+        u64 val = v[static_cast<std::size_t>(limb)];
+        for (int i = 0; i < 8; ++i) {
+            out[static_cast<std::size_t>((3 - limb) * 8 + (7 - i))] =
+                static_cast<std::uint8_t>(val >> (8 * i));
+        }
+    }
+    return out;
+}
+
+int u256_cmp(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+        if (a.v[static_cast<std::size_t>(i)] < b.v[static_cast<std::size_t>(i)]) return -1;
+        if (a.v[static_cast<std::size_t>(i)] > b.v[static_cast<std::size_t>(i)]) return 1;
+    }
+    return 0;
+}
+
+// ---------- Fe ----------
+
+Fe Fe::one() { return from_u64(1); }
+
+Fe Fe::from_u64(std::uint64_t x) {
+    Fe f;
+    f.n_.v[0] = x;
+    return f;
+}
+
+Fe Fe::from_u256(const U256& x) {
+    Fe f;
+    f.n_ = x;
+    field_normalize(f.n_);
+    return f;
+}
+
+std::optional<Fe> Fe::from_be_bytes_checked(BytesView b32) {
+    if (b32.size() != 32) return std::nullopt;
+    U256 x = U256::from_be_bytes(b32);
+    if (u256_cmp(x, kP) >= 0) return std::nullopt;
+    Fe f;
+    f.n_ = x;
+    return f;
+}
+
+Fe Fe::add(const Fe& o) const {
+    Fe out;
+    u64 carry = add4(n_.v.data(), o.n_.v.data(), out.n_.v.data());
+    if (carry) {
+        // value = 2^256 + r ≡ r + C (mod p)
+        u64 c[4] = {kFieldC, 0, 0, 0};
+        u64 carry2 = add4(out.n_.v.data(), c, out.n_.v.data());
+        NEO_ASSERT(carry2 == 0);
+    }
+    field_normalize(out.n_);
+    return out;
+}
+
+Fe Fe::sub(const Fe& o) const {
+    Fe out;
+    u64 borrow = sub4(n_.v.data(), o.n_.v.data(), out.n_.v.data());
+    if (borrow) {
+        u64 carry = add4(out.n_.v.data(), kP.v.data(), out.n_.v.data());
+        (void)carry;  // wraps back into range
+    }
+    return out;
+}
+
+Fe Fe::mul(const Fe& o) const {
+    u64 t[8];
+    mul4x4(n_.v.data(), o.n_.v.data(), t);
+    Fe out;
+    out.n_ = field_reduce_wide(t);
+    return out;
+}
+
+Fe Fe::negate() const {
+    if (is_zero()) return *this;
+    Fe out;
+    u64 borrow = sub4(kP.v.data(), n_.v.data(), out.n_.v.data());
+    NEO_ASSERT(borrow == 0);
+    return out;
+}
+
+Fe Fe::pow(const U256& e) const {
+    Fe result = Fe::one();
+    for (int i = 255; i >= 0; --i) {
+        result = result.sqr();
+        if (e.bit(i)) result = result.mul(*this);
+    }
+    return result;
+}
+
+Fe Fe::inverse() const {
+    NEO_ASSERT_MSG(!is_zero(), "field inverse of zero");
+    // p - 2
+    U256 e = kP;
+    e.v[0] -= 2;  // p's low limb is odd and > 2; no borrow
+    return pow(e);
+}
+
+void fe_batch_inverse(Fe* elems, std::size_t count) {
+    if (count == 0) return;
+    // Montgomery's trick: one inversion + 3(count-1) multiplications.
+    std::vector<Fe> prefix(count);
+    prefix[0] = elems[0];
+    for (std::size_t i = 1; i < count; ++i) prefix[i] = prefix[i - 1].mul(elems[i]);
+
+    Fe inv = prefix[count - 1].inverse();
+    for (std::size_t i = count; i-- > 1;) {
+        Fe orig = elems[i];
+        elems[i] = inv.mul(prefix[i - 1]);
+        inv = inv.mul(orig);
+    }
+    elems[0] = inv;
+}
+
+// ---------- Scalar ----------
+
+Scalar Scalar::one() { return from_u64(1); }
+
+Scalar Scalar::from_u64(std::uint64_t x) {
+    Scalar s;
+    s.n_.v[0] = x;
+    return s;
+}
+
+Scalar Scalar::from_u256_reduce(const U256& x) {
+    Scalar s;
+    s.n_ = x;
+    scalar_normalize(s.n_);
+    return s;
+}
+
+std::optional<Scalar> Scalar::from_be_bytes_checked(BytesView b32) {
+    if (b32.size() != 32) return std::nullopt;
+    U256 x = U256::from_be_bytes(b32);
+    if (u256_cmp(x, kN) >= 0) return std::nullopt;
+    Scalar s;
+    s.n_ = x;
+    return s;
+}
+
+Scalar Scalar::add(const Scalar& o) const {
+    Scalar out;
+    u64 carry = add4(n_.v.data(), o.n_.v.data(), out.n_.v.data());
+    if (carry) {
+        // value = 2^256 + r ≡ r + K (mod n)
+        u64 k4[4] = {kNK[0], kNK[1], kNK[2], 0};
+        u64 carry2 = add4(out.n_.v.data(), k4, out.n_.v.data());
+        NEO_ASSERT(carry2 == 0);
+    }
+    scalar_normalize(out.n_);
+    return out;
+}
+
+Scalar Scalar::mul(const Scalar& o) const {
+    u64 t[8];
+    mul4x4(n_.v.data(), o.n_.v.data(), t);
+    Scalar out;
+    out.n_ = scalar_reduce_wide(t);
+    return out;
+}
+
+Scalar Scalar::negate() const {
+    if (is_zero()) return *this;
+    Scalar out;
+    u64 borrow = sub4(kN.v.data(), n_.v.data(), out.n_.v.data());
+    NEO_ASSERT(borrow == 0);
+    return out;
+}
+
+Scalar Scalar::inverse() const {
+    NEO_ASSERT_MSG(!is_zero(), "scalar inverse of zero");
+    // Fermat: x^(n-2) mod n.
+    U256 e = kN;
+    e.v[0] -= 2;
+    Scalar result = Scalar::one();
+    for (int i = 255; i >= 0; --i) {
+        result = result.mul(result);
+        if (e.bit(i)) result = result.mul(*this);
+    }
+    return result;
+}
+
+}  // namespace neo::crypto

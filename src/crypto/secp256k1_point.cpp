@@ -1,0 +1,236 @@
+// secp256k1 group arithmetic: Jacobian point operations, the generator
+// precompute table (mirroring the paper's FPGA coprocessor design, §4.4),
+// and scalar multiplication.
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hex.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace neo::crypto {
+
+namespace {
+
+// Jacobian coordinates (X, Y, Z): affine = (X/Z², Y/Z³); Z == 0 is identity.
+struct Jac {
+    Fe x;
+    Fe y;
+    Fe z;  // zero => infinity
+
+    bool infinity() const { return z.is_zero(); }
+    static Jac identity() { return Jac{Fe::zero(), Fe::one(), Fe::zero()}; }
+};
+
+Jac to_jac(const AffinePoint& p) {
+    if (p.infinity) return Jac::identity();
+    return Jac{p.x, p.y, Fe::one()};
+}
+
+// dbl-2007-bl for a = 0.
+Jac jac_double(const Jac& p) {
+    if (p.infinity() || p.y.is_zero()) return Jac::identity();
+    Fe a = p.x.sqr();
+    Fe b = p.y.sqr();
+    Fe c = b.sqr();
+    Fe xb = p.x.add(b);
+    Fe d = xb.sqr().sub(a).sub(c);
+    d = d.add(d);  // 2*((x+b)^2 - a - c)
+    Fe e = a.add(a).add(a);
+    Fe f = e.sqr();
+    Fe x3 = f.sub(d).sub(d);
+    Fe c8 = c.add(c);
+    c8 = c8.add(c8);
+    c8 = c8.add(c8);
+    Fe y3 = e.mul(d.sub(x3)).sub(c8);
+    Fe z3 = p.y.mul(p.z);
+    z3 = z3.add(z3);
+    return Jac{x3, y3, z3};
+}
+
+// Textbook general Jacobian addition.
+Jac jac_add(const Jac& p, const Jac& q) {
+    if (p.infinity()) return q;
+    if (q.infinity()) return p;
+
+    Fe z1z1 = p.z.sqr();
+    Fe z2z2 = q.z.sqr();
+    Fe u1 = p.x.mul(z2z2);
+    Fe u2 = q.x.mul(z1z1);
+    Fe s1 = p.y.mul(q.z).mul(z2z2);
+    Fe s2 = q.y.mul(p.z).mul(z1z1);
+
+    if (u1 == u2) {
+        if (s1 == s2) return jac_double(p);
+        return Jac::identity();  // P + (-P)
+    }
+
+    Fe h = u2.sub(u1);
+    Fe r = s2.sub(s1);
+    Fe h2 = h.sqr();
+    Fe h3 = h.mul(h2);
+    Fe u1h2 = u1.mul(h2);
+    Fe x3 = r.sqr().sub(h3).sub(u1h2).sub(u1h2);
+    Fe y3 = r.mul(u1h2.sub(x3)).sub(s1.mul(h3));
+    Fe z3 = p.z.mul(q.z).mul(h);
+    return Jac{x3, y3, z3};
+}
+
+// Mixed addition with an affine point (Z2 = 1) — the table fast path.
+Jac jac_add_affine(const Jac& p, const AffinePoint& q) {
+    if (q.infinity) return p;
+    if (p.infinity()) return to_jac(q);
+
+    Fe z1z1 = p.z.sqr();
+    Fe u2 = q.x.mul(z1z1);
+    Fe s2 = q.y.mul(p.z).mul(z1z1);
+
+    if (p.x == u2) {
+        if (p.y == s2) return jac_double(p);
+        return Jac::identity();
+    }
+
+    Fe h = u2.sub(p.x);
+    Fe r = s2.sub(p.y);
+    Fe h2 = h.sqr();
+    Fe h3 = h.mul(h2);
+    Fe u1h2 = p.x.mul(h2);
+    Fe x3 = r.sqr().sub(h3).sub(u1h2).sub(u1h2);
+    Fe y3 = r.mul(u1h2.sub(x3)).sub(p.y.mul(h3));
+    Fe z3 = p.z.mul(h);
+    return Jac{x3, y3, z3};
+}
+
+AffinePoint to_affine(const Jac& p) {
+    if (p.infinity()) return AffinePoint{};
+    Fe zinv = p.z.inverse();
+    Fe zinv2 = zinv.sqr();
+    AffinePoint out;
+    out.x = p.x.mul(zinv2);
+    out.y = p.y.mul(zinv2).mul(zinv);
+    out.infinity = false;
+    return out;
+}
+
+// Generator precompute table: kTable[w][d-1] = d * 16^w * G in affine, for
+// w in [0, 64), d in [1, 16). A scalar multiplication of G is then the sum
+// of at most 64 table entries — additions only, no doublings. This is the
+// software twin of the FPGA "pre-computed stock" of generator multiples.
+struct GenTable {
+    AffinePoint entries[64][15];
+};
+
+const GenTable& gen_table() {
+    static const GenTable* table = [] {
+        auto* t = new GenTable();
+        std::vector<Jac> jac_entries;
+        jac_entries.reserve(64 * 15);
+
+        Jac window_base = to_jac(AffinePoint::generator());
+        for (int w = 0; w < 64; ++w) {
+            Jac cur = window_base;
+            for (int d = 1; d <= 15; ++d) {
+                jac_entries.push_back(cur);
+                if (d < 15) cur = jac_add(cur, window_base);
+            }
+            // Advance to 16^(w+1) * G = cur + base (cur is 15*16^w*G).
+            window_base = jac_add(cur, window_base);
+        }
+
+        // Batch-convert to affine with a single field inversion.
+        std::vector<Fe> zs(jac_entries.size());
+        for (std::size_t i = 0; i < jac_entries.size(); ++i) zs[i] = jac_entries[i].z;
+        fe_batch_inverse(zs.data(), zs.size());
+        for (std::size_t i = 0; i < jac_entries.size(); ++i) {
+            Fe zinv2 = zs[i].sqr();
+            AffinePoint a;
+            a.x = jac_entries[i].x.mul(zinv2);
+            a.y = jac_entries[i].y.mul(zinv2).mul(zs[i]);
+            a.infinity = false;
+            t->entries[i / 15][i % 15] = a;
+        }
+        return t;
+    }();
+    return *table;
+}
+
+Jac gen_mul_jac(const Scalar& k) {
+    const GenTable& table = gen_table();
+    Jac acc = Jac::identity();
+    for (int w = 0; w < 64; ++w) {
+        unsigned digit = static_cast<unsigned>(
+            (k.raw().v[static_cast<std::size_t>(w / 16)] >> (4 * (w % 16))) & 0xf);
+        if (digit != 0) acc = jac_add_affine(acc, table.entries[w][digit - 1]);
+    }
+    return acc;
+}
+
+Jac point_mul_jac(const AffinePoint& p, const Scalar& k) {
+    Jac acc = Jac::identity();
+    for (int i = 255; i >= 0; --i) {
+        acc = jac_double(acc);
+        if (k.raw().bit(i)) acc = jac_add_affine(acc, p);
+    }
+    return acc;
+}
+
+}  // namespace
+
+AffinePoint AffinePoint::generator() {
+    static const AffinePoint g = [] {
+        AffinePoint p;
+        p.x = *Fe::from_be_bytes_checked(
+            from_hex_strict("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"));
+        p.y = *Fe::from_be_bytes_checked(
+            from_hex_strict("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"));
+        p.infinity = false;
+        return p;
+    }();
+    return g;
+}
+
+bool AffinePoint::on_curve() const {
+    if (infinity) return true;
+    Fe lhs = y.sqr();
+    Fe rhs = x.sqr().mul(x).add(Fe::from_u64(7));
+    return lhs == rhs;
+}
+
+Bytes AffinePoint::serialize() const {
+    NEO_ASSERT_MSG(!infinity, "cannot serialize the identity point");
+    Digest32 xb = x.to_be_bytes();
+    Digest32 yb = y.to_be_bytes();
+    Bytes out;
+    out.reserve(64);
+    out.insert(out.end(), xb.begin(), xb.end());
+    out.insert(out.end(), yb.begin(), yb.end());
+    return out;
+}
+
+std::optional<AffinePoint> AffinePoint::parse(BytesView b64) {
+    if (b64.size() != 64) return std::nullopt;
+    auto x = Fe::from_be_bytes_checked(b64.subspan(0, 32));
+    auto y = Fe::from_be_bytes_checked(b64.subspan(32, 32));
+    if (!x || !y) return std::nullopt;
+    AffinePoint p{*x, *y, false};
+    if (!p.on_curve()) return std::nullopt;
+    return p;
+}
+
+AffinePoint generator_mul(const Scalar& k) { return to_affine(gen_mul_jac(k)); }
+
+AffinePoint point_mul(const AffinePoint& p, const Scalar& k) {
+    return to_affine(point_mul_jac(p, k));
+}
+
+AffinePoint point_add(const AffinePoint& p, const AffinePoint& q) {
+    return to_affine(jac_add(to_jac(p), to_jac(q)));
+}
+
+AffinePoint double_mul(const Scalar& u1, const AffinePoint& q, const Scalar& u2) {
+    Jac acc = gen_mul_jac(u1);
+    acc = jac_add(acc, point_mul_jac(q, u2));
+    return to_affine(acc);
+}
+
+}  // namespace neo::crypto

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for aom message digests, the aom-pk hash chain, NeoBFT log hash
+// chaining, and as the basis of HMAC-SHA256.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace neo::crypto {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    Sha256& update(BytesView data);
+    Sha256& update(std::string_view s) {
+        return update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    }
+    /// Finalises and returns the digest. The context must be reset() before reuse.
+    Digest32 finish();
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::uint32_t state_[8];
+    std::uint64_t total_len_ = 0;
+    std::uint8_t buf_[64];
+    std::size_t buf_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest32 sha256(BytesView data);
+Digest32 sha256(std::string_view data);
+
+/// sha256(a || b) — common pattern for chained hashes.
+Digest32 sha256_pair(BytesView a, BytesView b);
+
+}  // namespace neo::crypto

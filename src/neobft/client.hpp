@@ -1,0 +1,69 @@
+// NeoBFT client library (§5.3): multicasts signed requests through aom,
+// falls back to unicast on timeout, and accepts a result once 2f+1 replicas
+// reply with matching view, slot, log hash and result.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "aom/sender.hpp"
+#include "neobft/log.hpp"
+#include "sim/processing_node.hpp"
+
+namespace neo::neobft {
+
+struct ClientOptions {
+    sim::Time retry_timeout = 10 * sim::kMillisecond;
+};
+
+class Client : public sim::ProcessingNode {
+  public:
+    using Callback = std::function<void(Bytes result)>;
+    using Options = ClientOptions;
+
+    Client(Config cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+           const aom::SequencerDirectory* directory, Options opts = {});
+
+    /// Issues one operation; `cb` fires when 2f+1 matching replies arrive.
+    /// One outstanding operation at a time (closed loop).
+    void invoke(Bytes op, Callback cb);
+
+    bool busy() const { return outstanding_.has_value(); }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t retries() const { return retries_; }
+    crypto::NodeCrypto& node_crypto() { return *crypto_; }
+
+  protected:
+    void handle(NodeId from, BytesView data) override;
+
+  private:
+    struct Outstanding {
+        std::uint64_t request_id;
+        Bytes request_wire;   // serialized signed Request
+        Bytes aom_packet;     // aom-wrapped copy
+        Callback cb;
+        // Match key -> replicas that voted for it.
+        struct Vote {
+            std::set<NodeId> replicas;
+            Bytes result;
+        };
+        std::map<Bytes, Vote> votes;  // key = serialized (view, slot, hash, result digest)
+        TimerId retry_timer = 0;
+    };
+
+    void send_request();
+    void on_reply(NodeId from, Reader& r);
+
+    Config cfg_;
+    std::unique_ptr<crypto::NodeCrypto> crypto_;
+    aom::AomSender sender_;
+    Options opts_;
+    std::uint64_t next_request_id_ = 1;
+    std::optional<Outstanding> outstanding_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t retries_ = 0;
+};
+
+}  // namespace neo::neobft

@@ -1,0 +1,110 @@
+// Replica log with O(1) hash chaining (§5.3) and the replica/group
+// configuration shared by the protocol's components.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aom/cert.hpp"
+#include "common/types.hpp"
+#include "neobft/messages.hpp"
+#include "sim/time.hpp"
+
+namespace neo::neobft {
+
+/// Static protocol configuration for one replication group.
+struct Config {
+    std::vector<NodeId> replicas;
+    int f = 1;
+    GroupId group = 1;
+    NodeId config_service = kInvalidNode;
+
+    // Timeouts.
+    sim::Time query_retry = 1 * sim::kMillisecond;
+    sim::Time view_change_timeout = 20 * sim::kMillisecond;
+    sim::Time view_change_rebroadcast = 10 * sim::kMillisecond;
+    sim::Time request_aom_timeout = 20 * sim::kMillisecond;
+
+    /// State-sync period in log entries (§B.2's configurable N).
+    std::uint64_t sync_interval = 128;
+
+    int n() const { return static_cast<int>(replicas.size()); }
+    std::size_t quorum() const { return static_cast<std::size_t>(2 * f + 1); }
+
+    bool is_replica(NodeId node) const {
+        for (NodeId r : replicas) {
+            if (r == node) return true;
+        }
+        return false;
+    }
+
+    NodeId leader_of(const ViewId& v) const {
+        return replicas[static_cast<std::size_t>(v.leader % static_cast<LeaderNum>(replicas.size()))];
+    }
+
+    std::vector<NodeId> others(NodeId self) const {
+        std::vector<NodeId> out;
+        for (NodeId r : replicas) {
+            if (r != self) out.push_back(r);
+        }
+        return out;
+    }
+};
+
+/// One log position: a client request backed by an ordering certificate, or
+/// a committed no-op backed by a gap certificate.
+struct LogEntry {
+    bool noop = false;
+    aom::OrderingCert oc;          // when !noop
+    GapCertificate gap_cert;       // when noop
+    Digest32 cum_hash{};           // hash chain up to and including this slot
+
+    // Execution bookkeeping (not part of the durable entry).
+    bool executed = false;
+    bool applied = false;  // app_->execute() actually ran (vs no-op/dup/invalid)
+    Bytes result;
+    bool valid_request = false;    // request parsed + client signature ok
+    NodeId client = 0;
+    std::uint64_t request_id = 0;
+};
+
+/// 1-indexed append-only log (slot 0 is the empty prefix).
+class Log {
+  public:
+    std::uint64_t size() const { return entries_.size(); }
+    bool has(std::uint64_t slot) const { return slot >= 1 && slot <= size(); }
+
+    const LogEntry& at(std::uint64_t slot) const;
+    LogEntry& at(std::uint64_t slot);
+
+    /// Appends at slot size()+1 and extends the hash chain.
+    void append(LogEntry entry);
+
+    /// Replaces `slot` and recomputes the hash chain from there on.
+    void replace(std::uint64_t slot, LogEntry entry);
+
+    /// Hash of the chain up to `slot` (slot 0 -> zero digest).
+    Digest32 hash_at(std::uint64_t slot) const;
+
+    /// Truncates everything after `slot` (view-change merges).
+    void truncate_to(std::uint64_t slot);
+
+    WireLogEntry wire_entry(std::uint64_t slot) const;
+
+  private:
+    void rechain_from(std::uint64_t slot);
+    static Digest32 entry_digest(const LogEntry& e, std::uint64_t slot);
+
+    std::vector<LogEntry> entries_;
+};
+
+// ---- Quorum-certificate validation (shared by replica + tests) ----
+
+bool verify_gap_certificate(const GapCertificate& cert, const Config& cfg,
+                            crypto::NodeCrypto& crypto);
+bool verify_epoch_certificate(const EpochCertificate& cert, const Config& cfg,
+                              crypto::NodeCrypto& crypto);
+bool verify_sync_certificate(const SyncCertificate& cert, const Config& cfg,
+                             crypto::NodeCrypto& crypto);
+
+}  // namespace neo::neobft

@@ -1,0 +1,789 @@
+// NeoBFT replica: dispatch, normal operation (§5.3), gap agreement (§5.4),
+// state sync (§B.2), client unicast fallback. View changes live in
+// replica_viewchange.cpp.
+#include "neobft/replica.hpp"
+
+#include "common/assert.hpp"
+#include "sim/costs.hpp"
+#include "common/logging.hpp"
+
+namespace neo::neobft {
+
+Replica::Replica(Config cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
+                 const aom::AomKeyService* keys, std::unique_ptr<app::StateMachine> app,
+                 aom::ReceiverOptions recv_opts)
+    : cfg_(std::move(cfg)), crypto_(std::move(crypto)), keys_(keys), app_(std::move(app)),
+      recv_opts_(recv_opts) {
+    set_meter(&crypto_->meter());
+    set_processing_config(sim::host_processing());
+    epoch_start_slot_[1] = 1;
+}
+
+void Replica::bootstrap(aom::GroupConfig group, NodeId sequencer) {
+    NEO_ASSERT_MSG(attached(), "attach the replica to the network before bootstrap()");
+    group_ = std::move(group);
+    receiver_ = std::make_unique<aom::AomReceiver>(group_, id(), crypto_.get(), keys_, this,
+                                                   recv_opts_);
+    receiver_->set_deliver([this](aom::Delivery d) { on_delivery(std::move(d)); });
+    receiver_->set_on_new_epoch([this](EpochNum, NodeId) { maybe_enter_epoch(); });
+    receiver_->start_epoch(1, sequencer);
+    arm_progress_timer();
+}
+
+void Replica::handle(NodeId from, BytesView data) {
+    if (silent_) return;
+    if (aom::is_aom_packet(data)) {
+        receiver_->on_packet(from, data);
+        return;
+    }
+    auto kind = aom::peek_kind(data);
+    if (!kind) return;
+    try {
+        Reader r(data.subspan(1));
+        switch (static_cast<MsgKind>(*kind)) {
+            case MsgKind::kRequest: on_request_unicast(from, r); break;
+            case MsgKind::kQuery: on_query(from, r); break;
+            case MsgKind::kQueryReply: on_query_reply(from, r); break;
+            case MsgKind::kGapCertReply: on_gap_cert_reply(from, r); break;
+            case MsgKind::kGapFind: on_gap_find(from, r); break;
+            case MsgKind::kGapRecv: on_gap_recv(from, r); break;
+            case MsgKind::kGapDrop: on_gap_drop(from, r); break;
+            case MsgKind::kGapDecision: on_gap_decision(from, r); break;
+            case MsgKind::kGapPrepare: on_gap_prepare(from, r); break;
+            case MsgKind::kGapCommit: on_gap_commit(from, r); break;
+            case MsgKind::kSync: on_sync(from, r); break;
+            case MsgKind::kViewChange: on_view_change(from, r); break;
+            case MsgKind::kViewStart: on_view_start(from, r); break;
+            case MsgKind::kEpochStart: on_epoch_start(from, r); break;
+            case MsgKind::kStateReq: on_state_req(from, r); break;
+            case MsgKind::kStateReply: on_state_reply(from, r); break;
+            case MsgKind::kPing: on_ping(from, r); break;
+            case MsgKind::kPong: on_pong(from, r); break;
+            default: break;
+        }
+    } catch (const CodecError&) {
+        // Byzantine garbage: drop.
+    }
+}
+
+// --------------------------------------------------------------- normal op
+
+std::uint64_t Replica::slot_for(EpochNum epoch, SeqNum seq) const {
+    auto it = epoch_start_slot_.find(epoch);
+    NEO_ASSERT_MSG(it != epoch_start_slot_.end(), "delivery for unstarted epoch");
+    return it->second + seq - 1;
+}
+
+void Replica::on_delivery(aom::Delivery d) {
+    // FIFO discipline: while anything is queued, new deliveries join the
+    // queue (they must not overtake items parked during a block or view
+    // change). The drain call is a no-op while blocked / mid-view-change.
+    if (blocked_slot_.has_value() || status_ != Status::kNormal || !backlog_.empty()) {
+        backlog_.push_back(std::move(d));
+        drain_backlog();
+        return;
+    }
+    process_delivery(d);
+}
+
+void Replica::process_delivery(aom::Delivery& d) {
+    if (d.epoch != view_.epoch) return;  // stale epoch traffic
+    std::uint64_t slot = slot_for(d.epoch, d.seq);
+    if (slot <= log_.size()) return;  // already resolved (e.g. via gap agreement)
+    NEO_ASSERT_MSG(slot == log_.size() + 1, "aom delivered out of order");
+
+    if (d.kind == aom::Delivery::Kind::kMessage) {
+        append_request(std::move(d.cert));
+        // The append may unblock gap agreements that concluded for slots
+        // just ahead of us.
+        apply_gap_outcomes();
+    } else {
+        on_drop_notification(slot);
+    }
+}
+
+void Replica::drain_backlog() {
+    while (!backlog_.empty() && !blocked_slot_.has_value() && status_ == Status::kNormal) {
+        aom::Delivery d = std::move(backlog_.front());
+        backlog_.pop_front();
+        process_delivery(d);
+    }
+}
+
+void Replica::append_request(aom::OrderingCert oc) {
+    LogEntry entry;
+    entry.noop = false;
+
+    // Parse + authenticate the client request carried in the payload. All
+    // correct replicas see the same bytes and reach the same verdict, so an
+    // invalid request deterministically becomes a non-executed slot.
+    auto req = Request::parse_payload(oc.payload);
+    if (req.has_value() && crypto_->verify(req->client, req->signed_body(), req->signature)) {
+        entry.valid_request = true;
+        entry.client = req->client;
+        entry.request_id = req->request_id;
+    }
+    entry.oc = std::move(oc);
+    log_.append(std::move(entry));
+    crypto_->meter().charge(crypto_->root().costs().hash_base_ns);  // hash chain step
+
+    std::uint64_t slot = log_.size();
+    execute_slot(slot);
+    maybe_start_sync();
+}
+
+void Replica::execute_slot(std::uint64_t slot) {
+    LogEntry& entry = log_.at(slot);
+    NEO_ASSERT(!entry.executed);
+    entry.executed = true;
+    if (entry.noop || !entry.valid_request) {
+        executed_ = slot;
+        return;
+    }
+
+    auto req = Request::parse_payload(entry.oc.payload);
+    NEO_ASSERT(req.has_value());
+
+    // At-most-once: duplicates (client retries that got sequenced twice)
+    // re-send the cached reply instead of re-executing.
+    ClientRecord& rec = clients_[entry.client];
+    if (entry.request_id <= rec.last_request_id) {
+        executed_ = slot;
+        if (entry.request_id == rec.last_request_id && !rec.cached_reply.empty()) {
+            send_to(entry.client, rec.cached_reply);
+        }
+        return;
+    }
+
+    charge(app_->execute_cost_ns(req->op));
+    entry.result = app_->execute(req->op);
+    entry.applied = true;
+    executed_ = slot;
+    ++stats_.requests_executed;
+    pending_client_requests_.erase(entry.client);
+    send_reply(slot);
+}
+
+void Replica::send_reply(std::uint64_t slot) {
+    LogEntry& entry = log_.at(slot);
+    Reply reply;
+    reply.view = view_;
+    reply.replica = id();
+    reply.slot = slot;
+    reply.log_hash = log_.hash_at(slot);
+    reply.request_id = entry.request_id;
+    reply.result = entry.result;
+    reply.mac = crypto_->mac_for(entry.client, reply.mac_body());
+    Bytes wire = reply.serialize();
+
+    ClientRecord& rec = clients_[entry.client];
+    rec.last_request_id = entry.request_id;
+    rec.cached_reply = wire;
+    send_to(entry.client, std::move(wire));
+    ++stats_.replies_sent;
+}
+
+// ------------------------------------------------- client unicast fallback
+
+void Replica::on_request_unicast(NodeId from, Reader& r) {
+    Request req = Request::parse(r);
+    if (req.client != from) return;
+
+    auto it = clients_.find(req.client);
+    if (it != clients_.end() && req.request_id <= it->second.last_request_id) {
+        if (req.request_id == it->second.last_request_id && !it->second.cached_reply.empty()) {
+            send_to(req.client, it->second.cached_reply);
+        }
+        return;
+    }
+    if (!crypto_->verify(req.client, req.signed_body(), req.signature)) return;
+
+    // The client claims it multicast this via aom and got no reply. If it
+    // stays undelivered past the timeout the sequencer is suspect (§5.5).
+    auto pit = pending_client_requests_.find(req.client);
+    if (pit == pending_client_requests_.end() || pit->second.request_id < req.request_id) {
+        pending_client_requests_[req.client] = {req.request_id, sim().now()};
+    }
+}
+
+// ----------------------------------------------------------- gap agreement
+
+void Replica::on_drop_notification(std::uint64_t slot) {
+    NEO_ASSERT(slot == log_.size() + 1);
+    blocked_slot_ = slot;
+    blocked_since_ = sim().now();
+    GapRound& round = gaps_[slot];
+    if (cfg_.leader_of(view_) == id()) {
+        leader_start_gap_agreement(slot);
+    } else {
+        start_query(slot);
+        // If the leader's GAP-FIND raced ahead of our drop-notification,
+        // answer it now.
+        if (round.find_received && !round.sent_gap_drop) {
+            GapDrop drop;
+            drop.view = view_;
+            drop.replica = id();
+            drop.slot = slot;
+            drop.signature = crypto_->sign(drop.signed_body());
+            round.sent_gap_drop = true;
+            send_to(cfg_.leader_of(view_), drop.serialize());
+        }
+    }
+}
+
+void Replica::start_query(std::uint64_t slot) {
+    GapRound& round = gaps_[slot];
+    if (round.resolved) return;
+    Query q;
+    q.view = view_;
+    q.slot = slot;
+    send_to(cfg_.leader_of(view_), q.serialize());
+    ++stats_.queries_sent;
+
+    round.query_timer_armed = true;
+    round.query_timer = set_timer(cfg_.query_retry, [this, slot] {
+        auto it = gaps_.find(slot);
+        if (it == gaps_.end() || it->second.resolved || status_ != Status::kNormal) return;
+        // Even after voting drop we keep querying: peers whose agreement
+        // already concluded answer with the gap certificate (the decision
+        // itself), which we may act on — only bare ordering certificates
+        // are off-limits after a drop vote (§5.4).
+        start_query(slot);
+    });
+}
+
+void Replica::on_query(NodeId from, Reader& r) {
+    Query q = Query::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (q.view != view_) return;
+    if (log_.has(q.slot) && !log_.at(q.slot).noop) {
+        QueryReply qr;
+        qr.view = view_;
+        qr.slot = q.slot;
+        qr.oc = log_.at(q.slot).oc;
+        send_to(from, qr.serialize());
+    } else if (log_.has(q.slot)) {
+        // Committed no-op: hand over the agreement's certificate so a
+        // replica that voted drop (and must ignore plain query-replies,
+        // §5.4) can still conclude when everyone else already resolved.
+        GapCertReply gr;
+        gr.view = view_;
+        gr.slot = q.slot;
+        gr.cert = log_.at(q.slot).gap_cert;
+        send_to(from, gr.serialize());
+    } else {
+        pending_queries_[q.slot].insert(from);
+    }
+}
+
+void Replica::on_gap_cert_reply(NodeId from, Reader& r) {
+    GapCertReply m = GapCertReply::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (!blocked_slot_.has_value() || *blocked_slot_ != m.slot) return;
+    if (m.cert.slot != m.slot) return;
+    if (m.cert.recv && !m.oc.has_value()) return;
+    if (!verify_gap_certificate(m.cert, cfg_, *crypto_)) return;
+    if (m.cert.recv && !verify_oc_for_slot(*m.oc, m.slot)) return;
+
+    GapRound& round = gaps_[m.slot];
+    if (round.resolved && round.applied) return;
+    finalize_gap(m.slot, m.cert.recv, m.oc, m.cert);
+}
+
+void Replica::on_query_reply(NodeId from, Reader& r) {
+    QueryReply qr = QueryReply::parse(r);
+    (void)from;
+    if (qr.view != view_) return;
+    if (!blocked_slot_.has_value() || *blocked_slot_ != qr.slot) return;
+    GapRound& round = gaps_[qr.slot];
+    if (round.sent_gap_drop) return;  // §5.4: ignore query-replies once we voted drop
+    if (!verify_oc_for_slot(qr.oc, qr.slot)) return;
+    fill_slot_with_oc(qr.slot, qr.oc);
+    round.resolved = true;
+    round.applied = true;
+    round.outcome_recv = true;
+    unblock(qr.slot);
+    apply_gap_outcomes();
+}
+
+bool Replica::verify_oc_for_slot(const aom::OrderingCert& oc, std::uint64_t slot) {
+    auto it = epoch_start_slot_.find(oc.epoch);
+    if (it == epoch_start_slot_.end()) return false;
+    if (it->second + oc.seq - 1 != slot) return false;
+    return aom::verify_cert(oc, receiver_->verify_context());
+}
+
+void Replica::leader_start_gap_agreement(std::uint64_t slot) {
+    GapRound& round = gaps_[slot];
+    if (round.find_sent || round.resolved) return;
+    round.find_sent = true;
+    ++stats_.gap_agreements_started;
+
+    // The leader's own drop-notification counts as its gap-drop-message.
+    GapDrop own;
+    own.view = view_;
+    own.replica = id();
+    own.slot = slot;
+    own.signature = crypto_->sign(own.signed_body());
+    round.drops[id()] = own;
+
+    GapFind find;
+    find.view = view_;
+    find.slot = slot;
+    find.signature = crypto_->sign(find.signed_body());
+    broadcast(cfg_.others(id()), find.serialize());
+    leader_try_decide(slot);
+    arm_gap_retry(slot);
+}
+
+// Gap-round messages need retransmission under loss: a single dropped
+// GAP-FIND or GAP-DECISION would otherwise stall the slot until a view
+// change. Each unresolved round periodically re-sends whatever this
+// replica last contributed.
+void Replica::arm_gap_retry(std::uint64_t slot) {
+    GapRound& round = gaps_[slot];
+    if (round.retry_armed || round.resolved) return;
+    round.retry_armed = true;
+    set_timer(cfg_.query_retry, [this, slot] {
+        auto it = gaps_.find(slot);
+        if (it == gaps_.end()) return;
+        GapRound& r = it->second;
+        r.retry_armed = false;
+        if (r.resolved || status_ != Status::kNormal) return;
+
+        bool leader = cfg_.leader_of(view_) == id();
+        if (leader && r.find_sent && !r.decision.has_value()) {
+            GapFind find;
+            find.view = view_;
+            find.slot = slot;
+            find.signature = crypto_->sign(find.signed_body());
+            broadcast(cfg_.others(id()), find.serialize());
+        }
+        if (leader && r.decision.has_value()) {
+            broadcast(cfg_.others(id()), r.decision->serialize());
+        }
+        if (!leader && r.sent_gap_drop && !r.decision.has_value()) {
+            GapDrop drop;
+            drop.view = view_;
+            drop.replica = id();
+            drop.slot = slot;
+            drop.signature = crypto_->sign(drop.signed_body());
+            send_to(cfg_.leader_of(view_), drop.serialize());
+        }
+        if (r.prepare_sent) {
+            auto pit = r.prepares.find(id());
+            if (pit != r.prepares.end()) broadcast(cfg_.others(id()), pit->second.serialize());
+        }
+        if (r.commit_sent) {
+            auto cit = r.commits.find(id());
+            if (cit != r.commits.end()) broadcast(cfg_.others(id()), cit->second.serialize());
+        }
+        arm_gap_retry(slot);
+    });
+}
+
+void Replica::on_gap_find(NodeId from, Reader& r) {
+    GapFind m = GapFind::parse(r);
+    if (m.view != view_ || from != cfg_.leader_of(view_)) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+
+    GapRound& round = gaps_[m.slot];
+    round.find_received = true;
+
+    if (log_.has(m.slot) && !log_.at(m.slot).noop) {
+        GapRecv recv;
+        recv.view = view_;
+        recv.slot = m.slot;
+        recv.oc = log_.at(m.slot).oc;
+        send_to(from, recv.serialize());
+    } else if (blocked_slot_.has_value() && *blocked_slot_ == m.slot && !round.sent_gap_drop) {
+        GapDrop drop;
+        drop.view = view_;
+        drop.replica = id();
+        drop.slot = m.slot;
+        drop.signature = crypto_->sign(drop.signed_body());
+        round.sent_gap_drop = true;
+        send_to(from, drop.serialize());
+    }
+    // Otherwise: we have not reached this slot yet; we will answer when the
+    // delivery or drop-notification arrives (find_received_ is recorded).
+}
+
+void Replica::on_gap_recv(NodeId from, Reader& r) {
+    GapRecv m = GapRecv::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (m.view != view_ || cfg_.leader_of(view_) != id()) return;
+    GapRound& round = gaps_[m.slot];
+    if (round.decision.has_value() || round.resolved) return;
+    if (!verify_oc_for_slot(m.oc, m.slot)) return;
+
+    GapDecision d;
+    d.view = view_;
+    d.slot = m.slot;
+    d.recv = true;
+    d.oc = m.oc;
+    d.signature = crypto_->sign(d.signed_body());
+    broadcast_decision(m.slot, std::move(d));
+}
+
+void Replica::on_gap_drop(NodeId from, Reader& r) {
+    GapDrop m = GapDrop::parse(r);
+    if (!cfg_.is_replica(from) || m.replica != from) return;
+    if (m.view != view_ || cfg_.leader_of(view_) != id()) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+    GapRound& round = gaps_[m.slot];
+    if (round.decision.has_value() || round.resolved) return;
+    round.drops[from] = std::move(m);
+    leader_try_decide(m.slot);
+}
+
+void Replica::leader_try_decide(std::uint64_t slot) {
+    GapRound& round = gaps_[slot];
+    if (round.decision.has_value() || round.resolved) return;
+
+    // One valid oc decides recv immediately; this leader path is handled in
+    // on_gap_recv. Here: 2f+1 distinct drops decide drop.
+    if (round.drops.size() >= cfg_.quorum()) {
+        GapDecision d;
+        d.view = view_;
+        d.slot = slot;
+        d.recv = false;
+        for (const auto& [node, drop] : round.drops) {
+            d.drops.push_back(drop);
+            if (d.drops.size() == cfg_.quorum()) break;
+        }
+        d.signature = crypto_->sign(d.signed_body());
+        broadcast_decision(slot, std::move(d));
+    }
+}
+
+void Replica::broadcast_decision(std::uint64_t slot, GapDecision decision) {
+    GapRound& round = gaps_[slot];
+    broadcast(cfg_.others(id()), decision.serialize());
+    round.decision = std::move(decision);
+    try_gap_progress(slot);
+}
+
+bool Replica::validate_decision(const GapDecision& d) {
+    if (d.recv) {
+        return d.oc.has_value() && verify_oc_for_slot(*d.oc, d.slot);
+    }
+    // 2f+1 distinct valid gap-drops for this (view, slot).
+    std::set<NodeId> seen;
+    std::size_t valid = 0;
+    for (const auto& drop : d.drops) {
+        if (!cfg_.is_replica(drop.replica)) continue;
+        if (drop.view != d.view || drop.slot != d.slot) continue;
+        if (!seen.insert(drop.replica).second) continue;
+        if (!crypto_->verify(drop.replica, drop.signed_body(), drop.signature)) continue;
+        ++valid;
+    }
+    return valid >= cfg_.quorum();
+}
+
+void Replica::on_gap_decision(NodeId from, Reader& r) {
+    GapDecision m = GapDecision::parse(r);
+    if (m.view != view_ || from != cfg_.leader_of(view_)) return;
+    if (from == id()) return;
+    GapRound& round = gaps_[m.slot];
+    if (round.decision.has_value() || round.resolved) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+    if (!validate_decision(m)) return;
+    std::uint64_t slot = m.slot;
+    round.decision = std::move(m);
+    try_gap_progress(slot);
+}
+
+void Replica::on_gap_prepare(NodeId from, Reader& r) {
+    GapPrepare m = GapPrepare::parse(r);
+    if (!cfg_.is_replica(from) || m.replica != from || m.view != view_) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+    std::uint64_t slot = m.slot;
+    GapRound& round = gaps_[slot];
+    round.prepares[from] = std::move(m);
+    try_gap_progress(slot);
+}
+
+void Replica::on_gap_commit(NodeId from, Reader& r) {
+    GapCommit m = GapCommit::parse(r);
+    if (!cfg_.is_replica(from) || m.replica != from || m.view != view_) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+    std::uint64_t slot = m.slot;
+    GapRound& round = gaps_[slot];
+    round.commits[from] = std::move(m);
+    try_gap_progress(slot);
+}
+
+void Replica::try_gap_progress(std::uint64_t slot) {
+    GapRound& round = gaps_[slot];
+    if (round.resolved) return;
+
+    // Decision validated -> broadcast our prepare (once).
+    if (round.decision.has_value() && !round.prepare_sent) {
+        round.prepare_sent = true;
+        arm_gap_retry(slot);
+        GapPrepare p;
+        p.view = view_;
+        p.replica = id();
+        p.slot = slot;
+        p.recv = round.decision->recv;
+        p.signature = crypto_->sign(p.signed_body());
+        round.prepares[id()] = p;
+        broadcast(cfg_.others(id()), p.serialize());
+    }
+
+    // 2f matching prepares + validated decision -> broadcast commit (once).
+    if (round.decision.has_value() && !round.commit_sent) {
+        std::size_t matching = 0;
+        for (const auto& [node, p] : round.prepares) {
+            if (p.recv == round.decision->recv) ++matching;
+        }
+        if (matching >= static_cast<std::size_t>(2 * cfg_.f)) {
+            round.commit_sent = true;
+            arm_gap_retry(slot);
+            GapCommit c;
+            c.view = view_;
+            c.replica = id();
+            c.slot = slot;
+            c.recv = round.decision->recv;
+            c.signature = crypto_->sign(c.signed_body());
+            round.commits[id()] = c;
+            broadcast(cfg_.others(id()), c.serialize());
+        }
+    }
+
+    // 2f+1 commits with the same outcome -> commit the slot.
+    for (bool recv : {false, true}) {
+        std::vector<SignerSig> sigs;
+        for (const auto& [node, c] : round.commits) {
+            if (c.recv == recv) sigs.push_back(SignerSig{node, c.signature});
+        }
+        if (sigs.size() >= cfg_.quorum()) {
+            sigs.resize(cfg_.quorum());
+            GapCertificate cert;
+            cert.view = view_;
+            cert.slot = slot;
+            cert.recv = recv;
+            cert.commits = std::move(sigs);
+            std::optional<aom::OrderingCert> oc;
+            if (round.decision.has_value() && round.decision->recv && round.decision->oc) {
+                oc = round.decision->oc;
+            }
+            finalize_gap(slot, recv, oc, std::move(cert));
+            return;
+        }
+    }
+}
+
+void Replica::finalize_gap(std::uint64_t slot, bool recv,
+                           const std::optional<aom::OrderingCert>& oc, GapCertificate cert) {
+    GapRound& round = gaps_[slot];
+    if (round.resolved) return;
+    round.resolved = true;
+    round.outcome_recv = recv;
+    round.outcome_oc = oc;
+    round.outcome_cert = std::move(cert);
+    apply_gap_outcomes();
+}
+
+void Replica::apply_gap_outcomes() {
+    // Outcomes apply strictly in log order: an agreement for a slot ahead of
+    // our log waits until the intermediate slots are filled.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto& [slot, round] : gaps_) {
+            if (!round.resolved || round.applied) continue;
+            if (slot > log_.size() + 1) break;  // ordered map: nothing earlier left
+
+            if (round.outcome_recv) {
+                if (!log_.has(slot)) {
+                    if (round.outcome_oc.has_value()) {
+                        fill_slot_with_oc(slot, *round.outcome_oc);
+                    } else {
+                        // Committed as recv but we lack the certificate:
+                        // fetch it from the leader; stay blocked meanwhile.
+                        round.resolved = false;
+                        start_query(slot);
+                        return;
+                    }
+                }
+            } else {
+                commit_noop(slot, round.outcome_cert);
+            }
+            round.applied = true;
+            progressed = true;
+            unblock(slot);
+            break;  // map may have been mutated (unblock -> drain); restart
+        }
+    }
+}
+
+void Replica::fill_slot_with_oc(std::uint64_t slot, const aom::OrderingCert& oc) {
+    if (log_.has(slot)) return;  // already present (request can't overwrite no-op)
+    NEO_ASSERT(slot == log_.size() + 1);
+    append_request(oc);
+    // Serve replicas whose queries we had parked.
+    auto it = pending_queries_.find(slot);
+    if (it != pending_queries_.end()) {
+        QueryReply qr;
+        qr.view = view_;
+        qr.slot = slot;
+        qr.oc = log_.at(slot).oc;
+        Bytes wire = qr.serialize();
+        for (NodeId peer : it->second) send_to(peer, wire);
+        pending_queries_.erase(it);
+    }
+}
+
+void Replica::commit_noop(std::uint64_t slot, GapCertificate cert) {
+    ++stats_.gap_noops_committed;
+    view_noop_certs_.push_back(cert);
+    if (!log_.has(slot)) {
+        NEO_ASSERT(slot == log_.size() + 1);
+        LogEntry entry;
+        entry.noop = true;
+        entry.gap_cert = std::move(cert);
+        log_.append(std::move(entry));
+        log_.at(slot).executed = true;
+        executed_ = slot;
+        maybe_start_sync();
+        return;
+    }
+    if (log_.at(slot).noop) return;
+
+    // Speculatively executed request superseded by a committed no-op: roll
+    // back and re-execute the tail (§5.4 last paragraph).
+    LogEntry entry;
+    entry.noop = true;
+    entry.gap_cert = std::move(cert);
+    entry.executed = true;
+    rollback_and_reexecute_replace(slot, std::move(entry));
+}
+
+void Replica::unblock(std::uint64_t slot) {
+    if (blocked_slot_.has_value() && *blocked_slot_ == slot) {
+        blocked_slot_.reset();
+        drain_backlog();
+    }
+}
+
+// ----------------------------------------------------- execution / rollback
+
+void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replacement) {
+    ++stats_.rollbacks;
+    // Undo every applied application op at slots >= `slot` (LIFO).
+    for (std::uint64_t s = log_.size(); s >= slot; --s) {
+        LogEntry& e = log_.at(s);
+        if (e.applied) {
+            app_->undo_last();
+            e.applied = false;
+        }
+        if (s == slot) break;
+    }
+    log_.replace(slot, std::move(replacement));
+
+    // Re-execute the tail; replies are re-sent with the new log hashes.
+    for (std::uint64_t s = slot; s <= log_.size(); ++s) {
+        LogEntry& e = log_.at(s);
+        if (e.noop || !e.valid_request) {
+            e.executed = true;
+            continue;
+        }
+        auto req = Request::parse_payload(e.oc.payload);
+        NEO_ASSERT(req.has_value());
+        charge(app_->execute_cost_ns(req->op));
+        e.result = app_->execute(req->op);
+        e.executed = true;
+        e.applied = true;
+        send_reply(s);
+    }
+    executed_ = log_.size();
+}
+
+// ----------------------------------------------------------- state sync
+
+void Replica::maybe_start_sync() {
+    if (status_ != Status::kNormal) return;
+    std::uint64_t target = (log_.size() / cfg_.sync_interval) * cfg_.sync_interval;
+    if (target == 0 || target <= last_sync_broadcast_slot_) return;
+    last_sync_broadcast_slot_ = target;
+
+    SyncMsg m;
+    m.view = view_;
+    m.replica = id();
+    m.slot = target;
+    m.log_hash = log_.hash_at(target);
+    // Ship gap certificates for no-ops committed this view above the sync
+    // point so lagging replicas overwrite divergent speculation (§B.2).
+    for (const auto& cert : view_noop_certs_) {
+        if (cert.slot <= target) m.drops.push_back(cert);
+    }
+    m.signature = crypto_->sign(m.signed_body());
+    pending_syncs_[target][id()] = m;
+    broadcast(cfg_.others(id()), m.serialize());
+    try_complete_sync(target);
+}
+
+void Replica::on_sync(NodeId from, Reader& r) {
+    SyncMsg m = SyncMsg::parse(r);
+    if (!cfg_.is_replica(from) || m.replica != from) return;
+    if (m.view != view_) return;
+    if (m.slot <= sync_point_) return;
+    if (!crypto_->verify(from, m.signed_body(), m.signature)) return;
+    std::uint64_t slot = m.slot;
+    pending_syncs_[slot][from] = std::move(m);
+    try_complete_sync(slot);
+}
+
+void Replica::try_complete_sync(std::uint64_t slot) {
+    if (slot <= sync_point_ || !log_.has(slot)) return;
+    auto it = pending_syncs_.find(slot);
+    if (it == pending_syncs_.end() || it->second.size() < cfg_.quorum()) return;
+
+    // First apply committed no-ops we may have missed.
+    for (auto& [node, msg] : it->second) {
+        for (const auto& cert : msg.drops) {
+            if (!cert.recv && log_.has(cert.slot) && !log_.at(cert.slot).noop) {
+                if (verify_gap_certificate(cert, cfg_, *crypto_)) {
+                    LogEntry entry;
+                    entry.noop = true;
+                    entry.gap_cert = cert;
+                    entry.executed = true;
+                    rollback_and_reexecute_replace(cert.slot, std::move(entry));
+                }
+            }
+        }
+    }
+
+    // Then count matching-hash signatures.
+    Digest32 my_hash = log_.hash_at(slot);
+    std::vector<SignerSig> sigs;
+    for (const auto& [node, msg] : it->second) {
+        if (msg.log_hash == my_hash) sigs.push_back(SignerSig{node, msg.signature});
+    }
+    if (sigs.size() < cfg_.quorum()) return;
+    sigs.resize(cfg_.quorum());
+
+    sync_point_ = slot;
+    sync_cert_.view = view_;
+    sync_cert_.slot = slot;
+    sync_cert_.log_hash = my_hash;
+    sync_cert_.sigs = std::move(sigs);
+    ++stats_.syncs_completed;
+
+    // Tell the app its prefix is durable (count applied ops up to slot,
+    // extending the running counter from the previous sync point).
+    for (std::uint64_t s = committed_ops_slot_ + 1; s <= slot; ++s) {
+        if (log_.at(s).applied) ++committed_ops_;
+    }
+    committed_ops_slot_ = slot;
+    app_->commit_prefix(committed_ops_);
+
+    // Prune bookkeeping below the new sync point.
+    pending_syncs_.erase(pending_syncs_.begin(), pending_syncs_.upper_bound(slot));
+    std::erase_if(view_noop_certs_, [slot](const GapCertificate& c) { return c.slot <= slot; });
+    std::erase_if(gaps_, [slot](const auto& kv) { return kv.first <= slot && kv.second.resolved; });
+}
+
+}  // namespace neo::neobft

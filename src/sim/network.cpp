@@ -1,0 +1,82 @@
+#include "sim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace neo::sim {
+
+void Network::add_node(Node& node, NodeId id) {
+    NEO_ASSERT_MSG(!nodes_.contains(id), "duplicate node id");
+    NEO_ASSERT_MSG(node.net_ == nullptr, "node already attached");
+    node.net_ = this;
+    node.id_ = id;
+    nodes_[id] = &node;
+}
+
+void Network::set_link(NodeId from, NodeId to, const LinkConfig& cfg) {
+    link_overrides_[key(from, to)] = cfg;
+}
+
+const LinkConfig& Network::link(NodeId from, NodeId to) const {
+    auto it = link_overrides_.find(key(from, to));
+    return it != link_overrides_.end() ? it->second : default_link_;
+}
+
+void Network::set_node_down(NodeId id, bool down) {
+    if (down) {
+        down_.insert(id);
+    } else {
+        down_.erase(id);
+    }
+}
+
+std::uint64_t Network::delivered_to(NodeId id) const {
+    auto it = delivered_to_.find(id);
+    return it != delivered_to_.end() ? it->second : 0;
+}
+
+void Network::reset_counters() {
+    packets_sent_ = packets_delivered_ = packets_dropped_ = bytes_sent_ = 0;
+    delivered_to_.clear();
+}
+
+void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
+    NEO_ASSERT(depart >= sim_.now());
+    ++packets_sent_;
+    bytes_sent_ += data.size();
+
+    if (is_down(from) || is_blocked(from, to)) {
+        ++packets_dropped_;
+        return;
+    }
+
+    const LinkConfig& cfg = link(from, to);
+    double effective_drop = cfg.drop_rate + global_drop_rate_;
+    if (effective_drop > 0.0 && rng_.chance(effective_drop)) {
+        ++packets_dropped_;
+        return;
+    }
+
+    if (tamper_) {
+        if (tamper_(from, to, data) == TamperAction::kDrop) {
+            ++packets_dropped_;
+            return;
+        }
+    }
+
+    Time latency = cfg.latency;
+    if (cfg.jitter > 0) latency += static_cast<Time>(rng_.uniform(static_cast<std::uint64_t>(cfg.jitter)));
+    latency += static_cast<Time>(cfg.ns_per_byte * static_cast<double>(data.size()));
+
+    sim_.at(depart + latency, [this, from, to, data = std::move(data)]() {
+        auto it = nodes_.find(to);
+        if (it == nodes_.end() || is_down(to)) {
+            ++packets_dropped_;
+            return;
+        }
+        ++packets_delivered_;
+        ++delivered_to_[to];
+        it->second->on_packet(from, data);
+    });
+}
+
+}  // namespace neo::sim

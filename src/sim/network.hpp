@@ -1,0 +1,126 @@
+// Simulated data-center network: nodes, links, loss, partitions, tampering.
+//
+// Replaces the paper's 100 Gbps testbed fabric (see DESIGN.md §1). Latency,
+// jitter, serialisation delay and drops are applied per packet from a
+// deterministic per-network RNG stream.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace neo::sim {
+
+struct LinkConfig {
+    /// One-way propagation + switching latency.
+    Time latency = 5 * kMicrosecond;
+    /// Uniform random addition in [0, jitter).
+    Time jitter = 2 * kMicrosecond;
+    /// Probability a packet is silently lost.
+    double drop_rate = 0.0;
+    /// Serialisation delay per byte (0.08 ns/B == 100 Gbps).
+    double ns_per_byte = 0.08;
+};
+
+class Node;
+
+enum class TamperAction { kDeliver, kDrop };
+
+/// Inspects/mutates packets in flight; used by Byzantine-network tests.
+using TamperFn = std::function<TamperAction(NodeId from, NodeId to, Bytes& data)>;
+
+class Network {
+  public:
+    Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+    Simulator& simulator() { return sim_; }
+
+    /// Registers a node under `id` and attaches it to this network.
+    void add_node(Node& node, NodeId id);
+
+    void set_default_link(const LinkConfig& cfg) { default_link_ = cfg; }
+    const LinkConfig& default_link() const { return default_link_; }
+    /// Directional per-pair override.
+    void set_link(NodeId from, NodeId to, const LinkConfig& cfg);
+    const LinkConfig& link(NodeId from, NodeId to) const;
+
+    /// Applies an additional drop probability to every link (Fig 9's
+    /// "simulated drop rate" knob).
+    void set_global_drop_rate(double rate) { global_drop_rate_ = rate; }
+
+    /// Partitions: blocked directional pairs deliver nothing.
+    void block(NodeId from, NodeId to) { blocked_.insert(key(from, to)); }
+    void unblock(NodeId from, NodeId to) { blocked_.erase(key(from, to)); }
+    bool is_blocked(NodeId from, NodeId to) const { return blocked_.contains(key(from, to)); }
+
+    /// A down node neither sends nor receives (crash model).
+    void set_node_down(NodeId id, bool down);
+    bool is_down(NodeId id) const { return down_.contains(id); }
+
+    void set_tamper(TamperFn fn) { tamper_ = std::move(fn); }
+
+    /// Transmits at the current simulation time.
+    void send(NodeId from, NodeId to, Bytes data) { send_at(sim_.now(), from, to, std::move(data)); }
+
+    /// Transmits with the given departure timestamp (>= now).
+    void send_at(Time depart, NodeId from, NodeId to, Bytes data);
+
+    // Instrumentation.
+    std::uint64_t packets_sent() const { return packets_sent_; }
+    std::uint64_t packets_delivered() const { return packets_delivered_; }
+    std::uint64_t packets_dropped() const { return packets_dropped_; }
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+    /// Per-destination delivered-message counter (Table 1 bottleneck
+    /// message counting).
+    std::uint64_t delivered_to(NodeId id) const;
+    void reset_counters();
+
+  private:
+    static std::uint64_t key(NodeId from, NodeId to) {
+        return (static_cast<std::uint64_t>(from) << 32) | to;
+    }
+
+    Simulator& sim_;
+    Rng rng_;
+    LinkConfig default_link_;
+    std::map<std::uint64_t, LinkConfig> link_overrides_;
+    std::unordered_map<NodeId, Node*> nodes_;
+    std::unordered_set<std::uint64_t> blocked_;
+    std::unordered_set<NodeId> down_;
+    TamperFn tamper_;
+    double global_drop_rate_ = 0.0;
+
+    std::uint64_t packets_sent_ = 0;
+    std::uint64_t packets_delivered_ = 0;
+    std::uint64_t packets_dropped_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+    std::unordered_map<NodeId, std::uint64_t> delivered_to_;
+};
+
+/// Base class for all simulated endpoints.
+class Node {
+  public:
+    virtual ~Node() = default;
+
+    NodeId id() const { return id_; }
+    Network& net() { return *net_; }
+    Simulator& sim() { return net_->simulator(); }
+    bool attached() const { return net_ != nullptr; }
+
+    /// Raw packet delivery; called by the network at arrival time.
+    virtual void on_packet(NodeId from, BytesView data) = 0;
+
+  private:
+    friend class Network;
+    Network* net_ = nullptr;
+    NodeId id_ = kInvalidNode;
+};
+
+}  // namespace neo::sim

@@ -1,0 +1,99 @@
+#include "sim/processing_node.hpp"
+
+#include "common/assert.hpp"
+
+namespace neo::sim {
+
+void ProcessingNode::on_packet(NodeId from, BytesView data) {
+    queue_.push_back(QueuedItem{from, Bytes(data.begin(), data.end()), nullptr, 0});
+    maybe_schedule_drain();
+}
+
+void ProcessingNode::maybe_schedule_drain() {
+    if (drain_scheduled_ || queue_.empty()) return;
+    drain_scheduled_ = true;
+    Time start = std::max(sim().now(), busy_until_);
+    sim().at(start, [this] { drain_one(); });
+}
+
+void ProcessingNode::drain_one() {
+    NEO_ASSERT(!queue_.empty());
+    QueuedItem item = std::move(queue_.front());
+    queue_.pop_front();
+    drain_scheduled_ = false;
+
+    if (item.task) {
+        if (cancelled_timers_.erase(item.timer_id) == 0) {
+            run_task(cfg_.timer_overhead_ns, item.task);
+        }
+    } else {
+        ++messages_handled_;
+        Time recv_cost = cfg_.recv_overhead_ns +
+                         static_cast<Time>(cfg_.io_ns_per_byte *
+                                           static_cast<double>(item.data.size()));
+        run_task(recv_cost, [&] { handle(item.from, item.data); });
+    }
+
+    maybe_schedule_drain();
+}
+
+void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work) {
+    NEO_ASSERT_MSG(!in_task_, "nested task execution");
+    in_task_ = true;
+    out_.clear();
+    extra_sync_ = 0;
+
+    work();
+
+    Time sync = fixed_cost + extra_sync_;
+    Time async = 0;
+    if (meter_ != nullptr) {
+        sync += meter_->drain();
+        async += meter_->drain_async(cfg_.crypto_parallelism);
+    }
+    for (const auto& send : out_) {
+        sync += cfg_.send_overhead_ns +
+                static_cast<Time>(cfg_.io_ns_per_byte * static_cast<double>(send.data.size()));
+    }
+
+    Time start = sim().now();
+    busy_until_ = start + sync;
+    total_busy_ += sync;
+
+    Time depart = busy_until_ + async;
+    for (auto& send : out_) {
+        net().send_at(depart, id(), send.to, std::move(send.data));
+    }
+    out_.clear();
+    in_task_ = false;
+}
+
+void ProcessingNode::send_to(NodeId to, Bytes data) {
+    if (in_task_) {
+        out_.push_back(PendingSend{to, std::move(data)});
+    } else {
+        // Outside a task (e.g. initialisation code): send immediately.
+        net().send_at(sim().now(), id(), to, std::move(data));
+    }
+}
+
+void ProcessingNode::broadcast(const std::vector<NodeId>& dests, const Bytes& data) {
+    for (NodeId d : dests) send_to(d, data);
+}
+
+ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void()> fn) {
+    TimerId tid = next_timer_++;
+    sim().after(delay, [this, tid, fn = std::move(fn)] {
+        if (net().is_down(id())) {
+            cancelled_timers_.erase(tid);
+            return;
+        }
+        // Timer work contends for the same CPU as message handling: enqueue
+        // it behind whatever the node is currently processing.
+        queue_.push_back(QueuedItem{kInvalidNode, {}, fn, tid});
+        maybe_schedule_drain();
+    });
+    return tid;
+}
+
+}  // namespace neo::sim

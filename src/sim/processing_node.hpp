@@ -1,0 +1,118 @@
+// Serial-CPU endpoint model.
+//
+// A ProcessingNode handles one message at a time: arrivals queue, the
+// handler runs when the CPU frees up, and the handler's cost (fixed
+// per-message overhead + metered synchronous crypto) extends the node's busy
+// time. Outbound messages produced by a handler depart when processing
+// completes (plus any asynchronous crypto latency — work offloaded to the
+// machine's worker cores, which delays the result without serialising the
+// protocol thread).
+//
+// This is the mechanism that turns Table 1's "bottleneck complexity" into
+// the throughput saturation and queuing-delay knees of Fig 7.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/cost.hpp"
+#include "sim/network.hpp"
+
+namespace neo::sim {
+
+struct ProcessingConfig {
+    /// Fixed cost to receive + parse + dispatch one message.
+    Time recv_overhead_ns = 1'200;
+    /// Fixed cost per outbound unicast transmission.
+    Time send_overhead_ns = 700;
+    /// Size-dependent host I/O cost (copies, NIC descriptors): applied per
+    /// byte sent and received. Large batched protocol messages pay this;
+    /// it is the mechanism behind the paper's "reduced batching efficiency"
+    /// with bigger requests (§6.5).
+    double io_ns_per_byte = 0.3;
+    /// Fixed cost to run a timer callback.
+    Time timer_overhead_ns = 300;
+    /// Worker cores available for asynchronous crypto (the testbed replicas
+    /// are 32-core machines; a task's batched signature work overlaps
+    /// across this pool — see crypto::CostMeter::drain_async).
+    int crypto_parallelism = 16;
+};
+
+class ProcessingNode : public Node {
+  public:
+    using TimerId = std::uint64_t;
+
+    explicit ProcessingNode(ProcessingConfig cfg = {}) : cfg_(cfg) {}
+
+    void on_packet(NodeId from, BytesView data) final;
+
+    /// Total virtual time this node's CPU has been busy (utilisation stats).
+    Time busy_time() const { return total_busy_; }
+    std::uint64_t messages_handled() const { return messages_handled_; }
+
+    const ProcessingConfig& processing_config() const { return cfg_; }
+    void set_processing_config(const ProcessingConfig& cfg) { cfg_ = cfg; }
+
+  protected:
+    /// Protocol logic. Runs when the CPU picks the message up; use send_to /
+    /// broadcast for outputs — they depart when processing completes.
+    virtual void handle(NodeId from, BytesView data) = 0;
+
+    /// Queues an outbound unicast (only valid inside handle()/timer fns).
+    void send_to(NodeId to, Bytes data);
+    /// Unicasts `data` to every destination (counts one send each).
+    void broadcast(const std::vector<NodeId>& dests, const Bytes& data);
+
+    /// One-shot timer. The callback runs through the same cost machinery as
+    /// message handlers. Returns an id usable with cancel_timer().
+    TimerId set_timer(Time delay, std::function<void()> fn);
+    void cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+
+    /// Attach the node's crypto cost meter so handler crypto charges CPU
+    /// time automatically.
+    void set_meter(crypto::CostMeter* meter) { meter_ = meter; }
+    crypto::CostMeter* meter() { return meter_; }
+
+    /// Extra synchronous CPU charge from protocol logic (e.g. state machine
+    /// execution cost).
+    void charge(Time ns) { extra_sync_ += ns; }
+
+  private:
+    struct PendingSend {
+        NodeId to;
+        Bytes data;
+    };
+
+    void run_task(Time fixed_cost, const std::function<void()>& work);
+
+    ProcessingConfig cfg_;
+    crypto::CostMeter* meter_ = nullptr;
+
+    // Arrival queue: messages and timer tasks wait here while the CPU is
+    // busy. `task != nullptr` marks a timer item.
+    struct QueuedItem {
+        NodeId from;
+        Bytes data;
+        std::function<void()> task;
+        TimerId timer_id;
+    };
+    std::deque<QueuedItem> queue_;
+    bool drain_scheduled_ = false;
+    Time busy_until_ = 0;
+    Time total_busy_ = 0;
+    std::uint64_t messages_handled_ = 0;
+
+    std::vector<PendingSend> out_;
+    Time extra_sync_ = 0;
+    bool in_task_ = false;
+
+    TimerId next_timer_ = 1;
+    std::unordered_set<TimerId> cancelled_timers_;
+
+    void maybe_schedule_drain();
+    void drain_one();
+};
+
+}  // namespace neo::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace neo::sim {
+
+void Simulator::at(Time t, Callback fn) {
+    NEO_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (std::function copy is cheap
+    // relative to event work, and correctness beats micro-optimisation here).
+    Event ev = queue_.top();
+    queue_.pop();
+    NEO_ASSERT(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void Simulator::run() {
+    stopped_ = false;
+    while (!stopped_ && step()) {
+    }
+}
+
+void Simulator::run_until(Time t) {
+    stopped_ = false;
+    while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+        step();
+    }
+    if (now_ < t) now_ = t;
+}
+
+}  // namespace neo::sim

@@ -1,0 +1,20 @@
+// Virtual time for the discrete-event simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace neo::sim {
+
+/// Virtual nanoseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1'000.0; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1'000'000.0; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1'000'000'000.0; }
+
+}  // namespace neo::sim

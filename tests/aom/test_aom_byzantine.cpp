@@ -1,0 +1,199 @@
+// Byzantine-faulty-network mode (§4.2): confirm-message quorums tolerate an
+// equivocating sequencer.
+#include <gtest/gtest.h>
+
+#include "aom_test_util.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::aom {
+namespace {
+
+using testutil::Deployment;
+
+TEST(AomByzantine, DeliveryRequiresConfirmQuorum) {
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, /*f=*/1);
+    d.sender->send_payload(to_bytes("needs quorum"));
+    d.sim.run();
+    for (auto& host : d.hosts) {
+        ASSERT_EQ(host->deliveries.size(), 1u);
+        const auto& cert = host->deliveries[0].cert;
+        EXPECT_GE(cert.confirms.size(), 3u);  // 2f+1 with f=1
+        EXPECT_TRUE(verify_cert(cert, host->receiver().verify_context()));
+    }
+}
+
+TEST(AomByzantine, CertificateWithoutConfirmsRejected) {
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, 1);
+    d.sender->send_payload(to_bytes("strip me"));
+    d.sim.run();
+    OrderingCert cert = d.hosts[0]->deliveries.at(0).cert;
+    cert.confirms.clear();
+    EXPECT_FALSE(verify_cert(cert, d.hosts[1]->receiver().verify_context()));
+}
+
+TEST(AomByzantine, DuplicateConfirmersDoNotCount) {
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, 1);
+    d.sender->send_payload(to_bytes("dup"));
+    d.sim.run();
+    OrderingCert cert = d.hosts[0]->deliveries.at(0).cert;
+    ASSERT_GE(cert.confirms.size(), 3u);
+    // Replace all confirms with copies of the first signer's.
+    ConfirmSig first = cert.confirms[0];
+    cert.confirms = {first, first, first};
+    EXPECT_FALSE(verify_cert(cert, d.hosts[1]->receiver().verify_context()));
+}
+
+TEST(AomByzantine, ForgedConfirmSignatureRejected) {
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, 1);
+    d.sender->send_payload(to_bytes("forge"));
+    d.sim.run();
+    OrderingCert cert = d.hosts[0]->deliveries.at(0).cert;
+    for (auto& c : cert.confirms) c.signature[0] ^= 1;
+    EXPECT_FALSE(verify_cert(cert, d.hosts[1]->receiver().verify_context()));
+}
+
+TEST(AomByzantine, ConfirmsBatchAcrossMessages) {
+    // Many messages in flight: confirms are batched, so the number of
+    // confirm packets stays well below messages x receivers.
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, 1);
+    std::uint64_t confirm_packets = 0;
+    d.net.set_tamper([&confirm_packets](NodeId, NodeId, Bytes& data) {
+        if (!data.empty() && data[0] == static_cast<std::uint8_t>(Wire::kConfirm)) {
+            ++confirm_packets;
+        }
+        return sim::TamperAction::kDeliver;
+    });
+    for (int i = 0; i < 64; ++i) d.sender->send_payload(to_bytes("b" + std::to_string(i)));
+    d.sim.run();
+    for (auto& host : d.hosts) {
+        std::size_t messages = 0;
+        for (const auto& del : host->deliveries) {
+            if (del.kind == Delivery::Kind::kMessage) ++messages;
+        }
+        EXPECT_EQ(messages, 64u);
+    }
+    // Unbatched would be 64 msgs x 4 senders x 3 peers = 768 packets.
+    EXPECT_LT(confirm_packets, 200u);
+    EXPECT_GT(confirm_packets, 0u);
+}
+
+// A sequencer that equivocates: sends receiver 0 a different payload (with
+// valid per-receiver authentication!) than everyone else for each seq.
+class EquivocatingSwitch : public SequencerSwitch {
+  public:
+    using SequencerSwitch::SequencerSwitch;
+    NodeId victim = Deployment::kReceiverBase;
+
+  protected:
+    void emit(NodeId receiver, sim::Time depart, Bytes packet) override {
+        if (receiver == victim && !packet.empty() &&
+            packet[0] == static_cast<std::uint8_t>(Wire::kSeqHm)) {
+            try {
+                Reader r(BytesView(packet).subspan(1));
+                HmPacket pkt = HmPacket::parse(r);
+                // Re-author the packet with conflicting content, re-MACed
+                // for the victim (the Byzantine switch holds all HM keys,
+                // so per-receiver MACs are forgeable by it -- exactly the
+                // attack the confirm protocol exists for).
+                pkt.payload = to_bytes("EQUIVOCATED");
+                pkt.digest = crypto::sha256(pkt.payload);
+                Bytes input = auth_input(pkt.group, pkt.epoch, pkt.seq, pkt.digest);
+                for (std::size_t slot = 0; slot < group_receivers_.size(); ++slot) {
+                    int base = static_cast<int>(pkt.subgroup) * kHmSubgroupSize;
+                    if (static_cast<int>(slot) >= base &&
+                        static_cast<int>(slot) < base + static_cast<int>(pkt.macs.size())) {
+                        pkt.macs[slot - static_cast<std::size_t>(base)] = crypto::halfsiphash24(
+                            keys_for_test_->hm_key(id(), group_receivers_[slot]), input);
+                    }
+                }
+                SequencerSwitch::emit(receiver, depart, pkt.serialize());
+                return;
+            } catch (const CodecError&) {
+            }
+        }
+        SequencerSwitch::emit(receiver, depart, std::move(packet));
+    }
+
+  public:
+    std::vector<NodeId> group_receivers_;
+    const AomKeyService* keys_for_test_ = nullptr;
+};
+
+TEST(AomByzantine, EquivocatingSequencerCannotSplitDelivery) {
+    // Build a deployment manually with the equivocating switch.
+    sim::Simulator sim;
+    sim::Network net(sim, 17);
+    net.set_default_link(sim::datacenter_link());
+    crypto::TrustRoot root(crypto::CryptoMode::kReal, 5);
+    AomKeyService keys(6);
+
+    GroupConfig group;
+    group.group = Deployment::kGroup;
+    group.variant = AuthVariant::kHmacVector;
+    group.trust = NetworkTrust::kByzantine;
+    group.f = 1;
+    for (int i = 0; i < 4; ++i) group.receivers.push_back(Deployment::kReceiverBase + static_cast<NodeId>(i));
+
+    EquivocatingSwitch sw(SequencerConfig{}, root.provision(Deployment::kSwitchBase), &keys);
+    sw.group_receivers_ = group.receivers;
+    sw.keys_for_test_ = &keys;
+    net.add_node(sw, Deployment::kSwitchBase);
+    sw.install_group(group, 1);
+
+    std::vector<std::unique_ptr<testutil::HostNode>> hosts;
+    for (int i = 0; i < 4; ++i) {
+        auto host = std::make_unique<testutil::HostNode>(
+            root.provision(Deployment::kReceiverBase + static_cast<NodeId>(i)));
+        net.add_node(*host, Deployment::kReceiverBase + static_cast<NodeId>(i));
+        host->init_receiver(group, &keys);
+        host->receiver().start_epoch(1, Deployment::kSwitchBase);
+        hosts.push_back(std::move(host));
+    }
+
+    testutil::SenderNode sender(root.provision(Deployment::kSenderId));
+    net.add_node(sender, Deployment::kSenderId);
+    DataPacket pkt;
+    pkt.group = group.group;
+    pkt.payload = to_bytes("honest payload");
+    pkt.digest = crypto::sha256(pkt.payload);
+    net.send(Deployment::kSenderId, Deployment::kSwitchBase, pkt.serialize());
+    sim.run_until(sim::kSecond);
+
+    // No correct receiver may deliver the equivocated content: the victim's
+    // copy can never gather 2f+1 matching confirms.
+    for (auto& host : hosts) {
+        for (const auto& del : host->deliveries) {
+            if (del.kind == Delivery::Kind::kMessage) {
+                EXPECT_EQ(to_string(del.payload), "honest payload");
+            }
+        }
+    }
+    // The three non-victim receivers deliver the honest message.
+    int delivered = 0;
+    for (int i = 1; i < 4; ++i) {
+        for (const auto& del : hosts[static_cast<std::size_t>(i)]->deliveries) {
+            if (del.kind == Delivery::Kind::kMessage) ++delivered;
+        }
+    }
+    EXPECT_EQ(delivered, 3);
+}
+
+TEST(AomByzantine, PkVariantWithConfirms) {
+    Deployment d(4, AuthVariant::kPublicKey, NetworkTrust::kByzantine, 1);
+    for (int i = 0; i < 10; ++i) d.sender->send_payload(to_bytes("pk" + std::to_string(i)));
+    d.sim.run();
+    for (auto& host : d.hosts) {
+        std::size_t messages = 0;
+        for (const auto& del : host->deliveries) {
+            if (del.kind == Delivery::Kind::kMessage) {
+                ++messages;
+                EXPECT_GE(del.cert.confirms.size(), 3u);
+                EXPECT_TRUE(verify_cert(del.cert, host->receiver().verify_context()));
+            }
+        }
+        EXPECT_EQ(messages, 10u);
+    }
+}
+
+}  // namespace
+}  // namespace neo::aom

@@ -1,0 +1,110 @@
+// Fuzz-style robustness: random and mutated packets must never crash a
+// node, and must never be delivered as authentic messages.
+#include <gtest/gtest.h>
+
+#include "aom_test_util.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::aom {
+namespace {
+
+using testutil::Deployment;
+
+class AomFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AomFuzz, RandomBytesToReceiversNeverDeliver) {
+    Deployment d(4, AuthVariant::kHmacVector);
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        Bytes junk = rng.bytes(1 + rng.uniform(200));
+        // Bias the first byte towards valid aom kinds half the time.
+        if (rng.chance(0.5) && !junk.empty()) {
+            junk[0] = static_cast<std::uint8_t>(1 + rng.uniform(7));
+        }
+        d.net.send(Deployment::kSenderId, Deployment::kReceiverBase + rng.uniform(4) % 4, junk);
+    }
+    d.sim.run_until(sim::kSecond);
+    for (auto& host : d.hosts) {
+        for (const auto& del : host->deliveries) {
+            EXPECT_NE(del.kind, Delivery::Kind::kMessage) << "fuzz input delivered!";
+        }
+    }
+}
+
+TEST_P(AomFuzz, RandomBytesToSwitchNeverSequence) {
+    Deployment d(4, AuthVariant::kPublicKey);
+    Rng rng(GetParam() + 1000);
+    for (int i = 0; i < 2000; ++i) {
+        Bytes junk = rng.bytes(1 + rng.uniform(120));
+        if (rng.chance(0.5) && !junk.empty()) {
+            junk[0] = static_cast<std::uint8_t>(Wire::kData);
+        }
+        d.net.send(Deployment::kSenderId, Deployment::kSwitchBase, junk);
+    }
+    d.sim.run_until(sim::kSecond);
+    EXPECT_EQ(d.switches[0]->packets_sequenced(), 0u);
+    for (auto& host : d.hosts) EXPECT_TRUE(host->deliveries.empty());
+}
+
+TEST_P(AomFuzz, MutatedLegitimatePacketsRejected) {
+    // Take real sequencer output, flip random bits in flight, and require
+    // that corrupted packets never surface as deliveries with wrong content.
+    Deployment d(4, AuthVariant::kHmacVector);
+    auto rng = std::make_shared<Rng>(GetParam() + 2000);
+    d.net.set_tamper([rng](NodeId from, NodeId, Bytes& data) {
+        if (from == Deployment::kSwitchBase && !data.empty() && rng->chance(0.5)) {
+            data[rng->uniform(data.size())] ^= static_cast<std::uint8_t>(1 + rng->uniform(255));
+        }
+        return sim::TamperAction::kDeliver;
+    });
+    for (int i = 0; i < 40; ++i) d.sender->send_payload(to_bytes("p" + std::to_string(i)));
+    d.sim.run_until(sim::kSecond);
+
+    for (auto& host : d.hosts) {
+        for (const auto& del : host->deliveries) {
+            if (del.kind != Delivery::Kind::kMessage) continue;
+            // Whatever was delivered must be one of the genuine payloads and
+            // internally consistent with its certificate.
+            std::string s = to_string(del.payload);
+            EXPECT_EQ(s.rfind('p', 0), 0u) << "corrupted payload delivered: " << s;
+            EXPECT_EQ(crypto::sha256(del.payload), del.cert.digest);
+        }
+    }
+}
+
+TEST_P(AomFuzz, MutatedCertificatesNeverVerify) {
+    Deployment d(4, AuthVariant::kPublicKey);
+    d.sender->send_payload(to_bytes("target"));
+    d.sim.run();
+    OrderingCert cert = d.hosts[0]->deliveries.at(0).cert;
+    Bytes wire = cert.serialize();
+    Rng rng(GetParam() + 3000);
+
+    int verified_mutants = 0;
+    for (int i = 0; i < 500; ++i) {
+        Bytes mutant = wire;
+        int flips = 1 + static_cast<int>(rng.uniform(4));
+        for (int f = 0; f < flips; ++f) {
+            mutant[rng.uniform(mutant.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+        }
+        if (mutant == wire) continue;
+        try {
+            OrderingCert parsed = OrderingCert::parse_bytes(mutant);
+            if (verify_cert(parsed, d.hosts[1]->receiver().verify_context())) {
+                // Only acceptable if the mutation did not touch any
+                // authenticated field (e.g. flipped bits in ignored padding
+                // do not exist in this format — so this should not happen).
+                ++verified_mutants;
+            }
+        } catch (const CodecError&) {
+            // Malformed: correctly rejected at parse time.
+        }
+    }
+    EXPECT_EQ(verified_mutants, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AomFuzz, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace neo::aom

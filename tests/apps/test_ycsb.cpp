@@ -1,0 +1,122 @@
+#include "apps/ycsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace neo::app {
+namespace {
+
+TEST(Zipfian, StaysInRange) {
+    ZipfianGenerator z(1000);
+    Rng rng(1);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_LT(z.next(rng), 1000u);
+    }
+}
+
+TEST(Zipfian, SkewedTowardsLowRanks) {
+    ZipfianGenerator z(10'000, 0.99);
+    Rng rng(2);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        if (z.next(rng) < 100) ++low;  // top 1% of keys
+    }
+    // With theta=0.99, the top 1% of records should draw far more than 1%
+    // of accesses (empirically ~35-45%).
+    EXPECT_GT(low, 10'000u);
+}
+
+TEST(Zipfian, UniformThetaZeroIsRoughlyUniform) {
+    ZipfianGenerator z(100, 0.01);
+    Rng rng(3);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100'000; ++i) ++counts[z.next(rng)];
+    // Every key drawn at least once, none dominating.
+    EXPECT_EQ(counts.size(), 100u);
+    for (const auto& [k, c] : counts) EXPECT_LT(c, 5'000) << k;
+}
+
+TEST(Ycsb, KeysAreDeterministicAndDistinct) {
+    YcsbConfig cfg;
+    cfg.record_count = 100;
+    YcsbWorkload w(cfg, 7), w2(cfg, 8);
+    EXPECT_EQ(w.key_of(42), w2.key_of(42));  // keys independent of seed
+    EXPECT_NE(w.key_of(1), w.key_of(2));
+    EXPECT_EQ(w.value_of(5), w2.value_of(5));
+}
+
+TEST(Ycsb, LoadPopulatesStateMachine) {
+    YcsbConfig cfg;
+    cfg.record_count = 500;
+    cfg.field_length = 64;
+    YcsbWorkload w(cfg, 9);
+    KvStateMachine sm;
+    w.load_into(sm);
+    EXPECT_EQ(sm.store().size(), 500u);
+    const Bytes* v = sm.store().get(w.key_of(123));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->size(), 64u);
+    EXPECT_EQ(*v, w.value_of(123));
+}
+
+TEST(Ycsb, WorkloadAMixesReadsAndUpdates) {
+    YcsbConfig cfg;
+    cfg.record_count = 1000;
+    YcsbWorkload w(cfg, 11);
+    int reads = 0, writes = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        KvOp op = w.next_op();
+        if (op.type == KvOpType::kGet) {
+            ++reads;
+        } else {
+            ASSERT_EQ(op.type, KvOpType::kPut);
+            EXPECT_EQ(op.value.size(), cfg.field_length);
+            ++writes;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / 10'000.0, 0.5, 0.03);
+    EXPECT_NEAR(static_cast<double>(writes) / 10'000.0, 0.5, 0.03);
+}
+
+TEST(Ycsb, OpsTargetLoadedKeys) {
+    YcsbConfig cfg;
+    cfg.record_count = 200;
+    YcsbWorkload w(cfg, 13);
+    KvStateMachine sm;
+    w.load_into(sm);
+    for (int i = 0; i < 1000; ++i) {
+        KvOp op = w.next_op();
+        // Every generated key must exist in the loaded dataset.
+        EXPECT_NE(sm.store().get(op.key), nullptr);
+    }
+}
+
+TEST(Ycsb, DeterministicStream) {
+    YcsbConfig cfg;
+    cfg.record_count = 50;
+    YcsbWorkload a(cfg, 21), b(cfg, 21);
+    for (int i = 0; i < 200; ++i) {
+        KvOp oa = a.next_op();
+        KvOp ob = b.next_op();
+        EXPECT_EQ(oa.serialize(), ob.serialize());
+    }
+}
+
+TEST(Ycsb, ExecutableAgainstStateMachine) {
+    YcsbConfig cfg;
+    cfg.record_count = 300;
+    YcsbWorkload w(cfg, 31);
+    KvStateMachine sm;
+    w.load_into(sm);
+    for (int i = 0; i < 2000; ++i) {
+        Bytes res = sm.execute(w.next_op().serialize());
+        auto parsed = KvResult::parse(res);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->status, KvStatus::kOk);
+    }
+    EXPECT_TRUE(sm.store().check_invariants());
+}
+
+}  // namespace
+}  // namespace neo::app

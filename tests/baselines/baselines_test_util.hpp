@@ -1,0 +1,33 @@
+// Shared helpers for baseline protocol tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.hpp"
+
+namespace neo::baselines::testutil {
+
+constexpr NodeId kReplicaBase = 1;
+constexpr NodeId kClientBase = 400;
+
+inline sim::Network make_network(sim::Simulator& sim, std::uint64_t seed = 77) {
+    sim::Network net(sim, seed);
+    net.set_default_link(sim::datacenter_link());
+    return net;
+}
+
+/// Drives `client` through `total` sequential ops, storing echo results.
+template <typename ClientT>
+void drive(ClientT& client, int c, int i, int total, std::vector<std::string>& out) {
+    if (i >= total) return;
+    std::string op = "op-" + std::to_string(c) + "-" + std::to_string(i);
+    client.invoke(to_bytes(op), [&client, c, i, total, &out](Bytes result) {
+        out.push_back(to_string(result));
+        drive(client, c, i + 1, total, out);
+    });
+}
+
+}  // namespace neo::baselines::testutil

@@ -1,0 +1,152 @@
+#include "common/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace neo {
+namespace {
+
+TEST(Codec, RoundTripPrimitives) {
+    Writer w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.boolean(true);
+    w.boolean(false);
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, LittleEndianLayout) {
+    Writer w;
+    w.u32(0x01020304);
+    ASSERT_EQ(w.bytes().size(), 4u);
+    EXPECT_EQ(w.bytes()[0], 0x04);
+    EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Codec, BlobRoundTrip) {
+    Writer w;
+    w.blob(to_bytes("hello"));
+    w.str("world");
+    Reader r(w.bytes());
+    EXPECT_EQ(to_string(r.blob()), "hello");
+    EXPECT_EQ(r.str(), "world");
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, EmptyBlob) {
+    Writer w;
+    w.blob({});
+    Reader r(w.bytes());
+    EXPECT_TRUE(r.blob().empty());
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, RawAndDigest) {
+    Digest32 d{};
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = static_cast<std::uint8_t>(i);
+    Writer w;
+    w.raw(BytesView(d.data(), d.size()));
+    Reader r(w.bytes());
+    EXPECT_EQ(r.digest32(), d);
+}
+
+TEST(Codec, TruncatedReadThrows) {
+    Writer w;
+    w.u16(7);
+    Reader r(w.bytes());
+    EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, TruncatedBlobThrows) {
+    Writer w;
+    w.u32(100);  // declares 100 bytes, provides none
+    Reader r(w.bytes());
+    EXPECT_THROW(r.blob(), CodecError);
+}
+
+TEST(Codec, BlobLengthCapEnforced) {
+    Writer w;
+    w.u32(0xffffffffu);  // hostile length
+    Reader r(w.bytes());
+    EXPECT_THROW(r.blob(), CodecError);
+}
+
+TEST(Codec, BlobCustomCap) {
+    Writer w;
+    w.blob(Bytes(64, 0x5a));
+    Reader r(w.bytes());
+    EXPECT_THROW(r.blob(/*max=*/16), CodecError);
+}
+
+TEST(Codec, InvalidBooleanThrows) {
+    Bytes b{2};
+    Reader r(b);
+    EXPECT_THROW(r.boolean(), CodecError);
+}
+
+TEST(Codec, ExpectEndRejectsTrailingGarbage) {
+    Writer w;
+    w.u8(1);
+    w.u8(2);
+    Reader r(w.bytes());
+    r.u8();
+    EXPECT_THROW(r.expect_end(), CodecError);
+    r.u8();
+    EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+    Writer w;
+    w.u64(1);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.remaining(), 8u);
+    r.u32();
+    EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Codec, NestedMessagePattern) {
+    // Typical usage: a signed wrapper whose body is itself a message.
+    Writer inner;
+    inner.u32(42);
+    inner.str("op");
+    Writer outer;
+    outer.blob(inner.bytes());
+    outer.blob(to_bytes("signature"));
+
+    Reader r(outer.bytes());
+    Bytes body = r.blob();
+    Bytes sig = r.blob();
+    r.expect_end();
+    Reader rb(body);
+    EXPECT_EQ(rb.u32(), 42u);
+    EXPECT_EQ(rb.str(), "op");
+    EXPECT_EQ(to_string(sig), "signature");
+}
+
+TEST(Bytes, CtEqual) {
+    EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+    EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+    EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abcd")));
+    EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, Concat) {
+    Bytes c = concat(to_bytes("ab"), to_bytes("cd"));
+    EXPECT_EQ(to_string(c), "abcd");
+}
+
+}  // namespace
+}  // namespace neo

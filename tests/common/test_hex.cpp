@@ -1,0 +1,48 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neo {
+namespace {
+
+TEST(Hex, Encode) {
+    Bytes b{0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(to_hex(b), "0001abff");
+}
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(Hex, DecodeLower) {
+    auto b = from_hex("deadbeef");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeUpperAndMixed) {
+    auto b = from_hex("DeAdBeEf");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeOddLengthFails) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, DecodeInvalidCharFails) {
+    EXPECT_FALSE(from_hex("zz").has_value());
+    EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, RoundTrip) {
+    Bytes b;
+    for (int i = 0; i < 256; ++i) b.push_back(static_cast<std::uint8_t>(i));
+    auto back = from_hex(to_hex(b));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, b);
+}
+
+TEST(Hex, StrictThrowsOnInvalid) {
+    EXPECT_THROW(from_hex_strict("xyz"), std::invalid_argument);
+    EXPECT_EQ(from_hex_strict("ff"), Bytes{0xff});
+}
+
+}  // namespace
+}  // namespace neo

@@ -1,0 +1,78 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neo {
+namespace {
+
+TEST(Histogram, BasicStats) {
+    Histogram h;
+    for (int i = 1; i <= 100; ++i) h.add(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, MedianOfUniform) {
+    Histogram h;
+    for (int i = 1; i <= 101; ++i) h.add(i);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 51.0);
+}
+
+TEST(Histogram, PercentileEndpoints) {
+    Histogram h;
+    for (int i = 0; i < 10; ++i) h.add(i);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 9.0);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+    Histogram h;
+    h.add(0);
+    h.add(10);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25), 2.5);
+}
+
+TEST(Histogram, SingleSample) {
+    Histogram h;
+    h.add(7);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.9), 7.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, AddAfterPercentileResorts) {
+    Histogram h;
+    h.add(5);
+    h.add(1);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    h.add(0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, CdfMonotonic) {
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.add(i * i % 997);
+    auto cdf = h.cdf(50);
+    ASSERT_EQ(cdf.size(), 50u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, ClearResets) {
+    Histogram h;
+    h.add(1);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    h.add(2);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace neo

@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace neo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInBounds) {
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.uniform(13), 13u);
+    }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval) {
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) {
+        if (r.chance(0.1)) ++hits;
+    }
+    EXPECT_NEAR(hits / 100000.0, 0.1, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndOne) {
+    Rng r(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, BytesFillsRequestedLength) {
+    Rng r(17);
+    Bytes b = r.bytes(33);
+    EXPECT_EQ(b.size(), 33u);
+    // Random bytes should not be all identical.
+    bool all_same = true;
+    for (auto x : b) all_same = all_same && (x == b[0]);
+    EXPECT_FALSE(all_same);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(21);
+    Rng forked = a.fork();
+    // The forked stream should differ from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == forked.next()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDeterministic) {
+    Rng a(33), b(33);
+    Rng fa = a.fork(), fb = b.fork();
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+}  // namespace
+}  // namespace neo

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::crypto {
+namespace {
+
+struct KeyPair {
+    EcdsaPrivateKey priv;
+    EcdsaPublicKey pub;
+};
+
+KeyPair make_keys(std::uint64_t seed) {
+    Rng rng(seed);
+    EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(rng.bytes(32));
+    return {priv, ecdsa_derive_public(priv)};
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+    KeyPair kp = make_keys(1);
+    Digest32 h = sha256("commit request 42");
+    EcdsaSignature sig = ecdsa_sign(kp.priv, h);
+    EXPECT_TRUE(ecdsa_verify(kp.pub, h, sig));
+}
+
+TEST(Ecdsa, Deterministic) {
+    KeyPair kp = make_keys(2);
+    Digest32 h = sha256("message");
+    EXPECT_EQ(ecdsa_sign(kp.priv, h), ecdsa_sign(kp.priv, h));
+}
+
+TEST(Ecdsa, DifferentMessagesDifferentSignatures) {
+    KeyPair kp = make_keys(3);
+    EXPECT_NE(ecdsa_sign(kp.priv, sha256("a")), ecdsa_sign(kp.priv, sha256("b")));
+}
+
+TEST(Ecdsa, WrongMessageRejected) {
+    KeyPair kp = make_keys(4);
+    EcdsaSignature sig = ecdsa_sign(kp.priv, sha256("real"));
+    EXPECT_FALSE(ecdsa_verify(kp.pub, sha256("forged"), sig));
+}
+
+TEST(Ecdsa, WrongKeyRejected) {
+    KeyPair signer = make_keys(5);
+    KeyPair other = make_keys(6);
+    Digest32 h = sha256("msg");
+    EcdsaSignature sig = ecdsa_sign(signer.priv, h);
+    EXPECT_FALSE(ecdsa_verify(other.pub, h, sig));
+}
+
+TEST(Ecdsa, TamperedSignatureComponentsRejected) {
+    KeyPair kp = make_keys(7);
+    Digest32 h = sha256("msg");
+    EcdsaSignature sig = ecdsa_sign(kp.priv, h);
+
+    EcdsaSignature bad_r = sig;
+    bad_r.r = sig.r.add(Scalar::one());
+    EXPECT_FALSE(ecdsa_verify(kp.pub, h, bad_r));
+
+    EcdsaSignature bad_s = sig;
+    bad_s.s = sig.s.add(Scalar::one());
+    EXPECT_FALSE(ecdsa_verify(kp.pub, h, bad_s));
+}
+
+TEST(Ecdsa, SerializeParseRoundTrip) {
+    KeyPair kp = make_keys(8);
+    EcdsaSignature sig = ecdsa_sign(kp.priv, sha256("x"));
+    Bytes wire = sig.serialize();
+    EXPECT_EQ(wire.size(), 64u);
+    auto parsed = EcdsaSignature::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, sig);
+}
+
+TEST(Ecdsa, ParseRejectsZeroComponents) {
+    Bytes zeros(64, 0);
+    EXPECT_FALSE(EcdsaSignature::parse(zeros).has_value());
+}
+
+TEST(Ecdsa, ParseRejectsOutOfRange) {
+    Bytes wire(64, 0xff);  // r = s = 2^256-1 >= n
+    EXPECT_FALSE(EcdsaSignature::parse(wire).has_value());
+}
+
+TEST(Ecdsa, ParseRejectsBadLength) {
+    EXPECT_FALSE(EcdsaSignature::parse(Bytes(63, 1)).has_value());
+}
+
+TEST(Ecdsa, ZeroedSignatureRejectedByVerify) {
+    KeyPair kp = make_keys(9);
+    EcdsaSignature zero{Scalar::zero(), Scalar::zero()};
+    EXPECT_FALSE(ecdsa_verify(kp.pub, sha256("m"), zero));
+}
+
+TEST(Ecdsa, PublicKeySerializeParse) {
+    KeyPair kp = make_keys(10);
+    auto parsed = EcdsaPublicKey::parse(kp.pub.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->q, kp.pub.q);
+}
+
+TEST(Ecdsa, ParsePublicKeyRejectsOffCurve) {
+    KeyPair kp = make_keys(11);
+    Bytes b = kp.pub.serialize();
+    b[10] ^= 0x40;
+    EXPECT_FALSE(EcdsaPublicKey::parse(b).has_value());
+}
+
+TEST(Ecdsa, ManyKeysRoundTrip) {
+    // Broad sweep: each keypair signs and verifies; cross-verification fails.
+    std::vector<KeyPair> keys;
+    for (std::uint64_t i = 0; i < 8; ++i) keys.push_back(make_keys(100 + i));
+    Digest32 h = sha256("sweep");
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        EcdsaSignature sig = ecdsa_sign(keys[i].priv, h);
+        for (std::size_t j = 0; j < keys.size(); ++j) {
+            EXPECT_EQ(ecdsa_verify(keys[j].pub, h, sig), i == j) << i << "," << j;
+        }
+    }
+}
+
+TEST(Ecdsa, PrivateKeyFromSeedNeverZero) {
+    EcdsaPrivateKey k = EcdsaPrivateKey::from_seed(Bytes(32, 0));
+    EXPECT_FALSE(k.d.is_zero());
+}
+
+class EcdsaSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdsaSeedSweep, RoundTripAcrossSeeds) {
+    KeyPair kp = make_keys(GetParam());
+    Digest32 h = sha256("parameterized");
+    EcdsaSignature sig = ecdsa_sign(kp.priv, h);
+    EXPECT_TRUE(ecdsa_verify(kp.pub, h, sig));
+    h[0] ^= 1;
+    EXPECT_FALSE(ecdsa_verify(kp.pub, h, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdsaSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace neo::crypto

@@ -1,0 +1,66 @@
+#include "crypto/hmac_sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace neo::crypto {
+namespace {
+
+std::string hex_of(const Digest32& d) { return to_hex(BytesView(d.data(), d.size())); }
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+    Bytes key(20, 0x0b);
+    EXPECT_EQ(hex_of(hmac_sha256(key, to_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 (key shorter than block size).
+TEST(HmacSha256, Rfc4231Case2) {
+    EXPECT_EQ(hex_of(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xaa * 20 key, 0xdd * 50 data).
+TEST(HmacSha256, Rfc4231Case3) {
+    Bytes key(20, 0xaa);
+    Bytes data(50, 0xdd);
+    EXPECT_EQ(hex_of(hmac_sha256(key, data)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6 (key longer than block size -> hashed first).
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+    Bytes key(131, 0xaa);
+    EXPECT_EQ(hex_of(hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, ExactBlockSizeKey) {
+    Bytes key(64, 0x7f);
+    Digest32 a = hmac_sha256(key, to_bytes("msg"));
+    Digest32 b = hmac_sha256(key, to_bytes("msg"));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, hmac_sha256(Bytes(64, 0x7e), to_bytes("msg")));
+}
+
+TEST(HmacSha256, KeySensitivity) {
+    EXPECT_NE(hmac_sha256(to_bytes("k1"), to_bytes("m")),
+              hmac_sha256(to_bytes("k2"), to_bytes("m")));
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+    EXPECT_NE(hmac_sha256(to_bytes("k"), to_bytes("m1")),
+              hmac_sha256(to_bytes("k"), to_bytes("m2")));
+}
+
+TEST(HmacSha256, TruncatedTag) {
+    Bytes tag = hmac_sha256_tag(to_bytes("key"), to_bytes("data"), 8);
+    EXPECT_EQ(tag.size(), 8u);
+    Digest32 full = hmac_sha256(to_bytes("key"), to_bytes("data"));
+    EXPECT_TRUE(std::equal(tag.begin(), tag.end(), full.begin()));
+}
+
+}  // namespace
+}  // namespace neo::crypto

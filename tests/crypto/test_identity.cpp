@@ -1,0 +1,154 @@
+#include "crypto/identity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neo::crypto {
+namespace {
+
+class IdentityTest : public ::testing::TestWithParam<CryptoMode> {
+  protected:
+    TrustRoot root{GetParam(), /*seed=*/7};
+};
+
+TEST_P(IdentityTest, SignVerify) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("request payload");
+    Bytes sig = alice->sign(msg);
+    EXPECT_EQ(sig.size(), kSignatureSize);
+    EXPECT_TRUE(bob->verify(1, msg, sig));
+}
+
+TEST_P(IdentityTest, WrongSignerRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("payload");
+    Bytes sig = alice->sign(msg);
+    EXPECT_FALSE(bob->verify(2, msg, sig));
+}
+
+TEST_P(IdentityTest, TamperedMessageRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("payload");
+    Bytes sig = alice->sign(msg);
+    Bytes tampered = msg;
+    tampered[0] ^= 1;
+    EXPECT_FALSE(bob->verify(1, tampered, sig));
+}
+
+TEST_P(IdentityTest, TamperedSignatureRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("payload");
+    Bytes sig = alice->sign(msg);
+    sig[5] ^= 0x10;
+    EXPECT_FALSE(bob->verify(1, msg, sig));
+}
+
+TEST_P(IdentityTest, TruncatedSignatureRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes sig = alice->sign(to_bytes("m"));
+    sig.pop_back();
+    EXPECT_FALSE(bob->verify(1, to_bytes("m"), sig));
+}
+
+TEST_P(IdentityTest, PairwiseMacs) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("prepare digest");
+    Bytes tag = alice->mac_for(2, msg);
+    EXPECT_EQ(tag.size(), kMacSize);
+    EXPECT_TRUE(bob->check_mac_from(1, msg, tag));
+}
+
+TEST_P(IdentityTest, MacWrongPeerRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    auto carol = root.provision(3);
+    Bytes msg = to_bytes("x");
+    Bytes tag = alice->mac_for(2, msg);
+    // Carol shares a different key with Alice.
+    EXPECT_FALSE(carol->check_mac_from(1, msg, tag));
+}
+
+TEST_P(IdentityTest, MacTamperRejected) {
+    auto alice = root.provision(1);
+    auto bob = root.provision(2);
+    Bytes msg = to_bytes("x");
+    Bytes tag = alice->mac_for(2, msg);
+    tag[0] ^= 1;
+    EXPECT_FALSE(bob->check_mac_from(1, msg, tag));
+}
+
+TEST_P(IdentityTest, CostMeterAccumulates) {
+    auto alice = root.provision(1);
+    const auto& costs = root.costs();
+    EXPECT_EQ(alice->meter().drain(), 0);
+    EXPECT_EQ(alice->meter().drain_async(), 0);
+    (void)alice->sign(to_bytes("m"));
+    EXPECT_EQ(alice->meter().drain(), costs.ecdsa_dispatch_ns);
+    EXPECT_EQ(alice->meter().drain_async(), costs.ecdsa_sign_ns);
+    EXPECT_EQ(alice->meter().signs, 1u);
+    (void)alice->mac_for(2, to_bytes("m"));
+    (void)alice->mac_for(2, to_bytes("m2"));
+    EXPECT_EQ(alice->meter().drain(), 2 * costs.mac_ns);
+    EXPECT_EQ(alice->meter().macs, 2u);
+}
+
+TEST_P(IdentityTest, HashChargesSizeDependentCost) {
+    auto alice = root.provision(1);
+    const auto& costs = root.costs();
+    (void)alice->hash(Bytes(100, 0));
+    EXPECT_EQ(alice->meter().drain(), costs.hash_base_ns + 100 * costs.hash_per_byte_ns);
+}
+
+TEST_P(IdentityTest, UnmeteredVerifyMatchesMetered) {
+    auto alice = root.provision(1);
+    Bytes msg = to_bytes("m");
+    Bytes sig = alice->sign(msg);
+    EXPECT_TRUE(root.verify_unmetered(1, msg, sig));
+    EXPECT_FALSE(root.verify_unmetered(2, msg, sig));
+}
+
+TEST_P(IdentityTest, DeterministicAcrossRoots) {
+    TrustRoot root2{GetParam(), /*seed=*/7};
+    auto a1 = root.provision(1);
+    auto a2 = root2.provision(1);
+    Bytes msg = to_bytes("m");
+    EXPECT_EQ(a1->sign(msg), a2->sign(msg));
+}
+
+TEST_P(IdentityTest, DifferentSeedsDifferentKeys) {
+    TrustRoot other{GetParam(), /*seed=*/8};
+    auto a1 = root.provision(1);
+    auto a2 = other.provision(1);
+    Bytes msg = to_bytes("m");
+    EXPECT_NE(a1->sign(msg), a2->sign(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, IdentityTest,
+                         ::testing::Values(CryptoMode::kReal, CryptoMode::kModeled),
+                         [](const auto& info) {
+                             return info.param == CryptoMode::kReal ? "Real" : "Modeled";
+                         });
+
+TEST(IdentityReal, PublicKeyLookup) {
+    TrustRoot root{CryptoMode::kReal, 3};
+    auto alice = root.provision(9);
+    const EcdsaPublicKey& pk = root.public_key(9);
+    EXPECT_TRUE(pk.q.on_curve());
+    EXPECT_FALSE(pk.q.infinity);
+}
+
+TEST(IdentityModes, RealAndModeledSignaturesDiffer) {
+    TrustRoot real{CryptoMode::kReal, 5};
+    TrustRoot modeled{CryptoMode::kModeled, 5};
+    auto ar = real.provision(1);
+    auto am = modeled.provision(1);
+    EXPECT_NE(ar->sign(to_bytes("m")), am->sign(to_bytes("m")));
+}
+
+}  // namespace
+}  // namespace neo::crypto

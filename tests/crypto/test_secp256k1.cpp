@@ -1,0 +1,325 @@
+#include "crypto/secp256k1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+
+namespace neo::crypto {
+namespace {
+
+Fe fe_from_hex(std::string_view h) {
+    auto f = Fe::from_be_bytes_checked(from_hex_strict(h));
+    EXPECT_TRUE(f.has_value());
+    return *f;
+}
+
+U256 u256_from_hex(std::string_view h) { return U256::from_be_bytes(from_hex_strict(h)); }
+
+// ---------- U256 ----------
+
+TEST(U256, BeBytesRoundTrip) {
+    Bytes b = from_hex_strict("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+    U256 x = U256::from_be_bytes(b);
+    Digest32 back = x.to_be_bytes();
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), back.begin()));
+}
+
+TEST(U256, LimbLayout) {
+    U256 x = u256_from_hex("0000000000000004000000000000000300000000000000020000000000000001");
+    EXPECT_EQ(x.v[0], 1u);
+    EXPECT_EQ(x.v[1], 2u);
+    EXPECT_EQ(x.v[2], 3u);
+    EXPECT_EQ(x.v[3], 4u);
+}
+
+TEST(U256, Compare) {
+    U256 a = u256_from_hex("0000000000000000000000000000000000000000000000000000000000000001");
+    U256 b = u256_from_hex("0000000000000000000000000000000100000000000000000000000000000000");
+    EXPECT_EQ(u256_cmp(a, b), -1);
+    EXPECT_EQ(u256_cmp(b, a), 1);
+    EXPECT_EQ(u256_cmp(a, a), 0);
+}
+
+TEST(U256, BitAccess) {
+    U256 x = u256_from_hex("8000000000000000000000000000000000000000000000000000000000000001");
+    EXPECT_TRUE(x.bit(0));
+    EXPECT_FALSE(x.bit(1));
+    EXPECT_TRUE(x.bit(255));
+}
+
+// ---------- Field ----------
+
+TEST(Field, AddSubInverse) {
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe b = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_EQ(a.add(b).sub(b), a);
+        EXPECT_EQ(a.sub(b).add(b), a);
+    }
+}
+
+TEST(Field, AddCommutative) {
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe b = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_EQ(a.add(b), b.add(a));
+    }
+}
+
+TEST(Field, MulCommutativeAssociative) {
+    Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe b = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe c = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_EQ(a.mul(b), b.mul(a));
+        EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+    }
+}
+
+TEST(Field, Distributive) {
+    Rng rng(4);
+    for (int i = 0; i < 30; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe b = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        Fe c = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_EQ(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+}
+
+TEST(Field, MulIdentityAndZero) {
+    Fe a = fe_from_hex("00000000000000000000000000000000000000000000000000000000deadbeef");
+    EXPECT_EQ(a.mul(Fe::one()), a);
+    EXPECT_TRUE(a.mul(Fe::zero()).is_zero());
+}
+
+TEST(Field, Inverse) {
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        if (a.is_zero()) continue;
+        EXPECT_EQ(a.mul(a.inverse()), Fe::one());
+    }
+}
+
+TEST(Field, NegateAddsToZero) {
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_TRUE(a.add(a.negate()).is_zero());
+    }
+    EXPECT_TRUE(Fe::zero().negate().is_zero());
+}
+
+// p-1 squared: (-1)^2 = 1.
+TEST(Field, PMinusOneSquared) {
+    Fe neg1 = Fe::one().negate();
+    EXPECT_EQ(neg1.sqr(), Fe::one());
+}
+
+TEST(Field, KnownProduct) {
+    // 2 * (p+1)/2 = 1 mod p  <=>  inverse(2) = (p+1)/2.
+    Fe two = Fe::from_u64(2);
+    Fe inv2 = two.inverse();
+    EXPECT_EQ(two.mul(inv2), Fe::one());
+    // (p+1)/2 = 7fffffff ffffffff ffffffff ffffffff ffffffff ffffffff ffffffff 7ffffe18
+    Fe expect = fe_from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffff7ffffe18");
+    EXPECT_EQ(inv2, expect);
+}
+
+TEST(Field, RejectsValueAboveP) {
+    // p itself must be rejected by the checked parser.
+    auto f = Fe::from_be_bytes_checked(
+        from_hex_strict("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"));
+    EXPECT_FALSE(f.has_value());
+    auto ok = Fe::from_be_bytes_checked(
+        from_hex_strict("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2e"));
+    EXPECT_TRUE(ok.has_value());
+}
+
+TEST(Field, FromU256ReducesModP) {
+    // p + 5 reduces to 5.
+    U256 p_plus5 = u256_from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc34");
+    EXPECT_EQ(Fe::from_u256(p_plus5), Fe::from_u64(5));
+}
+
+TEST(Field, BatchInverseMatchesIndividual) {
+    Rng rng(7);
+    std::vector<Fe> elems;
+    for (int i = 0; i < 17; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        if (a.is_zero()) a = Fe::one();
+        elems.push_back(a);
+    }
+    std::vector<Fe> batch = elems;
+    fe_batch_inverse(batch.data(), batch.size());
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+        EXPECT_EQ(batch[i], elems[i].inverse()) << i;
+    }
+}
+
+// ---------- Scalar ----------
+
+TEST(Scalar, AddWrapsModN) {
+    // (n-1) + 2 = 1 mod n.
+    Scalar n_minus1 = *Scalar::from_be_bytes_checked(
+        from_hex_strict("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364140"));
+    EXPECT_EQ(n_minus1.add(Scalar::from_u64(2)), Scalar::one());
+}
+
+TEST(Scalar, MulInverse) {
+    Rng rng(8);
+    for (int i = 0; i < 20; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        if (a.is_zero()) continue;
+        EXPECT_EQ(a.mul(a.inverse()), Scalar::one());
+    }
+}
+
+TEST(Scalar, MulCommutative) {
+    Rng rng(9);
+    for (int i = 0; i < 20; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        Scalar b = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        EXPECT_EQ(a.mul(b), b.mul(a));
+    }
+}
+
+TEST(Scalar, NegateAddsToZero) {
+    Rng rng(10);
+    for (int i = 0; i < 20; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        EXPECT_TRUE(a.add(a.negate()).is_zero());
+    }
+}
+
+TEST(Scalar, CheckedParseRejectsN) {
+    auto s = Scalar::from_be_bytes_checked(
+        from_hex_strict("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"));
+    EXPECT_FALSE(s.has_value());
+}
+
+TEST(Scalar, ReduceHandlesMaxValue) {
+    // 2^256 - 1 mod n = 2^256 - 1 - n = K - 1 where K = 2^256 - n.
+    Scalar s = Scalar::from_be_bytes_reduce(Bytes(32, 0xff));
+    Scalar expect = *Scalar::from_be_bytes_checked(
+        from_hex_strict("000000000000000000000000000000014551231950b75fc4402da1732fc9bebe"));
+    EXPECT_EQ(s, expect);
+}
+
+// ---------- Group ----------
+
+TEST(Point, GeneratorOnCurve) {
+    EXPECT_TRUE(AffinePoint::generator().on_curve());
+}
+
+TEST(Point, KnownDoubleOfG) {
+    AffinePoint g2 = point_mul(AffinePoint::generator(), Scalar::from_u64(2));
+    EXPECT_EQ(to_hex(BytesView(g2.x.to_be_bytes().data(), 32)),
+              "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+    EXPECT_EQ(to_hex(BytesView(g2.y.to_be_bytes().data(), 32)),
+              "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Point, GeneratorMulMatchesPointMul) {
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i) {
+        Scalar k = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        EXPECT_EQ(generator_mul(k), point_mul(AffinePoint::generator(), k)) << i;
+    }
+}
+
+TEST(Point, SmallMultiplesViaAddition) {
+    AffinePoint g = AffinePoint::generator();
+    AffinePoint acc = g;
+    for (std::uint64_t k = 2; k <= 16; ++k) {
+        acc = point_add(acc, g);
+        EXPECT_EQ(acc, generator_mul(Scalar::from_u64(k))) << k;
+        EXPECT_TRUE(acc.on_curve()) << k;
+    }
+}
+
+TEST(Point, NTimesGIsIdentity) {
+    // n * G = infinity; (n-1) * G = -G.
+    Scalar n_minus1 = Scalar::zero().add(Scalar::from_u64(1).negate());
+    AffinePoint neg_g = generator_mul(n_minus1);
+    AffinePoint g = AffinePoint::generator();
+    EXPECT_EQ(neg_g.x, g.x);
+    EXPECT_EQ(neg_g.y, g.y.negate());
+    AffinePoint identity = point_add(neg_g, g);
+    EXPECT_TRUE(identity.infinity);
+}
+
+TEST(Point, AdditionCommutative) {
+    AffinePoint a = generator_mul(Scalar::from_u64(5));
+    AffinePoint b = generator_mul(Scalar::from_u64(11));
+    EXPECT_EQ(point_add(a, b), point_add(b, a));
+}
+
+TEST(Point, AdditionMatchesScalarSum) {
+    Rng rng(12);
+    for (int i = 0; i < 8; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        Scalar b = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        AffinePoint lhs = point_add(generator_mul(a), generator_mul(b));
+        AffinePoint rhs = generator_mul(a.add(b));
+        EXPECT_EQ(lhs, rhs) << i;
+    }
+}
+
+TEST(Point, IdentityIsNeutral) {
+    AffinePoint g = AffinePoint::generator();
+    AffinePoint inf;
+    EXPECT_EQ(point_add(g, inf), g);
+    EXPECT_EQ(point_add(inf, g), g);
+    EXPECT_TRUE(point_add(inf, inf).infinity);
+}
+
+TEST(Point, MulByZeroIsIdentity) {
+    EXPECT_TRUE(generator_mul(Scalar::zero()).infinity);
+    EXPECT_TRUE(point_mul(AffinePoint::generator(), Scalar::zero()).infinity);
+}
+
+TEST(Point, DoubleMulMatchesSeparate) {
+    Rng rng(13);
+    AffinePoint q = generator_mul(Scalar::from_be_bytes_reduce(rng.bytes(32)));
+    for (int i = 0; i < 5; ++i) {
+        Scalar u1 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        Scalar u2 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        AffinePoint lhs = double_mul(u1, q, u2);
+        AffinePoint rhs = point_add(generator_mul(u1), point_mul(q, u2));
+        EXPECT_EQ(lhs, rhs) << i;
+    }
+}
+
+TEST(Point, SerializeParseRoundTrip) {
+    AffinePoint p = generator_mul(Scalar::from_u64(0x1234567));
+    auto parsed = AffinePoint::parse(p.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+}
+
+TEST(Point, ParseRejectsOffCurve) {
+    Bytes b = AffinePoint::generator().serialize();
+    b[63] ^= 1;  // perturb y
+    EXPECT_FALSE(AffinePoint::parse(b).has_value());
+}
+
+TEST(Point, ParseRejectsBadLength) {
+    EXPECT_FALSE(AffinePoint::parse(Bytes(63, 0)).has_value());
+    EXPECT_FALSE(AffinePoint::parse(Bytes(65, 0)).has_value());
+}
+
+TEST(Point, MulDistributesOverAdd) {
+    // k(P + Q) == kP + kQ
+    AffinePoint p = generator_mul(Scalar::from_u64(3));
+    AffinePoint q = generator_mul(Scalar::from_u64(77));
+    Scalar k = Scalar::from_u64(0xabcdef);
+    EXPECT_EQ(point_mul(point_add(p, q), k), point_add(point_mul(p, k), point_mul(q, k)));
+}
+
+}  // namespace
+}  // namespace neo::crypto

@@ -1,0 +1,89 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace neo::crypto {
+namespace {
+
+std::string hex_of(const Digest32& d) { return to_hex(BytesView(d.data(), d.size())); }
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(hex_of(sha256("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(hex_of(sha256("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(hex_of(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 ctx;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+    EXPECT_EQ(hex_of(ctx.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly and at length";
+    Digest32 oneshot = sha256(msg);
+    for (std::size_t split = 0; split <= msg.size(); split += 7) {
+        Sha256 ctx;
+        ctx.update(std::string_view(msg).substr(0, split));
+        ctx.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(ctx.finish(), oneshot) << "split at " << split;
+    }
+}
+
+TEST(Sha256, ByteAtATimeMatchesOneShot) {
+    Bytes msg;
+    for (int i = 0; i < 200; ++i) msg.push_back(static_cast<std::uint8_t>(i * 7));
+    Sha256 ctx;
+    for (auto b : msg) ctx.update(BytesView(&b, 1));
+    EXPECT_EQ(ctx.finish(), sha256(msg));
+}
+
+// Messages straddling the 55/56/64-byte padding boundaries.
+TEST(Sha256, PaddingBoundaries) {
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        Bytes msg(len, 0x61);
+        Digest32 a = sha256(msg);
+        Sha256 ctx;
+        ctx.update(BytesView(msg.data(), len / 2));
+        ctx.update(BytesView(msg.data() + len / 2, len - len / 2));
+        EXPECT_EQ(ctx.finish(), a) << "len " << len;
+    }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+    Sha256 ctx;
+    ctx.update("garbage");
+    (void)ctx.finish();
+    ctx.reset();
+    ctx.update("abc");
+    EXPECT_EQ(hex_of(ctx.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, PairMatchesConcatenation) {
+    Bytes a = to_bytes("hello ");
+    Bytes b = to_bytes("world");
+    EXPECT_EQ(sha256_pair(a, b), sha256("hello world"));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+    EXPECT_NE(sha256("a"), sha256("b"));
+    EXPECT_NE(sha256(""), sha256(Bytes{0}));
+}
+
+}  // namespace
+}  // namespace neo::crypto

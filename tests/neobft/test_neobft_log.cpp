@@ -1,0 +1,209 @@
+// Log hash chain + quorum-certificate validation.
+#include "neobft/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace neo::neobft {
+namespace {
+
+LogEntry request_entry(std::string_view payload) {
+    LogEntry e;
+    e.noop = false;
+    e.oc.payload = to_bytes(payload);
+    e.oc.digest = crypto::sha256(e.oc.payload);
+    return e;
+}
+
+LogEntry noop_entry() {
+    LogEntry e;
+    e.noop = true;
+    return e;
+}
+
+TEST(NeoLog, AppendExtendsChain) {
+    Log log;
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.hash_at(0), Digest32{});
+    log.append(request_entry("a"));
+    log.append(request_entry("b"));
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_NE(log.hash_at(1), log.hash_at(2));
+    EXPECT_NE(log.hash_at(1), Digest32{});
+}
+
+TEST(NeoLog, ChainIsDeterministic) {
+    Log a, b;
+    for (int i = 0; i < 5; ++i) {
+        a.append(request_entry("op" + std::to_string(i)));
+        b.append(request_entry("op" + std::to_string(i)));
+    }
+    for (std::uint64_t s = 1; s <= 5; ++s) EXPECT_EQ(a.hash_at(s), b.hash_at(s));
+}
+
+TEST(NeoLog, ChainDependsOnContentAndOrder) {
+    Log a, b;
+    a.append(request_entry("x"));
+    a.append(request_entry("y"));
+    b.append(request_entry("y"));
+    b.append(request_entry("x"));
+    EXPECT_NE(a.hash_at(2), b.hash_at(2));
+}
+
+TEST(NeoLog, NoOpChangesChain) {
+    Log a, b;
+    a.append(request_entry("x"));
+    b.append(noop_entry());
+    EXPECT_NE(a.hash_at(1), b.hash_at(1));
+}
+
+TEST(NeoLog, ReplaceRechainsSuffix) {
+    Log log;
+    log.append(request_entry("a"));
+    log.append(request_entry("b"));
+    log.append(request_entry("c"));
+    Digest32 old3 = log.hash_at(3);
+    log.replace(2, noop_entry());
+    EXPECT_TRUE(log.at(2).noop);
+    EXPECT_NE(log.hash_at(3), old3);
+    // Slot 1 untouched.
+    Log fresh;
+    fresh.append(request_entry("a"));
+    EXPECT_EQ(log.hash_at(1), fresh.hash_at(1));
+}
+
+TEST(NeoLog, TruncateRemovesTail) {
+    Log log;
+    for (int i = 0; i < 5; ++i) log.append(request_entry(std::to_string(i)));
+    log.truncate_to(2);
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_TRUE(log.has(2));
+    EXPECT_FALSE(log.has(3));
+}
+
+TEST(NeoLog, WireEntryRoundTrips) {
+    Log log;
+    log.append(request_entry("payload"));
+    LogEntry ne = noop_entry();
+    ne.gap_cert.slot = 2;
+    log.append(std::move(ne));
+    EXPECT_FALSE(log.wire_entry(1).noop);
+    EXPECT_EQ(log.wire_entry(1).oc.digest, log.at(1).oc.digest);
+    EXPECT_TRUE(log.wire_entry(2).noop);
+    EXPECT_EQ(log.wire_entry(2).gap_cert.slot, 2u);
+}
+
+class CertValidation : public ::testing::Test {
+  protected:
+    CertValidation() : root(crypto::CryptoMode::kReal, 7) {
+        cfg.replicas = {1, 2, 3, 4};
+        cfg.f = 1;
+        for (NodeId r : cfg.replicas) nodes[r] = root.provision(r);
+        verifier = root.provision(99);
+    }
+
+    GapCertificate make_gap_cert(std::uint64_t slot, bool recv, std::vector<NodeId> signers) {
+        GapCertificate cert;
+        cert.view = {1, 0};
+        cert.slot = slot;
+        cert.recv = recv;
+        for (NodeId r : signers) {
+            GapCommit c;
+            c.view = cert.view;
+            c.replica = r;
+            c.slot = slot;
+            c.recv = recv;
+            cert.commits.push_back({r, nodes[r]->sign(c.signed_body())});
+        }
+        return cert;
+    }
+
+    crypto::TrustRoot root;
+    Config cfg;
+    std::map<NodeId, std::unique_ptr<crypto::NodeCrypto>> nodes;
+    std::unique_ptr<crypto::NodeCrypto> verifier;
+};
+
+TEST_F(CertValidation, ValidGapCertAccepted) {
+    auto cert = make_gap_cert(5, false, {1, 2, 3});
+    EXPECT_TRUE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, UndersizedGapCertRejected) {
+    auto cert = make_gap_cert(5, false, {1, 2});
+    EXPECT_FALSE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, DuplicateSignersRejected) {
+    auto cert = make_gap_cert(5, false, {1, 2, 3});
+    cert.commits[2] = cert.commits[0];  // 1,2,1
+    EXPECT_FALSE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, NonMemberSignerIgnored) {
+    auto cert = make_gap_cert(5, false, {1, 2, 3});
+    cert.commits[2].replica = 77;
+    EXPECT_FALSE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, WrongSlotSignatureRejected) {
+    auto cert = make_gap_cert(5, false, {1, 2, 3});
+    cert.slot = 6;  // signatures cover slot 5
+    EXPECT_FALSE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, FlippedDecisionRejected) {
+    auto cert = make_gap_cert(5, false, {1, 2, 3});
+    cert.recv = true;
+    EXPECT_FALSE(verify_gap_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, EpochCert) {
+    EpochCertificate cert;
+    cert.epoch = 2;
+    cert.slot = 40;
+    for (NodeId r : {1u, 2u, 3u}) {
+        EpochStart e;
+        e.epoch = 2;
+        e.replica = r;
+        e.slot = 40;
+        cert.sigs.push_back({r, nodes[r]->sign(e.signed_body())});
+    }
+    EXPECT_TRUE(verify_epoch_certificate(cert, cfg, *verifier));
+    cert.slot = 41;
+    EXPECT_FALSE(verify_epoch_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, SyncCert) {
+    SyncCertificate cert;
+    cert.view = {1, 0};
+    cert.slot = 128;
+    cert.log_hash = crypto::sha256("prefix");
+    for (NodeId r : {2u, 3u, 4u}) {
+        SyncMsg m;
+        m.view = cert.view;
+        m.replica = r;
+        m.slot = cert.slot;
+        m.log_hash = cert.log_hash;
+        cert.sigs.push_back({r, nodes[r]->sign(m.signed_body())});
+    }
+    EXPECT_TRUE(verify_sync_certificate(cert, cfg, *verifier));
+    cert.log_hash = crypto::sha256("other");
+    EXPECT_FALSE(verify_sync_certificate(cert, cfg, *verifier));
+}
+
+TEST(NeoConfig, LeaderRotation) {
+    Config cfg;
+    cfg.replicas = {10, 20, 30, 40};
+    cfg.f = 1;
+    EXPECT_EQ(cfg.leader_of({1, 0}), 10u);
+    EXPECT_EQ(cfg.leader_of({1, 1}), 20u);
+    EXPECT_EQ(cfg.leader_of({1, 4}), 10u);
+    EXPECT_EQ(cfg.leader_of({2, 1}), 20u);
+    EXPECT_EQ(cfg.quorum(), 3u);
+    EXPECT_EQ(cfg.others(20), (std::vector<NodeId>{10, 30, 40}));
+}
+
+}  // namespace
+}  // namespace neo::neobft
