@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signing_ratio.dir/ablation_signing_ratio.cpp.o"
+  "CMakeFiles/ablation_signing_ratio.dir/ablation_signing_ratio.cpp.o.d"
+  "ablation_signing_ratio"
+  "ablation_signing_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signing_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_interval.dir/ablation_sync_interval.cpp.o"
+  "CMakeFiles/ablation_sync_interval.dir/ablation_sync_interval.cpp.o.d"
+  "ablation_sync_interval"
+  "ablation_sync_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

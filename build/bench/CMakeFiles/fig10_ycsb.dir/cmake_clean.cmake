@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ycsb.dir/fig10_ycsb.cpp.o"
+  "CMakeFiles/fig10_ycsb.dir/fig10_ycsb.cpp.o.d"
+  "fig10_ycsb"
+  "fig10_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

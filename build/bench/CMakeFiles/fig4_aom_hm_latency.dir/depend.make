@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_aom_hm_latency.
+# This may be replaced when dependencies are built.

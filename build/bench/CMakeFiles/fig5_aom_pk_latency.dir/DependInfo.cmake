@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_aom_pk_latency.cpp" "bench/CMakeFiles/fig5_aom_pk_latency.dir/fig5_aom_pk_latency.cpp.o" "gcc" "bench/CMakeFiles/fig5_aom_pk_latency.dir/fig5_aom_pk_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/neo_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/neobft/CMakeFiles/neo_neobft.dir/DependInfo.cmake"
+  "/root/repo/build/src/aom/CMakeFiles/neo_aom.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/neo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/neo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/neo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

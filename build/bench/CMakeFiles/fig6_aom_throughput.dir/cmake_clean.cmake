@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aom_throughput.dir/fig6_aom_throughput.cpp.o"
+  "CMakeFiles/fig6_aom_throughput.dir/fig6_aom_throughput.cpp.o.d"
+  "fig6_aom_throughput"
+  "fig6_aom_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aom_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_drop_resilience.dir/fig9_drop_resilience.cpp.o"
+  "CMakeFiles/fig9_drop_resilience.dir/fig9_drop_resilience.cpp.o.d"
+  "fig9_drop_resilience"
+  "fig9_drop_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_drop_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

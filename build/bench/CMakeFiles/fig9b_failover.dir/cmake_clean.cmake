@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_failover.dir/fig9b_failover.cpp.o"
+  "CMakeFiles/fig9b_failover.dir/fig9b_failover.cpp.o.d"
+  "fig9b_failover"
+  "fig9b_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

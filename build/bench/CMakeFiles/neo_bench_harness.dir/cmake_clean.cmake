@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_bench_harness.dir/harness/harness.cpp.o"
+  "CMakeFiles/neo_bench_harness.dir/harness/harness.cpp.o.d"
+  "libneo_bench_harness.a"
+  "libneo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

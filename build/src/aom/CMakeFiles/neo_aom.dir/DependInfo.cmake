@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aom/cert.cpp" "src/aom/CMakeFiles/neo_aom.dir/cert.cpp.o" "gcc" "src/aom/CMakeFiles/neo_aom.dir/cert.cpp.o.d"
+  "/root/repo/src/aom/config_service.cpp" "src/aom/CMakeFiles/neo_aom.dir/config_service.cpp.o" "gcc" "src/aom/CMakeFiles/neo_aom.dir/config_service.cpp.o.d"
+  "/root/repo/src/aom/receiver.cpp" "src/aom/CMakeFiles/neo_aom.dir/receiver.cpp.o" "gcc" "src/aom/CMakeFiles/neo_aom.dir/receiver.cpp.o.d"
+  "/root/repo/src/aom/sequencer.cpp" "src/aom/CMakeFiles/neo_aom.dir/sequencer.cpp.o" "gcc" "src/aom/CMakeFiles/neo_aom.dir/sequencer.cpp.o.d"
+  "/root/repo/src/aom/wire.cpp" "src/aom/CMakeFiles/neo_aom.dir/wire.cpp.o" "gcc" "src/aom/CMakeFiles/neo_aom.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/neo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

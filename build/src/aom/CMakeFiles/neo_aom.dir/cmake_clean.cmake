@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_aom.dir/cert.cpp.o"
+  "CMakeFiles/neo_aom.dir/cert.cpp.o.d"
+  "CMakeFiles/neo_aom.dir/config_service.cpp.o"
+  "CMakeFiles/neo_aom.dir/config_service.cpp.o.d"
+  "CMakeFiles/neo_aom.dir/receiver.cpp.o"
+  "CMakeFiles/neo_aom.dir/receiver.cpp.o.d"
+  "CMakeFiles/neo_aom.dir/sequencer.cpp.o"
+  "CMakeFiles/neo_aom.dir/sequencer.cpp.o.d"
+  "CMakeFiles/neo_aom.dir/wire.cpp.o"
+  "CMakeFiles/neo_aom.dir/wire.cpp.o.d"
+  "libneo_aom.a"
+  "libneo_aom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_aom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/btree.cpp" "src/apps/CMakeFiles/neo_apps.dir/btree.cpp.o" "gcc" "src/apps/CMakeFiles/neo_apps.dir/btree.cpp.o.d"
+  "/root/repo/src/apps/kvstore.cpp" "src/apps/CMakeFiles/neo_apps.dir/kvstore.cpp.o" "gcc" "src/apps/CMakeFiles/neo_apps.dir/kvstore.cpp.o.d"
+  "/root/repo/src/apps/ycsb.cpp" "src/apps/CMakeFiles/neo_apps.dir/ycsb.cpp.o" "gcc" "src/apps/CMakeFiles/neo_apps.dir/ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_apps.dir/btree.cpp.o"
+  "CMakeFiles/neo_apps.dir/btree.cpp.o.d"
+  "CMakeFiles/neo_apps.dir/kvstore.cpp.o"
+  "CMakeFiles/neo_apps.dir/kvstore.cpp.o.d"
+  "CMakeFiles/neo_apps.dir/ycsb.cpp.o"
+  "CMakeFiles/neo_apps.dir/ycsb.cpp.o.d"
+  "libneo_apps.a"
+  "libneo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneo_apps.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cpp" "src/baselines/CMakeFiles/neo_baselines.dir/common.cpp.o" "gcc" "src/baselines/CMakeFiles/neo_baselines.dir/common.cpp.o.d"
+  "/root/repo/src/baselines/hotstuff.cpp" "src/baselines/CMakeFiles/neo_baselines.dir/hotstuff.cpp.o" "gcc" "src/baselines/CMakeFiles/neo_baselines.dir/hotstuff.cpp.o.d"
+  "/root/repo/src/baselines/minbft.cpp" "src/baselines/CMakeFiles/neo_baselines.dir/minbft.cpp.o" "gcc" "src/baselines/CMakeFiles/neo_baselines.dir/minbft.cpp.o.d"
+  "/root/repo/src/baselines/pbft.cpp" "src/baselines/CMakeFiles/neo_baselines.dir/pbft.cpp.o" "gcc" "src/baselines/CMakeFiles/neo_baselines.dir/pbft.cpp.o.d"
+  "/root/repo/src/baselines/zyzzyva.cpp" "src/baselines/CMakeFiles/neo_baselines.dir/zyzzyva.cpp.o" "gcc" "src/baselines/CMakeFiles/neo_baselines.dir/zyzzyva.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/neo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_baselines.dir/common.cpp.o"
+  "CMakeFiles/neo_baselines.dir/common.cpp.o.d"
+  "CMakeFiles/neo_baselines.dir/hotstuff.cpp.o"
+  "CMakeFiles/neo_baselines.dir/hotstuff.cpp.o.d"
+  "CMakeFiles/neo_baselines.dir/minbft.cpp.o"
+  "CMakeFiles/neo_baselines.dir/minbft.cpp.o.d"
+  "CMakeFiles/neo_baselines.dir/pbft.cpp.o"
+  "CMakeFiles/neo_baselines.dir/pbft.cpp.o.d"
+  "CMakeFiles/neo_baselines.dir/zyzzyva.cpp.o"
+  "CMakeFiles/neo_baselines.dir/zyzzyva.cpp.o.d"
+  "libneo_baselines.a"
+  "libneo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_common.dir/codec.cpp.o"
+  "CMakeFiles/neo_common.dir/codec.cpp.o.d"
+  "CMakeFiles/neo_common.dir/hex.cpp.o"
+  "CMakeFiles/neo_common.dir/hex.cpp.o.d"
+  "CMakeFiles/neo_common.dir/histogram.cpp.o"
+  "CMakeFiles/neo_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/neo_common.dir/logging.cpp.o"
+  "CMakeFiles/neo_common.dir/logging.cpp.o.d"
+  "libneo_common.a"
+  "libneo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hmac_sha256.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/hmac_sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/hmac_sha256.cpp.o.d"
+  "/root/repo/src/crypto/identity.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/identity.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/identity.cpp.o.d"
+  "/root/repo/src/crypto/secp256k1_ecdsa.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/secp256k1_field.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_field.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_field.cpp.o.d"
+  "/root/repo/src/crypto/secp256k1_point.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_point.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/secp256k1_point.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/crypto/CMakeFiles/neo_crypto.dir/siphash.cpp.o" "gcc" "src/crypto/CMakeFiles/neo_crypto.dir/siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

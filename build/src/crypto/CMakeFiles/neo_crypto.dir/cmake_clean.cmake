@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_crypto.dir/hmac_sha256.cpp.o"
+  "CMakeFiles/neo_crypto.dir/hmac_sha256.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/identity.cpp.o"
+  "CMakeFiles/neo_crypto.dir/identity.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/secp256k1_ecdsa.cpp.o"
+  "CMakeFiles/neo_crypto.dir/secp256k1_ecdsa.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/secp256k1_field.cpp.o"
+  "CMakeFiles/neo_crypto.dir/secp256k1_field.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/secp256k1_point.cpp.o"
+  "CMakeFiles/neo_crypto.dir/secp256k1_point.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/neo_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/neo_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/neo_crypto.dir/siphash.cpp.o.d"
+  "libneo_crypto.a"
+  "libneo_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neobft/client.cpp" "src/neobft/CMakeFiles/neo_neobft.dir/client.cpp.o" "gcc" "src/neobft/CMakeFiles/neo_neobft.dir/client.cpp.o.d"
+  "/root/repo/src/neobft/log.cpp" "src/neobft/CMakeFiles/neo_neobft.dir/log.cpp.o" "gcc" "src/neobft/CMakeFiles/neo_neobft.dir/log.cpp.o.d"
+  "/root/repo/src/neobft/messages.cpp" "src/neobft/CMakeFiles/neo_neobft.dir/messages.cpp.o" "gcc" "src/neobft/CMakeFiles/neo_neobft.dir/messages.cpp.o.d"
+  "/root/repo/src/neobft/replica.cpp" "src/neobft/CMakeFiles/neo_neobft.dir/replica.cpp.o" "gcc" "src/neobft/CMakeFiles/neo_neobft.dir/replica.cpp.o.d"
+  "/root/repo/src/neobft/replica_viewchange.cpp" "src/neobft/CMakeFiles/neo_neobft.dir/replica_viewchange.cpp.o" "gcc" "src/neobft/CMakeFiles/neo_neobft.dir/replica_viewchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/neo_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/aom/CMakeFiles/neo_aom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_neobft.dir/client.cpp.o"
+  "CMakeFiles/neo_neobft.dir/client.cpp.o.d"
+  "CMakeFiles/neo_neobft.dir/log.cpp.o"
+  "CMakeFiles/neo_neobft.dir/log.cpp.o.d"
+  "CMakeFiles/neo_neobft.dir/messages.cpp.o"
+  "CMakeFiles/neo_neobft.dir/messages.cpp.o.d"
+  "CMakeFiles/neo_neobft.dir/replica.cpp.o"
+  "CMakeFiles/neo_neobft.dir/replica.cpp.o.d"
+  "CMakeFiles/neo_neobft.dir/replica_viewchange.cpp.o"
+  "CMakeFiles/neo_neobft.dir/replica_viewchange.cpp.o.d"
+  "libneo_neobft.a"
+  "libneo_neobft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_neobft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

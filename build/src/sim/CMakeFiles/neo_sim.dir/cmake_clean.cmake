@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neo_sim.dir/network.cpp.o"
+  "CMakeFiles/neo_sim.dir/network.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/processing_node.cpp.o"
+  "CMakeFiles/neo_sim.dir/processing_node.cpp.o.d"
+  "CMakeFiles/neo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/neo_sim.dir/simulator.cpp.o.d"
+  "libneo_sim.a"
+  "libneo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

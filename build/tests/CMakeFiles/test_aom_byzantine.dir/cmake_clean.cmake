@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_byzantine.dir/aom/test_aom_byzantine.cpp.o"
+  "CMakeFiles/test_aom_byzantine.dir/aom/test_aom_byzantine.cpp.o.d"
+  "test_aom_byzantine"
+  "test_aom_byzantine.pdb"
+  "test_aom_byzantine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_failover.dir/aom/test_aom_failover.cpp.o"
+  "CMakeFiles/test_aom_failover.dir/aom/test_aom_failover.cpp.o.d"
+  "test_aom_failover"
+  "test_aom_failover.pdb"
+  "test_aom_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_fuzz.dir/aom/test_aom_fuzz.cpp.o"
+  "CMakeFiles/test_aom_fuzz.dir/aom/test_aom_fuzz.cpp.o.d"
+  "test_aom_fuzz"
+  "test_aom_fuzz.pdb"
+  "test_aom_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_hm.dir/aom/test_aom_hm.cpp.o"
+  "CMakeFiles/test_aom_hm.dir/aom/test_aom_hm.cpp.o.d"
+  "test_aom_hm"
+  "test_aom_hm.pdb"
+  "test_aom_hm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

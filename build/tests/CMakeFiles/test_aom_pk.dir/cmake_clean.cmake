@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_pk.dir/aom/test_aom_pk.cpp.o"
+  "CMakeFiles/test_aom_pk.dir/aom/test_aom_pk.cpp.o.d"
+  "test_aom_pk"
+  "test_aom_pk.pdb"
+  "test_aom_pk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_pk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aom_wire.dir/aom/test_aom_wire.cpp.o"
+  "CMakeFiles/test_aom_wire.dir/aom/test_aom_wire.cpp.o.d"
+  "test_aom_wire"
+  "test_aom_wire.pdb"
+  "test_aom_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aom_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_common.dir/baselines/test_baselines_common.cpp.o"
+  "CMakeFiles/test_baselines_common.dir/baselines/test_baselines_common.cpp.o.d"
+  "test_baselines_common"
+  "test_baselines_common.pdb"
+  "test_baselines_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree.dir/apps/test_btree.cpp.o"
+  "CMakeFiles/test_btree.dir/apps/test_btree.cpp.o.d"
+  "test_btree"
+  "test_btree.pdb"
+  "test_btree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

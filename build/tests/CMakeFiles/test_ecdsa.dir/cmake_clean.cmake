@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecdsa.dir/crypto/test_ecdsa.cpp.o"
+  "CMakeFiles/test_ecdsa.dir/crypto/test_ecdsa.cpp.o.d"
+  "test_ecdsa"
+  "test_ecdsa.pdb"
+  "test_ecdsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecdsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

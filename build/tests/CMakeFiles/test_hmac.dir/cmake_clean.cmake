@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmac.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/test_hmac.dir/crypto/test_hmac.cpp.o.d"
+  "test_hmac"
+  "test_hmac.pdb"
+  "test_hmac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

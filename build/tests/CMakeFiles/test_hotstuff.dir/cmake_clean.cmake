@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotstuff.dir/baselines/test_hotstuff.cpp.o"
+  "CMakeFiles/test_hotstuff.dir/baselines/test_hotstuff.cpp.o.d"
+  "test_hotstuff"
+  "test_hotstuff.pdb"
+  "test_hotstuff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_replication.dir/integration/test_kv_replication.cpp.o"
+  "CMakeFiles/test_kv_replication.dir/integration/test_kv_replication.cpp.o.d"
+  "test_kv_replication"
+  "test_kv_replication.pdb"
+  "test_kv_replication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

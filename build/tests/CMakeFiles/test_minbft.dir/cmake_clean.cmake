@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minbft.dir/baselines/test_minbft.cpp.o"
+  "CMakeFiles/test_minbft.dir/baselines/test_minbft.cpp.o.d"
+  "test_minbft"
+  "test_minbft.pdb"
+  "test_minbft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

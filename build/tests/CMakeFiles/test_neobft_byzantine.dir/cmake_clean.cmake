@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_byzantine.dir/neobft/test_neobft_byzantine.cpp.o"
+  "CMakeFiles/test_neobft_byzantine.dir/neobft/test_neobft_byzantine.cpp.o.d"
+  "test_neobft_byzantine"
+  "test_neobft_byzantine.pdb"
+  "test_neobft_byzantine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_gaps.dir/neobft/test_neobft_gaps.cpp.o"
+  "CMakeFiles/test_neobft_gaps.dir/neobft/test_neobft_gaps.cpp.o.d"
+  "test_neobft_gaps"
+  "test_neobft_gaps.pdb"
+  "test_neobft_gaps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_log.dir/neobft/test_neobft_log.cpp.o"
+  "CMakeFiles/test_neobft_log.dir/neobft/test_neobft_log.cpp.o.d"
+  "test_neobft_log"
+  "test_neobft_log.pdb"
+  "test_neobft_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

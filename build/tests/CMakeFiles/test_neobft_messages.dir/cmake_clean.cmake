@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_messages.dir/neobft/test_neobft_messages.cpp.o"
+  "CMakeFiles/test_neobft_messages.dir/neobft/test_neobft_messages.cpp.o.d"
+  "test_neobft_messages"
+  "test_neobft_messages.pdb"
+  "test_neobft_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_normal.dir/neobft/test_neobft_normal.cpp.o"
+  "CMakeFiles/test_neobft_normal.dir/neobft/test_neobft_normal.cpp.o.d"
+  "test_neobft_normal"
+  "test_neobft_normal.pdb"
+  "test_neobft_normal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

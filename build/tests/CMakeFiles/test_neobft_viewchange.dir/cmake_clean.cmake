@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neobft_viewchange.dir/neobft/test_neobft_viewchange.cpp.o"
+  "CMakeFiles/test_neobft_viewchange.dir/neobft/test_neobft_viewchange.cpp.o.d"
+  "test_neobft_viewchange"
+  "test_neobft_viewchange.pdb"
+  "test_neobft_viewchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neobft_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

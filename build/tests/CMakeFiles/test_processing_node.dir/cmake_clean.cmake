@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processing_node.dir/sim/test_processing_node.cpp.o"
+  "CMakeFiles/test_processing_node.dir/sim/test_processing_node.cpp.o.d"
+  "test_processing_node"
+  "test_processing_node.pdb"
+  "test_processing_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processing_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

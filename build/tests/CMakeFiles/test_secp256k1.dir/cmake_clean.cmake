@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secp256k1.dir/crypto/test_secp256k1.cpp.o"
+  "CMakeFiles/test_secp256k1.dir/crypto/test_secp256k1.cpp.o.d"
+  "test_secp256k1"
+  "test_secp256k1.pdb"
+  "test_secp256k1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secp256k1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

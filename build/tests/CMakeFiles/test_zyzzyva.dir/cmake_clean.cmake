@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zyzzyva.dir/baselines/test_zyzzyva.cpp.o"
+  "CMakeFiles/test_zyzzyva.dir/baselines/test_zyzzyva.cpp.o.d"
+  "test_zyzzyva"
+  "test_zyzzyva.pdb"
+  "test_zyzzyva[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zyzzyva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
