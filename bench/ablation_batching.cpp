@@ -13,11 +13,13 @@ using namespace neo::bench;
 namespace {
 
 void sweep(const std::string& name,
-           const std::function<std::unique_ptr<Deployment>(std::size_t)>& factory) {
+           const std::function<std::unique_ptr<Deployment>(std::size_t)>& factory,
+           ObsSession& obs, const std::string& label) {
     std::printf("\n--- %s ---\n", name.c_str());
     TablePrinter table({"batch_max", "tput_ops", "p50_us", "p99_us"});
     for (std::size_t batch : {1u, 4u, 16u, 64u, 256u}) {
         auto d = factory(batch);
+        ObsRun run(obs, *d, label + ".b" + std::to_string(batch));
         Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
                                      160 * sim::kMillisecond);
         table.row({std::to_string(batch), fmt_double(m.throughput_ops, 0),
@@ -27,7 +29,8 @@ void sweep(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Ablation: baseline request batching (256 clients) ===\n");
 
     sweep("PBFT", [](std::size_t batch) {
@@ -36,7 +39,7 @@ int main() {
         p.batch_max = batch;
         p.batch_delay = 2 * sim::kMillisecond;  // large batches need patience
         return make_pbft(p);
-    });
+    }, obs, "pbft");
 
     sweep("HotStuff", [](std::size_t batch) {
         CommonParams p;
@@ -44,7 +47,7 @@ int main() {
         p.batch_max = batch;
         p.batch_delay = 2 * sim::kMillisecond;
         return make_hotstuff(p);
-    });
+    }, obs, "hotstuff");
 
     std::printf("\nreference: Neo-HM needs NO protocol-level batching for its peak.\n");
     return 0;

@@ -9,7 +9,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Ablation: Neo-BN confirm flush interval ===\n\n");
     TablePrinter table({"flush_us", "tput_ops", "p50_us", "p99_us"});
     for (sim::Time flush : {5 * sim::kMicrosecond, 20 * sim::kMicrosecond,
@@ -21,6 +22,7 @@ int main() {
         p.receiver.confirm_flush_interval = flush;
         p.receiver.gap_timeout = 5 * sim::kMillisecond;  // stay out of gap agreement
         auto d = make_neobft(p);
+        ObsRun run(obs, *d, "neo_bn.flush" + fmt_double(sim::to_us(flush), 0));
         Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
                                      160 * sim::kMillisecond);
         table.row({fmt_double(sim::to_us(flush), 0), fmt_double(m.throughput_ops, 0),

@@ -10,7 +10,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Ablation: aom-pk precompute refill rate (offered load 0.8 Mpps) ===\n\n");
     TablePrinter table({"refill_per_s", "signed_pct", "p50_us", "p99_us", "p99.9_us"});
     for (double refill : {50'000.0, 150'000.0, 400'000.0, 800'000.0, 1'200'000.0}) {
@@ -19,7 +20,13 @@ int main() {
         cfg.precompute.table_capacity = 2'048;
         cfg.precompute.low_water_mark = 256;
         AomBench bench(aom::AuthVariant::kPublicKey, 4, 17, cfg);
+        std::string label = "aom_pk.refill" + fmt_double(refill, 0);
+        obs.begin_run(bench.simulator(), label, true,
+                      [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
+                          bench.register_obs(reg, label, tr);
+                      });
         AomBenchResult r = bench.run(200'000, 1'250);  // 0.8 Mpps offered
+        obs.end_run();
         double signed_pct = 100.0 *
                             static_cast<double>(bench.sequencer().signatures_generated()) /
                             static_cast<double>(bench.sequencer().packets_sequenced());

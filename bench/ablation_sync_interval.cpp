@@ -9,7 +9,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Ablation: NeoBFT sync interval (echo-RPC, 64 clients) ===\n\n");
     TablePrinter table({"sync_interval", "tput_ops", "p50_us", "p99_us"});
     for (std::uint64_t interval : {8ull, 32ull, 128ull, 512ull, 4096ull}) {
@@ -17,6 +18,7 @@ int main() {
         p.n_clients = 64;
         p.sync_interval = interval;
         auto d = make_neobft(p);
+        ObsRun run(obs, *d, "neo_hm.sync" + std::to_string(interval));
         Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
                                      160 * sim::kMillisecond);
         table.row({std::to_string(interval), fmt_double(m.throughput_ops, 0),

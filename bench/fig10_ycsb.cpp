@@ -57,8 +57,10 @@ OpGen ycsb_ops(const std::shared_ptr<app::YcsbWorkload>& base_cfg) {
 
 double max_tput(const std::string& name,
                 const std::function<std::unique_ptr<Deployment>()>& factory,
-                const std::shared_ptr<app::YcsbWorkload>& workload) {
+                const std::shared_ptr<app::YcsbWorkload>& workload, ObsSession& obs,
+                const std::string& label, bool trace_this_run = false) {
     auto d = factory();
+    ObsRun run(obs, *d, label, trace_this_run);
     Measured m = run_closed_loop(*d, ycsb_ops(workload), 30 * sim::kMillisecond,
                                  120 * sim::kMillisecond);
     std::printf("  %-28s %10.0f txns/s   (p50 %.1fus)\n", name.c_str(), m.throughput_ops,
@@ -69,7 +71,8 @@ double max_tput(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 10: YCSB-A over the replicated B-Tree KV store ===\n");
     std::printf("100K records, 128-byte fields, 50/50 read-update, zipfian\n\n");
 
@@ -83,7 +86,7 @@ int main() {
         // baseline hook is not supported there -> report echo service rate
         // as the upper bound (documented in EXPERIMENTS.md).
         return make_unreplicated(p);
-    }, workload);
+    }, workload, obs, "unreplicated");
 
     max_tput("Neo-HM", [&] {
         NeoParams p;
@@ -91,7 +94,7 @@ int main() {
         p.variant = NeoVariant::kHm;
         p.app_factory = neo_app_factory(workload);
         return make_neobft(p);
-    }, workload);
+    }, workload, obs, "neo_hm", true);
 
     max_tput("Neo-PK", [&] {
         NeoParams p;
@@ -99,7 +102,7 @@ int main() {
         p.variant = NeoVariant::kPk;
         p.app_factory = neo_app_factory(workload);
         return make_neobft(p);
-    }, workload);
+    }, workload, obs, "neo_pk");
 
     max_tput("Neo-BN", [&] {
         NeoParams p;
@@ -107,14 +110,14 @@ int main() {
         p.variant = NeoVariant::kBn;
         p.app_factory = neo_app_factory(workload);
         return make_neobft(p);
-    }, workload);
+    }, workload, obs, "neo_bn");
 
     max_tput("Zyzzyva", [&] {
         ZyzzyvaParams p;
         p.n_clients = kClients;
         p.baseline_app_factory = baseline_app_factory(workload);
         return make_zyzzyva(p);
-    }, workload);
+    }, workload, obs, "zyzzyva");
 
     max_tput("Zyzzyva-F", [&] {
         ZyzzyvaParams p;
@@ -122,14 +125,14 @@ int main() {
         p.faulty_replica = true;
         p.baseline_app_factory = baseline_app_factory(workload);
         return make_zyzzyva(p);
-    }, workload);
+    }, workload, obs, "zyzzyva_f");
 
     max_tput("PBFT", [&] {
         CommonParams p;
         p.n_clients = kClients;
         p.baseline_app_factory = baseline_app_factory(workload);
         return make_pbft(p);
-    }, workload);
+    }, workload, obs, "pbft");
 
     max_tput("HotStuff", [&] {
         CommonParams p;
@@ -137,14 +140,14 @@ int main() {
         p.batch_max = 32;
         p.baseline_app_factory = baseline_app_factory(workload);
         return make_hotstuff(p);
-    }, workload);
+    }, workload, obs, "hotstuff");
 
     max_tput("MinBFT", [&] {
         CommonParams p;
         p.n_clients = kClients;
         p.baseline_app_factory = baseline_app_factory(workload);
         return make_minbft(p);
-    }, workload);
+    }, workload, obs, "minbft");
 
     std::printf("\npaper anchor: NeoBFT above all baselines; batching efficiency drops\n");
     std::printf("for the baselines with the larger KV requests\n");

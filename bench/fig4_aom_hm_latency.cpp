@@ -8,7 +8,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 4: aom-hm latency distribution (group size 4) ===\n");
     std::printf("paper: median ~9us, 99.9%% within 0.7%% of median below saturation;\n");
     std::printf("       long queuing tail at 99%% load\n\n");
@@ -23,7 +24,13 @@ int main() {
                             0;  // queueing dominated by the auth pipeline
         // Offered load as a fraction of the pipeline's saturation rate.
         auto gap = static_cast<sim::Time>(static_cast<double>(service) / load);
+        std::string label = "aom_hm.load" + fmt_double(load * 100, 0);
+        obs.begin_run(bench.simulator(), label, true,
+                      [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
+                          bench.register_obs(reg, label, tr);
+                      });
         AomBenchResult r = bench.run(kPackets, gap);
+        obs.end_run();
         table.row({fmt_double(load * 100, 0) + "%",
                    fmt_double(r.latency->percentile(25), 2),
                    fmt_double(r.latency->percentile(50), 2),

@@ -8,7 +8,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 5: aom-pk latency distribution (group size 4) ===\n");
     std::printf("paper: median ~3us, highly consistent below saturation\n\n");
 
@@ -20,7 +21,13 @@ int main() {
         AomBench bench(aom::AuthVariant::kPublicKey, kReceivers);
         // The signer (1/kPkSignServiceNs pps) is the bottleneck resource.
         auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) / load);
+        std::string label = "aom_pk.load" + fmt_double(load * 100, 0);
+        obs.begin_run(bench.simulator(), label, true,
+                      [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
+                          bench.register_obs(reg, label, tr);
+                      });
         AomBenchResult r = bench.run(kPackets, gap);
+        obs.end_run();
         double signed_pct = 100.0 *
                             static_cast<double>(bench.sequencer().signatures_generated()) /
                             static_cast<double>(bench.sequencer().packets_sequenced());

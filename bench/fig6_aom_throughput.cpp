@@ -14,34 +14,48 @@ using namespace neo::bench;
 
 namespace {
 
-double max_throughput_hm(int receivers) {
+AomBenchResult run_attached(AomBench& bench, ObsSession& obs, const std::string& label,
+                            std::uint64_t packets, sim::Time gap) {
+    obs.begin_run(bench.simulator(), label, true,
+                  [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
+                      bench.register_obs(reg, label, tr);
+                  });
+    AomBenchResult r = bench.run(packets, gap);
+    obs.end_run();
+    return r;
+}
+
+double max_throughput_hm(int receivers, ObsSession& obs) {
     AomBench bench(aom::AuthVariant::kHmacVector, receivers);
     sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, receivers);
     // Drive slightly above capacity so the pipeline saturates; tail-drop
     // absorbs the excess.
     auto gap = static_cast<sim::Time>(static_cast<double>(service) * 0.9);
     std::uint64_t packets = receivers > 16 ? 20'000 : 100'000;
-    AomBenchResult r = bench.run(packets, std::max<sim::Time>(1, gap));
+    AomBenchResult r = run_attached(bench, obs, "aom_hm.r" + std::to_string(receivers), packets,
+                                    std::max<sim::Time>(1, gap));
     return r.delivered_mpps;
 }
 
-double max_throughput_pk(int receivers) {
+double max_throughput_pk(int receivers, ObsSession& obs) {
     AomBench bench(aom::AuthVariant::kPublicKey, receivers);
     // Signing throughput: drive the signer at saturation and count
     // signatures per second (the paper reports signing throughput).
     auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) * 0.9);
-    AomBenchResult r = bench.run(100'000, gap);
+    AomBenchResult r =
+        run_attached(bench, obs, "aom_pk.r" + std::to_string(receivers), 100'000, gap);
     return r.signed_mpps;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 6: aom max throughput vs group size ===\n\n");
     TablePrinter table({"receivers", "aom-hm_Mpps", "aom-pk_Mpps"});
     for (int receivers : {4, 8, 16, 24, 32, 48, 64}) {
-        table.row({std::to_string(receivers), fmt_double(max_throughput_hm(receivers), 2),
-                   fmt_double(max_throughput_pk(receivers), 2)});
+        table.row({std::to_string(receivers), fmt_double(max_throughput_hm(receivers, obs), 2),
+                   fmt_double(max_throughput_pk(receivers, obs), 2)});
     }
     std::printf("\npaper anchors: hm 76.24 Mpps @4 -> 5.7 Mpps @64; pk 1.11 Mpps flat\n");
     return 0;

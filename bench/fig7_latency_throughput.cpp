@@ -15,20 +15,25 @@ constexpr sim::Time kMeasure = 160 * sim::kMillisecond;
 const std::vector<int> kClientCounts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
 
 void run_protocol(const std::string& name,
-                  const std::function<std::unique_ptr<Deployment>(int)>& factory) {
+                  const std::function<std::unique_ptr<Deployment>(int)>& factory,
+                  ObsSession& obs, const std::string& label, int trace_clients = 0) {
     std::printf("\n--- %s ---\n", name.c_str());
-    TablePrinter table({"clients", "tput_ops", "p50_us", "mean_us", "p99_us"});
-    auto points = latency_throughput_sweep(factory, kClientCounts, echo_ops(64), kWarmup, kMeasure);
+    TablePrinter table(
+        {"clients", "tput_ops", "p50_us", "mean_us", "p99_us", "net_us", "cpu_us", "queue_us"});
+    auto points = latency_throughput_sweep(factory, kClientCounts, echo_ops(64), kWarmup, kMeasure,
+                                           &obs, label, trace_clients);
     for (const auto& pt : points) {
         table.row({std::to_string(pt.clients), fmt_double(pt.m.throughput_ops, 0),
                    fmt_double(pt.m.p50_us, 1), fmt_double(pt.m.mean_us, 1),
-                   fmt_double(pt.m.p99_us, 1)});
+                   fmt_double(pt.m.p99_us, 1), fmt_double(pt.m.net_us_per_op, 1),
+                   fmt_double(pt.m.cpu_us_per_op, 1), fmt_double(pt.m.queue_us_per_op, 1)});
     }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 7: latency vs throughput, echo-RPC, N=4 (f=1) ===\n");
     std::printf("paper: Neo-HM tput = 2.5x PBFT, 3.4x HotStuff, 4.1x MinBFT, 1.8x Zyzzyva;\n");
     std::printf("       Zyzzyva-F tput drop >54%%; Neo-PK ~60K below Neo-HM;\n");
@@ -39,47 +44,47 @@ int main() {
         CommonParams p;
         p.n_clients = clients;
         return make_unreplicated(p);
-    });
+    }, obs, "unreplicated");
 
     run_protocol("Neo-HM", [](int clients) {
         NeoParams p;
         p.n_clients = clients;
         p.variant = NeoVariant::kHm;
         return make_neobft(p);
-    });
+    }, obs, "neo_hm", -1);
 
     run_protocol("Neo-PK", [](int clients) {
         NeoParams p;
         p.n_clients = clients;
         p.variant = NeoVariant::kPk;
         return make_neobft(p);
-    });
+    }, obs, "neo_pk");
 
     run_protocol("Neo-BN (Byzantine network)", [](int clients) {
         NeoParams p;
         p.n_clients = clients;
         p.variant = NeoVariant::kBn;
         return make_neobft(p);
-    });
+    }, obs, "neo_bn");
 
     run_protocol("Zyzzyva", [](int clients) {
         ZyzzyvaParams p;
         p.n_clients = clients;
         return make_zyzzyva(p);
-    });
+    }, obs, "zyzzyva");
 
     run_protocol("Zyzzyva-F (one faulty replica)", [](int clients) {
         ZyzzyvaParams p;
         p.n_clients = clients;
         p.faulty_replica = true;
         return make_zyzzyva(p);
-    });
+    }, obs, "zyzzyva_f");
 
     run_protocol("PBFT", [](int clients) {
         CommonParams p;
         p.n_clients = clients;
         return make_pbft(p);
-    });
+    }, obs, "pbft");
 
     run_protocol("HotStuff", [](int clients) {
         CommonParams p;
@@ -87,13 +92,13 @@ int main() {
         p.batch_max = 8;  // modest batching (the paper notes aggressive
         // batching lifts HotStuff's throughput but pushes latency >10ms)
         return make_hotstuff(p);
-    });
+    }, obs, "hotstuff");
 
     run_protocol("MinBFT", [](int clients) {
         CommonParams p;
         p.n_clients = clients;
         return make_minbft(p);
-    });
+    }, obs, "minbft");
 
     return 0;
 }

@@ -12,7 +12,7 @@ using namespace neo::bench;
 
 namespace {
 
-double max_tput(NeoVariant variant, int replicas) {
+double max_tput(NeoVariant variant, int replicas, ObsSession& obs) {
     NeoParams p;
     p.n_replicas = replicas;
     p.n_clients = replicas > 50 ? 32 : 48;  // enough closed-loop clients to saturate
@@ -20,6 +20,9 @@ double max_tput(NeoVariant variant, int replicas) {
     p.software_sequencer = true;
     p.seed = 42 + static_cast<std::uint64_t>(replicas);
     auto d = make_neobft(p);
+    std::string label = std::string(variant == NeoVariant::kHm ? "neo_hm" : "neo_pk") + ".n" +
+                        std::to_string(replicas);
+    ObsRun run(obs, *d, label);
     Measured m = run_closed_loop(*d, echo_ops(64), 10 * sim::kMillisecond,
                                  replicas > 30 ? 30 * sim::kMillisecond : 80 * sim::kMillisecond);
     return m.throughput_ops;
@@ -27,13 +30,14 @@ double max_tput(NeoVariant variant, int replicas) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 8: NeoBFT throughput vs number of replicas ===\n");
     std::printf("(software sequencer profile; paper ran this on EC2 with a software switch)\n\n");
     TablePrinter table({"replicas", "Neo-HM_ops", "Neo-PK_ops"});
     for (int n : {4, 10, 22, 40, 100}) {
-        double hm = max_tput(NeoVariant::kHm, n);
-        double pk = max_tput(NeoVariant::kPk, n);
+        double hm = max_tput(NeoVariant::kHm, n, obs);
+        double pk = max_tput(NeoVariant::kPk, n, obs);
         table.row({std::to_string(n), fmt_double(hm, 0), fmt_double(pk, 0)});
     }
     std::printf("\npaper anchors: Neo-PK -13%% from 4 to 100 replicas; Neo-HM decays faster\n");

@@ -12,7 +12,7 @@ using namespace neo::bench;
 
 namespace {
 
-double max_tput(NeoVariant variant, double drop_rate) {
+double max_tput(NeoVariant variant, double drop_rate, ObsSession& obs) {
     NeoParams p;
     p.n_clients = 64;
     p.variant = variant;
@@ -24,6 +24,9 @@ double max_tput(NeoVariant variant, double drop_rate) {
     p.receiver.gap_timeout = 100 * sim::kMicrosecond;
     p.seed = 42 + static_cast<std::uint64_t>(drop_rate * 1e7);
     auto d = make_neobft(p);
+    std::string label = std::string(variant == NeoVariant::kHm ? "neo_hm" : "neo_pk") + ".drop" +
+                        fmt_double(drop_rate * 100, 4);
+    ObsRun run(obs, *d, label);
     Measured m =
         run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond, 200 * sim::kMillisecond);
     return m.throughput_ops;
@@ -31,12 +34,14 @@ double max_tput(NeoVariant variant, double drop_rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Figure 9: NeoBFT throughput vs simulated drop rate ===\n\n");
     TablePrinter table({"drop_rate", "Neo-HM_ops", "Neo-PK_ops"});
     for (double rate : {0.0, 0.00001, 0.0001, 0.001, 0.01}) {
-        table.row({fmt_double(rate * 100, 4) + "%", fmt_double(max_tput(NeoVariant::kHm, rate), 0),
-                   fmt_double(max_tput(NeoVariant::kPk, rate), 0)});
+        table.row({fmt_double(rate * 100, 4) + "%",
+                   fmt_double(max_tput(NeoVariant::kHm, rate, obs), 0),
+                   fmt_double(max_tput(NeoVariant::kPk, rate, obs), 0)});
     }
     std::printf("\npaper anchors: flat through 0.1%%, visible drop at 1%%\n");
     return 0;

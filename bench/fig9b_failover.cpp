@@ -11,13 +11,15 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== §6.4: NeoBFT throughput during sequencer failover ===\n\n");
 
     NeoParams p;
     p.n_clients = 32;
     p.variant = NeoVariant::kHm;
     auto d = make_neobft(p);
+    ObsRun obs_run(obs, *d, "failover");
     sim::Simulator& sim = d->simulator();
 
     // Throughput sampled in 10ms buckets.

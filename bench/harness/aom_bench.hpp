@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "aom/config_service.hpp"
 #include "aom/sequencer.hpp"
@@ -16,6 +18,7 @@
 #include "common/rng.hpp"
 #include "crypto/identity.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
 #include "sim/costs.hpp"
 #include "sim/network.hpp"
 
@@ -44,7 +47,7 @@ class AomSink : public sim::Node {
 
     Histogram latency_us;
     std::uint64_t delivered = 0;
-    sim::Time first_arrival = -1;
+    std::optional<sim::Time> first_arrival;
     sim::Time last_arrival = 0;
 
   private:
@@ -57,7 +60,7 @@ class AomSink : public sim::Node {
             sim::Time sent = r.i64();
             latency_us.add(sim::to_us(sim().now() - sent));
         }
-        if (first_arrival < 0) first_arrival = sim().now();
+        if (!first_arrival) first_arrival = sim().now();
         last_arrival = sim().now();
     }
 
@@ -132,8 +135,8 @@ class AomBench {
         AomBenchResult r;
         r.latency = &sinks_[0]->latency_us;
         r.delivered = sinks_[0]->delivered;
-        double duration_s =
-            sim::to_sec(std::max<sim::Time>(1, sinks_[0]->last_arrival - sinks_[0]->first_arrival));
+        double duration_s = sim::to_sec(std::max<sim::Time>(
+            1, sinks_[0]->last_arrival - sinks_[0]->first_arrival.value_or(0)));
         r.delivered_mpps = static_cast<double>(r.delivered - 1) / duration_s / 1e6;
         r.signed_mpps = static_cast<double>(switch_->signatures_generated()) / duration_s / 1e6;
         r.tail_drops = switch_->tail_drops();
@@ -141,6 +144,23 @@ class AomBench {
     }
 
     aom::SequencerSwitch& sequencer() { return *switch_; }
+    sim::Simulator& simulator() { return sim_; }
+    sim::Network& network() { return net_; }
+
+    /// Observability attachment for ObsSession::begin_run's generic form:
+    /// registers the switch's and the network's counters under `prefix`
+    /// and names the trace tracks.
+    void register_obs(obs::Registry& reg, const std::string& prefix, obs::TraceSink* trace) {
+        net_.register_metrics(reg, prefix + ".net");
+        switch_->register_metrics(reg, prefix + ".sequencer");
+        if (trace) {
+            trace->set_node_name(200, "sequencer");
+            for (std::size_t i = 0; i < sinks_.size(); ++i) {
+                trace->set_node_name(static_cast<NodeId>(1 + i),
+                                     "receiver " + std::to_string(1 + i));
+            }
+        }
+    }
 
   private:
     sim::Simulator sim_;

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "aom/config_service.hpp"
 #include "baselines/hotstuff.hpp"
@@ -9,6 +11,7 @@
 #include "baselines/pbft.hpp"
 #include "baselines/zyzzyva.hpp"
 #include "common/assert.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "neobft/client.hpp"
 #include "neobft/replica.hpp"
@@ -35,7 +38,21 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
     const sim::Time start = sim.now();
     const sim::Time measure_from = start + warmup;
     const sim::Time deadline = measure_from + measure;
-    if (at_measure_start) sim.at(measure_from, at_measure_start);
+
+    // Baseline for the latency breakdown: snapshot the network / CPU-model /
+    // queueing accumulators when the measurement window opens, so the deltas
+    // cover exactly the measured interval. The user's at_measure_start runs
+    // at the same event position it always did.
+    struct BreakdownBase {
+        sim::Time net = 0, cpu = 0, queue = 0;
+    };
+    auto base = std::make_shared<BreakdownBase>();
+    sim.at(measure_from, [&d, base, at_measure_start] {
+        base->net = d.network().transit_time();
+        base->cpu = d.network().total_cpu_busy();
+        base->queue = d.network().total_queue_wait();
+        if (at_measure_start) at_measure_start();
+    });
 
     auto hist = std::make_shared<Histogram>();
     auto completed = std::make_shared<std::uint64_t>(0);
@@ -71,7 +88,94 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
         m.p99_us = hist->percentile(99);
         m.p999_us = hist->percentile(99.9);
     }
+    if (*completed > 0) {
+        double ops = static_cast<double>(*completed);
+        m.net_us_per_op = sim::to_us(d.network().transit_time() - base->net) / ops;
+        m.cpu_us_per_op = sim::to_us(d.network().total_cpu_busy() - base->cpu) / ops;
+        m.queue_us_per_op = sim::to_us(d.network().total_queue_wait() - base->queue) / ops;
+    }
     return m;
+}
+
+// ----------------------------------------------------------- observability
+
+namespace {
+
+/// `--flag <value>` or `--flag=<value>` from argv, else `env`, else "".
+std::string arg_or_env(int argc, char* const* argv, const char* flag, const char* env) {
+    const std::size_t flen = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[i + 1];
+        if (std::strncmp(argv[i], flag, flen) == 0 && argv[i][flen] == '=') {
+            return argv[i] + flen + 1;
+        }
+    }
+    const char* e = std::getenv(env);
+    return e ? e : "";
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int argc, char* const* argv)
+    : trace_path_(arg_or_env(argc, argv, "--trace", "NEO_TRACE")),
+      metrics_path_(arg_or_env(argc, argv, "--metrics", "NEO_METRICS")) {}
+
+ObsSession::~ObsSession() { flush(); }
+
+void ObsSession::begin_run(sim::Simulator& sim, const std::string& label, bool trace_this_run,
+                           const std::function<void(obs::Registry&, obs::TraceSink*)>& reg) {
+    (void)label;
+    if (!enabled()) return;
+    NEO_ASSERT_MSG(!run_registry_, "ObsSession: begin_run without end_run");
+    run_registry_ = std::make_unique<obs::Registry>();
+    obs::TraceSink* tr = nullptr;
+    if (tracing() && trace_this_run && !traced_) {
+        traced_ = true;
+        run_traced_ = true;
+        tr = &sink_;
+        sim.set_trace(&sink_);
+        // Log lines emitted during the traced run carry its virtual clock.
+        set_log_time_source([&sim] { return sim.now(); });
+    }
+    reg(*run_registry_, tr);
+}
+
+void ObsSession::begin_run(Deployment& d, const std::string& label, bool trace_this_run) {
+    begin_run(d.simulator(), label, trace_this_run,
+              [&d, &label](obs::Registry& r, obs::TraceSink* tr) { d.register_obs(r, label, tr); });
+}
+
+void ObsSession::end_run() {
+    if (!run_registry_) return;
+    if (metrics()) {
+        for (const auto& [k, v] : run_registry_->snapshot()) merged_[k] = v;
+    }
+    run_registry_.reset();
+    if (run_traced_) {
+        run_traced_ = false;
+        clear_log_time_source();
+    }
+}
+
+void ObsSession::flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (metrics()) {
+        obs::Registry out;
+        for (const auto& [k, v] : merged_) out.set_value(k, v);
+        if (!out.write_json_file(metrics_path_)) {
+            std::fprintf(stderr, "obs: cannot write metrics file %s\n", metrics_path_.c_str());
+        }
+    }
+    if (tracing()) {
+        bool jsonl = trace_path_.size() >= 6 &&
+                     trace_path_.compare(trace_path_.size() - 6, 6, ".jsonl") == 0;
+        bool ok = jsonl ? sink_.write_jsonl_file(trace_path_)
+                        : sink_.write_chrome_trace_file(trace_path_);
+        if (!ok) {
+            std::fprintf(stderr, "obs: cannot write trace file %s\n", trace_path_.c_str());
+        }
+    }
 }
 
 // ----------------------------------------------------------- unreplicated
@@ -99,6 +203,18 @@ class UnreplicatedDeployment : public Deployment {
     int n_clients() const override { return static_cast<int>(clients_.size()); }
     void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
         clients_[static_cast<std::size_t>(client)]->invoke(std::move(op), std::move(done));
+    }
+
+    void register_obs(obs::Registry& reg, const std::string& prefix,
+                      obs::TraceSink* trace) override {
+        net_.register_metrics(reg, prefix + ".net");
+        server_->register_rx_metrics(reg, prefix + ".server", &baselines::kind_name);
+        if (trace) {
+            trace->set_node_name(kServerId, "server");
+            for (const auto& c : clients_) {
+                trace->set_node_name(c->id(), "client " + std::to_string(c->id()));
+            }
+        }
     }
 
   private:
@@ -190,6 +306,29 @@ class NeoDeployment : public Deployment {
     void inject_sequencer_failure() override { switches_[0]->set_stall(true); }
     std::uint64_t failovers() const override { return config_->failovers_performed(); }
 
+    void register_obs(obs::Registry& reg, const std::string& prefix,
+                      obs::TraceSink* trace) override {
+        net_.register_metrics(reg, prefix + ".net");
+        for (auto& r : replicas_) {
+            r->register_metrics(reg, prefix + ".replica." + std::to_string(r->id()));
+        }
+        for (std::size_t s = 0; s < switches_.size(); ++s) {
+            switches_[s]->register_metrics(reg, prefix + ".sequencer." + std::to_string(s));
+        }
+        if (trace) {
+            for (const auto& r : replicas_) {
+                trace->set_node_name(r->id(), "replica " + std::to_string(r->id()));
+            }
+            for (std::size_t s = 0; s < switches_.size(); ++s) {
+                trace->set_node_name(switches_[s]->id(), "sequencer " + std::to_string(s));
+            }
+            trace->set_node_name(kConfigId, "config service");
+            for (const auto& c : clients_) {
+                trace->set_node_name(c->id(), "client " + std::to_string(c->id()));
+            }
+        }
+    }
+
     const std::vector<std::unique_ptr<neobft::Replica>>& replicas() const { return replicas_; }
 
   private:
@@ -249,6 +388,22 @@ class BaselineDeployment : public Deployment {
         return nullptr;
     }
 
+    void register_obs(obs::Registry& reg, const std::string& prefix,
+                      obs::TraceSink* trace) override {
+        net_.register_metrics(reg, prefix + ".net");
+        for (auto& r : replicas_) {
+            r->register_metrics(reg, prefix + ".replica." + std::to_string(r->id()));
+        }
+        if (trace) {
+            for (const auto& r : replicas_) {
+                trace->set_node_name(r->id(), "replica " + std::to_string(r->id()));
+            }
+            for (const auto& c : clients_) {
+                trace->set_node_name(c->id(), "client " + std::to_string(c->id()));
+            }
+        }
+    }
+
     CfgT cfg_;
     sim::Simulator sim_;
     sim::Network net_;
@@ -296,6 +451,22 @@ class ZyzzyvaDeployment : public Deployment {
             if (r->id() == id) return &r->node_crypto().meter();
         }
         return nullptr;
+    }
+
+    void register_obs(obs::Registry& reg, const std::string& prefix,
+                      obs::TraceSink* trace) override {
+        net_.register_metrics(reg, prefix + ".net");
+        for (auto& r : replicas_) {
+            r->register_metrics(reg, prefix + ".replica." + std::to_string(r->id()));
+        }
+        if (trace) {
+            for (const auto& r : replicas_) {
+                trace->set_node_name(r->id(), "replica " + std::to_string(r->id()));
+            }
+            for (const auto& c : clients_) {
+                trace->set_node_name(c->id(), "client " + std::to_string(c->id()));
+            }
+        }
     }
 
   private:
@@ -387,11 +558,16 @@ std::string fmt_double(double v, int precision) {
 std::vector<SweepPoint> latency_throughput_sweep(
     const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
     const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
-    sim::Time measure) {
+    sim::Time measure, ObsSession* obs, const std::string& label, int trace_clients) {
     std::vector<SweepPoint> out;
     for (int clients : client_counts) {
         auto d = factory(clients);
+        // Default: offer the first point to the trace sink (the session
+        // keeps only the first run offered across the whole process).
+        bool trace_this = trace_clients < 0 ? out.empty() : clients == trace_clients;
+        if (obs) obs->begin_run(*d, label + ".c" + std::to_string(clients), trace_this);
         Measured m = run_closed_loop(*d, ops, warmup, measure);
+        if (obs) obs->end_run();
         out.push_back({clients, m});
     }
     return out;

@@ -14,6 +14,8 @@
 #include "common/histogram.hpp"
 #include "aom/receiver.hpp"
 #include "crypto/identity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 
 namespace neo::bench {
@@ -25,6 +27,14 @@ struct Measured {
     double p99_us = 0;
     double p999_us = 0;
     std::uint64_t completed = 0;
+    /// Latency breakdown over the measurement window, expressed as
+    /// aggregate simulator time per completed op: packet in-flight time
+    /// (latency + jitter + serialisation), modelled CPU execution, and
+    /// arrival-queue wait. These are system-wide shares (all nodes, all
+    /// packets), so they need not sum to the end-to-end client latency.
+    double net_us_per_op = 0;
+    double cpu_us_per_op = 0;
+    double queue_us_per_op = 0;
 };
 
 /// Type-erased running system: owns all nodes; the driver only needs
@@ -45,6 +55,16 @@ class Deployment {
     /// protocols without a sequencer).
     virtual void inject_sequencer_failure() {}
     virtual std::uint64_t failovers() const { return 0; }
+
+    /// Observability hook: publishes this deployment's counters under
+    /// `prefix` and, when `trace` is non-null, names every node's track.
+    /// The base version covers the shared network counters; deployments
+    /// override to add per-replica / per-sequencer protocol metrics.
+    virtual void register_obs(obs::Registry& reg, const std::string& prefix,
+                              obs::TraceSink* trace) {
+        (void)trace;
+        network().register_metrics(reg, prefix + ".net");
+    }
 };
 
 /// Generates the operation a client issues next (k = per-client op index).
@@ -58,6 +78,71 @@ OpGen echo_ops(std::size_t size);
 /// fires exactly when the measurement window opens — counter resets etc.
 Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim::Time measure,
                          const std::function<void()>& at_measure_start = nullptr);
+
+// ----------------------------------------------------------- observability
+
+/// Per-process observability session for bench binaries.
+///
+/// Parses `--trace <path>` and `--metrics <path>` from argv (with
+/// NEO_TRACE / NEO_METRICS environment fallback) and owns the trace sink
+/// and the merged metrics snapshot. A bench binary attaches each run with
+/// begin_run/end_run (or the scoped ObsRun helper); on destruction the
+/// session writes the requested files:
+///  - metrics: one JSON object merging every attached run's counters,
+///    namespaced by the run label ("neo_hm.c8.replica.1.rx.request");
+///  - trace: the FIRST run attached with trace_this_run=true, written as
+///    Chrome trace_event JSON — or JSONL when the path ends in ".jsonl".
+class ObsSession {
+  public:
+    ObsSession(int argc, char* const* argv);
+    ~ObsSession();
+
+    bool tracing() const { return !trace_path_.empty(); }
+    bool metrics() const { return !metrics_path_.empty(); }
+    bool enabled() const { return tracing() || metrics(); }
+
+    /// Attaches a run built on `sim`. `reg` is invoked immediately to
+    /// register the run's collectors (and name trace tracks when the sink
+    /// is passed through non-null).
+    void begin_run(sim::Simulator& sim, const std::string& label, bool trace_this_run,
+                   const std::function<void(obs::Registry&, obs::TraceSink*)>& reg);
+    /// Deployment convenience: forwards to Deployment::register_obs.
+    void begin_run(Deployment& d, const std::string& label, bool trace_this_run = true);
+    /// Snapshots the run's collectors into the merged metrics. Must be
+    /// called before the run's nodes are destroyed.
+    void end_run();
+
+    obs::TraceSink* sink() { return tracing() ? &sink_ : nullptr; }
+
+    /// Writes the metrics / trace files now (also done by the destructor).
+    void flush();
+
+  private:
+    std::string trace_path_;
+    std::string metrics_path_;
+    obs::TraceSink sink_;
+    std::unique_ptr<obs::Registry> run_registry_;
+    std::map<std::string, double> merged_;
+    bool traced_ = false;
+    bool run_traced_ = false;
+    bool flushed_ = false;
+};
+
+/// Scoped run attachment: construct after the deployment (so it detaches
+/// first), destructs via ObsSession::end_run while the nodes are alive.
+class ObsRun {
+  public:
+    ObsRun(ObsSession& s, Deployment& d, const std::string& label, bool trace_this_run = true)
+        : s_(s) {
+        s_.begin_run(d, label, trace_this_run);
+    }
+    ~ObsRun() { s_.end_run(); }
+    ObsRun(const ObsRun&) = delete;
+    ObsRun& operator=(const ObsRun&) = delete;
+
+  private:
+    ObsSession& s_;
+};
 
 // --------------------------------------------------------------- factories
 
@@ -116,6 +201,11 @@ std::string fmt_double(double v, int precision = 1);
 
 /// Sweeps client counts and reports one (throughput, latency) point each —
 /// the raw material of Fig 7-style curves.
+///
+/// When `obs` is set, every point registers metrics under
+/// "<label>.c<clients>"; the point with `trace_clients` clients (if it is
+/// in `client_counts`) is offered to the session's trace sink. Pass -1 to
+/// offer the sweep's first point, 0 to never offer one.
 struct SweepPoint {
     int clients;
     Measured m;
@@ -123,6 +213,7 @@ struct SweepPoint {
 std::vector<SweepPoint> latency_throughput_sweep(
     const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
     const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
-    sim::Time measure);
+    sim::Time measure, ObsSession* obs = nullptr, const std::string& label = "",
+    int trace_clients = -1);
 
 }  // namespace neo::bench

@@ -2,7 +2,11 @@
 // of the from-scratch implementations backing the simulation's cost model.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "harness/harness.hpp"
 #include "crypto/hmac_sha256.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
@@ -90,4 +94,28 @@ BENCHMARK(BM_GeneratorMul);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): every bench binary accepts
+// --trace/--metrics, but google-benchmark rejects flags it does not know,
+// so strip them before handing argv over. These are wall-clock
+// micro-benchmarks with no simulator, so the session has nothing to attach.
+int main(int argc, char** argv) {
+    bench::ObsSession obs(argc, argv);
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
+            ++i;  // skip the flag's value too
+            continue;
+        }
+        if (std::strncmp(argv[i], "--trace=", 8) == 0 ||
+            std::strncmp(argv[i], "--metrics=", 10) == 0) {
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -42,7 +42,8 @@ Counts measure(Deployment& d, sim::Time warmup, sim::Time measure_t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Table 1: complexity comparison (measured per committed request) ===\n");
     std::printf("analytic columns (paper):\n");
     std::printf("  protocol   repl.factor  bottleneck  authenticators  delays\n");
@@ -67,7 +68,9 @@ int main() {
             p.n_replicas = n;
             p.n_clients = kClients;
             auto d = make_neobft(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".neobft_hm", true);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             table.row({"NeoBFT-HM", fmt_double(c.bottleneck_msgs_per_req, 2),
                        fmt_double(c.authenticators_per_req, 2)});
         }
@@ -77,7 +80,9 @@ int main() {
             p.n_clients = kClients;
             p.variant = NeoVariant::kPk;
             auto d = make_neobft(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".neobft_pk", false);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             // The O(1) bottleneck claim is group-size agnostic for aom-pk;
             // aom-hm replicas receive ceil(N/4) subgroup packets (§6.3).
             table.row({"NeoBFT-PK", fmt_double(c.bottleneck_msgs_per_req, 2),
@@ -88,7 +93,9 @@ int main() {
             p.n_replicas = n;
             p.n_clients = kClients;
             auto d = make_pbft(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".pbft", false);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             table.row({"PBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
                        fmt_double(c.authenticators_per_req, 2)});
         }
@@ -97,7 +104,9 @@ int main() {
             p.n_replicas = n;
             p.n_clients = kClients;
             auto d = make_zyzzyva(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".zyzzyva", false);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             table.row({"Zyzzyva", fmt_double(c.bottleneck_msgs_per_req, 2),
                        fmt_double(c.authenticators_per_req, 2)});
         }
@@ -106,7 +115,9 @@ int main() {
             p.n_replicas = n;
             p.n_clients = kClients;
             auto d = make_hotstuff(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".hotstuff", false);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             table.row({"HotStuff", fmt_double(c.bottleneck_msgs_per_req, 2),
                        fmt_double(c.authenticators_per_req, 2)});
         }
@@ -115,7 +126,9 @@ int main() {
             p.n_replicas = n;
             p.n_clients = kClients;
             auto d = make_minbft(p);
+            obs.begin_run(*d, "n" + std::to_string(n) + ".minbft", false);
             Counts c = measure(*d, kWarm, kMeasure);
+            obs.end_run();
             table.row({"MinBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
                        fmt_double(c.authenticators_per_req, 2)});
         }

@@ -16,7 +16,9 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);  // accepts --trace/--metrics; this bench runs no simulation
+    (void)obs;
     std::printf("=== Table 2: aom-hm switch data-plane model ===\n\n");
     std::printf("paper (Tofino synthesis):\n");
     std::printf("  module  stages  action_data  hash_bit  hash_unit  VLIW\n");

@@ -13,7 +13,8 @@
 using namespace neo;
 using namespace neo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    ObsSession obs(argc, argv);
     std::printf("=== Table 3: aom-pk FPGA coprocessor model ===\n\n");
     std::printf("paper (Alveo U50 synthesis):\n");
     std::printf("  module    LUT     register  BRAM    DSP\n");
@@ -40,7 +41,13 @@ int main() {
         cfg.precompute.refill_per_sec = 1'000'000.0;
         AomBench bench(aom::AuthVariant::kPublicKey, 4, 17, cfg);
         auto gap = static_cast<sim::Time>(1000.0 / mpps);
+        std::string label = "aom_pk.offered" + fmt_double(mpps, 2);
+        obs.begin_run(bench.simulator(), label, true,
+                      [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
+                          bench.register_obs(reg, label, tr);
+                      });
         bench.run(200'000, std::max<sim::Time>(1, gap));
+        obs.end_run();
         double signed_pct = 100.0 *
                             static_cast<double>(bench.sequencer().signatures_generated()) /
                             static_cast<double>(bench.sequencer().packets_sequenced());

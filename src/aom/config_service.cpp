@@ -98,7 +98,7 @@ void ConfigService::start_reconfig(GroupState& gs, EpochNum next_epoch) {
 
         NEO_INFO("config-service: group " << group << " failed over to switch "
                                           << ann.sequencer << " epoch " << next_epoch);
-    });
+    }, "reconfig");
     NEO_INFO("config-service: reconfiguring group " << gs.cfg.group << " for epoch "
                                                     << next_epoch);
 }

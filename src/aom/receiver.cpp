@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace neo::aom {
 
@@ -301,12 +302,15 @@ void AomReceiver::queue_own_confirm(SeqNum seq, const Digest32& digest) {
         host_->aom_set_timer(opts_.confirm_flush_interval, [this] {
             confirm_timer_armed_ = false;
             flush_confirms();
-        });
+        }, "confirm_flush");
     }
 }
 
 void AomReceiver::flush_confirms() {
     if (confirm_outbox_.empty()) return;
+    if (obs::TraceSink* tr = host_->aom_trace()) {
+        tr->batch(host_->aom_now(), self_, "confirm_batch", confirm_outbox_.size());
+    }
     ConfirmPacket pkt;
     pkt.sender = self_;
     pkt.group = group_.group;
@@ -439,7 +443,8 @@ void AomReceiver::arm_gap_timer() {
 
     gap_timer_armed_ = true;
     gap_timer_seq_ = next_seq_;
-    gap_timer_id_ = host_->aom_set_timer(opts_.gap_timeout, [this] { fire_gap_timer(); });
+    gap_timer_id_ =
+        host_->aom_set_timer(opts_.gap_timeout, [this] { fire_gap_timer(); }, "gap_timeout");
 }
 
 void AomReceiver::fire_gap_timer() {
@@ -456,6 +461,9 @@ void AomReceiver::fire_gap_timer() {
 
     // The hole persisted: hand the application a drop-notification so the
     // protocol can run its gap agreement (§5.4).
+    if (obs::TraceSink* tr = host_->aom_trace()) {
+        tr->phase(host_->aom_now(), self_, "aom_drop_notification", next_seq_);
+    }
     Delivery d;
     d.kind = Delivery::Kind::kDropNotification;
     d.epoch = epoch_;

@@ -25,6 +25,10 @@
 #include "crypto/identity.hpp"
 #include "sim/time.hpp"
 
+namespace neo::obs {
+class TraceSink;
+}
+
 namespace neo::aom {
 
 /// Host services the receiver library needs (sending confirm packets,
@@ -35,9 +39,13 @@ class ReceiverHost {
   public:
     virtual ~ReceiverHost() = default;
     virtual void aom_send(NodeId to, Bytes data) = 0;
-    virtual std::uint64_t aom_set_timer(sim::Time delay, std::function<void()> fn) = 0;
+    /// `label` names the timer in traces; static storage duration required.
+    virtual std::uint64_t aom_set_timer(sim::Time delay, std::function<void()> fn,
+                                        const char* label) = 0;
     virtual void aom_cancel_timer(std::uint64_t id) = 0;
     virtual sim::Time aom_now() const = 0;
+    /// Trace sink for library-level events; nullptr disables tracing.
+    virtual obs::TraceSink* aom_trace() { return nullptr; }
 };
 
 struct ReceiverOptions {

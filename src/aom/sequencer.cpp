@@ -2,6 +2,8 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace neo::aom {
 
@@ -31,6 +33,17 @@ void SequencerSwitch::install_group(const GroupConfig& group, EpochNum epoch) {
 }
 
 void SequencerSwitch::remove_group(GroupId group) { groups_.erase(group); }
+
+void SequencerSwitch::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".packets_sequenced", static_cast<double>(packets_sequenced_));
+        r.set_value(prefix + ".signatures_generated",
+                    static_cast<double>(signatures_generated_));
+        r.set_value(prefix + ".signatures_skipped", static_cast<double>(signatures_skipped_));
+        r.set_value(prefix + ".tail_drops", static_cast<double>(tail_drops_));
+        r.set_value(prefix + ".precompute_stock", stock_);
+    });
+}
 
 void SequencerSwitch::refill_stock() {
     if (!stock_initialized_) {
@@ -68,6 +81,7 @@ void SequencerSwitch::on_packet(NodeId from, BytesView data) {
 
     if (in_flight_ >= cfg_.max_queue_depth) {
         ++tail_drops_;
+        if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "tail_drop");
         return;
     }
 
@@ -100,6 +114,9 @@ void SequencerSwitch::on_packet(NodeId from, BytesView data) {
 
 void SequencerSwitch::process_hm(GroupState& gs, const DataPacket& pkt, sim::Time emit_time) {
     SeqNum seq = gs.next_seq++;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->seq_stamp(sim().now(), id(), gs.cfg.group, seq, /*with_signature=*/false);
+    }
     int receivers = static_cast<int>(gs.cfg.receivers.size());
     int subgroups = hm_subgroup_count(receivers);
 
@@ -178,6 +195,9 @@ void SequencerSwitch::process_pk(GroupState& gs, const DataPacket& pkt, sim::Tim
     gs.head_prev = prev;
     gs.head_digest = pkt.digest;
     ++gs.checkpoint_generation;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->seq_stamp(sim().now(), id(), gs.cfg.group, seq, gs.head_signed);
+    }
 
     Bytes wire = out.serialize();
     for (NodeId receiver : gs.cfg.receivers) emit(receiver, depart, wire);
@@ -216,6 +236,9 @@ void SequencerSwitch::schedule_checkpoint(GroupId group) {
         ++signatures_generated_;
         gs.head_signed = true;
         gs.unsigned_run = 0;
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "checkpoint", gs.head_seq);
+        }
 
         signer_busy_until_ = std::max(signer_busy_until_, sim().now()) + cfg_.pk_sign_service_ns;
         sim::Time depart = signer_busy_until_ + cfg_.pk_sign_latency_ns;

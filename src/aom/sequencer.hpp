@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "aom/keys.hpp"
@@ -17,6 +18,10 @@
 #include "crypto/identity.hpp"
 #include "sim/costs.hpp"
 #include "sim/network.hpp"
+
+namespace neo::obs {
+class Registry;
+}
 
 namespace neo::aom {
 
@@ -72,6 +77,10 @@ class SequencerSwitch : public sim::Node {
     std::uint64_t signatures_skipped() const { return signatures_skipped_; }
     std::uint64_t tail_drops() const { return tail_drops_; }
     double precompute_stock() const { return stock_; }
+
+    /// Publishes sequencing/signing counters under `prefix` at every
+    /// registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
 
   protected:
     /// Emission hook; Byzantine-switch test doubles override this to

@@ -21,6 +21,19 @@ bool is_aom_packet(BytesView packet) {
     return k.has_value() && *k < static_cast<std::uint8_t>(Wire::kProtoBase);
 }
 
+const char* wire_kind_name(std::uint8_t kind) {
+    switch (static_cast<Wire>(kind)) {
+        case Wire::kData: return "aom_data";
+        case Wire::kSeqHm: return "aom_seq_hm";
+        case Wire::kSeqPk: return "aom_seq_pk";
+        case Wire::kCheckpoint: return "aom_checkpoint";
+        case Wire::kConfirm: return "aom_confirm";
+        case Wire::kFailoverReq: return "aom_failover_req";
+        case Wire::kNewEpoch: return "aom_new_epoch";
+        default: return nullptr;
+    }
+}
+
 // ---------- DataPacket ----------
 
 Bytes DataPacket::serialize() const {

@@ -33,6 +33,10 @@ std::optional<std::uint8_t> peek_kind(BytesView packet);
 /// True if the packet belongs to the aom layer (kind < kProtoBase).
 bool is_aom_packet(BytesView packet);
 
+/// Stable name for an aom wire kind; nullptr for bytes the layer does not
+/// own (protocol kinds >= kProtoBase). Suitable as a metrics key fragment.
+const char* wire_kind_name(std::uint8_t kind);
+
 /// Sender -> sequencer.
 struct DataPacket {
     GroupId group = 0;

@@ -10,6 +10,28 @@ constexpr std::size_t kMaxOp = 1u << 20;
 constexpr std::size_t kMaxBatch = 4'096;
 }  // namespace
 
+const char* kind_name(std::uint8_t kind) {
+    switch (static_cast<Kind>(kind)) {
+        case Kind::kRequest: return "request";
+        case Kind::kReply: return "reply";
+        case Kind::kPrePrepare: return "preprepare";
+        case Kind::kPrepare: return "prepare";
+        case Kind::kCommit: return "commit";
+        case Kind::kCheckpoint: return "checkpoint";
+        case Kind::kOrderReq: return "order_req";
+        case Kind::kSpecResponse: return "spec_response";
+        case Kind::kCommitCert: return "commit_cert";
+        case Kind::kLocalCommit: return "local_commit";
+        case Kind::kHsProposal: return "hs_proposal";
+        case Kind::kHsVote: return "hs_vote";
+        case Kind::kMbPrepare: return "mb_prepare";
+        case Kind::kMbCommit: return "mb_commit";
+        case Kind::kUnrepRequest: return "unrep_request";
+        case Kind::kUnrepReply: return "unrep_reply";
+        default: return nullptr;
+    }
+}
+
 void put_signer_sigs(Writer& w, const std::vector<SignerSig>& sigs) {
     w.u32(static_cast<std::uint32_t>(sigs.size()));
     for (const auto& s : sigs) {
@@ -165,7 +187,8 @@ void QuorumClient::send_request(bool broadcast) {
     } else {
         send_to(cfg_.primary(0), outstanding_->wire);
     }
-    outstanding_->retry_timer = set_timer(retry_timeout_, [this] { send_request(true); });
+    outstanding_->retry_timer =
+        set_timer(retry_timeout_, [this] { send_request(true); }, "request_retry");
 }
 
 void QuorumClient::handle(NodeId from, BytesView data) {

@@ -52,6 +52,10 @@ enum class Kind : std::uint8_t {
     kUnrepReply = 0x5f,
 };
 
+/// Stable name for a baseline wire kind; nullptr for unknown bytes.
+/// Suitable as a metrics key fragment.
+const char* kind_name(std::uint8_t kind);
+
 struct BaseConfig {
     std::vector<NodeId> replicas;
     int f = 1;

@@ -1,5 +1,7 @@
 #include "baselines/hotstuff.hpp"
 
+#include "obs/metrics.hpp"
+
 #include "common/assert.hpp"
 
 namespace neo::baselines {
@@ -45,7 +47,7 @@ void HotStuffReplica::on_request(NodeId from, Reader& r) {
         set_timer(batcher_.delay(), [this] {
             batch_timer_armed_ = false;
             if (!batcher_.empty()) seal_batch();
-        });
+        }, "batch_flush");
     }
 }
 
@@ -87,6 +89,7 @@ bool HotStuffReplica::verify_qc(int phase, std::uint64_t seq, const Digest32& di
 
 void HotStuffReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
+    if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
     std::uint64_t seq = next_seq_++;
     Digest32 digest = batch_digest(batch);
 
@@ -247,9 +250,22 @@ void HotStuffReplica::try_execute() {
         inst.executed = true;
         ++last_executed_;
         ++stats_.batches_decided;
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "decide_batch", last_executed_);
+        }
         // Garbage-collect decided instances.
         instances_.erase(instances_.begin(), instances_.find(last_executed_));
     }
+}
+
+
+void HotStuffReplica::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".batches_decided", static_cast<double>(stats_.batches_decided));
+        r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".executed_seq", static_cast<double>(last_executed_));
+    });
+    register_rx_metrics(reg, prefix, &kind_name);
 }
 
 }  // namespace neo::baselines

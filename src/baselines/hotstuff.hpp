@@ -27,6 +27,9 @@ class HotStuffReplica : public sim::ProcessingNode {
         std::uint64_t requests_executed = 0;
     };
     const Stats& stats() const { return stats_; }
+    /// Publishes protocol counters (and per-kind rx counts) under `prefix`
+    /// at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
 
   protected:

@@ -1,5 +1,7 @@
 #include "baselines/minbft.hpp"
 
+#include "obs/metrics.hpp"
+
 #include "common/assert.hpp"
 #include "crypto/sha256.hpp"
 
@@ -71,12 +73,13 @@ void MinbftReplica::on_request(NodeId from, Reader& r) {
         set_timer(batcher_.delay(), [this] {
             batch_timer_armed_ = false;
             if (!batcher_.empty()) seal_batch();
-        });
+        }, "batch_flush");
     }
 }
 
 void MinbftReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
+    if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
     Digest32 bd = batch_digest(batch);
     std::uint64_t seq = next_seq_++;
     Usig::UI ui = metered_create(prepare_digest(view_, seq, bd));
@@ -199,8 +202,22 @@ void MinbftReplica::try_execute() {
         slot.executed = true;
         ++last_executed_;
         ++stats_.batches_committed;
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "commit_batch", last_executed_);
+        }
         slots_.erase(slots_.begin(), slots_.find(last_executed_));
     }
+}
+
+
+void MinbftReplica::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".batches_committed", static_cast<double>(stats_.batches_committed));
+        r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".usig_calls", static_cast<double>(stats_.usig_calls));
+        r.set_value(prefix + ".executed_seq", static_cast<double>(last_executed_));
+    });
+    register_rx_metrics(reg, prefix, &kind_name);
 }
 
 }  // namespace neo::baselines

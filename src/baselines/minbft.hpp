@@ -100,6 +100,9 @@ class MinbftReplica : public sim::ProcessingNode {
         std::uint64_t usig_calls = 0;
     };
     const Stats& stats() const { return stats_; }
+    /// Publishes protocol counters (and per-kind rx counts) under `prefix`
+    /// at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
 
   protected:

@@ -1,5 +1,7 @@
 #include "baselines/pbft.hpp"
 
+#include "obs/metrics.hpp"
+
 #include "common/assert.hpp"
 
 namespace neo::baselines {
@@ -48,7 +50,7 @@ void PbftReplica::on_request(NodeId from, Reader& r) {
         set_timer(batcher_.delay(), [this] {
             batch_timer_armed_ = false;
             if (!batcher_.empty()) seal_batch();
-        });
+        }, "batch_flush");
     }
 }
 
@@ -74,6 +76,7 @@ Bytes PbftReplica::phase_body(std::string_view tag, std::uint64_t seq, const Dig
 
 void PbftReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
+    if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
     std::uint64_t seq = next_seq_++;
     Digest32 digest = batch_digest(batch);
 
@@ -198,6 +201,9 @@ void PbftReplica::try_execute() {
         it->second.executed = true;
         ++last_executed_;
         ++stats_.batches_committed;
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "commit_batch", last_executed_);
+        }
     }
     maybe_checkpoint();
 }
@@ -270,6 +276,17 @@ void PbftReplica::on_checkpoint_quorum(std::uint64_t seq) {
     // Garbage-collect slots and votes at or below the stable checkpoint.
     slots_.erase(slots_.begin(), slots_.upper_bound(seq));
     checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(seq));
+}
+
+
+void PbftReplica::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".batches_committed", static_cast<double>(stats_.batches_committed));
+        r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".checkpoints", static_cast<double>(stats_.checkpoints));
+        r.set_value(prefix + ".executed_seq", static_cast<double>(last_executed_));
+    });
+    register_rx_metrics(reg, prefix, &kind_name);
 }
 
 }  // namespace neo::baselines

@@ -24,6 +24,9 @@ class PbftReplica : public sim::ProcessingNode {
         std::uint64_t checkpoints = 0;
     };
     const Stats& stats() const { return stats_; }
+    /// Publishes protocol counters (and per-kind rx counts) under `prefix`
+    /// at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
 
     /// Pluggable deterministic application (defaults to echo).
     using AppFn = std::function<Bytes(BytesView)>;

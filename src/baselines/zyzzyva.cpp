@@ -1,5 +1,7 @@
 #include "baselines/zyzzyva.hpp"
 
+#include "obs/metrics.hpp"
+
 #include "common/assert.hpp"
 #include "crypto/sha256.hpp"
 
@@ -49,7 +51,7 @@ void ZyzzyvaReplica::on_request(NodeId from, Reader& r) {
         set_timer(batcher_.delay(), [this] {
             batch_timer_armed_ = false;
             if (!batcher_.empty()) seal_batch();
-        });
+        }, "batch_flush");
     }
 }
 
@@ -66,6 +68,7 @@ Bytes ZyzzyvaReplica::order_body(std::uint64_t seq, const Digest32& history,
 
 void ZyzzyvaReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
+    if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
     std::uint64_t seq = next_seq_++;
     Digest32 digest = batch_digest(batch);
     Digest32 new_history =
@@ -83,6 +86,7 @@ void ZyzzyvaReplica::seal_batch() {
     broadcast(cfg_.others(id()), std::move(w).take());
 
     ++stats_.batches_ordered;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "order_batch", seq);
     execute_ordered(seq, std::move(batch));
 }
 
@@ -221,11 +225,11 @@ void ZyzzyvaClient::invoke(Bytes op, Callback cb) {
 
     outstanding_->fast_timer = set_timer(opts_.fast_path_timeout, [this] {
         if (outstanding_.has_value() && !outstanding_->slow_path) start_slow_path();
-    });
+    }, "fast_path");
     outstanding_->retry_timer = set_timer(opts_.retry_timeout, [this] {
         if (!outstanding_.has_value()) return;
         for (NodeId r : cfg_.replicas) send_to(r, outstanding_->wire);
-    });
+    }, "request_retry");
 }
 
 void ZyzzyvaClient::handle(NodeId from, BytesView data) {
@@ -319,7 +323,7 @@ void ZyzzyvaClient::start_slow_path() {
     // Not enough matching responses yet: re-check as more arrive.
     outstanding_->fast_timer = set_timer(opts_.fast_path_timeout, [this] {
         if (outstanding_.has_value() && outstanding_->slow_key.empty()) start_slow_path();
-    });
+    }, "fast_path");
 }
 
 void ZyzzyvaClient::on_local_commit(NodeId from, Reader& r) {
@@ -354,6 +358,17 @@ void ZyzzyvaClient::complete(Bytes result) {
     outstanding_.reset();
     ++completed_;
     cb(std::move(result));
+}
+
+
+void ZyzzyvaReplica::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".batches_ordered", static_cast<double>(stats_.batches_ordered));
+        r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".local_commits", static_cast<double>(stats_.local_commits));
+        r.set_value(prefix + ".executed_seq", static_cast<double>(max_executed_));
+    });
+    register_rx_metrics(reg, prefix, &kind_name);
 }
 
 }  // namespace neo::baselines

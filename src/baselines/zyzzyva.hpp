@@ -28,6 +28,9 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
         std::uint64_t local_commits = 0;
     };
     const Stats& stats() const { return stats_; }
+    /// Publishes protocol counters (and per-kind rx counts) under `prefix`
+    /// at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
 
     /// Zyzzyva-F: the replica stops responding (but the protocol's safety

@@ -1,12 +1,14 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace neo {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -19,14 +21,44 @@ const char* level_name(LogLevel level) {
     }
     return "?";
 }
+
+LogLevel startup_level() {
+    const char* e = std::getenv("NEO_LOG_LEVEL");
+    return e ? parse_log_level(e) : LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{startup_level()};
+std::function<std::int64_t()> g_time_source;
+
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+    std::string s;
+    for (char c : name) s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "trace") return LogLevel::kTrace;
+    if (s == "debug") return LogLevel::kDebug;
+    if (s == "info") return LogLevel::kInfo;
+    if (s == "warn" || s == "warning") return LogLevel::kWarn;
+    if (s == "error") return LogLevel::kError;
+    if (s == "off" || s == "none") return LogLevel::kOff;
+    return fallback;
+}
+
+void set_log_time_source(std::function<std::int64_t()> fn) { g_time_source = std::move(fn); }
+void clear_log_time_source() { g_time_source = nullptr; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    if (g_time_source) {
+        std::int64_t ns = g_time_source();
+        std::fprintf(stderr, "[%" PRId64 ".%03dus] [%s] %s\n", ns / 1000,
+                     static_cast<int>(ns % 1000), level_name(level), msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    }
 }
 }  // namespace detail
 

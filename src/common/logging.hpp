@@ -2,6 +2,8 @@
 // examples can raise the level per-run.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,9 +11,22 @@ namespace neo {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide minimum level. Defaults to kWarn.
+/// Process-wide minimum level. Defaults to kWarn, or to the NEO_LOG_LEVEL
+/// environment variable when set at startup (trace|debug|info|warn|error|off,
+/// case-insensitive).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parses a level name ("debug", "WARN", ...); returns `fallback` on
+/// anything unrecognised.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback = LogLevel::kWarn);
+
+/// Optional timestamp prefix: when a source is installed, every log line is
+/// prefixed with the virtual time it returns (nanoseconds, printed as
+/// microseconds). The bench harness points this at the traced simulator's
+/// clock; callers must clear it before the clock owner is destroyed.
+void set_log_time_source(std::function<std::int64_t()> fn);
+void clear_log_time_source();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -29,6 +29,9 @@ void Client::invoke(Bytes op, Callback cb) {
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
 
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "request_invoke", outstanding_->request_id);
+    }
     send_request();
 }
 
@@ -45,7 +48,7 @@ void Client::send_request() {
         // Re-wrap: the route may have changed after a failover.
         outstanding_->aom_packet = sender_.make_packet(outstanding_->request_wire);
         send_request();
-    });
+    }, "request_retry");
 }
 
 void Client::handle(NodeId from, BytesView data) {
@@ -79,6 +82,9 @@ void Client::on_reply(NodeId from, Reader& r) {
     if (vote.replicas.size() >= cfg_.quorum()) {
         Bytes result = vote.result;
         Callback cb = std::move(outstanding_->cb);
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "request_complete", outstanding_->request_id);
+        }
         cancel_timer(outstanding_->retry_timer);
         outstanding_.reset();
         ++completed_;

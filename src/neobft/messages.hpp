@@ -35,6 +35,11 @@ enum class MsgKind : std::uint8_t {
     kGapCertReply = 0x32,
 };
 
+/// Stable name for a NeoBFT wire kind (falls through to the aom layer's
+/// names for kinds below kProtoBase); nullptr for unknown bytes. Suitable
+/// as a metrics key fragment.
+const char* msg_kind_name(std::uint8_t kind);
+
 /// View number: ⟨epoch-num, leader-num⟩ (§5.2).
 struct ViewId {
     EpochNum epoch = 1;

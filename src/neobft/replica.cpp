@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "sim/costs.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace neo::neobft {
 
@@ -160,6 +161,7 @@ void Replica::execute_slot(std::uint64_t slot) {
     entry.applied = true;
     executed_ = slot;
     ++stats_.requests_executed;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "execute", slot);
     pending_client_requests_.erase(entry.client);
     send_reply(slot);
 }
@@ -210,6 +212,7 @@ void Replica::on_request_unicast(NodeId from, Reader& r) {
 
 void Replica::on_drop_notification(std::uint64_t slot) {
     NEO_ASSERT(slot == log_.size() + 1);
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "gap_start", slot);
     blocked_slot_ = slot;
     blocked_since_ = sim().now();
     GapRound& round = gaps_[slot];
@@ -249,7 +252,7 @@ void Replica::start_query(std::uint64_t slot) {
         // itself), which we may act on — only bare ordering certificates
         // are off-limits after a drop vote (§5.4).
         start_query(slot);
-    });
+    }, "query_retry");
 }
 
 void Replica::on_query(NodeId from, Reader& r) {
@@ -379,7 +382,7 @@ void Replica::arm_gap_retry(std::uint64_t slot) {
             if (cit != r.commits.end()) broadcast(cfg_.others(id()), cit->second.serialize());
         }
         arm_gap_retry(slot);
-    });
+    }, "gap_retry");
 }
 
 void Replica::on_gap_find(NodeId from, Reader& r) {
@@ -579,6 +582,9 @@ void Replica::finalize_gap(std::uint64_t slot, bool recv,
                            const std::optional<aom::OrderingCert>& oc, GapCertificate cert) {
     GapRound& round = gaps_[slot];
     if (round.resolved) return;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "gap_resolve", slot, recv ? 1 : 0);
+    }
     round.resolved = true;
     round.outcome_recv = recv;
     round.outcome_oc = oc;
@@ -638,6 +644,7 @@ void Replica::fill_slot_with_oc(std::uint64_t slot, const aom::OrderingCert& oc)
 
 void Replica::commit_noop(std::uint64_t slot, GapCertificate cert) {
     ++stats_.gap_noops_committed;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "gap_noop", slot);
     view_noop_certs_.push_back(cert);
     if (!log_.has(slot)) {
         NEO_ASSERT(slot == log_.size() + 1);
@@ -672,6 +679,7 @@ void Replica::unblock(std::uint64_t slot) {
 
 void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replacement) {
     ++stats_.rollbacks;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "rollback", slot);
     // Undo every applied application op at slots >= `slot` (LIFO).
     for (std::uint64_t s = log_.size(); s >= slot; --s) {
         LogEntry& e = log_.at(s);
@@ -771,6 +779,7 @@ void Replica::try_complete_sync(std::uint64_t slot) {
     sync_cert_.log_hash = my_hash;
     sync_cert_.sigs = std::move(sigs);
     ++stats_.syncs_completed;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "sync_complete", slot);
 
     // Tell the app its prefix is durable (count applied ops up to slot,
     // extending the running counter from the previous sync point).
@@ -784,6 +793,37 @@ void Replica::try_complete_sync(std::uint64_t slot) {
     pending_syncs_.erase(pending_syncs_.begin(), pending_syncs_.upper_bound(slot));
     std::erase_if(view_noop_certs_, [slot](const GapCertificate& c) { return c.slot <= slot; });
     std::erase_if(gaps_, [slot](const auto& kv) { return kv.first <= slot && kv.second.resolved; });
+}
+
+// ------------------------------------------------------------------ metrics
+
+void Replica::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".requests_executed",
+                    static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".replies_sent", static_cast<double>(stats_.replies_sent));
+        r.set_value(prefix + ".rollbacks", static_cast<double>(stats_.rollbacks));
+        r.set_value(prefix + ".gap_agreements_started",
+                    static_cast<double>(stats_.gap_agreements_started));
+        r.set_value(prefix + ".gap_noops_committed",
+                    static_cast<double>(stats_.gap_noops_committed));
+        r.set_value(prefix + ".queries_sent", static_cast<double>(stats_.queries_sent));
+        r.set_value(prefix + ".view_changes_started",
+                    static_cast<double>(stats_.view_changes_started));
+        r.set_value(prefix + ".views_entered", static_cast<double>(stats_.views_entered));
+        r.set_value(prefix + ".syncs_completed", static_cast<double>(stats_.syncs_completed));
+        r.set_value(prefix + ".executed_frontier", static_cast<double>(executed_));
+        r.set_value(prefix + ".sync_point", static_cast<double>(sync_point_));
+        if (receiver_) {
+            r.set_value(prefix + ".aom.delivered_messages",
+                        static_cast<double>(receiver_->delivered_messages()));
+            r.set_value(prefix + ".aom.delivered_drops",
+                        static_cast<double>(receiver_->delivered_drops()));
+            r.set_value(prefix + ".aom.rejected_packets",
+                        static_cast<double>(receiver_->rejected_packets()));
+        }
+    });
+    register_rx_metrics(reg, prefix, &msg_kind_name);
 }
 
 }  // namespace neo::neobft

@@ -61,13 +61,19 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     /// Fault injection for tests: a silent replica handles nothing.
     void set_silent(bool silent) { silent_ = silent; }
 
+    /// Publishes protocol counters (Stats, receiver stats, per-kind rx
+    /// counts) under `prefix` at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
+
     // ReceiverHost.
     void aom_send(NodeId to, Bytes data) override { send_to(to, std::move(data)); }
-    std::uint64_t aom_set_timer(sim::Time delay, std::function<void()> fn) override {
-        return set_timer(delay, std::move(fn));
+    std::uint64_t aom_set_timer(sim::Time delay, std::function<void()> fn,
+                                const char* label) override {
+        return set_timer(delay, std::move(fn), label);
     }
     void aom_cancel_timer(std::uint64_t id) override { cancel_timer(id); }
     sim::Time aom_now() const override { return const_cast<Replica*>(this)->sim().now(); }
+    obs::TraceSink* aom_trace() override { return sim().trace(); }
 
   protected:
     void handle(NodeId from, BytesView data) override;

@@ -16,7 +16,7 @@ void Replica::arm_progress_timer() {
         progress_timer_armed_ = false;
         on_progress_timeout();
         arm_progress_timer();
-    });
+    }, "progress");
 }
 
 void Replica::on_progress_timeout() {
@@ -59,6 +59,9 @@ void Replica::suspect(ViewId next_view) {
     target_view_ = next_view;
     status_ = Status::kViewChange;
     ++stats_.view_changes_started;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "view_suspect", next_view.epoch, next_view.leader);
+    }
     NEO_DEBUG("replica " << id() << " suspects; moving to view <" << next_view.epoch << ","
                          << next_view.leader << ">");
     broadcast_view_change();
@@ -98,7 +101,7 @@ void Replica::broadcast_view_change() {
         vc_rebroadcast_timer_ = set_timer(cfg_.view_change_rebroadcast, [this] {
             vc_rebroadcast_armed_ = false;
             if (status_ == Status::kViewChange) broadcast_view_change();
-        });
+        }, "vc_rebroadcast");
     }
     leader_try_start_view();
 }
@@ -209,7 +212,7 @@ void Replica::probe_leader(ViewId join_view) {
         ViewId join = *probe_join_view_;
         probe_join_view_.reset();
         if (join > view_ && status_ == Status::kNormal) suspect(join);
-    });
+    }, "probe");
 }
 
 void Replica::on_ping(NodeId from, Reader& r) {
@@ -495,6 +498,9 @@ void Replica::enter_view(ViewId v) {
     view_ = v;
     target_view_ = v;
     ++stats_.views_entered;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "view_enter", v.epoch, v.leader);
+    }
     gaps_.clear();
     blocked_slot_.reset();
     pending_queries_.clear();
@@ -517,6 +523,9 @@ void Replica::begin_epoch_wait() {
     status_ = Status::kEpochWait;
     waiting_epoch_ = view_.epoch;
     epoch_wait_slot_ = log_.size();
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "epoch_wait", view_.epoch, epoch_wait_slot_);
+    }
 
     EpochStart es;
     es.epoch = view_.epoch;
@@ -571,6 +580,9 @@ void Replica::maybe_enter_epoch() {
     receiver_->start_epoch(e, *sequencer);
     waiting_epoch_.reset();
     status_ = Status::kNormal;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "epoch_enter", e, epoch_wait_slot_ + 1);
+    }
     backlog_.clear();  // deliveries from the dead epoch are void
     // Restart the sequencer-suspicion grace period: the new sequencer only
     // begins carrying traffic now, not when the view change started.

@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace neo::obs {
+
+Counter& Registry::counter(const std::string& name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+void Registry::set_value(const std::string& name, double v) { values_[name] = v; }
+
+void Registry::add_collector(std::function<void(Registry&)> fn) {
+    collectors_.push_back(std::move(fn));
+}
+
+void Registry::run_collectors() {
+    if (collecting_) return;  // a collector dumping the registry re-enters
+    collecting_ = true;
+    for (auto& fn : collectors_) fn(*this);
+    collecting_ = false;
+}
+
+namespace {
+
+// Deterministic number formatting: integers print without a fraction, other
+// values with up to 6 significant decimals (trailing zeros trimmed).
+std::string fmt_number(double v) {
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    std::string s = buf;
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void Registry::write_json(std::ostream& os) {
+    run_collectors();
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+    os << "  \"values\": {";
+    first = true;
+    for (const auto& [name, v] : values_) {
+        os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << fmt_number(v);
+        first = false;
+    }
+    os << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+bool Registry::write_json_file(const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) return false;
+    write_json(os);
+    return static_cast<bool>(os);
+}
+
+std::map<std::string, double> Registry::snapshot() {
+    run_collectors();
+    std::map<std::string, double> out = values_;
+    for (const auto& [name, c] : counters_) out[name] = static_cast<double>(c->value());
+    return out;
+}
+
+}  // namespace neo::obs

@@ -1,0 +1,70 @@
+// Metrics registry: counters, gauges and dump-time collectors.
+//
+// Hot paths keep their counters as plain member integers (or obs::Counter
+// handles pre-registered before the run); the registry pulls everything
+// together at dump time via collectors, so instrumentation costs nothing
+// while the simulation runs. Output is JSON with keys sorted by name, which
+// makes dumps from same-seed runs byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neo::obs {
+
+/// Monotonic counter with a stable address: registry handles stay valid for
+/// the registry's lifetime, so nodes can hold `Counter&` and increment it
+/// from hot paths without any lookup.
+class Counter {
+  public:
+    void inc(std::uint64_t d = 1) { v_ += d; }
+    void set(std::uint64_t v) { v_ = v; }
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+class Registry {
+  public:
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. The returned reference is stable.
+    Counter& counter(const std::string& name);
+
+    /// Sets a point-in-time value (collectors use this to publish node
+    /// statistics at dump time; calling it again overwrites).
+    void set_value(const std::string& name, double v);
+
+    /// Registers a dump-time callback. Collectors run (in registration
+    /// order) at the start of every write_json / values snapshot, and
+    /// typically publish a node's internal counters via set_value().
+    void add_collector(std::function<void(Registry&)> fn);
+
+    /// Runs collectors, then writes `{"counters":{...},"values":{...}}`
+    /// with keys sorted lexicographically.
+    void write_json(std::ostream& os);
+    /// write_json to a file; returns false if the file cannot be opened.
+    bool write_json_file(const std::string& path);
+
+    /// Runs collectors and returns a merged name -> value snapshot
+    /// (counters and values; counters win on name collision).
+    std::map<std::string, double> snapshot();
+
+  private:
+    void run_collectors();
+
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, double> values_;
+    std::vector<std::function<void(Registry&)>> collectors_;
+    bool collecting_ = false;
+};
+
+/// JSON string escaping shared by the metrics and trace writers.
+std::string json_escape(const std::string& s);
+
+}  // namespace neo::obs

@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace neo::obs {
+
+const char* drop_reason_name(DropReason r) {
+    switch (r) {
+        case DropReason::kSenderDown: return "sender_down";
+        case DropReason::kPartitioned: return "partitioned";
+        case DropReason::kLinkLoss: return "link_loss";
+        case DropReason::kTampered: return "tampered";
+        case DropReason::kReceiverDown: return "receiver_down";
+        case DropReason::kNoRoute: return "no_route";
+        case DropReason::kCount_: break;
+    }
+    return "?";
+}
+
+const char* event_kind_name(EventKind k) {
+    switch (k) {
+        case EventKind::kPacketSend: return "packet_send";
+        case EventKind::kPacketDeliver: return "packet_deliver";
+        case EventKind::kPacketDrop: return "packet_drop";
+        case EventKind::kSeqStamp: return "seq_stamp";
+        case EventKind::kPhase: return "phase";
+        case EventKind::kTimerArm: return "timer_arm";
+        case EventKind::kTimerFire: return "timer_fire";
+        case EventKind::kTimerCancel: return "timer_cancel";
+        case EventKind::kBatch: return "batch";
+        case EventKind::kCrypto: return "crypto";
+        case EventKind::kCpuSpan: return "cpu_span";
+    }
+    return "?";
+}
+
+namespace {
+
+// Virtual-time nanoseconds -> Chrome's microsecond timestamps, formatted
+// from integers (never through a double) so output is byte-stable.
+void append_ts_us(std::string& out, sim::Time t_ns) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", t_ns / 1000,
+                  static_cast<int>(t_ns % 1000));
+    out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out += buf;
+}
+
+// Kind-specific argument payload, shared between the JSONL writer and the
+// Chrome "args" object so both formats name fields identically.
+void append_args(std::string& out, const TraceEvent& e) {
+    auto field = [&out](const char* k, std::uint64_t v, bool first = false) {
+        if (!first) out += ",";
+        out += "\"";
+        out += k;
+        out += "\":";
+        append_u64(out, v);
+    };
+    switch (e.kind) {
+        case EventKind::kPacketSend:
+        case EventKind::kPacketDrop:
+            field("to", e.a, true);
+            field("bytes", e.b);
+            if (e.kind == EventKind::kPacketDrop) {
+                out += ",\"reason\":\"";
+                out += e.label;
+                out += "\"";
+            }
+            break;
+        case EventKind::kPacketDeliver:
+            field("from", e.a, true);
+            field("bytes", e.b);
+            break;
+        case EventKind::kSeqStamp:
+            field("seq", e.a, true);
+            field("signed", e.b);
+            field("group", e.c);
+            break;
+        case EventKind::kPhase:
+            field("a", e.a, true);
+            field("b", e.b);
+            break;
+        case EventKind::kTimerArm:
+            field("timer", e.a, true);
+            field("delay_ns", e.b);
+            break;
+        case EventKind::kTimerFire:
+        case EventKind::kTimerCancel:
+            field("timer", e.a, true);
+            break;
+        case EventKind::kBatch:
+            field("size", e.a, true);
+            break;
+        case EventKind::kCrypto:
+            field("cost_ns", e.a, true);
+            break;
+        case EventKind::kCpuSpan:
+            out += "\"dur_ns\":";
+            append_i64(out, e.dur);
+            break;
+    }
+}
+
+}  // namespace
+
+void TraceSink::write_jsonl(std::ostream& os) const {
+    std::string line;
+    for (const TraceEvent& e : events_) {
+        line.clear();
+        line += "{\"t\":";
+        append_i64(line, e.t);
+        line += ",\"node\":";
+        append_u64(line, e.node);
+        line += ",\"ev\":\"";
+        line += event_kind_name(e.kind);
+        line += "\"";
+        if (e.label[0] != '\0' && e.kind != EventKind::kPacketDrop) {
+            line += ",\"label\":\"";
+            line += e.label;
+            line += "\"";
+        }
+        line += ",";
+        append_args(line, e);
+        line += "}\n";
+        os << line;
+    }
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+    // Stable sort by timestamp: almost everything is recorded in virtual-time
+    // order already, but sends scheduled with a future departure may be
+    // recorded early. Stability keeps same-timestamp order == record order.
+    std::vector<const TraceEvent*> sorted;
+    sorted.reserve(events_.size());
+    for (const TraceEvent& e : events_) sorted.push_back(&e);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) { return a->t < b->t; });
+
+    os << "{\"traceEvents\":[\n";
+    std::string line;
+    line += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+            "\"args\":{\"name\":\"neobft-sim\"}}";
+    os << line;
+
+    // One named track per node (nodes without a registered name still get a
+    // track; Chrome labels it with the tid).
+    for (const auto& [node, name] : node_names_) {
+        line.clear();
+        line += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+        append_u64(line, node);
+        line += ",\"args\":{\"name\":\"";
+        line += json_escape(name);
+        line += "\"}}";
+        os << line;
+    }
+
+    for (const TraceEvent* ep : sorted) {
+        const TraceEvent& e = *ep;
+        line.clear();
+        line += ",\n{\"name\":\"";
+        line += (e.label[0] != '\0' && e.kind != EventKind::kPacketDrop)
+                    ? e.label
+                    : event_kind_name(e.kind);
+        line += "\",\"cat\":\"";
+        line += event_kind_name(e.kind);
+        line += "\",\"ph\":\"";
+        line += (e.kind == EventKind::kCpuSpan) ? "X" : "i";
+        line += "\",\"pid\":0,\"tid\":";
+        append_u64(line, e.node);
+        line += ",\"ts\":";
+        append_ts_us(line, e.t);
+        if (e.kind == EventKind::kCpuSpan) {
+            line += ",\"dur\":";
+            append_ts_us(line, e.dur);
+        } else {
+            line += ",\"s\":\"t\"";
+        }
+        line += ",\"args\":{";
+        append_args(line, e);
+        line += "}}";
+        os << line;
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool TraceSink::write_jsonl_file(const std::string& path) const {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) return false;
+    write_jsonl(os);
+    return static_cast<bool>(os);
+}
+
+bool TraceSink::write_chrome_trace_file(const std::string& path) const {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) return false;
+    write_chrome_trace(os);
+    return static_cast<bool>(os);
+}
+
+}  // namespace neo::obs

@@ -1,0 +1,151 @@
+// Structured trace sink for simulation runs.
+//
+// Records typed events keyed by (virtual time, node, event kind): packet
+// send/deliver/drop with a drop reason, sequencer stamps, replica phase
+// transitions, timeout arm/fire/cancel, batch seals and modelled crypto
+// cost. Event content derives solely from the simulator's virtual clock and
+// protocol sequence numbers — never wall time — so two runs with the same
+// seed emit byte-identical traces (a cheap, powerful regression check).
+//
+// Exports:
+//  - JSONL: one event object per line, in recording order;
+//  - Chrome trace_event JSON: one track (tid) per node, loadable in
+//    chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost discipline: a disabled sink is a null pointer at the owning
+// Simulator, so every call site guards with a single branch and builds no
+// event arguments when tracing is off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace neo::obs {
+
+/// Why the simulated network dropped a packet.
+enum class DropReason : std::uint8_t {
+    kSenderDown = 0,   // crash model: a down node sends nothing
+    kPartitioned,      // directional block (partition)
+    kLinkLoss,         // random per-link / global loss
+    kTampered,         // Byzantine tamper hook returned kDrop
+    kReceiverDown,     // destination down at arrival time
+    kNoRoute,          // destination id not attached
+    kCount_,
+};
+const char* drop_reason_name(DropReason r);
+
+enum class EventKind : std::uint8_t {
+    kPacketSend = 0,
+    kPacketDeliver,
+    kPacketDrop,
+    kSeqStamp,       // sequencer assigned a sequence number
+    kPhase,          // protocol phase transition (label names the phase)
+    kTimerArm,
+    kTimerFire,
+    kTimerCancel,
+    kBatch,          // batch sealed (label names the batch kind)
+    kCrypto,         // modelled crypto cost charged to a task
+    kCpuSpan,        // ProcessingNode task execution (duration event)
+};
+const char* event_kind_name(EventKind k);
+
+/// One recorded event. `label` must point to a string with static storage
+/// duration (phase names, timer purposes) — the sink stores the pointer.
+/// The meaning of a/b/c depends on the kind; see the recording helpers.
+struct TraceEvent {
+    sim::Time t = 0;
+    sim::Time dur = 0;  // kCpuSpan only
+    NodeId node = 0;    // track the event is drawn on
+    EventKind kind = EventKind::kPhase;
+    const char* label = "";
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+};
+
+class TraceSink {
+  public:
+    // ---- recording (call sites guard on a null sink; these never check) ----
+
+    /// a=to, b=bytes. Recorded on the sender's track at departure time.
+    void packet_send(sim::Time t, NodeId from, NodeId to, std::size_t bytes) {
+        push({t, 0, from, EventKind::kPacketSend, "", to, bytes, 0});
+    }
+    /// a=from, b=bytes. Recorded on the receiver's track at arrival time.
+    void packet_deliver(sim::Time t, NodeId from, NodeId to, std::size_t bytes) {
+        push({t, 0, to, EventKind::kPacketDeliver, "", from, bytes, 0});
+    }
+    /// a=to, b=bytes. Recorded on the sender's track; label = reason.
+    void packet_drop(sim::Time t, NodeId from, NodeId to, std::size_t bytes, DropReason reason) {
+        push({t, 0, from, EventKind::kPacketDrop, drop_reason_name(reason), to, bytes,
+              static_cast<std::uint64_t>(reason)});
+    }
+    /// a=seq, b=signed(0/1), c=group.
+    void seq_stamp(sim::Time t, NodeId sequencer, std::uint64_t group, std::uint64_t seq,
+                   bool with_signature) {
+        push({t, 0, sequencer, EventKind::kSeqStamp, "", seq, with_signature ? 1u : 0u, group});
+    }
+    /// Protocol phase transition; a/b are phase-specific (slot, view, ...).
+    void phase(sim::Time t, NodeId node, const char* name, std::uint64_t a = 0,
+               std::uint64_t b = 0) {
+        push({t, 0, node, EventKind::kPhase, name, a, b, 0});
+    }
+    /// a=timer id, b=delay ns; label = what the timer protects.
+    void timer_arm(sim::Time t, NodeId node, std::uint64_t id, const char* what, sim::Time delay) {
+        push({t, 0, node, EventKind::kTimerArm, what, id, static_cast<std::uint64_t>(delay), 0});
+    }
+    void timer_fire(sim::Time t, NodeId node, std::uint64_t id, const char* what) {
+        push({t, 0, node, EventKind::kTimerFire, what, id, 0, 0});
+    }
+    void timer_cancel(sim::Time t, NodeId node, std::uint64_t id) {
+        push({t, 0, node, EventKind::kTimerCancel, "", id, 0, 0});
+    }
+    /// a=batch size.
+    void batch(sim::Time t, NodeId node, const char* what, std::size_t size) {
+        push({t, 0, node, EventKind::kBatch, what, size, 0, 0});
+    }
+    /// a=modelled cost ns; label = "sync" (serialises the node) or "async"
+    /// (overlapped on worker cores).
+    void crypto_cost(sim::Time t, NodeId node, const char* mode, sim::Time cost_ns) {
+        push({t, 0, node, EventKind::kCrypto, mode, static_cast<std::uint64_t>(cost_ns), 0, 0});
+    }
+    /// Duration event: the node's CPU was busy [t, t+dur) running `what`.
+    void cpu_span(sim::Time t, NodeId node, const char* what, sim::Time dur) {
+        push({t, dur, node, EventKind::kCpuSpan, what, 0, 0, 0});
+    }
+
+    // ---- configuration ----
+
+    /// Human-readable track name for a node ("replica 1", "sequencer 910");
+    /// exported as Chrome thread_name metadata.
+    void set_node_name(NodeId node, std::string name) { node_names_[node] = std::move(name); }
+
+    // ---- access / export ----
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /// One JSON object per line, recording order.
+    void write_jsonl(std::ostream& os) const;
+    /// Chrome trace_event JSON (object format). Events are stably sorted by
+    /// timestamp; metadata rows name one track per node.
+    void write_chrome_trace(std::ostream& os) const;
+
+    bool write_jsonl_file(const std::string& path) const;
+    bool write_chrome_trace_file(const std::string& path) const;
+
+  private:
+    void push(TraceEvent e) { events_.push_back(e); }
+
+    std::vector<TraceEvent> events_;
+    std::map<NodeId, std::string> node_names_;
+};
+
+}  // namespace neo::obs

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace neo::sim {
 
@@ -36,7 +37,49 @@ std::uint64_t Network::delivered_to(NodeId id) const {
 
 void Network::reset_counters() {
     packets_sent_ = packets_delivered_ = packets_dropped_ = bytes_sent_ = 0;
+    transit_time_ = 0;
+    drops_by_reason_.fill(0);
     delivered_to_.clear();
+}
+
+Time Network::total_cpu_busy() const {
+    Time total = 0;
+    for (const auto& [id, node] : nodes_) total += node->cpu_busy_time();
+    return total;
+}
+
+Time Network::total_queue_wait() const {
+    Time total = 0;
+    for (const auto& [id, node] : nodes_) total += node->cpu_queue_wait();
+    return total;
+}
+
+void Network::count_drop(obs::DropReason reason, Time t, NodeId from, NodeId to,
+                         std::size_t bytes) {
+    ++packets_dropped_;
+    ++drops_by_reason_[static_cast<std::size_t>(reason)];
+    if (obs::TraceSink* tr = sim_.trace()) tr->packet_drop(t, from, to, bytes, reason);
+}
+
+void Network::register_metrics(obs::Registry& reg, const std::string& prefix) {
+    reg.add_collector([this, prefix](obs::Registry& r) {
+        r.set_value(prefix + ".packets_sent", static_cast<double>(packets_sent_));
+        r.set_value(prefix + ".packets_delivered", static_cast<double>(packets_delivered_));
+        r.set_value(prefix + ".packets_dropped", static_cast<double>(packets_dropped_));
+        r.set_value(prefix + ".bytes_sent", static_cast<double>(bytes_sent_));
+        r.set_value(prefix + ".transit_time_ns", static_cast<double>(transit_time_));
+        for (std::size_t i = 0; i < drops_by_reason_.size(); ++i) {
+            if (drops_by_reason_[i] == 0) continue;
+            r.set_value(prefix + ".drops." +
+                            obs::drop_reason_name(static_cast<obs::DropReason>(i)),
+                        static_cast<double>(drops_by_reason_[i]));
+        }
+        for (const auto& [node, count] : std::map<NodeId, std::uint64_t>(delivered_to_.begin(),
+                                                                         delivered_to_.end())) {
+            r.set_value(prefix + ".delivered_to." + std::to_string(node),
+                        static_cast<double>(count));
+        }
+    });
 }
 
 void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
@@ -44,37 +87,51 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
     ++packets_sent_;
     bytes_sent_ += data.size();
 
-    if (is_down(from) || is_blocked(from, to)) {
-        ++packets_dropped_;
+    if (is_down(from)) {
+        count_drop(obs::DropReason::kSenderDown, depart, from, to, data.size());
+        return;
+    }
+    if (is_blocked(from, to)) {
+        count_drop(obs::DropReason::kPartitioned, depart, from, to, data.size());
         return;
     }
 
     const LinkConfig& cfg = link(from, to);
     double effective_drop = cfg.drop_rate + global_drop_rate_;
     if (effective_drop > 0.0 && rng_.chance(effective_drop)) {
-        ++packets_dropped_;
+        count_drop(obs::DropReason::kLinkLoss, depart, from, to, data.size());
         return;
     }
 
     if (tamper_) {
         if (tamper_(from, to, data) == TamperAction::kDrop) {
-            ++packets_dropped_;
+            count_drop(obs::DropReason::kTampered, depart, from, to, data.size());
             return;
         }
     }
+
+    if (obs::TraceSink* tr = sim_.trace()) tr->packet_send(depart, from, to, data.size());
 
     Time latency = cfg.latency;
     if (cfg.jitter > 0) latency += static_cast<Time>(rng_.uniform(static_cast<std::uint64_t>(cfg.jitter)));
     latency += static_cast<Time>(cfg.ns_per_byte * static_cast<double>(data.size()));
 
-    sim_.at(depart + latency, [this, from, to, data = std::move(data)]() {
+    sim_.at(depart + latency, [this, from, to, latency, data = std::move(data)]() {
         auto it = nodes_.find(to);
-        if (it == nodes_.end() || is_down(to)) {
-            ++packets_dropped_;
+        if (it == nodes_.end()) {
+            count_drop(obs::DropReason::kNoRoute, sim_.now(), from, to, data.size());
+            return;
+        }
+        if (is_down(to)) {
+            count_drop(obs::DropReason::kReceiverDown, sim_.now(), from, to, data.size());
             return;
         }
         ++packets_delivered_;
         ++delivered_to_[to];
+        transit_time_ += latency;
+        if (obs::TraceSink* tr = sim_.trace()) {
+            tr->packet_deliver(sim_.now(), from, to, data.size());
+        }
         it->second->on_packet(from, data);
     });
 }

@@ -5,15 +5,22 @@
 // deterministic per-network RNG stream.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+
+namespace neo::obs {
+class Registry;
+}
 
 namespace neo::sim {
 
@@ -77,10 +84,26 @@ class Network {
     std::uint64_t packets_dropped() const { return packets_dropped_; }
     std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+    /// Drop attribution: why each dropped packet was lost.
+    std::uint64_t dropped_for(obs::DropReason reason) const {
+        return drops_by_reason_[static_cast<std::size_t>(reason)];
+    }
+    /// Total virtual time delivered packets spent in flight (latency +
+    /// jitter + serialisation); the "network" share of end-to-end latency.
+    Time transit_time() const { return transit_time_; }
+    /// Aggregate CPU busy time across attached nodes (CPU-model share).
+    Time total_cpu_busy() const;
+    /// Aggregate arrival-queue wait across attached nodes (queueing share).
+    Time total_queue_wait() const;
+
     /// Per-destination delivered-message counter (Table 1 bottleneck
     /// message counting).
     std::uint64_t delivered_to(NodeId id) const;
     void reset_counters();
+
+    /// Publishes packet/byte/drop-reason counters (and per-destination
+    /// delivered counts) under `prefix` at every registry dump.
+    void register_metrics(obs::Registry& reg, const std::string& prefix);
 
   private:
     static std::uint64_t key(NodeId from, NodeId to) {
@@ -97,10 +120,15 @@ class Network {
     TamperFn tamper_;
     double global_drop_rate_ = 0.0;
 
+    void count_drop(obs::DropReason reason, Time t, NodeId from, NodeId to, std::size_t bytes);
+
     std::uint64_t packets_sent_ = 0;
     std::uint64_t packets_delivered_ = 0;
     std::uint64_t packets_dropped_ = 0;
     std::uint64_t bytes_sent_ = 0;
+    Time transit_time_ = 0;
+    std::array<std::uint64_t, static_cast<std::size_t>(obs::DropReason::kCount_)>
+        drops_by_reason_{};
     std::unordered_map<NodeId, std::uint64_t> delivered_to_;
 };
 
@@ -116,6 +144,12 @@ class Node {
 
     /// Raw packet delivery; called by the network at arrival time.
     virtual void on_packet(NodeId from, BytesView data) = 0;
+
+    /// CPU-model accounting, aggregated by Network::total_cpu_busy /
+    /// total_queue_wait for the bench harness's latency breakdown. Nodes
+    /// without a CPU model (e.g. the sequencer switch pipeline) report 0.
+    virtual Time cpu_busy_time() const { return 0; }
+    virtual Time cpu_queue_wait() const { return 0; }
 
   private:
     friend class Network;

@@ -1,12 +1,36 @@
 #include "sim/processing_node.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace neo::sim {
 
 void ProcessingNode::on_packet(NodeId from, BytesView data) {
-    queue_.push_back(QueuedItem{from, Bytes(data.begin(), data.end()), nullptr, 0});
+    ++rx_by_kind_[data.empty() ? 0 : data[0]];
+    queue_.push_back(QueuedItem{from, Bytes(data.begin(), data.end()), nullptr, 0, sim().now(),
+                                ""});
     maybe_schedule_drain();
+}
+
+void ProcessingNode::register_rx_metrics(obs::Registry& reg, const std::string& prefix,
+                                         KindNameFn name_fn) {
+    reg.add_collector([this, prefix, name_fn](obs::Registry& r) {
+        for (std::size_t kind = 0; kind < rx_by_kind_.size(); ++kind) {
+            if (rx_by_kind_[kind] == 0) continue;
+            const char* name = name_fn ? name_fn(static_cast<std::uint8_t>(kind)) : nullptr;
+            std::string key;
+            if (name != nullptr) {
+                key = prefix + ".rx." + name;
+            } else {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "0x%02zx", kind);
+                key = prefix + ".rx." + buf;
+            }
+            r.set_value(key, static_cast<double>(rx_by_kind_[kind]));
+        }
+    });
 }
 
 void ProcessingNode::maybe_schedule_drain() {
@@ -24,20 +48,23 @@ void ProcessingNode::drain_one() {
 
     if (item.task) {
         if (cancelled_timers_.erase(item.timer_id) == 0) {
-            run_task(cfg_.timer_overhead_ns, item.task);
+            total_queue_wait_ += sim().now() - item.enqueued_at;
+            run_task(cfg_.timer_overhead_ns, item.task, item.label);
         }
     } else {
         ++messages_handled_;
+        total_queue_wait_ += sim().now() - item.enqueued_at;
         Time recv_cost = cfg_.recv_overhead_ns +
                          static_cast<Time>(cfg_.io_ns_per_byte *
                                            static_cast<double>(item.data.size()));
-        run_task(recv_cost, [&] { handle(item.from, item.data); });
+        run_task(recv_cost, [&] { handle(item.from, item.data); }, "handle");
     }
 
     maybe_schedule_drain();
 }
 
-void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work) {
+void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work,
+                              const char* label) {
     NEO_ASSERT_MSG(!in_task_, "nested task execution");
     in_task_ = true;
     out_.clear();
@@ -47,8 +74,10 @@ void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work
 
     Time sync = fixed_cost + extra_sync_;
     Time async = 0;
+    Time sync_crypto = 0;
     if (meter_ != nullptr) {
-        sync += meter_->drain();
+        sync_crypto = meter_->drain();
+        sync += sync_crypto;
         async += meter_->drain_async(cfg_.crypto_parallelism);
     }
     for (const auto& send : out_) {
@@ -59,6 +88,12 @@ void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work
     Time start = sim().now();
     busy_until_ = start + sync;
     total_busy_ += sync;
+
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->cpu_span(start, id(), label, sync);
+        if (sync_crypto > 0) tr->crypto_cost(start, id(), "sync", sync_crypto);
+        if (async > 0) tr->crypto_cost(start, id(), "async", async);
+    }
 
     Time depart = busy_until_ + async;
     for (auto& send : out_) {
@@ -81,19 +116,34 @@ void ProcessingNode::broadcast(const std::vector<NodeId>& dests, const Bytes& da
     for (NodeId d : dests) send_to(d, data);
 }
 
-ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void()> fn) {
+ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void()> fn,
+                                                  const char* label) {
     TimerId tid = next_timer_++;
-    sim().after(delay, [this, tid, fn = std::move(fn)] {
+    if (obs::TraceSink* tr = sim().trace()) tr->timer_arm(sim().now(), id(), tid, label, delay);
+    sim().after(delay, [this, tid, label, fn = std::move(fn)] {
         if (net().is_down(id())) {
             cancelled_timers_.erase(tid);
             return;
         }
+        if (obs::TraceSink* tr = sim().trace()) {
+            // Cancelled timers still pass through the queue (drain_one
+            // suppresses them) so the simulator's event structure is
+            // independent of cancellation; only the trace skips them.
+            if (!cancelled_timers_.contains(tid)) tr->timer_fire(sim().now(), id(), tid, label);
+        }
         // Timer work contends for the same CPU as message handling: enqueue
         // it behind whatever the node is currently processing.
-        queue_.push_back(QueuedItem{kInvalidNode, {}, fn, tid});
+        queue_.push_back(QueuedItem{kInvalidNode, {}, fn, tid, sim().now(), label});
         maybe_schedule_drain();
     });
     return tid;
+}
+
+void ProcessingNode::cancel_timer(TimerId id) {
+    cancelled_timers_.insert(id);
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->timer_cancel(sim().now(), this->id(), id);
+    }
 }
 
 }  // namespace neo::sim

@@ -12,13 +12,19 @@
 // the throughput saturation and queuing-delay knees of Fig 7.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "crypto/cost.hpp"
 #include "sim/network.hpp"
+
+namespace neo::obs {
+class Registry;
+}
 
 namespace neo::sim {
 
@@ -51,6 +57,25 @@ class ProcessingNode : public Node {
     /// Total virtual time this node's CPU has been busy (utilisation stats).
     Time busy_time() const { return total_busy_; }
     std::uint64_t messages_handled() const { return messages_handled_; }
+    /// Total virtual time arrivals waited in the queue before processing.
+    Time queue_wait_time() const { return total_queue_wait_; }
+
+    Time cpu_busy_time() const override { return total_busy_; }
+    Time cpu_queue_wait() const override { return total_queue_wait_; }
+
+    /// Received-message count by wire-kind byte (the first payload byte).
+    /// One array increment per message; the raw material for Table 1's
+    /// per-message-type bottleneck counts.
+    std::uint64_t rx_count(std::uint8_t kind) const { return rx_by_kind_[kind]; }
+
+    /// Maps a wire-kind byte to a stable name for metrics keys; returns
+    /// nullptr for kinds the protocol does not name (dumped as "0x%02x").
+    using KindNameFn = const char* (*)(std::uint8_t);
+
+    /// Publishes nonzero per-kind rx counters under `prefix + ".rx."` at
+    /// every registry dump.
+    void register_rx_metrics(obs::Registry& reg, const std::string& prefix,
+                             KindNameFn name_fn = nullptr);
 
     const ProcessingConfig& processing_config() const { return cfg_; }
     void set_processing_config(const ProcessingConfig& cfg) { cfg_ = cfg; }
@@ -66,9 +91,10 @@ class ProcessingNode : public Node {
     void broadcast(const std::vector<NodeId>& dests, const Bytes& data);
 
     /// One-shot timer. The callback runs through the same cost machinery as
-    /// message handlers. Returns an id usable with cancel_timer().
-    TimerId set_timer(Time delay, std::function<void()> fn);
-    void cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+    /// message handlers. Returns an id usable with cancel_timer(). `label`
+    /// names the timer in traces and must have static storage duration.
+    TimerId set_timer(Time delay, std::function<void()> fn, const char* label = "timer");
+    void cancel_timer(TimerId id);
 
     /// Attach the node's crypto cost meter so handler crypto charges CPU
     /// time automatically.
@@ -85,7 +111,7 @@ class ProcessingNode : public Node {
         Bytes data;
     };
 
-    void run_task(Time fixed_cost, const std::function<void()>& work);
+    void run_task(Time fixed_cost, const std::function<void()>& work, const char* label);
 
     ProcessingConfig cfg_;
     crypto::CostMeter* meter_ = nullptr;
@@ -97,12 +123,16 @@ class ProcessingNode : public Node {
         Bytes data;
         std::function<void()> task;
         TimerId timer_id;
+        Time enqueued_at;
+        const char* label;  // timer label; "" for messages
     };
     std::deque<QueuedItem> queue_;
     bool drain_scheduled_ = false;
     Time busy_until_ = 0;
     Time total_busy_ = 0;
+    Time total_queue_wait_ = 0;
     std::uint64_t messages_handled_ = 0;
+    std::array<std::uint64_t, 256> rx_by_kind_{};
 
     std::vector<PendingSend> out_;
     Time extra_sync_ = 0;

@@ -13,6 +13,10 @@
 
 #include "sim/time.hpp"
 
+namespace neo::obs {
+class TraceSink;
+}
+
 namespace neo::sim {
 
 class Simulator {
@@ -20,6 +24,12 @@ class Simulator {
     using Callback = std::function<void()>;
 
     Time now() const { return now_; }
+
+    /// Structured trace sink shared by everything running inside this
+    /// simulation. Null (the default) disables tracing; call sites guard on
+    /// the pointer so a disabled sink costs one branch on the hot path.
+    void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+    obs::TraceSink* trace() const { return trace_; }
 
     /// Schedules `fn` at absolute time `t` (must be >= now()).
     void at(Time t, Callback fn);
@@ -56,6 +66,7 @@ class Simulator {
     };
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    obs::TraceSink* trace_ = nullptr;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,135 @@
+// Metrics registry: counters, gauges, dump-time collectors, and the
+// deterministic sorted-JSON export the trace/metrics layer relies on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace neo::obs {
+namespace {
+
+TEST(Counter, IncSetValue) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Registry, CounterHandleIsStableAcrossNewRegistrations) {
+    Registry reg;
+    Counter& a = reg.counter("a");
+    a.inc(3);
+    // Creating more counters must not invalidate the earlier handle.
+    for (int i = 0; i < 100; ++i) reg.counter("bulk." + std::to_string(i));
+    a.inc();
+    EXPECT_EQ(reg.counter("a").value(), 4u);
+    EXPECT_EQ(&reg.counter("a"), &a);
+}
+
+TEST(Registry, SetValueOverwrites) {
+    Registry reg;
+    reg.set_value("gauge", 1.5);
+    reg.set_value("gauge", 2.5);
+    auto snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("gauge"), 2.5);
+}
+
+TEST(Registry, CollectorsRunAtSnapshotInRegistrationOrder) {
+    Registry reg;
+    std::vector<int> order;
+    reg.add_collector([&order](Registry& r) {
+        order.push_back(1);
+        r.set_value("first", 1);
+    });
+    reg.add_collector([&order](Registry& r) {
+        order.push_back(2);
+        r.set_value("second", r.snapshot().count("first") ? 2 : -1);
+    });
+    // The nested snapshot() inside the second collector must not recurse
+    // into the collector list again.
+    auto snap = reg.snapshot();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(snap.at("first"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.at("second"), 2.0);
+
+    // A second snapshot re-runs the collectors (point-in-time semantics).
+    reg.snapshot();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(Registry, SnapshotMergesCountersAndValues) {
+    Registry reg;
+    reg.counter("rx.request").inc(12);
+    reg.set_value("latency_us", 3.25);
+    reg.set_value("rx.request", 999);  // counter wins on a name collision
+    auto snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("rx.request"), 12.0);
+    EXPECT_DOUBLE_EQ(snap.at("latency_us"), 3.25);
+}
+
+TEST(Registry, WriteJsonSortedAndDeterministic) {
+    Registry reg;
+    reg.counter("z.last").inc(2);
+    reg.counter("a.first").inc(1);
+    reg.set_value("m.gauge", 1.5);
+    reg.set_value("m.whole", 3.0);
+
+    std::ostringstream a, b;
+    reg.write_json(a);
+    reg.write_json(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string out = a.str();
+    // Keys appear lexicographically sorted within each section.
+    EXPECT_LT(out.find("\"a.first\""), out.find("\"z.last\""));
+    EXPECT_LT(out.find("\"m.gauge\""), out.find("\"m.whole\""));
+    // Whole values print without a fraction, non-integers with one.
+    EXPECT_NE(out.find("\"m.whole\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"m.gauge\": 1.5"), std::string::npos);
+    EXPECT_EQ(out.find("3.000000"), std::string::npos);
+}
+
+TEST(Registry, WriteJsonIsParseableShape) {
+    Registry reg;
+    reg.counter("net.packets_sent").inc(5);
+    reg.set_value("run.throughput", 123456.5);
+    std::ostringstream os;
+    reg.write_json(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_NE(out.find("\"counters\""), std::string::npos);
+    EXPECT_NE(out.find("\"values\""), std::string::npos);
+    // Balanced braces as a cheap structural check.
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        char c = out[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{') ++depth;
+        else if (c == '}') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace neo::obs

@@ -1,0 +1,173 @@
+// Trace sink: event recording, drop-reason naming, and the JSONL / Chrome
+// trace_event exports (format shape and determinism).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace neo::obs {
+namespace {
+
+TEST(DropReasonNames, AllReasonsNamed) {
+    EXPECT_STREQ(drop_reason_name(DropReason::kSenderDown), "sender_down");
+    EXPECT_STREQ(drop_reason_name(DropReason::kPartitioned), "partitioned");
+    EXPECT_STREQ(drop_reason_name(DropReason::kLinkLoss), "link_loss");
+    EXPECT_STREQ(drop_reason_name(DropReason::kTampered), "tampered");
+    EXPECT_STREQ(drop_reason_name(DropReason::kReceiverDown), "receiver_down");
+    EXPECT_STREQ(drop_reason_name(DropReason::kNoRoute), "no_route");
+}
+
+TEST(EventKindNames, AllKindsNamed) {
+    EXPECT_STREQ(event_kind_name(EventKind::kPacketSend), "packet_send");
+    EXPECT_STREQ(event_kind_name(EventKind::kPacketDeliver), "packet_deliver");
+    EXPECT_STREQ(event_kind_name(EventKind::kPacketDrop), "packet_drop");
+    EXPECT_STREQ(event_kind_name(EventKind::kSeqStamp), "seq_stamp");
+    EXPECT_STREQ(event_kind_name(EventKind::kPhase), "phase");
+    EXPECT_STREQ(event_kind_name(EventKind::kTimerArm), "timer_arm");
+    EXPECT_STREQ(event_kind_name(EventKind::kTimerFire), "timer_fire");
+    EXPECT_STREQ(event_kind_name(EventKind::kTimerCancel), "timer_cancel");
+    EXPECT_STREQ(event_kind_name(EventKind::kBatch), "batch");
+    EXPECT_STREQ(event_kind_name(EventKind::kCrypto), "crypto");
+    EXPECT_STREQ(event_kind_name(EventKind::kCpuSpan), "cpu_span");
+}
+
+TEST(TraceSink, RecordsEventsInOrderWithPayloads) {
+    TraceSink sink;
+    sink.packet_send(100, /*from=*/1, /*to=*/2, /*bytes=*/64);
+    sink.packet_deliver(1100, /*from=*/1, /*to=*/2, /*bytes=*/64);
+    sink.packet_drop(1200, /*from=*/2, /*to=*/3, /*bytes=*/52, DropReason::kLinkLoss);
+    sink.seq_stamp(1300, /*sequencer=*/200, /*group=*/7, /*seq=*/41, /*with_signature=*/true);
+    sink.phase(1400, 3, "commit", /*a=*/5, /*b=*/0);
+    sink.cpu_span(1500, 3, "execute", /*dur=*/250);
+    ASSERT_EQ(sink.size(), 6u);
+
+    const auto& ev = sink.events();
+    EXPECT_EQ(ev[0].kind, EventKind::kPacketSend);
+    EXPECT_EQ(ev[0].node, 1u);  // sender's track
+    EXPECT_EQ(ev[0].a, 2u);
+    EXPECT_EQ(ev[0].b, 64u);
+
+    EXPECT_EQ(ev[1].kind, EventKind::kPacketDeliver);
+    EXPECT_EQ(ev[1].node, 2u);  // receiver's track
+    EXPECT_EQ(ev[1].a, 1u);
+
+    EXPECT_EQ(ev[2].kind, EventKind::kPacketDrop);
+    EXPECT_STREQ(ev[2].label, "link_loss");
+    EXPECT_EQ(ev[2].c, static_cast<std::uint64_t>(DropReason::kLinkLoss));
+
+    EXPECT_EQ(ev[3].kind, EventKind::kSeqStamp);
+    EXPECT_EQ(ev[3].a, 41u);
+    EXPECT_EQ(ev[3].b, 1u);
+    EXPECT_EQ(ev[3].c, 7u);
+
+    EXPECT_EQ(ev[4].kind, EventKind::kPhase);
+    EXPECT_STREQ(ev[4].label, "commit");
+
+    EXPECT_EQ(ev[5].kind, EventKind::kCpuSpan);
+    EXPECT_EQ(ev[5].dur, 250);
+
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSink, JsonlOneObjectPerLineInRecordOrder) {
+    TraceSink sink;
+    sink.packet_send(2500, 1, 2, 64);
+    sink.packet_drop(1000, 2, 3, 52, DropReason::kPartitioned);
+    sink.timer_arm(3000, 4, /*id=*/9, "retry", /*delay=*/5000);
+
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    const std::string out = os.str();
+
+    std::vector<std::string> lines;
+    std::istringstream is(out);
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+
+    // JSONL preserves recording order even when timestamps are out of order.
+    EXPECT_EQ(lines[0],
+              "{\"t\":2500,\"node\":1,\"ev\":\"packet_send\",\"to\":2,\"bytes\":64}");
+    EXPECT_EQ(lines[1],
+              "{\"t\":1000,\"node\":2,\"ev\":\"packet_drop\",\"to\":3,\"bytes\":52,"
+              "\"reason\":\"partitioned\"}");
+    EXPECT_EQ(lines[2],
+              "{\"t\":3000,\"node\":4,\"ev\":\"timer_arm\",\"label\":\"retry\","
+              "\"timer\":9,\"delay_ns\":5000}");
+}
+
+TEST(TraceSink, ChromeTraceShapeSortingAndTrackNames) {
+    TraceSink sink;
+    sink.set_node_name(1, "replica 1");
+    sink.set_node_name(200, "sequencer 200");
+    sink.packet_send(2000, 1, 2, 64);
+    sink.phase(1000, 1, "commit", 3, 0);  // earlier timestamp recorded later
+    sink.cpu_span(1500, 200, "stamp", 750);
+
+    std::ostringstream os;
+    sink.write_chrome_trace(os);
+    const std::string out = os.str();
+
+    // Envelope.
+    EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(out.find("],\"displayTimeUnit\":\"ns\"}"), std::string::npos);
+
+    // Process + per-node thread_name metadata rows.
+    EXPECT_NE(out.find("\"args\":{\"name\":\"neobft-sim\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+                       "\"args\":{\"name\":\"replica 1\"}}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"tid\":200,\"args\":{\"name\":\"sequencer 200\"}"),
+              std::string::npos);
+
+    // Events sorted by timestamp: the phase at t=1000 precedes the cpu span
+    // at t=1500, which precedes the send at t=2000. Virtual-time ns become
+    // fractional-microsecond "ts" values.
+    auto commit_pos = out.find("\"name\":\"commit\"");
+    auto span_pos = out.find("\"name\":\"stamp\"");
+    auto send_pos = out.find("\"name\":\"packet_send\"");
+    ASSERT_NE(commit_pos, std::string::npos);
+    ASSERT_NE(span_pos, std::string::npos);
+    ASSERT_NE(send_pos, std::string::npos);
+    EXPECT_LT(commit_pos, span_pos);
+    EXPECT_LT(span_pos, send_pos);
+    EXPECT_NE(out.find("\"ts\":1.000"), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":0.750"), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceSink, ChromeTraceStableSortPreservesRecordOrderAtEqualTimestamps) {
+    TraceSink sink;
+    sink.phase(1000, 1, "first", 0, 0);
+    sink.phase(1000, 1, "second", 0, 0);
+    std::ostringstream os;
+    sink.write_chrome_trace(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("\"name\":\"first\""), out.find("\"name\":\"second\""));
+}
+
+TEST(TraceSink, ExportsAreDeterministic) {
+    auto record = [](TraceSink& sink) {
+        sink.set_node_name(1, "replica 1");
+        sink.packet_send(10, 1, 2, 64);
+        sink.packet_deliver(1010, 1, 2, 64);
+        sink.batch(1020, 2, "prepare", 4);
+        sink.crypto_cost(1030, 2, "sync", 900);
+    };
+    TraceSink a, b;
+    record(a);
+    record(b);
+    std::ostringstream aj, bj, ac, bc;
+    a.write_jsonl(aj);
+    b.write_jsonl(bj);
+    a.write_chrome_trace(ac);
+    b.write_chrome_trace(bc);
+    EXPECT_EQ(aj.str(), bj.str());
+    EXPECT_EQ(ac.str(), bc.str());
+}
+
+}  // namespace
+}  // namespace neo::obs

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace neo::sim {
 namespace {
@@ -214,6 +216,104 @@ TEST_F(NetworkTest, SendToUnknownNodeCountsDrop) {
     net.send(1, 99, to_bytes("void"));
     sim.run();
     EXPECT_EQ(net.packets_dropped(), 1u);
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kNoRoute), 1u);
+}
+
+TEST_F(NetworkTest, DropReasonAttribution) {
+    // Link loss.
+    net.set_global_drop_rate(1.0);
+    net.send(1, 2, to_bytes("x"));
+    sim.run();
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kLinkLoss), 1u);
+    net.set_global_drop_rate(0.0);
+
+    // Partition.
+    net.block(1, 2);
+    net.send(1, 2, to_bytes("x"));
+    sim.run();
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kPartitioned), 1u);
+    net.unblock(1, 2);
+
+    // Down sender, down receiver (at send time the sender check wins; the
+    // receiver is only consulted at arrival).
+    net.set_node_down(2, true);
+    net.send(2, 1, to_bytes("x"));
+    net.send(1, 2, to_bytes("x"));
+    sim.run();
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kSenderDown), 1u);
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kReceiverDown), 1u);
+    net.set_node_down(2, false);
+
+    // Tamper hook.
+    net.set_tamper([](NodeId, NodeId, Bytes&) { return TamperAction::kDrop; });
+    net.send(1, 2, to_bytes("x"));
+    sim.run();
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kTampered), 1u);
+    net.set_tamper(nullptr);
+
+    // Every drop is attributed to exactly one reason.
+    std::uint64_t by_reason = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(obs::DropReason::kCount_); ++i) {
+        by_reason += net.dropped_for(static_cast<obs::DropReason>(i));
+    }
+    EXPECT_EQ(by_reason, net.packets_dropped());
+    EXPECT_EQ(net.packets_dropped(), 5u);
+    EXPECT_EQ(net.packets_sent(), 5u);
+    EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, ReceiverDownMidFlightAttributedAtArrival) {
+    net.send(1, 2, to_bytes("x"));
+    sim.run_until(500);
+    net.set_node_down(2, true);
+    sim.run();
+    EXPECT_EQ(net.dropped_for(obs::DropReason::kReceiverDown), 1u);
+    EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, TransitTimeAccumulatesPerDelivery) {
+    net.send(1, 2, Bytes(10, 0));
+    net.send(1, 3, Bytes(10, 0));
+    sim.run();
+    // Zero jitter / zero ns_per_byte fixture: each delivery spent exactly
+    // the link latency in flight.
+    EXPECT_EQ(net.transit_time(), 2000);
+    net.reset_counters();
+    EXPECT_EQ(net.transit_time(), 0);
+}
+
+TEST_F(NetworkTest, RegisterMetricsPublishesCountersAndDropReasons) {
+    obs::Registry reg;
+    net.register_metrics(reg, "net");
+
+    net.block(1, 2);
+    net.send(1, 2, to_bytes("x"));  // dropped: partitioned
+    net.send(1, 3, to_bytes("y"));  // delivered
+    sim.run();
+
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.at("net.packets_sent"), 2.0);
+    EXPECT_EQ(snap.at("net.packets_delivered"), 1.0);
+    EXPECT_EQ(snap.at("net.packets_dropped"), 1.0);
+    EXPECT_EQ(snap.at("net.drops.partitioned"), 1.0);
+    EXPECT_EQ(snap.at("net.delivered_to.3"), 1.0);
+    // Zero-valued drop reasons are omitted from the dump.
+    EXPECT_FALSE(snap.contains("net.drops.link_loss"));
+}
+
+TEST_F(NetworkTest, TraceRecordsDropReason) {
+    obs::TraceSink sink;
+    sim.set_trace(&sink);
+    net.set_global_drop_rate(1.0);
+    net.send(1, 2, to_bytes("x"));
+    sim.run();
+    sim.set_trace(nullptr);
+
+    ASSERT_EQ(sink.size(), 1u);
+    const obs::TraceEvent& e = sink.events()[0];
+    EXPECT_EQ(e.kind, obs::EventKind::kPacketDrop);
+    EXPECT_EQ(e.node, 1u);
+    EXPECT_STREQ(e.label, obs::drop_reason_name(obs::DropReason::kLinkLoss));
 }
 
 }  // namespace
