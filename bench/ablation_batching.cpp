@@ -4,50 +4,85 @@
 // 10ms" (§6.2) — here visible as the throughput/latency trade as batch_max
 // grows.
 #include <cstdio>
+#include <memory>
 
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 namespace {
 
-void sweep(const std::string& name,
-           const std::function<std::unique_ptr<Deployment>(std::size_t)>& factory,
-           ObsSession& obs, const std::string& label) {
-    std::printf("\n--- %s ---\n", name.c_str());
-    TablePrinter table({"batch_max", "tput_ops", "p50_us", "p99_us"});
-    for (std::size_t batch : {1u, 4u, 16u, 64u, 256u}) {
-        auto d = factory(batch);
-        ObsRun run(obs, *d, label + ".b" + std::to_string(batch));
-        Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
-                                     160 * sim::kMillisecond);
-        table.row({std::to_string(batch), fmt_double(m.throughput_ops, 0),
-                   fmt_double(m.p50_us, 1), fmt_double(m.p99_us, 1)});
-    }
+struct Family {
+    std::string name;   // table heading
+    std::string label;  // point-name prefix
+    std::function<std::unique_ptr<Deployment>(std::size_t batch, std::uint64_t seed)> make;
+};
+
+std::vector<Family> families() {
+    return {
+        {"PBFT", "pbft",
+         [](std::size_t batch, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = 256;
+             p.seed = seed;
+             p.batch_max = batch;
+             p.batch_delay = 2 * sim::kMillisecond;  // large batches need patience
+             return make_pbft(p);
+         }},
+        {"HotStuff", "hotstuff",
+         [](std::size_t batch, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = 256;
+             p.seed = seed;
+             p.batch_max = batch;
+             p.batch_delay = 2 * sim::kMillisecond;
+             return make_hotstuff(p);
+         }},
+    };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "ablation_batching");
     std::printf("=== Ablation: baseline request batching (256 clients) ===\n");
 
-    sweep("PBFT", [](std::size_t batch) {
-        CommonParams p;
-        p.n_clients = 256;
-        p.batch_max = batch;
-        p.batch_delay = 2 * sim::kMillisecond;  // large batches need patience
-        return make_pbft(p);
-    }, obs, "pbft");
+    const std::vector<std::size_t> batches =
+        bm.quick() ? std::vector<std::size_t>{1, 64} : std::vector<std::size_t>{1, 4, 16, 64, 256};
+    const sim::Time warmup = bm.quick() ? 10 * sim::kMillisecond : 40 * sim::kMillisecond;
+    const sim::Time measure = bm.quick() ? 40 * sim::kMillisecond : 160 * sim::kMillisecond;
 
-    sweep("HotStuff", [](std::size_t batch) {
-        CommonParams p;
-        p.n_clients = 256;
-        p.batch_max = batch;
-        p.batch_delay = 2 * sim::kMillisecond;
-        return make_hotstuff(p);
-    }, obs, "hotstuff");
+    const std::vector<Family> fams = families();
+    std::vector<BenchPointSpec> points;
+    for (const Family& fam : fams) {
+        for (std::size_t batch : batches) {
+            points.push_back({
+                fam.label + ".b" + std::to_string(batch),
+                {{"batch_max", static_cast<double>(batch)}},
+                [&fam, batch, warmup, measure](RunCtx& ctx) {
+                    auto d = fam.make(batch, ctx.seed());
+                    auto obs = ctx.attach(*d);
+                    Measured m = run_closed_loop(*d, echo_ops(64), warmup, measure);
+                    return std::map<std::string, double>{{"tput_ops", m.throughput_ops},
+                                                         {"p50_us", m.p50_us},
+                                                         {"p99_us", m.p99_us}};
+                },
+            });
+        }
+    }
+    std::vector<PointResult> results = bm.run(points);
+
+    std::size_t i = 0;
+    for (const Family& fam : fams) {
+        std::printf("\n--- %s ---\n", fam.name.c_str());
+        TablePrinter table({"batch_max", "tput_ops", "p50_us", "p99_us"});
+        for (std::size_t batch : batches) {
+            const PointResult& r = results[i++];
+            table.row({std::to_string(batch), fmt_double(r.mean("tput_ops"), 0),
+                       fmt_double(r.mean("p50_us"), 1), fmt_double(r.mean("p99_us"), 1)});
+        }
+    }
 
     std::printf("\nreference: Neo-HM needs NO protocol-level batching for its peak.\n");
     return 0;

@@ -4,25 +4,47 @@
 // uncommitted suffixes.
 #include <cstdio>
 
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "ablation_sync_interval");
     std::printf("=== Ablation: NeoBFT sync interval (echo-RPC, 64 clients) ===\n\n");
+
+    const std::vector<std::uint64_t> intervals =
+        bm.quick() ? std::vector<std::uint64_t>{8, 512}
+                   : std::vector<std::uint64_t>{8, 32, 128, 512, 4096};
+    const sim::Time warmup = bm.quick() ? 10 * sim::kMillisecond : 40 * sim::kMillisecond;
+    const sim::Time measure = bm.quick() ? 40 * sim::kMillisecond : 160 * sim::kMillisecond;
+
+    std::vector<BenchPointSpec> points;
+    for (std::uint64_t interval : intervals) {
+        points.push_back({
+            "neo_hm.sync" + std::to_string(interval),
+            {{"sync_interval", static_cast<double>(interval)}},
+            [interval, warmup, measure](RunCtx& ctx) {
+                NeoParams p;
+                p.n_clients = 64;
+                p.seed = ctx.seed();
+                p.sync_interval = interval;
+                auto d = make_neobft(p);
+                auto obs = ctx.attach(*d);
+                Measured m = run_closed_loop(*d, echo_ops(64), warmup, measure);
+                return std::map<std::string, double>{{"tput_ops", m.throughput_ops},
+                                                     {"p50_us", m.p50_us},
+                                                     {"p99_us", m.p99_us}};
+            },
+        });
+    }
+    std::vector<PointResult> results = bm.run(points);
+
     TablePrinter table({"sync_interval", "tput_ops", "p50_us", "p99_us"});
-    for (std::uint64_t interval : {8ull, 32ull, 128ull, 512ull, 4096ull}) {
-        NeoParams p;
-        p.n_clients = 64;
-        p.sync_interval = interval;
-        auto d = make_neobft(p);
-        ObsRun run(obs, *d, "neo_hm.sync" + std::to_string(interval));
-        Measured m = run_closed_loop(*d, echo_ops(64), 40 * sim::kMillisecond,
-                                     160 * sim::kMillisecond);
-        table.row({std::to_string(interval), fmt_double(m.throughput_ops, 0),
-                   fmt_double(m.p50_us, 1), fmt_double(m.p99_us, 1)});
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const PointResult& r = results[i];
+        table.row({std::to_string(intervals[i]), fmt_double(r.mean("tput_ops"), 0),
+                   fmt_double(r.mean("p50_us"), 1), fmt_double(r.mean("p99_us"), 1)});
     }
     std::printf("\nexpected: small intervals tax throughput (sync round each N entries);\n");
     std::printf("beyond ~128 the cost vanishes into the noise\n");

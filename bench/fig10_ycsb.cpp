@@ -5,16 +5,18 @@
 
 #include "apps/kvstore.hpp"
 #include "apps/ycsb.hpp"
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 namespace {
 
-app::YcsbConfig ycsb_config() {
+constexpr int kClients = 64;
+
+app::YcsbConfig ycsb_config(bool quick) {
     app::YcsbConfig cfg;
-    cfg.record_count = 100'000;
+    cfg.record_count = quick ? 10'000 : 100'000;
     cfg.field_length = 128;
     return cfg;
 }
@@ -55,99 +57,123 @@ OpGen ycsb_ops(const std::shared_ptr<app::YcsbWorkload>& base_cfg) {
     };
 }
 
-double max_tput(const std::string& name,
-                const std::function<std::unique_ptr<Deployment>()>& factory,
-                const std::shared_ptr<app::YcsbWorkload>& workload, ObsSession& obs,
-                const std::string& label, bool trace_this_run = false) {
-    auto d = factory();
-    ObsRun run(obs, *d, label, trace_this_run);
-    Measured m = run_closed_loop(*d, ycsb_ops(workload), 30 * sim::kMillisecond,
-                                 120 * sim::kMillisecond);
-    std::printf("  %-28s %10.0f txns/s   (p50 %.1fus)\n", name.c_str(), m.throughput_ops,
-                m.p50_us);
-    std::fflush(stdout);
-    return m.throughput_ops;
+struct Protocol {
+    std::string name;
+    std::string label;
+    // Built inside the job: the workload template is per-run (load_into is
+    // called from the deployment's constructor on the worker thread).
+    std::function<std::unique_ptr<Deployment>(const std::shared_ptr<app::YcsbWorkload>& workload,
+                                              std::uint64_t seed)>
+        make;
+    bool trace_candidate = false;
+};
+
+std::vector<Protocol> protocols() {
+    auto neo = [](NeoVariant variant) {
+        return [variant](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+            NeoParams p;
+            p.n_clients = kClients;
+            p.seed = seed;
+            p.variant = variant;
+            p.app_factory = neo_app_factory(workload);
+            return make_neobft(p);
+        };
+    };
+    return {
+        {"Unreplicated", "unreplicated",
+         [](const std::shared_ptr<app::YcsbWorkload>&, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             // The unreplicated server echoes; attaching KV semantics via
+             // the baseline hook is not supported there -> report echo
+             // service rate as the upper bound (documented in EXPERIMENTS.md).
+             return make_unreplicated(p);
+         }},
+        {"Neo-HM", "neo_hm", neo(NeoVariant::kHm), true},
+        {"Neo-PK", "neo_pk", neo(NeoVariant::kPk)},
+        {"Neo-BN", "neo_bn", neo(NeoVariant::kBn)},
+        {"Zyzzyva", "zyzzyva",
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.baseline_app_factory = baseline_app_factory(workload);
+             return make_zyzzyva(p);
+         }},
+        {"Zyzzyva-F", "zyzzyva_f",
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.faulty_replica = true;
+             p.baseline_app_factory = baseline_app_factory(workload);
+             return make_zyzzyva(p);
+         }},
+        {"PBFT", "pbft",
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.baseline_app_factory = baseline_app_factory(workload);
+             return make_pbft(p);
+         }},
+        {"HotStuff", "hotstuff",
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.batch_max = 32;
+             p.baseline_app_factory = baseline_app_factory(workload);
+             return make_hotstuff(p);
+         }},
+        {"MinBFT", "minbft",
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.baseline_app_factory = baseline_app_factory(workload);
+             return make_minbft(p);
+         }},
+    };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "fig10_ycsb");
     std::printf("=== Figure 10: YCSB-A over the replicated B-Tree KV store ===\n");
-    std::printf("100K records, 128-byte fields, 50/50 read-update, zipfian\n\n");
+    std::printf("%dK records, 128-byte fields, 50/50 read-update, zipfian\n\n",
+                bm.quick() ? 10 : 100);
 
-    auto workload = std::make_shared<app::YcsbWorkload>(ycsb_config(), 17);
-    const int kClients = 64;
+    const sim::Time warmup = bm.quick() ? 10 * sim::kMillisecond : 30 * sim::kMillisecond;
+    const sim::Time measure = bm.quick() ? 40 * sim::kMillisecond : 120 * sim::kMillisecond;
 
-    max_tput("Unreplicated", [&] {
-        CommonParams p;
-        p.n_clients = kClients;
-        // The unreplicated server echoes; attach KV semantics via the
-        // baseline hook is not supported there -> report echo service rate
-        // as the upper bound (documented in EXPERIMENTS.md).
-        return make_unreplicated(p);
-    }, workload, obs, "unreplicated");
+    const std::vector<Protocol> protos = protocols();
+    std::vector<BenchPointSpec> points;
+    for (const Protocol& proto : protos) {
+        points.push_back({
+            proto.label,
+            {{"clients", static_cast<double>(kClients)}},
+            [&proto, &bm, warmup, measure](RunCtx& ctx) {
+                auto workload =
+                    std::make_shared<app::YcsbWorkload>(ycsb_config(bm.quick()), 17);
+                auto d = proto.make(workload, ctx.seed());
+                auto obs = ctx.attach(*d);
+                Measured m = run_closed_loop(*d, ycsb_ops(workload), warmup, measure);
+                return std::map<std::string, double>{{"tput_ops", m.throughput_ops},
+                                                     {"p50_us", m.p50_us},
+                                                     {"p99_us", m.p99_us}};
+            },
+            proto.trace_candidate,
+        });
+    }
+    std::vector<PointResult> results = bm.run(points);
 
-    max_tput("Neo-HM", [&] {
-        NeoParams p;
-        p.n_clients = kClients;
-        p.variant = NeoVariant::kHm;
-        p.app_factory = neo_app_factory(workload);
-        return make_neobft(p);
-    }, workload, obs, "neo_hm", true);
-
-    max_tput("Neo-PK", [&] {
-        NeoParams p;
-        p.n_clients = kClients;
-        p.variant = NeoVariant::kPk;
-        p.app_factory = neo_app_factory(workload);
-        return make_neobft(p);
-    }, workload, obs, "neo_pk");
-
-    max_tput("Neo-BN", [&] {
-        NeoParams p;
-        p.n_clients = kClients;
-        p.variant = NeoVariant::kBn;
-        p.app_factory = neo_app_factory(workload);
-        return make_neobft(p);
-    }, workload, obs, "neo_bn");
-
-    max_tput("Zyzzyva", [&] {
-        ZyzzyvaParams p;
-        p.n_clients = kClients;
-        p.baseline_app_factory = baseline_app_factory(workload);
-        return make_zyzzyva(p);
-    }, workload, obs, "zyzzyva");
-
-    max_tput("Zyzzyva-F", [&] {
-        ZyzzyvaParams p;
-        p.n_clients = kClients;
-        p.faulty_replica = true;
-        p.baseline_app_factory = baseline_app_factory(workload);
-        return make_zyzzyva(p);
-    }, workload, obs, "zyzzyva_f");
-
-    max_tput("PBFT", [&] {
-        CommonParams p;
-        p.n_clients = kClients;
-        p.baseline_app_factory = baseline_app_factory(workload);
-        return make_pbft(p);
-    }, workload, obs, "pbft");
-
-    max_tput("HotStuff", [&] {
-        CommonParams p;
-        p.n_clients = kClients;
-        p.batch_max = 32;
-        p.baseline_app_factory = baseline_app_factory(workload);
-        return make_hotstuff(p);
-    }, workload, obs, "hotstuff");
-
-    max_tput("MinBFT", [&] {
-        CommonParams p;
-        p.n_clients = kClients;
-        p.baseline_app_factory = baseline_app_factory(workload);
-        return make_minbft(p);
-    }, workload, obs, "minbft");
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+        std::printf("  %-28s %10.0f txns/s   (p50 %.1fus)\n", protos[i].name.c_str(),
+                    results[i].mean("tput_ops"), results[i].mean("p50_us"));
+    }
 
     std::printf("\npaper anchor: NeoBFT above all baselines; batching efficiency drops\n");
     std::printf("for the baselines with the larger KV requests\n");

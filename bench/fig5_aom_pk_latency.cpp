@@ -3,48 +3,72 @@
 #include <cstdio>
 
 #include "harness/aom_bench.hpp"
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
+namespace {
+
+constexpr int kReceivers = 4;
+
+BenchPointSpec load_point(double load, bool quick) {
+    return {
+        "aom_pk.load" + fmt_double(load * 100, 0),
+        {{"load_pct", load * 100}},
+        [load, quick](RunCtx& ctx) {
+            AomBench bench(aom::AuthVariant::kPublicKey, kReceivers, ctx.seed());
+            // The signer (1/kPkSignServiceNs pps) is the bottleneck resource.
+            auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) / load);
+            auto obs = ctx.attach(bench.simulator(),
+                                  [&bench, &ctx](obs::Registry& reg, obs::TraceSink* tr) {
+                                      bench.register_obs(reg, ctx.label(), tr);
+                                  });
+            AomBenchResult r = bench.run(quick ? 20'000 : 200'000, gap);
+            double signed_pct = 100.0 *
+                                static_cast<double>(bench.sequencer().signatures_generated()) /
+                                static_cast<double>(bench.sequencer().packets_sequenced());
+            return std::map<std::string, double>{
+                {"p25_us", r.latency->percentile(25)},
+                {"p50_us", r.latency->percentile(50)},
+                {"p75_us", r.latency->percentile(75)},
+                {"p99_us", r.latency->percentile(99)},
+                {"p999_us", r.latency->percentile(99.9)},
+                {"signed_pct", signed_pct},
+            };
+        },
+    };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "fig5_aom_pk_latency");
     std::printf("=== Figure 5: aom-pk latency distribution (group size 4) ===\n");
     std::printf("paper: median ~3us, highly consistent below saturation\n\n");
 
-    const int kReceivers = 4;
-    const std::uint64_t kPackets = 200'000;
+    const std::vector<double> loads = {0.25, 0.50, 0.99};
+    std::vector<BenchPointSpec> points;
+    for (double load : loads) points.push_back(load_point(load, bm.quick()));
+    std::vector<PointResult> results = bm.run(points);
 
     TablePrinter table({"load", "p25_us", "p50_us", "p75_us", "p99_us", "p99.9_us", "signed%"});
-    for (double load : {0.25, 0.50, 0.99}) {
-        AomBench bench(aom::AuthVariant::kPublicKey, kReceivers);
-        // The signer (1/kPkSignServiceNs pps) is the bottleneck resource.
-        auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) / load);
-        std::string label = "aom_pk.load" + fmt_double(load * 100, 0);
-        obs.begin_run(bench.simulator(), label, true,
-                      [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
-                          bench.register_obs(reg, label, tr);
-                      });
-        AomBenchResult r = bench.run(kPackets, gap);
-        obs.end_run();
-        double signed_pct = 100.0 *
-                            static_cast<double>(bench.sequencer().signatures_generated()) /
-                            static_cast<double>(bench.sequencer().packets_sequenced());
-        table.row({fmt_double(load * 100, 0) + "%",
-                   fmt_double(r.latency->percentile(25), 2),
-                   fmt_double(r.latency->percentile(50), 2),
-                   fmt_double(r.latency->percentile(75), 2),
-                   fmt_double(r.latency->percentile(99), 2),
-                   fmt_double(r.latency->percentile(99.9), 2),
-                   fmt_double(signed_pct, 1)});
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        table.row({fmt_double(loads[i] * 100, 0) + "%", fmt_double(results[i].mean("p25_us"), 2),
+                   fmt_double(results[i].mean("p50_us"), 2),
+                   fmt_double(results[i].mean("p75_us"), 2),
+                   fmt_double(results[i].mean("p99_us"), 2),
+                   fmt_double(results[i].mean("p999_us"), 2),
+                   fmt_double(results[i].mean("signed_pct"), 1)});
     }
 
-    std::printf("\nCDF at 50%% load (value_us, cumulative):\n");
-    AomBench bench(aom::AuthVariant::kPublicKey, kReceivers);
-    AomBenchResult r = bench.run(kPackets, sim::kPkSignServiceNs * 2);
-    for (auto [v, f] : r.latency->cdf(11)) {
-        std::printf("  %8.2f  %5.2f\n", v, f);
+    if (!bm.quick()) {
+        std::printf("\nCDF at 50%% load (value_us, cumulative):\n");
+        AomBench bench(aom::AuthVariant::kPublicKey, kReceivers, bm.base_seed());
+        AomBenchResult r = bench.run(200'000, sim::kPkSignServiceNs * 2);
+        for (auto [v, f] : r.latency->cdf(11)) {
+            std::printf("  %8.2f  %5.2f\n", v, f);
+        }
     }
     return 0;
 }

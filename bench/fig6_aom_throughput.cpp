@@ -7,55 +7,74 @@
 #include <cstdio>
 
 #include "harness/aom_bench.hpp"
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 namespace {
 
-AomBenchResult run_attached(AomBench& bench, ObsSession& obs, const std::string& label,
-                            std::uint64_t packets, sim::Time gap) {
-    obs.begin_run(bench.simulator(), label, true,
-                  [&bench, &label](obs::Registry& reg, obs::TraceSink* tr) {
-                      bench.register_obs(reg, label, tr);
-                  });
-    AomBenchResult r = bench.run(packets, gap);
-    obs.end_run();
-    return r;
+BenchPointSpec hm_point(int receivers, bool quick) {
+    return {
+        "aom_hm.r" + std::to_string(receivers),
+        {{"receivers", static_cast<double>(receivers)}},
+        [receivers, quick](RunCtx& ctx) {
+            AomBench bench(aom::AuthVariant::kHmacVector, receivers, ctx.seed());
+            sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, receivers);
+            // Drive slightly above capacity so the pipeline saturates;
+            // tail-drop absorbs the excess.
+            auto gap = static_cast<sim::Time>(static_cast<double>(service) * 0.9);
+            std::uint64_t packets = receivers > 16 ? 20'000 : 100'000;
+            if (quick) packets /= 10;
+            auto obs = ctx.attach(bench.simulator(),
+                                  [&bench, &ctx](obs::Registry& reg, obs::TraceSink* tr) {
+                                      bench.register_obs(reg, ctx.label(), tr);
+                                  });
+            AomBenchResult r = bench.run(packets, std::max<sim::Time>(1, gap));
+            return std::map<std::string, double>{{"delivered_mpps", r.delivered_mpps}};
+        },
+    };
 }
 
-double max_throughput_hm(int receivers, ObsSession& obs) {
-    AomBench bench(aom::AuthVariant::kHmacVector, receivers);
-    sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, receivers);
-    // Drive slightly above capacity so the pipeline saturates; tail-drop
-    // absorbs the excess.
-    auto gap = static_cast<sim::Time>(static_cast<double>(service) * 0.9);
-    std::uint64_t packets = receivers > 16 ? 20'000 : 100'000;
-    AomBenchResult r = run_attached(bench, obs, "aom_hm.r" + std::to_string(receivers), packets,
-                                    std::max<sim::Time>(1, gap));
-    return r.delivered_mpps;
-}
-
-double max_throughput_pk(int receivers, ObsSession& obs) {
-    AomBench bench(aom::AuthVariant::kPublicKey, receivers);
-    // Signing throughput: drive the signer at saturation and count
-    // signatures per second (the paper reports signing throughput).
-    auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) * 0.9);
-    AomBenchResult r =
-        run_attached(bench, obs, "aom_pk.r" + std::to_string(receivers), 100'000, gap);
-    return r.signed_mpps;
+BenchPointSpec pk_point(int receivers, bool quick) {
+    return {
+        "aom_pk.r" + std::to_string(receivers),
+        {{"receivers", static_cast<double>(receivers)}},
+        [receivers, quick](RunCtx& ctx) {
+            AomBench bench(aom::AuthVariant::kPublicKey, receivers, ctx.seed());
+            // Signing throughput: drive the signer at saturation and count
+            // signatures per second (the paper reports signing throughput).
+            auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) * 0.9);
+            std::uint64_t packets = quick ? 10'000 : 100'000;
+            auto obs = ctx.attach(bench.simulator(),
+                                  [&bench, &ctx](obs::Registry& reg, obs::TraceSink* tr) {
+                                      bench.register_obs(reg, ctx.label(), tr);
+                                  });
+            AomBenchResult r = bench.run(packets, gap);
+            return std::map<std::string, double>{{"signed_mpps", r.signed_mpps}};
+        },
+    };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "fig6_aom_throughput");
     std::printf("=== Figure 6: aom max throughput vs group size ===\n\n");
+
+    const std::vector<int> sizes =
+        bm.quick() ? std::vector<int>{4, 16, 64} : std::vector<int>{4, 8, 16, 24, 32, 48, 64};
+    std::vector<BenchPointSpec> points;
+    for (int r : sizes) points.push_back(hm_point(r, bm.quick()));
+    for (int r : sizes) points.push_back(pk_point(r, bm.quick()));
+
+    std::vector<PointResult> results = bm.run(points);
+
     TablePrinter table({"receivers", "aom-hm_Mpps", "aom-pk_Mpps"});
-    for (int receivers : {4, 8, 16, 24, 32, 48, 64}) {
-        table.row({std::to_string(receivers), fmt_double(max_throughput_hm(receivers, obs), 2),
-                   fmt_double(max_throughput_pk(receivers, obs), 2)});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        table.row({std::to_string(sizes[i]),
+                   fmt_double(results[i].mean("delivered_mpps"), 2),
+                   fmt_double(results[sizes.size() + i].mean("signed_mpps"), 2)});
     }
     std::printf("\npaper anchors: hm 76.24 Mpps @4 -> 5.7 Mpps @64; pk 1.11 Mpps flat\n");
     return 0;

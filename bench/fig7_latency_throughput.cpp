@@ -3,102 +3,143 @@
 // Echo-RPC workload, 4 replicas (f=1), increasing closed-loop clients.
 #include <cstdio>
 
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 namespace {
 
-constexpr sim::Time kWarmup = 40 * sim::kMillisecond;
-constexpr sim::Time kMeasure = 160 * sim::kMillisecond;
-const std::vector<int> kClientCounts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+struct Protocol {
+    std::string name;   // table heading
+    std::string label;  // point-name prefix
+    std::function<std::unique_ptr<Deployment>(int clients, std::uint64_t seed)> make;
+    bool trace_candidate = false;
+};
 
-void run_protocol(const std::string& name,
-                  const std::function<std::unique_ptr<Deployment>(int)>& factory,
-                  ObsSession& obs, const std::string& label, int trace_clients = 0) {
-    std::printf("\n--- %s ---\n", name.c_str());
-    TablePrinter table(
-        {"clients", "tput_ops", "p50_us", "mean_us", "p99_us", "net_us", "cpu_us", "queue_us"});
-    auto points = latency_throughput_sweep(factory, kClientCounts, echo_ops(64), kWarmup, kMeasure,
-                                           &obs, label, trace_clients);
-    for (const auto& pt : points) {
-        table.row({std::to_string(pt.clients), fmt_double(pt.m.throughput_ops, 0),
-                   fmt_double(pt.m.p50_us, 1), fmt_double(pt.m.mean_us, 1),
-                   fmt_double(pt.m.p99_us, 1), fmt_double(pt.m.net_us_per_op, 1),
-                   fmt_double(pt.m.cpu_us_per_op, 1), fmt_double(pt.m.queue_us_per_op, 1)});
-    }
+std::vector<Protocol> protocols() {
+    return {
+        {"Unreplicated", "unreplicated",
+         [](int clients, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             return make_unreplicated(p);
+         }},
+        {"Neo-HM", "neo_hm",
+         [](int clients, std::uint64_t seed) {
+             NeoParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             p.variant = NeoVariant::kHm;
+             return make_neobft(p);
+         },
+         true},
+        {"Neo-PK", "neo_pk",
+         [](int clients, std::uint64_t seed) {
+             NeoParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             p.variant = NeoVariant::kPk;
+             return make_neobft(p);
+         }},
+        {"Neo-BN (Byzantine network)", "neo_bn",
+         [](int clients, std::uint64_t seed) {
+             NeoParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             p.variant = NeoVariant::kBn;
+             return make_neobft(p);
+         }},
+        {"Zyzzyva", "zyzzyva",
+         [](int clients, std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             return make_zyzzyva(p);
+         }},
+        {"Zyzzyva-F (one faulty replica)", "zyzzyva_f",
+         [](int clients, std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             p.faulty_replica = true;
+             return make_zyzzyva(p);
+         }},
+        {"PBFT", "pbft",
+         [](int clients, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             return make_pbft(p);
+         }},
+        {"HotStuff", "hotstuff",
+         [](int clients, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             p.batch_max = 8;  // modest batching (the paper notes aggressive
+             // batching lifts HotStuff's throughput but pushes latency >10ms)
+             return make_hotstuff(p);
+         }},
+        {"MinBFT", "minbft",
+         [](int clients, std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = clients;
+             p.seed = seed;
+             return make_minbft(p);
+         }},
+    };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "fig7_latency_throughput");
     std::printf("=== Figure 7: latency vs throughput, echo-RPC, N=4 (f=1) ===\n");
     std::printf("paper: Neo-HM tput = 2.5x PBFT, 3.4x HotStuff, 4.1x MinBFT, 1.8x Zyzzyva;\n");
     std::printf("       Zyzzyva-F tput drop >54%%; Neo-PK ~60K below Neo-HM;\n");
     std::printf("       Neo-HM latency 14.7x better than PBFT, 42x HotStuff, 8.6x Zyzzyva,\n");
     std::printf("       6.1x MinBFT\n");
 
-    run_protocol("Unreplicated", [](int clients) {
-        CommonParams p;
-        p.n_clients = clients;
-        return make_unreplicated(p);
-    }, obs, "unreplicated");
+    const std::vector<int> client_counts =
+        bm.quick() ? std::vector<int>{4, 32}
+                   : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256};
+    const sim::Time warmup = bm.quick() ? 10 * sim::kMillisecond : 40 * sim::kMillisecond;
+    const sim::Time measure = bm.quick() ? 40 * sim::kMillisecond : 160 * sim::kMillisecond;
 
-    run_protocol("Neo-HM", [](int clients) {
-        NeoParams p;
-        p.n_clients = clients;
-        p.variant = NeoVariant::kHm;
-        return make_neobft(p);
-    }, obs, "neo_hm", -1);
+    const std::vector<Protocol> protos = protocols();
+    std::vector<BenchPointSpec> points;
+    for (const Protocol& proto : protos) {
+        for (int clients : client_counts) {
+            points.push_back({
+                proto.label + ".c" + std::to_string(clients),
+                {{"clients", static_cast<double>(clients)}},
+                [&proto, clients, warmup, measure](RunCtx& ctx) {
+                    auto d = proto.make(clients, ctx.seed());
+                    auto obs = ctx.attach(*d);
+                    Measured m = run_closed_loop(*d, echo_ops(64), warmup, measure);
+                    return measured_metrics(m);
+                },
+                proto.trace_candidate,
+            });
+        }
+    }
+    std::vector<PointResult> results = bm.run(points);
 
-    run_protocol("Neo-PK", [](int clients) {
-        NeoParams p;
-        p.n_clients = clients;
-        p.variant = NeoVariant::kPk;
-        return make_neobft(p);
-    }, obs, "neo_pk");
-
-    run_protocol("Neo-BN (Byzantine network)", [](int clients) {
-        NeoParams p;
-        p.n_clients = clients;
-        p.variant = NeoVariant::kBn;
-        return make_neobft(p);
-    }, obs, "neo_bn");
-
-    run_protocol("Zyzzyva", [](int clients) {
-        ZyzzyvaParams p;
-        p.n_clients = clients;
-        return make_zyzzyva(p);
-    }, obs, "zyzzyva");
-
-    run_protocol("Zyzzyva-F (one faulty replica)", [](int clients) {
-        ZyzzyvaParams p;
-        p.n_clients = clients;
-        p.faulty_replica = true;
-        return make_zyzzyva(p);
-    }, obs, "zyzzyva_f");
-
-    run_protocol("PBFT", [](int clients) {
-        CommonParams p;
-        p.n_clients = clients;
-        return make_pbft(p);
-    }, obs, "pbft");
-
-    run_protocol("HotStuff", [](int clients) {
-        CommonParams p;
-        p.n_clients = clients;
-        p.batch_max = 8;  // modest batching (the paper notes aggressive
-        // batching lifts HotStuff's throughput but pushes latency >10ms)
-        return make_hotstuff(p);
-    }, obs, "hotstuff");
-
-    run_protocol("MinBFT", [](int clients) {
-        CommonParams p;
-        p.n_clients = clients;
-        return make_minbft(p);
-    }, obs, "minbft");
-
+    std::size_t i = 0;
+    for (const Protocol& proto : protos) {
+        std::printf("\n--- %s ---\n", proto.name.c_str());
+        TablePrinter table(
+            {"clients", "tput_ops", "p50_us", "mean_us", "p99_us", "net_us", "cpu_us", "queue_us"});
+        for (int clients : client_counts) {
+            const PointResult& r = results[i++];
+            table.row({std::to_string(clients), fmt_double(r.mean("tput_ops"), 0),
+                       fmt_double(r.mean("p50_us"), 1), fmt_double(r.mean("mean_us"), 1),
+                       fmt_double(r.mean("p99_us"), 1), fmt_double(r.mean("net_us_per_op"), 1),
+                       fmt_double(r.mean("cpu_us_per_op"), 1),
+                       fmt_double(r.mean("queue_us_per_op"), 1)});
+        }
+    }
     return 0;
 }

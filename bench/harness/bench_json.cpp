@@ -1,0 +1,334 @@
+#include "harness/bench_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace neo::bench {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) {
+        throw JsonError("json parse error at offset " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                    s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (s_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return Json(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return Json(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return Json();
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json out = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            out.set(key, parse_value());
+            skip_ws();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json out = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.push_back(parse_value());
+            skip_ws();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode (surrogate pairs are not needed for the
+                    // metric names this parser exists to read).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parse_number() {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        std::string tok = s_.substr(start, pos_ - start);
+        char* end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            pos_ = start;
+            fail("malformed number '" + tok + "'");
+        }
+        return Json(v);
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+}
+
+Json Json::object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+Json Json::parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw JsonError("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+double Json::number() const {
+    if (type_ != Type::kNumber) throw JsonError("not a number");
+    return num_;
+}
+
+bool Json::boolean() const {
+    if (type_ != Type::kBool) throw JsonError("not a boolean");
+    return bool_;
+}
+
+const std::string& Json::string() const {
+    if (type_ != Type::kString) throw JsonError("not a string");
+    return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+    if (type_ != Type::kArray) throw JsonError("not an array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+    if (type_ != Type::kObject) throw JsonError("not an object");
+    return obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+    const Json* v = find(key);
+    if (!v) throw JsonError("missing key \"" + key + "\"");
+    return *v;
+}
+
+void Json::push_back(Json v) {
+    if (type_ != Type::kArray) throw JsonError("push_back on non-array");
+    arr_.push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+    if (type_ != Type::kObject) throw JsonError("set on non-object");
+    for (auto& [k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+std::string Json::format_number(double v) {
+    if (std::isnan(v)) return "null";  // JSON has no NaN; null marks it
+    if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+void Json::dump_to(std::string& out) const {
+    switch (type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += bool_ ? "true" : "false"; break;
+        case Type::kNumber: out += format_number(num_); break;
+        case Type::kString:
+            out += '"';
+            out += obs::json_escape(str_);
+            out += '"';
+            break;
+        case Type::kArray: {
+            out += '[';
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i) out += ',';
+                arr_[i].dump_to(out);
+            }
+            out += ']';
+            break;
+        }
+        case Type::kObject: {
+            out += '{';
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i) out += ',';
+                out += '"';
+                out += obs::json_escape(obj_[i].first);
+                out += "\":";
+                obj_[i].second.dump_to(out);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump() const {
+    std::string out;
+    dump_to(out);
+    return out;
+}
+
+}  // namespace neo::bench

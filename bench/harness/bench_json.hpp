@@ -1,0 +1,89 @@
+// Minimal JSON value, parser and writer for the benchmark suite schema.
+//
+// The repo's observability layer writes JSON by hand; the compare tool is
+// the first thing that must *read* it back, hence this small recursive-
+// descent parser. It covers the full JSON grammar (objects, arrays,
+// strings with escapes, numbers, booleans, null) but is tuned for the
+// BENCH_*.json files: numbers parse to double, object key order is
+// preserved so a parse/serialise round-trip of our own output is
+// byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neo::bench {
+
+class JsonError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class Json {
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() : type_(Type::kNull) {}
+    explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+    explicit Json(double v) : type_(Type::kNumber), num_(v) {}
+    explicit Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    static Json array();
+    static Json object();
+
+    /// Parses a complete JSON document; throws JsonError with a byte
+    /// offset on malformed input or trailing garbage.
+    static Json parse(const std::string& text);
+    /// parse() on the contents of `path`; throws JsonError when the file
+    /// cannot be read.
+    static Json parse_file(const std::string& path);
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_object() const { return type_ == Type::kObject; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_bool() const { return type_ == Type::kBool; }
+
+    /// Typed accessors; throw JsonError on a type mismatch.
+    double number() const;
+    bool boolean() const;
+    const std::string& string() const;
+    const std::vector<Json>& items() const;          // array elements
+    const std::vector<std::pair<std::string, Json>>& members() const;  // object
+
+    /// Object lookup; returns nullptr when absent (or not an object).
+    const Json* find(const std::string& key) const;
+    /// Object lookup; throws JsonError when absent.
+    const Json& at(const std::string& key) const;
+
+    // ---- building (arrays and objects only) ----
+    void push_back(Json v);
+    void set(const std::string& key, Json v);
+
+    /// Serialises compactly (no whitespace). Doubles print via the same
+    /// formatter as the suite writer, so round-trips are byte-stable.
+    std::string dump() const;
+
+    /// Canonical number formatting shared with the suite writer: integers
+    /// print without a fraction, everything else shortest-round-trip.
+    static std::string format_number(double v);
+
+  private:
+    void dump_to(std::string& out) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace neo::bench

@@ -1,0 +1,137 @@
+#include "harness/compare.hpp"
+
+#include <cmath>
+
+#include "harness/bench_json.hpp"
+
+namespace neo::bench {
+
+const char* delta_status_name(DeltaStatus s) {
+    switch (s) {
+        case DeltaStatus::kOk: return "ok";
+        case DeltaStatus::kImproved: return "improved";
+        case DeltaStatus::kRegressed: return "REGRESSED";
+        case DeltaStatus::kZeroBaseline: return "zero-baseline";
+    }
+    return "?";
+}
+
+std::size_t CompareReport::regressions() const {
+    std::size_t n = 0;
+    for (const auto& d : deltas) {
+        if (d.status == DeltaStatus::kRegressed) ++n;
+    }
+    return n;
+}
+
+bool metric_lower_is_better(const std::string& name) {
+    auto ends_with = [&name](const char* suffix) {
+        std::string s(suffix);
+        return name.size() >= s.size() && name.compare(name.size() - s.size(), s.size(), s) == 0;
+    };
+    if (ends_with("_us") || ends_with("_ns") || ends_with("_ms") || ends_with("_per_op")) {
+        return true;
+    }
+    return name.find("drop") != std::string::npos || name.find("latency") != std::string::npos;
+}
+
+double tolerance_for(const CompareConfig& cfg, const std::string& point,
+                     const std::string& metric) {
+    auto it = cfg.metric_tolerance.find(point + ":" + metric);
+    if (it != cfg.metric_tolerance.end()) return it->second;
+    it = cfg.metric_tolerance.find(metric);
+    if (it != cfg.metric_tolerance.end()) return it->second;
+    return cfg.tolerance;
+}
+
+namespace {
+
+constexpr double kZeroEps = 1e-12;
+
+const Json* checked_suite(const Json& doc, const char* which,
+                          std::vector<std::string>& errors) {
+    const Json* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->string() != "neo-bench-suite@1") {
+        errors.push_back(std::string(which) + ": not a neo-bench-suite@1 document");
+        return nullptr;
+    }
+    const Json* points = doc.find("points");
+    if (!points || !points->is_array()) {
+        errors.push_back(std::string(which) + ": missing points array");
+        return nullptr;
+    }
+    return points;
+}
+
+const Json* find_point(const Json& points, const std::string& name) {
+    for (const auto& p : points.items()) {
+        const Json* n = p.find("name");
+        if (n && n->is_string() && n->string() == name) return &p;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+CompareReport compare_suites(const Json& baseline, const Json& candidate,
+                             const CompareConfig& cfg) {
+    CompareReport rep;
+    const Json* base_points = checked_suite(baseline, "baseline", rep.errors);
+    const Json* cand_points = checked_suite(candidate, "candidate", rep.errors);
+    if (!base_points || !cand_points) return rep;
+
+    for (const auto& bp : base_points->items()) {
+        const Json* name = bp.find("name");
+        if (!name || !name->is_string()) {
+            rep.errors.push_back("baseline: point without a name");
+            continue;
+        }
+        const Json* cp = find_point(*cand_points, name->string());
+        if (!cp) {
+            rep.errors.push_back("candidate is missing point \"" + name->string() + "\"");
+            continue;
+        }
+        const Json* base_metrics = bp.find("metrics");
+        const Json* cand_metrics = cp->find("metrics");
+        if (!base_metrics || !base_metrics->is_object()) continue;
+        for (const auto& [metric, bstats] : base_metrics->members()) {
+            const Json* cstats = cand_metrics ? cand_metrics->find(metric) : nullptr;
+            if (!cstats) {
+                rep.errors.push_back("candidate point \"" + name->string() +
+                                     "\" is missing metric \"" + metric + "\"");
+                continue;
+            }
+            MetricDelta d;
+            d.point = name->string();
+            d.metric = metric;
+            try {
+                d.base_mean = bstats.at("mean").number();
+                d.cand_mean = cstats->at("mean").number();
+            } catch (const JsonError& e) {
+                rep.errors.push_back("point \"" + name->string() + "\" metric \"" + metric +
+                                     "\": " + e.what());
+                continue;
+            }
+            d.lower_is_better = metric_lower_is_better(metric);
+            d.tolerance = tolerance_for(cfg, d.point, d.metric);
+            if (std::fabs(d.base_mean) < kZeroEps) {
+                d.status = DeltaStatus::kZeroBaseline;
+                rep.deltas.push_back(d);
+                continue;
+            }
+            d.rel_delta = (d.cand_mean - d.base_mean) / std::fabs(d.base_mean);
+            double bad = d.lower_is_better ? d.rel_delta : -d.rel_delta;
+            if (bad > d.tolerance) {
+                d.status = DeltaStatus::kRegressed;
+            } else if (-bad > d.tolerance) {
+                d.status = DeltaStatus::kImproved;
+            } else {
+                d.status = DeltaStatus::kOk;
+            }
+            rep.deltas.push_back(d);
+        }
+    }
+    return rep;
+}
+
+}  // namespace neo::bench

@@ -1,0 +1,72 @@
+// Suite-diff logic behind the bench_compare CLI: compares two
+// neo-bench-suite@1 JSON documents metric-by-metric against relative
+// tolerances, classifying each delta so CI can gate on regressions while
+// improvements and in-tolerance noise pass.
+//
+// Direction is inferred from the metric name (see metric_lower_is_better):
+// latency/cost-shaped metrics regress upward, throughput-shaped metrics
+// regress downward. A missing point or metric in the candidate is an error
+// (schema drift is a regression of the trajectory itself); extra points in
+// the candidate are ignored so suites can grow without breaking the gate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace neo::bench {
+
+class Json;
+
+struct CompareConfig {
+    /// Default relative tolerance on the mean (0.15 = ±15%).
+    double tolerance = 0.15;
+    /// Per-metric overrides; keys are a metric name ("p99_us") or a
+    /// point-qualified "point:metric" ("aom_hm.r4:p99_us", which wins).
+    std::map<std::string, double> metric_tolerance;
+};
+
+enum class DeltaStatus {
+    kOk,            // within tolerance
+    kImproved,      // beyond tolerance in the good direction
+    kRegressed,     // beyond tolerance in the bad direction
+    kZeroBaseline,  // baseline mean ~ 0: relative compare undefined, skipped
+};
+const char* delta_status_name(DeltaStatus s);
+
+struct MetricDelta {
+    std::string point;
+    std::string metric;
+    double base_mean = 0;
+    double cand_mean = 0;
+    double rel_delta = 0;  // (cand - base) / |base|
+    double tolerance = 0;
+    bool lower_is_better = false;
+    DeltaStatus status = DeltaStatus::kOk;
+};
+
+struct CompareReport {
+    std::vector<MetricDelta> deltas;
+    std::vector<std::string> errors;  // missing points/metrics, schema drift
+
+    std::size_t regressions() const;
+    bool ok() const { return errors.empty() && regressions() == 0; }
+};
+
+/// Direction heuristic: metric names shaped like a time, a cost-per-op or
+/// a drop count regress when they grow; everything else (throughput,
+/// completion counts, percentages of useful work) regresses when it
+/// shrinks.
+bool metric_lower_is_better(const std::string& name);
+
+/// Effective tolerance for (point, metric) under `cfg`.
+double tolerance_for(const CompareConfig& cfg, const std::string& point,
+                     const std::string& metric);
+
+/// Diffs every baseline point/metric against the candidate suite. Both
+/// documents must be neo-bench-suite@1 (anything else is reported in
+/// `errors`).
+CompareReport compare_suites(const Json& baseline, const Json& candidate,
+                             const CompareConfig& cfg);
+
+}  // namespace neo::bench

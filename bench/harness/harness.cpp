@@ -122,39 +122,66 @@ ObsSession::ObsSession(int argc, char* const* argv)
 
 ObsSession::~ObsSession() { flush(); }
 
-void ObsSession::begin_run(sim::Simulator& sim, const std::string& label, bool trace_this_run,
-                           const std::function<void(obs::Registry&, obs::TraceSink*)>& reg) {
-    (void)label;
-    if (!enabled()) return;
-    NEO_ASSERT_MSG(!run_registry_, "ObsSession: begin_run without end_run");
-    run_registry_ = std::make_unique<obs::Registry>();
-    obs::TraceSink* tr = nullptr;
-    if (tracing() && trace_this_run && !traced_) {
-        traced_ = true;
-        run_traced_ = true;
-        tr = &sink_;
-        sim.set_trace(&sink_);
-        // Log lines emitted during the traced run carry its virtual clock.
-        set_log_time_source([&sim] { return sim.now(); });
+ObsSession::Attachment& ObsSession::Attachment::operator=(Attachment&& o) noexcept {
+    if (this != &o) {
+        detach();
+        s_ = o.s_;
+        reg_ = std::move(o.reg_);
+        sim_ = o.sim_;
+        traced_ = o.traced_;
+        o.s_ = nullptr;
+        o.sim_ = nullptr;
+        o.traced_ = false;
     }
-    reg(*run_registry_, tr);
+    return *this;
 }
 
-void ObsSession::begin_run(Deployment& d, const std::string& label, bool trace_this_run) {
-    begin_run(d.simulator(), label, trace_this_run,
-              [&d, &label](obs::Registry& r, obs::TraceSink* tr) { d.register_obs(r, label, tr); });
-}
-
-void ObsSession::end_run() {
-    if (!run_registry_) return;
-    if (metrics()) {
-        for (const auto& [k, v] : run_registry_->snapshot()) merged_[k] = v;
+void ObsSession::Attachment::detach() {
+    if (!s_) return;
+    if (reg_) {
+        std::lock_guard<std::mutex> lk(s_->merge_m_);
+        for (const auto& [k, v] : reg_->snapshot()) s_->merged_[k] = v;
     }
-    run_registry_.reset();
-    if (run_traced_) {
-        run_traced_ = false;
+    if (traced_) {
+        // The sink keeps the recorded events for flush(); just stop the
+        // simulator writing into it and restore this thread's log clock.
+        if (sim_) sim_->set_trace(nullptr);
         clear_log_time_source();
     }
+    s_ = nullptr;
+    reg_.reset();
+    sim_ = nullptr;
+    traced_ = false;
+}
+
+ObsSession::Attachment ObsSession::attach(
+    sim::Simulator& sim, const std::string& label, bool want_trace,
+    const std::function<void(obs::Registry&, obs::TraceSink*)>& reg) {
+    (void)label;
+    if (!enabled()) return {};
+    Attachment a;
+    a.s_ = this;
+    a.reg_ = std::make_unique<obs::Registry>();
+    obs::TraceSink* tr = nullptr;
+    if (tracing() && want_trace && !trace_claimed_.exchange(true)) {
+        a.traced_ = true;
+        a.sim_ = &sim;
+        tr = &sink_;
+        sim.set_trace(&sink_);
+        // Log lines emitted by this run's thread carry its virtual clock
+        // (the source is thread-local, so concurrent runs don't clash).
+        set_log_time_source([&sim] { return sim.now(); });
+    }
+    reg(*a.reg_, tr);
+    return a;
+}
+
+ObsSession::Attachment ObsSession::attach(Deployment& d, const std::string& label,
+                                          bool want_trace) {
+    return attach(d.simulator(), label, want_trace,
+                  [&d, &label](obs::Registry& r, obs::TraceSink* tr) {
+                      d.register_obs(r, label, tr);
+                  });
 }
 
 void ObsSession::flush() {
@@ -555,22 +582,18 @@ std::string fmt_double(double v, int precision) {
     return buf;
 }
 
-std::vector<SweepPoint> latency_throughput_sweep(
-    const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
-    const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
-    sim::Time measure, ObsSession* obs, const std::string& label, int trace_clients) {
-    std::vector<SweepPoint> out;
-    for (int clients : client_counts) {
-        auto d = factory(clients);
-        // Default: offer the first point to the trace sink (the session
-        // keeps only the first run offered across the whole process).
-        bool trace_this = trace_clients < 0 ? out.empty() : clients == trace_clients;
-        if (obs) obs->begin_run(*d, label + ".c" + std::to_string(clients), trace_this);
-        Measured m = run_closed_loop(*d, ops, warmup, measure);
-        if (obs) obs->end_run();
-        out.push_back({clients, m});
-    }
-    return out;
+std::map<std::string, double> measured_metrics(const Measured& m) {
+    return {
+        {"tput_ops", m.throughput_ops},
+        {"p50_us", m.p50_us},
+        {"mean_us", m.mean_us},
+        {"p99_us", m.p99_us},
+        {"p999_us", m.p999_us},
+        {"completed", static_cast<double>(m.completed)},
+        {"net_us_per_op", m.net_us_per_op},
+        {"cpu_us_per_op", m.cpu_us_per_op},
+        {"queue_us_per_op", m.queue_us_per_op},
+    };
 }
 
 }  // namespace neo::bench

@@ -4,8 +4,11 @@
 // throughput observed by the clients).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,62 +89,76 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
 /// Parses `--trace <path>` and `--metrics <path>` from argv (with
 /// NEO_TRACE / NEO_METRICS environment fallback) and owns the trace sink
 /// and the merged metrics snapshot. A bench binary attaches each run with
-/// begin_run/end_run (or the scoped ObsRun helper); on destruction the
-/// session writes the requested files:
+/// attach() (runs on worker threads attach concurrently; the session is
+/// thread-safe); on destruction the session writes the requested files:
 ///  - metrics: one JSON object merging every attached run's counters,
-///    namespaced by the run label ("neo_hm.c8.replica.1.rx.request");
-///  - trace: the FIRST run attached with trace_this_run=true, written as
-///    Chrome trace_event JSON — or JSONL when the path ends in ".jsonl".
+///    namespaced by the run label ("neo_hm.c8.s42.replica.1.rx.request");
+///  - trace: the FIRST run attached with want_trace=true (a process-wide
+///    atomic claim), written as Chrome trace_event JSON — or JSONL when
+///    the path ends in ".jsonl".
 class ObsSession {
   public:
     ObsSession(int argc, char* const* argv);
     ~ObsSession();
 
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
     bool tracing() const { return !trace_path_.empty(); }
     bool metrics() const { return !metrics_path_.empty(); }
     bool enabled() const { return tracing() || metrics(); }
 
-    /// Attaches a run built on `sim`. `reg` is invoked immediately to
-    /// register the run's collectors (and name trace tracks when the sink
-    /// is passed through non-null).
-    void begin_run(sim::Simulator& sim, const std::string& label, bool trace_this_run,
-                   const std::function<void(obs::Registry&, obs::TraceSink*)>& reg);
-    /// Deployment convenience: forwards to Deployment::register_obs.
-    void begin_run(Deployment& d, const std::string& label, bool trace_this_run = true);
-    /// Snapshots the run's collectors into the merged metrics. Must be
-    /// called before the run's nodes are destroyed.
-    void end_run();
+    /// Scoped run attachment. Holds the run's private registry; the
+    /// destructor snapshots it into the session's merged metrics, so it
+    /// must run while the run's nodes are still alive (declare the
+    /// deployment/fixture FIRST, the attachment second). Movable so
+    /// attach() can return it by value; default-constructed = no-op.
+    class Attachment {
+      public:
+        Attachment() = default;
+        Attachment(Attachment&& o) noexcept { *this = std::move(o); }
+        Attachment& operator=(Attachment&& o) noexcept;
+        ~Attachment() { detach(); }
+        Attachment(const Attachment&) = delete;
+        Attachment& operator=(const Attachment&) = delete;
+
+        /// Snapshots the run's metrics now (idempotent).
+        void detach();
+
+      private:
+        friend class ObsSession;
+        ObsSession* s_ = nullptr;
+        std::unique_ptr<obs::Registry> reg_;
+        sim::Simulator* sim_ = nullptr;
+        bool traced_ = false;
+    };
+
+    /// Attaches a run built on `sim`. `reg` is invoked immediately (on the
+    /// calling thread) to register the run's collectors; when this run wins
+    /// the trace claim, the sink is passed through non-null so `reg` can
+    /// name the trace tracks. Thread-safe; returns an inert attachment when
+    /// neither --trace nor --metrics was requested.
+    Attachment attach(sim::Simulator& sim, const std::string& label, bool want_trace,
+                      const std::function<void(obs::Registry&, obs::TraceSink*)>& reg);
+    /// Deployment convenience: forwards to Deployment::register_obs with
+    /// `label` as the metrics prefix.
+    Attachment attach(Deployment& d, const std::string& label, bool want_trace = true);
 
     obs::TraceSink* sink() { return tracing() ? &sink_ : nullptr; }
 
     /// Writes the metrics / trace files now (also done by the destructor).
+    /// Call only after every attachment is detached and worker threads
+    /// joined.
     void flush();
 
   private:
     std::string trace_path_;
     std::string metrics_path_;
     obs::TraceSink sink_;
-    std::unique_ptr<obs::Registry> run_registry_;
+    std::mutex merge_m_;
     std::map<std::string, double> merged_;
-    bool traced_ = false;
-    bool run_traced_ = false;
+    std::atomic<bool> trace_claimed_{false};
     bool flushed_ = false;
-};
-
-/// Scoped run attachment: construct after the deployment (so it detaches
-/// first), destructs via ObsSession::end_run while the nodes are alive.
-class ObsRun {
-  public:
-    ObsRun(ObsSession& s, Deployment& d, const std::string& label, bool trace_this_run = true)
-        : s_(s) {
-        s_.begin_run(d, label, trace_this_run);
-    }
-    ~ObsRun() { s_.end_run(); }
-    ObsRun(const ObsRun&) = delete;
-    ObsRun& operator=(const ObsRun&) = delete;
-
-  private:
-    ObsSession& s_;
 };
 
 // --------------------------------------------------------------- factories
@@ -199,21 +216,8 @@ class TablePrinter {
 
 std::string fmt_double(double v, int precision = 1);
 
-/// Sweeps client counts and reports one (throughput, latency) point each —
-/// the raw material of Fig 7-style curves.
-///
-/// When `obs` is set, every point registers metrics under
-/// "<label>.c<clients>"; the point with `trace_clients` clients (if it is
-/// in `client_counts`) is offered to the session's trace sink. Pass -1 to
-/// offer the sweep's first point, 0 to never offer one.
-struct SweepPoint {
-    int clients;
-    Measured m;
-};
-std::vector<SweepPoint> latency_throughput_sweep(
-    const std::function<std::unique_ptr<Deployment>(int clients)>& factory,
-    const std::vector<int>& client_counts, const OpGen& ops, sim::Time warmup,
-    sim::Time measure, ObsSession* obs = nullptr, const std::string& label = "",
-    int trace_clients = -1);
+/// Measured -> metric map for the runner's BENCH_*.json points (the Fig 7
+/// column set: throughput, latency percentiles, net/cpu/queue breakdown).
+std::map<std::string, double> measured_metrics(const Measured& m);
 
 }  // namespace neo::bench

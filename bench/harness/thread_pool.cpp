@@ -1,0 +1,97 @@
+#include "harness/thread_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace neo::bench {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads < 1) threads = 1;
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(idle_m_);
+        joining_ = true;
+    }
+    idle_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    NEO_ASSERT_MSG(task, "ThreadPool: empty task");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lk(submit_m_);
+        target = next_queue_;
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues_[target]->m);
+        queues_[target]->q.push_back(std::move(task));
+    }
+    {
+        // Submitting while the destructor drains is allowed — a running task
+        // may enqueue follow-up work, and workers only exit once pending_
+        // reaches zero, so nothing enqueued before the last task returns is
+        // ever lost.
+        std::lock_guard<std::mutex> lk(idle_m_);
+        ++pending_;
+    }
+    idle_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_front(std::size_t i, std::function<void()>& out) {
+    std::lock_guard<std::mutex> lk(queues_[i]->m);
+    if (queues_[i]->q.empty()) return false;
+    out = std::move(queues_[i]->q.front());
+    queues_[i]->q.pop_front();
+    return true;
+}
+
+bool ThreadPool::try_steal_back(std::size_t thief, std::function<void()>& out) {
+    // Scan victims starting after the thief so steals spread out.
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        std::size_t v = (thief + k) % queues_.size();
+        std::lock_guard<std::mutex> lk(queues_[v]->m);
+        if (queues_[v]->q.empty()) continue;
+        out = std::move(queues_[v]->q.back());
+        queues_[v]->q.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t i) {
+    for (;;) {
+        std::function<void()> task;
+        if (try_pop_front(i, task) || try_steal_back(i, task)) {
+            {
+                std::lock_guard<std::mutex> lk(idle_m_);
+                --pending_;
+            }
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(idle_m_);
+        if (pending_ == 0 && joining_) return;
+        if (pending_ == 0) {
+            idle_cv_.wait(lk, [this] { return pending_ > 0 || joining_; });
+        }
+        // pending_ > 0 here means some queue is non-empty: loop and fetch.
+        // (A task popped by another worker between our failed scan and the
+        // wait shows up as pending_ == 0 and we park again — no spin.)
+    }
+}
+
+unsigned ThreadPool::default_jobs() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n < 1 ? 1 : n;
+}
+
+}  // namespace neo::bench

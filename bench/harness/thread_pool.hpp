@@ -1,0 +1,91 @@
+// Work-stealing thread pool for fanning independent (config, seed)
+// simulation runs across cores.
+//
+// Each worker owns a deque: the owner pops from the front (FIFO keeps
+// submission order roughly intact, which keeps cache-warm configs
+// together), idle workers steal from the back of a victim's deque.
+// Submissions round-robin across the worker deques, so a balanced fan-out
+// never needs to steal at all; stealing only pays when run times are
+// skewed (e.g. fig6's 64-receiver point next to its 4-receiver point).
+//
+// Semantics:
+//  - submit() enqueues a task; async() wraps it in a std::packaged_task so
+//    exceptions propagate through the returned future (the pool itself
+//    never swallows or rethrows).
+//  - The destructor drains: every task submitted before destruction runs
+//    to completion before the workers join, and a running task may submit
+//    follow-up work (also drained). External threads must not race submit()
+//    against the destructor — the usual lifetime rule, not a pool rule.
+//  - size() == 1 is valid and runs tasks on the single worker thread (not
+//    inline), so sequential and parallel runs share one code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace neo::bench {
+
+class ThreadPool {
+  public:
+    /// Spawns `threads` workers (values < 1 are clamped to 1).
+    explicit ThreadPool(unsigned threads);
+
+    /// Drains every submitted task, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// Enqueues a fire-and-forget task.
+    void submit(std::function<void()> task);
+
+    /// Enqueues `fn` and returns a future for its result; an exception
+    /// thrown by `fn` is rethrown by future::get().
+    template <typename F>
+    auto async(F fn) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> fut = task->get_future();
+        submit([task] { (*task)(); });
+        return fut;
+    }
+
+    /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+    /// legally return 0).
+    static unsigned default_jobs();
+
+  private:
+    struct WorkerQueue {
+        std::mutex m;
+        std::deque<std::function<void()>> q;
+    };
+
+    bool try_pop_front(std::size_t i, std::function<void()>& out);
+    bool try_steal_back(std::size_t thief, std::function<void()>& out);
+    void worker_loop(std::size_t i);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    // Idle workers park on one condition variable; `pending_` counts
+    // queued-but-not-yet-popped tasks (the exit condition once `joining_`).
+    std::mutex idle_m_;
+    std::condition_variable idle_cv_;
+    std::size_t pending_ = 0;
+    bool joining_ = false;
+
+    std::size_t next_queue_ = 0;  // round-robin submission cursor
+    std::mutex submit_m_;
+};
+
+}  // namespace neo::bench

@@ -3,10 +3,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 #include "crypto/hmac_sha256.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
@@ -94,24 +95,49 @@ BENCHMARK(BM_GeneratorMul);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): every bench binary accepts
-// --trace/--metrics, but google-benchmark rejects flags it does not know,
-// so strip them before handing argv over. These are wall-clock
-// micro-benchmarks with no simulator, so the session has nothing to attach.
+// Custom main instead of BENCHMARK_MAIN(): every bench binary accepts the
+// uniform runner flags (--json/--seed/--seeds/--jobs/--quick on top of
+// --trace/--metrics), but google-benchmark rejects flags it does not know,
+// so consume them before handing argv over. These are wall-clock
+// micro-benchmarks with no simulator: seeds and jobs do not apply (the
+// measurements are hardware-bound, not model-bound), and --json maps onto
+// google-benchmark's own JSON reporter so CI still gets a machine-readable
+// artifact at the requested path.
 int main(int argc, char** argv) {
+    bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
     bench::ObsSession obs(argc, argv);
-    std::vector<char*> args;
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
+    (void)obs;
+
+    std::vector<std::string> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        bool takes_value = a == "--trace" || a == "--metrics" || a == "--json" || a == "--seed" ||
+                           a == "--seeds" || a == "--jobs";
+        if (takes_value) {
             ++i;  // skip the flag's value too
             continue;
         }
-        if (std::strncmp(argv[i], "--trace=", 8) == 0 ||
-            std::strncmp(argv[i], "--metrics=", 10) == 0) {
+        if (a == "--quick" || a.rfind("--trace=", 0) == 0 || a.rfind("--metrics=", 0) == 0 ||
+            a.rfind("--json=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
+            a.rfind("--seeds=", 0) == 0 || a.rfind("--jobs=", 0) == 0) {
             continue;
         }
-        args.push_back(argv[i]);
+        kept.push_back(a);
     }
+    if (!opt.json_path.empty()) {
+        kept.push_back("--benchmark_out=" + opt.json_path);
+        kept.push_back("--benchmark_out_format=json");
+    }
+    if (opt.quick) {
+        // Plain double: the packaged google-benchmark predates the
+        // suffixed "0.05s" form and rejects it.
+        kept.push_back("--benchmark_min_time=0.05");
+    }
+
+    std::vector<char*> args;
+    args.reserve(kept.size());
+    for (std::string& s : kept) args.push_back(s.data());
     int filtered_argc = static_cast<int>(args.size());
     benchmark::Initialize(&filtered_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;

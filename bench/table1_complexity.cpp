@@ -2,22 +2,19 @@
 // measured empirically per committed request while sweeping N, plus the
 // analytic columns from the paper.
 #include <cstdio>
+#include <memory>
 
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 namespace {
 
-struct Counts {
-    double bottleneck_msgs_per_req;  // messages at the busiest replica
-    double authenticators_per_req;   // signs+verifies+MACs across replicas
-};
-
-Counts measure(Deployment& d, sim::Time warmup, sim::Time measure_t) {
+// Counters are measured once the warmup window closes, so the per-request
+// figures reflect steady state only.
+std::map<std::string, double> measure(Deployment& d, sim::Time warmup, sim::Time measure_t) {
     std::vector<NodeId> reps = d.replica_ids();
-    // One continuous run; counters reset exactly when the window opens.
     Measured m = run_closed_loop(d, echo_ops(64), warmup, measure_t, [&d, &reps] {
         d.network().reset_counters();
         for (NodeId r : reps) {
@@ -33,17 +30,133 @@ Counts measure(Deployment& d, sim::Time warmup, sim::Time measure_t) {
             auth_total += meter->signs + meter->verifies + meter->macs;
         }
     }
-    Counts c;
     double reqs = std::max<double>(1, static_cast<double>(m.completed));
-    c.bottleneck_msgs_per_req = static_cast<double>(max_msgs) / reqs;
-    c.authenticators_per_req = static_cast<double>(auth_total) / reqs;
-    return c;
+    return {
+        {"bottleneck_msgs_per_req", static_cast<double>(max_msgs) / reqs},
+        {"authenticators_per_req", static_cast<double>(auth_total) / reqs},
+    };
+}
+
+struct Protocol {
+    std::string name;   // table row
+    std::string label;  // point-name component
+    std::function<std::unique_ptr<Deployment>(int n, std::uint64_t seed)> make;
+    bool trace_candidate = false;
+};
+
+std::vector<Protocol> protocols() {
+    constexpr int kClients = 16;
+    return {
+        {"NeoBFT-HM", "neobft_hm",
+         [](int n, std::uint64_t seed) {
+             NeoParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             return make_neobft(p);
+         },
+         true},
+        {"NeoBFT-PK", "neobft_pk",
+         [](int n, std::uint64_t seed) {
+             NeoParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             p.variant = NeoVariant::kPk;
+             // The O(1) bottleneck claim is group-size agnostic for aom-pk;
+             // aom-hm replicas receive ceil(N/4) subgroup packets (§6.3).
+             return make_neobft(p);
+         }},
+        {"PBFT", "pbft",
+         [](int n, std::uint64_t seed) {
+             CommonParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             return make_pbft(p);
+         }},
+        {"Zyzzyva", "zyzzyva",
+         [](int n, std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             return make_zyzzyva(p);
+         }},
+        {"HotStuff", "hotstuff",
+         [](int n, std::uint64_t seed) {
+             CommonParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             return make_hotstuff(p);
+         }},
+        {"MinBFT", "minbft",
+         [](int n, std::uint64_t seed) {
+             CommonParams p;
+             p.n_replicas = n;
+             p.n_clients = kClients;
+             p.seed = seed;
+             return make_minbft(p);
+         }},
+    };
+}
+
+struct DelayRow {
+    std::string name;
+    std::string label;
+    std::string paper_delays;
+    std::function<std::unique_ptr<Deployment>(std::uint64_t seed)> make;
+};
+
+std::vector<DelayRow> delay_rows() {
+    return {
+        {"NeoBFT-HM", "neobft_hm", "2",
+         [](std::uint64_t seed) {
+             NeoParams p;
+             p.n_clients = 1;
+             p.seed = seed;
+             return make_neobft(p);
+         }},
+        {"Zyzzyva", "zyzzyva", "3",
+         [](std::uint64_t seed) {
+             ZyzzyvaParams p;
+             p.n_clients = 1;
+             p.seed = seed;
+             p.batch_delay = 10 * sim::kMicrosecond;
+             return make_zyzzyva(p);
+         }},
+        {"PBFT", "pbft", "5",
+         [](std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = 1;
+             p.seed = seed;
+             p.batch_delay = 10 * sim::kMicrosecond;
+             return make_pbft(p);
+         }},
+        {"MinBFT", "minbft", "4",
+         [](std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = 1;
+             p.seed = seed;
+             p.batch_delay = 10 * sim::kMicrosecond;
+             return make_minbft(p);
+         }},
+        {"HotStuff", "hotstuff", "4",
+         [](std::uint64_t seed) {
+             CommonParams p;
+             p.n_clients = 1;
+             p.seed = seed;
+             p.batch_delay = 10 * sim::kMicrosecond;
+             return make_hotstuff(p);
+         }},
+    };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);
+    BenchMain bm(argc, argv, "table1_complexity");
     std::printf("=== Table 1: complexity comparison (measured per committed request) ===\n");
     std::printf("analytic columns (paper):\n");
     std::printf("  protocol   repl.factor  bottleneck  authenticators  delays\n");
@@ -55,125 +168,66 @@ int main(int argc, char** argv) {
     std::printf("  MinBFT     2f+1         O(N)        O(N^2)          4\n");
     std::printf("  NeoBFT     3f+1         O(1)        O(N)            2\n\n");
 
-    constexpr sim::Time kWarm = 20 * sim::kMillisecond;
-    constexpr sim::Time kMeasure = 100 * sim::kMillisecond;
-    const int kClients = 16;
+    const sim::Time warm = bm.quick() ? 5 * sim::kMillisecond : 20 * sim::kMillisecond;
+    const sim::Time meas = bm.quick() ? 30 * sim::kMillisecond : 100 * sim::kMillisecond;
+    const std::vector<int> group_sizes = bm.quick() ? std::vector<int>{4} : std::vector<int>{4, 7, 10};
 
-    for (int n : {4, 7, 10}) {
-        std::printf("--- N = %d (f = %d) ---\n", n, (n - 1) / 3);
-        TablePrinter table({"protocol", "bottleneck_msgs/req", "authenticators/req"});
-
-        {
-            NeoParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            auto d = make_neobft(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".neobft_hm", true);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            table.row({"NeoBFT-HM", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
+    const std::vector<Protocol> protos = protocols();
+    std::vector<BenchPointSpec> points;
+    for (int n : group_sizes) {
+        for (const Protocol& proto : protos) {
+            points.push_back({
+                "n" + std::to_string(n) + "." + proto.label,
+                {{"replicas", static_cast<double>(n)}},
+                [&proto, n, warm, meas](RunCtx& ctx) {
+                    auto d = proto.make(n, ctx.seed());
+                    auto obs = ctx.attach(*d);
+                    return measure(*d, warm, meas);
+                },
+                proto.trace_candidate && n == 4,
+            });
         }
-        {
-            NeoParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            p.variant = NeoVariant::kPk;
-            auto d = make_neobft(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".neobft_pk", false);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            // The O(1) bottleneck claim is group-size agnostic for aom-pk;
-            // aom-hm replicas receive ceil(N/4) subgroup packets (§6.3).
-            table.row({"NeoBFT-PK", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
-        }
-        {
-            CommonParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            auto d = make_pbft(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".pbft", false);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            table.row({"PBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
-        }
-        {
-            ZyzzyvaParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            auto d = make_zyzzyva(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".zyzzyva", false);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            table.row({"Zyzzyva", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
-        }
-        {
-            CommonParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            auto d = make_hotstuff(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".hotstuff", false);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            table.row({"HotStuff", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
-        }
-        {
-            CommonParams p;
-            p.n_replicas = n;
-            p.n_clients = kClients;
-            auto d = make_minbft(p);
-            obs.begin_run(*d, "n" + std::to_string(n) + ".minbft", false);
-            Counts c = measure(*d, kWarm, kMeasure);
-            obs.end_run();
-            table.row({"MinBFT", fmt_double(c.bottleneck_msgs_per_req, 2),
-                       fmt_double(c.authenticators_per_req, 2)});
-        }
-        std::printf("\n");
     }
 
     // Message-delay column: idle-system commit latency. Absolute values
     // include constant crypto latencies; the paper's delay counts predict
     // the ORDERING (NeoBFT 2 < Zyzzyva 3 < MinBFT/HotStuff 4 < PBFT 5, with
     // per-protocol crypto shifting the constants).
+    const std::vector<DelayRow> delays = delay_rows();
+    const sim::Time delay_meas = bm.quick() ? 5 * sim::kMillisecond : 20 * sim::kMillisecond;
+    for (const DelayRow& row : delays) {
+        points.push_back({
+            "delay." + row.label,
+            {},
+            [&row, delay_meas](RunCtx& ctx) {
+                auto d = row.make(ctx.seed());
+                auto obs = ctx.attach(*d);
+                Measured m = run_closed_loop(*d, echo_ops(64), 0, delay_meas);
+                return std::map<std::string, double>{{"latency_us", m.p50_us}};
+            },
+            false,
+        });
+    }
+
+    std::vector<PointResult> results = bm.run(points);
+
+    std::size_t i = 0;
+    for (int n : group_sizes) {
+        std::printf("--- N = %d (f = %d) ---\n", n, (n - 1) / 3);
+        TablePrinter table({"protocol", "bottleneck_msgs/req", "authenticators/req"});
+        for (const Protocol& proto : protos) {
+            const PointResult& r = results[i++];
+            table.row({proto.name, fmt_double(r.mean("bottleneck_msgs_per_req"), 2),
+                       fmt_double(r.mean("authenticators_per_req"), 2)});
+        }
+        std::printf("\n");
+    }
+
     std::printf("--- message delays (idle-system commit latency, N=4) ---\n");
     TablePrinter table({"protocol", "paper_delays", "latency_us"});
-    auto one_shot = [&](const std::string& name, const std::string& delays,
-                        std::unique_ptr<Deployment> d) {
-        Measured m = run_closed_loop(*d, echo_ops(64), 0, 20 * sim::kMillisecond);
-        table.row({name, delays, fmt_double(m.p50_us, 1)});
-    };
-    {
-        NeoParams p;
-        p.n_clients = 1;
-        one_shot("NeoBFT-HM", "2", make_neobft(p));
-    }
-    {
-        ZyzzyvaParams p;
-        p.n_clients = 1;
-        p.batch_delay = 10 * sim::kMicrosecond;
-        one_shot("Zyzzyva", "3", make_zyzzyva(p));
-    }
-    {
-        CommonParams p;
-        p.n_clients = 1;
-        p.batch_delay = 10 * sim::kMicrosecond;
-        one_shot("PBFT", "5", make_pbft(p));
-    }
-    {
-        CommonParams p;
-        p.n_clients = 1;
-        p.batch_delay = 10 * sim::kMicrosecond;
-        one_shot("MinBFT", "4", make_minbft(p));
-    }
-    {
-        CommonParams p;
-        p.n_clients = 1;
-        p.batch_delay = 10 * sim::kMicrosecond;
-        one_shot("HotStuff", "4", make_hotstuff(p));
+    for (const DelayRow& row : delays) {
+        const PointResult& r = results[i++];
+        table.row({row.name, row.paper_delays, fmt_double(r.mean("latency_us"), 1)});
     }
     return 0;
 }

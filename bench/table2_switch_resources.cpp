@@ -6,19 +6,20 @@
 // DESIGN.md §1 — this bench reports the cost-model quantities our emulated
 // data plane derives from the same design: pipeline passes, parallel
 // HalfSipHash instances, loopback lanes, and the resulting per-packet
-// service time per group size.
+// service time per group size. The cost model is arithmetic (no simulation),
+// so every point is seed-independent; the suite still emits the standard
+// JSON so CI can pin the derived costs.
 #include <cstdio>
 
 #include "aom/types.hpp"
-#include "harness/harness.hpp"
+#include "harness/runner.hpp"
 #include "sim/costs.hpp"
 
 using namespace neo;
 using namespace neo::bench;
 
 int main(int argc, char** argv) {
-    ObsSession obs(argc, argv);  // accepts --trace/--metrics; this bench runs no simulation
-    (void)obs;
+    BenchMain bm(argc, argv, "table2_switch_resources");
     std::printf("=== Table 2: aom-hm switch data-plane model ===\n\n");
     std::printf("paper (Tofino synthesis):\n");
     std::printf("  module  stages  action_data  hash_bit  hash_unit  VLIW\n");
@@ -33,14 +34,34 @@ int main(int argc, char** argv) {
     consts.row({"max HM receivers", std::to_string(aom::kHmMaxReceivers)});
     consts.row({"base forwarding latency", std::to_string(sim::kSwitchForwardNs) + " ns"});
 
+    const std::vector<int> receiver_counts =
+        bm.quick() ? std::vector<int>{4, 64} : std::vector<int>{4, 8, 16, 32, 48, 64};
+    std::vector<BenchPointSpec> points;
+    for (int r : receiver_counts) {
+        points.push_back({
+            "aom_hm.r" + std::to_string(r),
+            {{"receivers", static_cast<double>(r)}},
+            [r](RunCtx&) {
+                int subgroups = aom::hm_subgroup_count(r);
+                sim::Time service = sim::hm_service_ns(r);
+                return std::map<std::string, double>{
+                    {"subgroups", static_cast<double>(subgroups)},
+                    {"service_ns_per_pkt", static_cast<double>(service)},
+                    {"max_mpps", 1000.0 / static_cast<double>(service)},
+                };
+            },
+            false,  // no simulation: nothing to trace
+        });
+    }
+    std::vector<PointResult> results = bm.run(points);
+
     std::printf("\nper-group-size derived costs:\n");
     TablePrinter table({"receivers", "subgroups", "service_ns/pkt", "max_Mpps", "pkts/receiver"});
-    for (int r : {4, 8, 16, 32, 48, 64}) {
-        int subgroups = aom::hm_subgroup_count(r);
-        sim::Time service = sim::hm_service_ns(r);
-        double mpps = 1000.0 / static_cast<double>(service);
-        table.row({std::to_string(r), std::to_string(subgroups), std::to_string(service),
-                   fmt_double(mpps, 2), std::to_string(subgroups)});
+    for (std::size_t i = 0; i < receiver_counts.size(); ++i) {
+        const PointResult& r = results[i];
+        table.row({std::to_string(receiver_counts[i]), fmt_double(r.mean("subgroups"), 0),
+                   fmt_double(r.mean("service_ns_per_pkt"), 0), fmt_double(r.mean("max_mpps"), 2),
+                   fmt_double(r.mean("subgroups"), 0)});
     }
     std::printf("\n(hardware utilisation percentages are not reproducible in software;\n");
     std::printf(" see DESIGN.md §1 for the substitution rationale)\n");

@@ -28,7 +28,11 @@ LogLevel startup_level() {
 }
 
 std::atomic<LogLevel> g_level{startup_level()};
-std::function<std::int64_t()> g_time_source;
+// Thread-local: the bench runner executes one simulation per worker
+// thread, and each installs the source for its own virtual clock. A
+// process-wide source would be a data race (and would read another
+// thread's simulator mid-run).
+thread_local std::function<std::int64_t()> g_time_source;
 
 }  // namespace
 

@@ -21,10 +21,12 @@ void set_log_level(LogLevel level);
 /// anything unrecognised.
 LogLevel parse_log_level(const std::string& name, LogLevel fallback = LogLevel::kWarn);
 
-/// Optional timestamp prefix: when a source is installed, every log line is
-/// prefixed with the virtual time it returns (nanoseconds, printed as
-/// microseconds). The bench harness points this at the traced simulator's
-/// clock; callers must clear it before the clock owner is destroyed.
+/// Optional timestamp prefix: when a source is installed, every log line
+/// emitted BY THE SAME THREAD is prefixed with the virtual time it returns
+/// (nanoseconds, printed as microseconds). The source is thread-local so
+/// the parallel bench runner can run one traced simulation per worker
+/// without racing; callers must clear it (on the installing thread) before
+/// the clock owner is destroyed.
 void set_log_time_source(std::function<std::int64_t()> fn);
 void clear_log_time_source();
 

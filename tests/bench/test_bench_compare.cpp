@@ -1,0 +1,148 @@
+// Suite-diff logic: direction heuristic, tolerance resolution, and the
+// classification the CI perf gate trusts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/bench_json.hpp"
+#include "harness/compare.hpp"
+
+using namespace neo::bench;
+
+namespace {
+
+// A one-point suite with a single metric mean, in the real schema.
+Json suite_with(const std::string& point, const std::string& metric, double mean) {
+    Json m = Json::object();
+    m.set("mean", Json(mean));
+    Json metrics = Json::object();
+    metrics.set(metric, m);
+    Json p = Json::object();
+    p.set("name", Json(point));
+    p.set("metrics", metrics);
+    Json points = Json::array();
+    points.push_back(p);
+    Json s = Json::object();
+    s.set("schema", Json(std::string("neo-bench-suite@1")));
+    s.set("suite", Json(std::string("test")));
+    s.set("points", points);
+    return s;
+}
+
+}  // namespace
+
+TEST(CompareDirection, LatencyAndDropShapedNamesRegressUpward) {
+    EXPECT_TRUE(metric_lower_is_better("p99_us"));
+    EXPECT_TRUE(metric_lower_is_better("service_ns"));
+    EXPECT_TRUE(metric_lower_is_better("recovered_ms"));
+    EXPECT_TRUE(metric_lower_is_better("cpu_us_per_op"));
+    EXPECT_TRUE(metric_lower_is_better("tail_drops"));
+    EXPECT_FALSE(metric_lower_is_better("tput_ops"));
+    EXPECT_FALSE(metric_lower_is_better("delivered_mpps"));
+    EXPECT_FALSE(metric_lower_is_better("signed_pct"));
+    EXPECT_FALSE(metric_lower_is_better("completed"));
+}
+
+TEST(CompareTolerance, PointQualifiedOverrideWins) {
+    CompareConfig cfg;
+    cfg.tolerance = 0.15;
+    cfg.metric_tolerance["p99_us"] = 0.30;
+    cfg.metric_tolerance["aom_hm.r4:p99_us"] = 0.05;
+    EXPECT_DOUBLE_EQ(tolerance_for(cfg, "aom_hm.r4", "p99_us"), 0.05);
+    EXPECT_DOUBLE_EQ(tolerance_for(cfg, "aom_hm.r8", "p99_us"), 0.30);
+    EXPECT_DOUBLE_EQ(tolerance_for(cfg, "aom_hm.r8", "tput_ops"), 0.15);
+}
+
+TEST(CompareSuites, WithinToleranceIsOk) {
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "tput_ops", 100),
+                                     suite_with("p", "tput_ops", 95), cfg);
+    ASSERT_TRUE(r.errors.empty());
+    ASSERT_EQ(r.deltas.size(), 1u);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kOk);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(CompareSuites, ThroughputDropRegresses) {
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "tput_ops", 100),
+                                     suite_with("p", "tput_ops", 50), cfg);
+    ASSERT_EQ(r.deltas.size(), 1u);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kRegressed);
+    EXPECT_EQ(r.regressions(), 1u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(CompareSuites, ThroughputGainImprovesNotRegresses) {
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "tput_ops", 100),
+                                     suite_with("p", "tput_ops", 200), cfg);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kImproved);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(CompareSuites, LatencyGrowthRegresses) {
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "p99_us", 10),
+                                     suite_with("p", "p99_us", 20), cfg);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kRegressed);
+    // ...and shrinking latency is an improvement.
+    r = compare_suites(suite_with("p", "p99_us", 20), suite_with("p", "p99_us", 10), cfg);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kImproved);
+}
+
+TEST(CompareSuites, ZeroBaselineIsSkippedNotDivided) {
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "tail_drops", 0),
+                                     suite_with("p", "tail_drops", 5), cfg);
+    ASSERT_EQ(r.deltas.size(), 1u);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kZeroBaseline);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(CompareSuites, MissingPointOrMetricIsStructuralError) {
+    CompareConfig cfg;
+    CompareReport missing_point = compare_suites(suite_with("p", "tput_ops", 100),
+                                                 suite_with("other", "tput_ops", 100), cfg);
+    EXPECT_FALSE(missing_point.ok());
+    EXPECT_FALSE(missing_point.errors.empty());
+
+    CompareReport missing_metric = compare_suites(suite_with("p", "tput_ops", 100),
+                                                  suite_with("p", "p99_us", 100), cfg);
+    EXPECT_FALSE(missing_metric.ok());
+    EXPECT_FALSE(missing_metric.errors.empty());
+}
+
+TEST(CompareSuites, ExtraCandidatePointsAreIgnored) {
+    Json cand = suite_with("p", "tput_ops", 100);
+    Json extra = Json::object();
+    extra.set("name", Json(std::string("new_point")));
+    extra.set("metrics", Json::object());
+    // Append a point the baseline does not know about.
+    Json points = Json::array();
+    points.push_back(cand.at("points").items()[0]);
+    points.push_back(extra);
+    cand.set("points", points);
+    CompareConfig cfg;
+    CompareReport r = compare_suites(suite_with("p", "tput_ops", 100), cand, cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.deltas.size(), 1u);
+}
+
+TEST(CompareSuites, WrongSchemaIsStructuralError) {
+    Json bad = suite_with("p", "tput_ops", 100);
+    bad.set("schema", Json(std::string("something-else@9")));
+    CompareConfig cfg;
+    CompareReport r = compare_suites(bad, suite_with("p", "tput_ops", 100), cfg);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(CompareSuites, Tolerance_boundary_is_inclusive) {
+    // Exactly at tolerance must NOT regress (CI gates on strict excess).
+    CompareConfig cfg;
+    cfg.tolerance = 0.15;
+    CompareReport r = compare_suites(suite_with("p", "tput_ops", 100),
+                                     suite_with("p", "tput_ops", 85), cfg);
+    EXPECT_EQ(r.deltas[0].status, DeltaStatus::kOk);
+}

@@ -1,0 +1,97 @@
+// The suite-schema JSON value: parsing, building, canonical formatting,
+// and the byte-stable round-trip the compare tool depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "harness/bench_json.hpp"
+
+using neo::bench::Json;
+using neo::bench::JsonError;
+
+TEST(BenchJson, ParsesScalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_TRUE(Json::parse("true").boolean());
+    EXPECT_FALSE(Json::parse("false").boolean());
+    EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").number(), -1250.0);
+    EXPECT_EQ(Json::parse("\"hi\"").string(), "hi");
+}
+
+TEST(BenchJson, ParsesNestedStructure) {
+    Json v = Json::parse(R"({"a":[1,2,{"b":"x"}],"c":{"d":null}})");
+    ASSERT_TRUE(v.is_object());
+    const Json& a = v.at("a");
+    ASSERT_TRUE(a.is_array());
+    ASSERT_EQ(a.items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a.items()[0].number(), 1.0);
+    EXPECT_EQ(a.items()[2].at("b").string(), "x");
+    EXPECT_TRUE(v.at("c").at("d").is_null());
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(BenchJson, ParsesStringEscapes) {
+    Json v = Json::parse(R"("line\nquote\"slash\\u:\u0041")");
+    EXPECT_EQ(v.string(), "line\nquote\"slash\\u:A");
+}
+
+TEST(BenchJson, RejectsMalformedInput) {
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+    EXPECT_THROW(Json::parse("nul"), JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(BenchJson, TypeMismatchThrows) {
+    Json v = Json::parse("[1]");
+    EXPECT_THROW(v.number(), JsonError);
+    EXPECT_THROW(v.string(), JsonError);
+    EXPECT_THROW(v.members(), JsonError);
+}
+
+TEST(BenchJson, FormatNumberCanonical) {
+    EXPECT_EQ(Json::format_number(0), "0");
+    EXPECT_EQ(Json::format_number(-3), "-3");
+    EXPECT_EQ(Json::format_number(1e12), "1000000000000");
+    EXPECT_EQ(Json::format_number(0.5), "0.5");
+    EXPECT_EQ(Json::format_number(std::nan("")), "null");
+}
+
+TEST(BenchJson, ObjectPreservesInsertionOrder) {
+    Json o = Json::object();
+    o.set("z", Json(1.0));
+    o.set("a", Json(2.0));
+    EXPECT_EQ(o.dump(), R"({"z":1,"a":2})");
+}
+
+TEST(BenchJson, SetOverwritesExistingKey) {
+    Json o = Json::object();
+    o.set("k", Json(1.0));
+    o.set("k", Json(2.0));
+    EXPECT_EQ(o.dump(), R"({"k":2})");
+}
+
+TEST(BenchJson, RoundTripIsByteStable) {
+    const std::string doc =
+        R"({"schema":"neo-bench-suite@1","points":[{"name":"p","metrics":)"
+        R"({"m":{"mean":76.92307692307692,"values":[76.92307692307692,13]}}}]})";
+    EXPECT_EQ(Json::parse(doc).dump(), doc);
+    // And a second pass through the parser stays fixed.
+    EXPECT_EQ(Json::parse(Json::parse(doc).dump()).dump(), doc);
+}
+
+TEST(BenchJson, ParseFileReadsAndThrowsOnMissing) {
+    const std::string path = ::testing::TempDir() + "bench_json_test.json";
+    {
+        std::ofstream f(path);
+        f << R"({"x":[true,false]})";
+    }
+    Json v = Json::parse_file(path);
+    EXPECT_TRUE(v.at("x").items()[0].boolean());
+    std::remove(path.c_str());
+    EXPECT_THROW(Json::parse_file(path), JsonError);
+}

@@ -1,0 +1,174 @@
+// BenchMain / BenchOptions: uniform CLI parsing, multi-seed fan-out on the
+// pool, per-seed labelling, aggregation and the suite JSON schema.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+#include "harness/runner.hpp"
+
+using namespace neo::bench;
+
+namespace {
+
+// Owns the strings backing a synthetic argv.
+struct Argv {
+    std::vector<std::string> strs;
+    std::vector<char*> ptrs;
+    Argv(std::initializer_list<std::string> args) : strs(args) {
+        for (auto& s : strs) ptrs.push_back(s.data());
+    }
+    int argc() { return static_cast<int>(ptrs.size()); }
+    char** argv() { return ptrs.data(); }
+};
+
+}  // namespace
+
+TEST(BenchOptions, ParsesUniformFlags) {
+    Argv a{"prog", "--json", "/tmp/out.json", "--seed", "9", "--seeds", "3",
+           "--jobs", "2", "--quick", "--something-else"};
+    BenchOptions o = BenchOptions::parse(a.argc(), a.argv());
+    EXPECT_EQ(o.json_path, "/tmp/out.json");
+    EXPECT_EQ(o.base_seed, 9u);
+    EXPECT_EQ(o.seeds, 3);
+    EXPECT_EQ(o.jobs, 2u);
+    EXPECT_TRUE(o.quick);
+}
+
+TEST(BenchOptions, EqualsFormAndDefaults) {
+    Argv a{"prog", "--seed=5", "--seeds=2"};
+    BenchOptions o = BenchOptions::parse(a.argc(), a.argv());
+    EXPECT_EQ(o.base_seed, 5u);
+    EXPECT_EQ(o.seeds, 2);
+    EXPECT_EQ(o.jobs, 1u);  // parallelism is opt-in
+    EXPECT_FALSE(o.quick);
+    EXPECT_TRUE(o.json_path.empty());
+}
+
+TEST(BenchOptions, JobsZeroMeansAllCores) {
+    Argv a{"prog", "--jobs", "0"};
+    BenchOptions o = BenchOptions::parse(a.argc(), a.argv());
+    EXPECT_GE(o.jobs, 1u);
+}
+
+TEST(BenchOptions, EnvFallback) {
+    ::setenv("NEO_BENCH_SEEDS", "4", 1);
+    ::setenv("NEO_BENCH_SEED", "11", 1);
+    Argv a{"prog"};
+    BenchOptions o = BenchOptions::parse(a.argc(), a.argv());
+    ::unsetenv("NEO_BENCH_SEEDS");
+    ::unsetenv("NEO_BENCH_SEED");
+    EXPECT_EQ(o.seeds, 4);
+    EXPECT_EQ(o.base_seed, 11u);
+    // Flags beat the environment.
+    ::setenv("NEO_BENCH_SEED", "11", 1);
+    Argv b{"prog", "--seed", "3"};
+    EXPECT_EQ(BenchOptions::parse(b.argc(), b.argv()).base_seed, 3u);
+    ::unsetenv("NEO_BENCH_SEED");
+}
+
+TEST(MetricStats, Aggregates) {
+    MetricStats s;
+    s.values = {7, 8, 9};
+    EXPECT_DOUBLE_EQ(s.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    MetricStats one;
+    one.values = {3};
+    EXPECT_DOUBLE_EQ(one.stddev(), 0.0);  // sample stddev undefined for n=1
+}
+
+TEST(BenchMain, RunsEverySeedInOrderWithSeedLabels) {
+    Argv a{"prog", "--seed", "7", "--seeds", "3", "--jobs", "2"};
+    BenchMain bm(a.argc(), a.argv(), "test_suite");
+    std::vector<PointResult> results = bm.run({{
+        "p1",
+        {{"x", 1}},
+        [](RunCtx& ctx) {
+            std::string expected = "p1.s" + std::to_string(ctx.seed());
+            return std::map<std::string, double>{
+                {"seed_val", static_cast<double>(ctx.seed())},
+                {"label_ok", ctx.label() == expected ? 1.0 : 0.0},
+            };
+        },
+    }});
+    ASSERT_EQ(results.size(), 1u);
+    // Values land in seed order regardless of which worker ran them.
+    EXPECT_EQ(results[0].metrics.at("seed_val").values, (std::vector<double>{7, 8, 9}));
+    EXPECT_EQ(results[0].metrics.at("label_ok").values, (std::vector<double>{1, 1, 1}));
+    EXPECT_DOUBLE_EQ(results[0].mean("seed_val"), 8.0);
+    EXPECT_DOUBLE_EQ(results[0].mean("absent_metric"), 0.0);
+}
+
+TEST(BenchMain, RunExceptionPropagatesAfterDrain) {
+    Argv a{"prog", "--seeds", "2", "--jobs", "2"};
+    BenchMain bm(a.argc(), a.argv(), "test_suite");
+    EXPECT_THROW(bm.run({{
+                     "bad",
+                     {},
+                     [](RunCtx& ctx) -> std::map<std::string, double> {
+                         if (ctx.seed() == 43) throw std::runtime_error("seed 43 failed");
+                         return {{"m", 1.0}};
+                     },
+                 }}),
+                 std::runtime_error);
+}
+
+TEST(BenchMain, QuickFlagReachesRunCtx) {
+    Argv a{"prog", "--quick"};
+    BenchMain bm(a.argc(), a.argv(), "test_suite");
+    ASSERT_TRUE(bm.quick());
+    auto results = bm.run({{
+        "p",
+        {},
+        [](RunCtx& ctx) {
+            return std::map<std::string, double>{{"quick", ctx.quick() ? 1.0 : 0.0}};
+        },
+    }});
+    EXPECT_DOUBLE_EQ(results[0].mean("quick"), 1.0);
+}
+
+TEST(BenchMain, WritesSuiteJsonInSchema) {
+    const std::string path = ::testing::TempDir() + "bench_runner_suite.json";
+    Argv a{"prog", "--seeds", "2", "--seed", "5", "--json", path};
+    {
+        BenchMain bm(a.argc(), a.argv(), "json_suite");
+        bm.run({{
+            "p1",
+            {{"n", 4}},
+            [](RunCtx& ctx) {
+                return std::map<std::string, double>{{"m", static_cast<double>(ctx.seed()) * 2}};
+            },
+        }});
+    }  // destructor flushes
+    Json doc = Json::parse_file(path);
+    EXPECT_EQ(doc.at("schema").string(), "neo-bench-suite@1");
+    EXPECT_EQ(doc.at("suite").string(), "json_suite");
+    EXPECT_DOUBLE_EQ(doc.at("base_seed").number(), 5);
+    EXPECT_DOUBLE_EQ(doc.at("seeds").number(), 2);
+    EXPECT_FALSE(doc.at("quick").boolean());
+    const auto& points = doc.at("points").items();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].at("name").string(), "p1");
+    EXPECT_DOUBLE_EQ(points[0].at("params").at("n").number(), 4);
+    const Json& m = points[0].at("metrics").at("m");
+    EXPECT_DOUBLE_EQ(m.at("mean").number(), 11);  // (10 + 12) / 2
+    ASSERT_EQ(m.at("values").items().size(), 2u);
+    EXPECT_DOUBLE_EQ(m.at("values").items()[0].number(), 10);
+    EXPECT_DOUBLE_EQ(m.at("values").items()[1].number(), 12);
+    std::remove(path.c_str());
+}
+
+TEST(BenchSuite, PointLookup) {
+    BenchSuite s;
+    PointResult p;
+    p.name = "a";
+    s.points.push_back(p);
+    EXPECT_NE(s.point("a"), nullptr);
+    EXPECT_EQ(s.point("b"), nullptr);
+}

@@ -1,0 +1,117 @@
+// Work-stealing thread pool: completeness, result/exception propagation,
+// shutdown-under-load. All tests carry the `tsan` label — they are the
+// first line of the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.hpp"
+
+using neo::bench::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 1000; ++i) {
+            pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+    }  // destructor drains
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, AsyncReturnsValues) {
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 64; ++i) {
+        futs.push_back(pool.async([i] { return i * i; }));
+    }
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+    ThreadPool pool(2);
+    auto ok = pool.async([] { return 7; });
+    auto bad = pool.async([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkers) {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+        pool.async([] { throw std::runtime_error("boom"); });  // futures dropped
+    }
+    // Workers must survive to run later tasks.
+    auto after = pool.async([] { return 41 + 1; });
+    EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+    // More slow tasks than workers: at destruction time most of the work is
+    // still queued, and all of it must still run.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+    }
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < 4; ++t) {
+            submitters.emplace_back([&pool, &count] {
+                for (int i = 0; i < 250; ++i) {
+                    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+                }
+            });
+        }
+        for (auto& t : submitters) t.join();
+    }
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+    // A task enqueued from a worker thread must also be drained by shutdown.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i) {
+            pool.submit([&pool, &count] {
+                pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+            });
+        }
+    }
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+    EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
