@@ -6,10 +6,13 @@
 //       [--tol <metric>=<frac>]...     per-metric override; <metric> may be
 //                                      "name" or "point:name"
 //       [--verbose]                    print in-tolerance deltas too
+//       [--host-report]                print wall-clock (host_*) deltas;
+//                                      informational, never gates
 //
 // Exit codes: 0 = no regression; 1 = at least one metric regressed beyond
 // tolerance; 2 = structural error (unreadable file, schema drift, missing
-// point/metric in the candidate).
+// point/metric in the candidate). host_* metrics never affect the exit
+// code: wall-clock time is machine-dependent.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,7 +27,7 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> [--tolerance <frac>]\n"
-                 "       [--tol <metric>=<frac>]... [--verbose]\n",
+                 "       [--tol <metric>=<frac>]... [--verbose] [--host-report]\n",
                  argv0);
     return 2;
 }
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
     std::string base_path, cand_path;
     CompareConfig cfg;
     bool verbose = false;
+    bool host_report = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
             cfg.metric_tolerance[kv.substr(0, eq)] = std::strtod(kv.c_str() + eq + 1, nullptr);
         } else if (a == "--verbose" || a == "-v") {
             verbose = true;
+        } else if (a == "--host-report") {
+            host_report = true;
         } else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             return 0;
@@ -97,6 +103,17 @@ int main(int argc, char** argv) {
                     Json::format_number(d.cand_mean).c_str(), d.rel_delta * 100,
                     d.tolerance * 100, d.lower_is_better ? "lower" : "higher");
         ++shown;
+    }
+
+    if (host_report && !rep.host_deltas.empty()) {
+        std::printf("%shost time (wall clock, informational — does not gate):\n",
+                    shown ? "\n" : "");
+        std::printf("  %-28s %12s %12s %9s\n", "point:metric", "base_ms", "cand_ms", "delta");
+        for (const auto& d : rep.host_deltas) {
+            std::string label = d.point + ":" + d.metric;
+            std::printf("  %-28s %12.2f %12.2f %+8.1f%%\n", label.c_str(), d.base_mean / 1e6,
+                        d.cand_mean / 1e6, d.rel_delta * 100);
+        }
     }
 
     std::size_t regressed = rep.regressions();

@@ -29,7 +29,8 @@ namespace neo::bench {
 /// variant delivers one packet per subgroup).
 class AomSink : public sim::Node {
   public:
-    void on_packet(NodeId, BytesView data) override {
+    void on_packet(NodeId, const sim::Packet& pkt) override {
+        BytesView data = pkt.view();
         auto kind = aom::peek_kind(data);
         if (!kind) return;
         try {

@@ -24,6 +24,41 @@ std::size_t CompareReport::regressions() const {
     return n;
 }
 
+bool is_host_metric(const std::string& name) { return name.rfind("host_", 0) == 0; }
+
+Json strip_host_metrics(const Json& suite) {
+    if (!suite.is_object()) return suite;
+    Json out = Json::object();
+    for (const auto& [key, value] : suite.members()) {
+        if (key != "points" || !value.is_array()) {
+            out.set(key, value);
+            continue;
+        }
+        Json points = Json::array();
+        for (const auto& p : value.items()) {
+            if (!p.is_object()) {
+                points.push_back(p);
+                continue;
+            }
+            Json np = Json::object();
+            for (const auto& [pk, pv] : p.members()) {
+                if (pk != "metrics" || !pv.is_object()) {
+                    np.set(pk, pv);
+                    continue;
+                }
+                Json metrics = Json::object();
+                for (const auto& [mk, mv] : pv.members()) {
+                    if (!is_host_metric(mk)) metrics.set(mk, mv);
+                }
+                np.set(pk, std::move(metrics));
+            }
+            points.push_back(std::move(np));
+        }
+        out.set(key, std::move(points));
+    }
+    return out;
+}
+
 bool metric_lower_is_better(const std::string& name) {
     auto ends_with = [&name](const char* suffix) {
         std::string s(suffix);
@@ -96,9 +131,30 @@ CompareReport compare_suites(const Json& baseline, const Json& candidate,
         if (!base_metrics || !base_metrics->is_object()) continue;
         for (const auto& [metric, bstats] : base_metrics->members()) {
             const Json* cstats = cand_metrics ? cand_metrics->find(metric) : nullptr;
+            bool host = is_host_metric(metric);
             if (!cstats) {
+                if (host) continue;  // wall-clock fields may come and go
                 rep.errors.push_back("candidate point \"" + name->string() +
                                      "\" is missing metric \"" + metric + "\"");
+                continue;
+            }
+            if (host) {
+                MetricDelta d;
+                d.point = name->string();
+                d.metric = metric;
+                d.lower_is_better = true;
+                try {
+                    d.base_mean = bstats.at("mean").number();
+                    d.cand_mean = cstats->at("mean").number();
+                } catch (const JsonError&) {
+                    continue;
+                }
+                if (std::fabs(d.base_mean) < kZeroEps) {
+                    d.status = DeltaStatus::kZeroBaseline;
+                } else {
+                    d.rel_delta = (d.cand_mean - d.base_mean) / std::fabs(d.base_mean);
+                }
+                rep.host_deltas.push_back(d);
                 continue;
             }
             MetricDelta d;

@@ -8,6 +8,9 @@
 // regress downward. A missing point or metric in the candidate is an error
 // (schema drift is a regression of the trajectory itself); extra points in
 // the candidate are ignored so suites can grow without breaking the gate.
+// host_* metrics (wall-clock measurements like host_ns) are inherently
+// nondeterministic: compare_suites reports them separately and never gates
+// on them, and determinism tests strip them before byte comparisons.
 #pragma once
 
 #include <map>
@@ -47,6 +50,10 @@ struct MetricDelta {
 
 struct CompareReport {
     std::vector<MetricDelta> deltas;
+    /// host_* metric deltas: informational only — never counted as
+    /// regressions, and a host metric missing on either side is not an
+    /// error (old baselines predate the host_ns field).
+    std::vector<MetricDelta> host_deltas;
     std::vector<std::string> errors;  // missing points/metrics, schema drift
 
     std::size_t regressions() const;
@@ -58,6 +65,14 @@ struct CompareReport {
 /// completion counts, percentages of useful work) regresses when it
 /// shrinks.
 bool metric_lower_is_better(const std::string& name);
+
+/// True for wall-clock ("host_"-prefixed) metrics, which vary run to run
+/// even on identical simulated results.
+bool is_host_metric(const std::string& name);
+
+/// Copy of a neo-bench-suite@1 document with every host_* metric removed
+/// from every point — what determinism tests byte-compare.
+Json strip_host_metrics(const Json& suite);
 
 /// Effective tolerance for (point, metric) under `cfg`.
 double tolerance_for(const CompareConfig& cfg, const std::string& point,

@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -208,7 +209,16 @@ std::vector<PointResult> BenchMain::run(const std::vector<BenchPointSpec>& point
                 futs[i].push_back(pool.async(
                     [fn, obs, label = std::move(label), seed, want_trace, quick]() -> Metrics {
                         RunCtx ctx(obs, label, seed, want_trace, quick);
-                        return fn(ctx);
+                        // Wall-clock per (point, seed). host_* metrics are
+                        // nondeterministic by nature; bench_compare and the
+                        // determinism tests ignore them (docs/BENCHMARKING.md).
+                        auto t0 = std::chrono::steady_clock::now();
+                        Metrics m = fn(ctx);
+                        auto t1 = std::chrono::steady_clock::now();
+                        m["host_ns"] = static_cast<double>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                                .count());
+                        return m;
                     }));
             }
         }

@@ -1,0 +1,161 @@
+// Simulator hot-path micro-benchmarks (google-benchmark): the real-time
+// cost of the event loop, timer machinery and multicast packet path that
+// every protocol run sits on. These track the zero-copy/allocation-free
+// rework — simulated results are identical by construction (see the
+// determinism tests); these measure how fast the host gets them.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/runner.hpp"
+#include "sim/network.hpp"
+#include "sim/processing_node.hpp"
+
+using namespace neo;
+using namespace neo::sim;
+
+namespace {
+
+/// Terminal endpoint: counts deliveries, keeps no bytes.
+class CountingSink : public Node {
+  public:
+    void on_packet(NodeId, const Packet&) override { ++delivered; }
+    std::uint64_t delivered = 0;
+};
+
+/// ProcessingNode that does nothing per message (isolates queue/drain cost).
+class NullHandler : public ProcessingNode {
+  public:
+    using ProcessingNode::cancel_timer;
+    using ProcessingNode::set_timer;
+
+  protected:
+    void handle(NodeId, BytesView) override {}
+};
+
+// Event-queue throughput: schedule-then-fire cycles through the binary
+// heap, with callbacks shaped like the packet-delivery closures (inline
+// EventFn storage, no heap allocation per event).
+void BM_EventQueueThroughput(benchmark::State& state) {
+    const std::size_t events = static_cast<std::size_t>(state.range(0));
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        Simulator sim;
+        // Interleaved timestamps so sift_up/sift_down do real work.
+        for (std::size_t i = 0; i < events; ++i) {
+            sim.at(static_cast<Time>((i * 7919) % events), [&fired] { ++fired; });
+        }
+        sim.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 10)->Arg(1 << 16);
+
+// Timer churn: arm/cancel/fire through ProcessingNode's timer queue, the
+// pattern retry/gap/batch timers follow. Half the timers are cancelled
+// before firing (cancelled timers still traverse the event queue).
+void BM_TimerChurn(benchmark::State& state) {
+    const int timers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Network net(sim, /*seed=*/1);
+        NullHandler node;
+        net.add_node(node, 1);
+        std::uint64_t fired = 0;
+        for (int i = 0; i < timers; ++i) {
+            auto tid = node.set_timer(static_cast<Time>(100 + i), [&fired] { ++fired; },
+                                      "bench_timer");
+            if (i % 2 == 0) node.cancel_timer(tid);
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * timers);
+}
+BENCHMARK(BM_TimerChurn)->Arg(1 << 10)->Arg(1 << 14);
+
+// N-way multicast fan-out: one serialisation shared across N deliveries.
+// Items processed counts deliveries, so ns/item is the per-receiver cost —
+// flat across N is the zero-copy win.
+void BM_MulticastFanout(benchmark::State& state) {
+    const int receivers = static_cast<int>(state.range(0));
+    Rng rng(3);
+    Bytes payload = rng.bytes(512);
+    std::uint64_t delivered = 0;
+    for (auto _ : state) {
+        Simulator sim;
+        Network net(sim, /*seed=*/1);
+        LinkConfig link;
+        link.jitter = 0;
+        net.set_default_link(link);
+        CountingSink source;
+        net.add_node(source, 1);
+        std::vector<CountingSink> sinks(static_cast<std::size_t>(receivers));
+        for (int i = 0; i < receivers; ++i) {
+            net.add_node(sinks[static_cast<std::size_t>(i)], static_cast<NodeId>(100 + i));
+        }
+        constexpr int kRounds = 64;
+        for (int round = 0; round < kRounds; ++round) {
+            Packet pkt{Bytes(payload)};  // one buffer per round...
+            for (int i = 0; i < receivers; ++i) {
+                net.send(1, static_cast<NodeId>(100 + i), pkt);  // ...shared N ways
+            }
+            sim.run();
+        }
+        for (const auto& s : sinks) delivered += s.delivered;
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * receivers);
+}
+BENCHMARK(BM_MulticastFanout)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+// Custom main mirroring micro_crypto: accept the uniform runner flags
+// (--json/--seed/--seeds/--jobs/--quick/--trace/--metrics) but hand only
+// google-benchmark's own flags through, mapping --json onto its JSON
+// reporter and --quick onto a short min-time.
+int main(int argc, char** argv) {
+    bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
+    bench::ObsSession obs(argc, argv);
+    (void)obs;
+
+    std::vector<std::string> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        bool takes_value = a == "--trace" || a == "--metrics" || a == "--json" || a == "--seed" ||
+                           a == "--seeds" || a == "--jobs";
+        if (takes_value) {
+            ++i;
+            continue;
+        }
+        if (a == "--quick" || a.rfind("--trace=", 0) == 0 || a.rfind("--metrics=", 0) == 0 ||
+            a.rfind("--json=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
+            a.rfind("--seeds=", 0) == 0 || a.rfind("--jobs=", 0) == 0) {
+            continue;
+        }
+        kept.push_back(a);
+    }
+    if (!opt.json_path.empty()) {
+        kept.push_back("--benchmark_out=" + opt.json_path);
+        kept.push_back("--benchmark_out_format=json");
+    }
+    if (opt.quick) {
+        kept.push_back("--benchmark_min_time=0.05");
+    }
+
+    std::vector<char*> args;
+    args.reserve(kept.size());
+    for (std::string& s : kept) args.push_back(s.data());
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

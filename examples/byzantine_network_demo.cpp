@@ -27,11 +27,12 @@ class EquivocatingSwitch : public aom::SequencerSwitch {
     std::uint64_t forged = 0;
 
   protected:
-    void emit(NodeId receiver, sim::Time depart, Bytes packet) override {
-        if (equivocate && receiver == 1 && !packet.empty() &&
-            packet[0] == static_cast<std::uint8_t>(aom::Wire::kSeqHm)) {
+    void emit(NodeId receiver, sim::Time depart, sim::Packet packet) override {
+        BytesView data = packet.view();
+        if (equivocate && receiver == 1 && !data.empty() &&
+            data[0] == static_cast<std::uint8_t>(aom::Wire::kSeqHm)) {
             try {
-                Reader r(BytesView(packet).subspan(1));
+                Reader r(data.subspan(1));
                 aom::HmPacket pkt = aom::HmPacket::parse(r);
                 pkt.payload = to_bytes("EQUIVOCATED CONTENT");
                 pkt.digest = crypto::sha256(pkt.payload);

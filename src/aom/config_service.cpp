@@ -93,7 +93,7 @@ void ConfigService::start_reconfig(GroupState& gs, EpochNum next_epoch) {
         ann.group = group;
         ann.epoch = next_epoch;
         ann.sequencer = pool_[gs2.switch_index]->id();
-        Bytes wire = ann.serialize();
+        sim::Packet wire(ann.serialize());
         for (NodeId r : gs2.cfg.receivers) send_to(r, wire);
 
         NEO_INFO("config-service: group " << group << " failed over to switch "

@@ -60,8 +60,9 @@ void SequencerSwitch::refill_stock() {
     }
 }
 
-void SequencerSwitch::on_packet(NodeId from, BytesView data) {
+void SequencerSwitch::on_packet(NodeId from, const sim::Packet& wire) {
     (void)from;
+    BytesView data = wire.view();
     auto kind = peek_kind(data);
     if (!kind || *kind != static_cast<std::uint8_t>(Wire::kData)) return;  // not for us
 
@@ -123,8 +124,9 @@ void SequencerSwitch::process_hm(GroupState& gs, const DataPacket& pkt, sim::Tim
     Bytes input = auth_input(gs.cfg.group, gs.epoch, seq, pkt.digest);
 
     // One packet per subgroup, each carrying that subgroup's MACs; all
-    // packets go to all receivers so everyone can assemble the full vector.
-    std::vector<Bytes> wire_packets;
+    // packets go to all receivers so everyone can assemble the full vector
+    // from the same shared buffers.
+    std::vector<sim::Packet> wire_packets;
     wire_packets.reserve(static_cast<std::size_t>(subgroups));
     for (int sg = 0; sg < subgroups; ++sg) {
         HmPacket out;
@@ -145,7 +147,7 @@ void SequencerSwitch::process_hm(GroupState& gs, const DataPacket& pkt, sim::Tim
     }
 
     for (NodeId receiver : gs.cfg.receivers) {
-        for (const Bytes& wp : wire_packets) emit(receiver, emit_time, wp);
+        for (const sim::Packet& wp : wire_packets) emit(receiver, emit_time, wp);
     }
 }
 
@@ -199,7 +201,7 @@ void SequencerSwitch::process_pk(GroupState& gs, const DataPacket& pkt, sim::Tim
         tr->seq_stamp(sim().now(), id(), gs.cfg.group, seq, gs.head_signed);
     }
 
-    Bytes wire = out.serialize();
+    sim::Packet wire(out.serialize());
     for (NodeId receiver : gs.cfg.receivers) emit(receiver, depart, wire);
 
     if (!gs.head_signed) schedule_checkpoint(gs.cfg.group);
@@ -242,7 +244,7 @@ void SequencerSwitch::schedule_checkpoint(GroupId group) {
 
         signer_busy_until_ = std::max(signer_busy_until_, sim().now()) + cfg_.pk_sign_service_ns;
         sim::Time depart = signer_busy_until_ + cfg_.pk_sign_latency_ns;
-        Bytes wire = cp.serialize();
+        sim::Packet wire(cp.serialize());
         for (NodeId receiver : gs.cfg.receivers) emit(receiver, depart, wire);
     });
 }

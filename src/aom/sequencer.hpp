@@ -69,7 +69,7 @@ class SequencerSwitch : public sim::Node {
     /// Fault injection: a stalled switch accepts packets but emits nothing.
     void set_stall(bool stalled) { stalled_ = stalled; }
 
-    void on_packet(NodeId from, BytesView data) override;
+    void on_packet(NodeId from, const sim::Packet& pkt) override;
 
     // Instrumentation.
     std::uint64_t packets_sequenced() const { return packets_sequenced_; }
@@ -84,8 +84,9 @@ class SequencerSwitch : public sim::Node {
 
   protected:
     /// Emission hook; Byzantine-switch test doubles override this to
-    /// equivocate or drop.
-    virtual void emit(NodeId receiver, sim::Time depart, Bytes packet) {
+    /// equivocate or drop. Multicast fan-out passes the SAME Packet for
+    /// every receiver — one serialisation, N refcount bumps.
+    virtual void emit(NodeId receiver, sim::Time depart, sim::Packet packet) {
         net().send_at(depart, id(), receiver, std::move(packet));
     }
 

@@ -174,7 +174,7 @@ void QuorumClient::invoke(Bytes op, Callback cb) {
 
     Outstanding out;
     out.request_id = req.request_id;
-    out.wire = req.serialize();
+    out.wire = sim::Packet(req.serialize());
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
     send_request(/*broadcast=*/false);

@@ -176,7 +176,7 @@ class QuorumClient : public sim::ProcessingNode {
   private:
     struct Outstanding {
         std::uint64_t request_id;
-        Bytes wire;
+        sim::Packet wire;  // serialized signed Request (shared on broadcast retry)
         Callback cb;
         std::map<Bytes, std::set<NodeId>> votes;  // result -> replicas
         TimerId retry_timer = 0;

@@ -243,7 +243,7 @@ void HotStuffReplica::try_execute() {
             reply.request_id = req.request_id;
             reply.result = std::move(result);
             reply.mac = crypto_->mac_for(req.client, reply.mac_body());
-            Bytes wire = reply.serialize();
+            sim::Packet wire(reply.serialize());
             clients_[req.client] = {req.request_id, wire};
             send_to(req.client, std::move(wire));
         }

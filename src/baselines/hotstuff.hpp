@@ -70,7 +70,7 @@ class HotStuffReplica : public sim::ProcessingNode {
     std::map<std::uint64_t, Instance> instances_;
     Batcher batcher_;
     bool batch_timer_armed_ = false;
-    std::map<NodeId, std::pair<std::uint64_t, Bytes>> clients_;
+    std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     Stats stats_;
 };
 

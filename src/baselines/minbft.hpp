@@ -139,7 +139,7 @@ class MinbftReplica : public sim::ProcessingNode {
     std::map<NodeId, std::uint64_t> peer_counters_;  // sequentiality enforcement
     Batcher batcher_;
     bool batch_timer_armed_ = false;
-    std::map<NodeId, std::pair<std::uint64_t, Bytes>> clients_;
+    std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     Stats stats_;
 };
 

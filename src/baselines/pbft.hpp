@@ -75,7 +75,7 @@ class PbftReplica : public sim::ProcessingNode {
     Batcher batcher_;
     bool batch_timer_armed_ = false;
 
-    std::map<NodeId, std::pair<std::uint64_t, Bytes>> clients_;  // dedup + cached reply
+    std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;  // dedup + cached reply
     std::map<std::uint64_t, std::set<NodeId>> checkpoint_votes_;
     std::uint64_t stable_checkpoint_ = 0;
     Stats stats_;

@@ -160,7 +160,7 @@ void ZyzzyvaReplica::execute_ordered(std::uint64_t seq, std::vector<Request> bat
         body.u64(req.request_id);
         body.blob(result);
         w.blob(crypto_->mac_for(req.client, body.bytes()));
-        Bytes wire = std::move(w).take();
+        sim::Packet wire(std::move(w).take());
         clients_[req.client] = {req.request_id, wire};
         send_to(req.client, std::move(wire));
     }
@@ -218,7 +218,7 @@ void ZyzzyvaClient::invoke(Bytes op, Callback cb) {
 
     Outstanding out;
     out.request_id = req.request_id;
-    out.wire = req.serialize();
+    out.wire = sim::Packet(req.serialize());
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
     send_to(cfg_.primary(0), outstanding_->wire);
@@ -315,7 +315,7 @@ void ZyzzyvaClient::start_slow_path() {
             w.u64(seq);
             w.raw(BytesView(history.data(), history.size()));
             w.u64(outstanding_->request_id);
-            Bytes wire = std::move(w).take();
+            sim::Packet wire(std::move(w).take());
             for (NodeId r : cfg_.replicas) send_to(r, wire);
             return;
         }

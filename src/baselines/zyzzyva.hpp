@@ -62,7 +62,7 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     bool silent_ = false;
 
     std::map<std::uint64_t, std::pair<Digest32, std::vector<Request>>> pending_;  // ooo batches
-    std::map<NodeId, std::pair<std::uint64_t, Bytes>> clients_;
+    std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     std::map<std::uint64_t, Digest32> history_at_;  // seq -> history hash after seq
     Stats stats_;
 };
@@ -99,7 +99,7 @@ class ZyzzyvaClient : public sim::ProcessingNode {
     };
     struct Outstanding {
         std::uint64_t request_id;
-        Bytes wire;
+        sim::Packet wire;  // serialized signed Request (shared on broadcast retry)
         Callback cb;
         // (seq, history, result digest) -> votes
         std::map<Bytes, SpecVote> votes;

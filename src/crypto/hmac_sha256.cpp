@@ -3,11 +3,10 @@
 #include <cstring>
 
 #include "common/assert.hpp"
-#include "crypto/sha256.hpp"
 
 namespace neo::crypto {
 
-Digest32 hmac_sha256(BytesView key, BytesView data) {
+HmacSha256Key::HmacSha256Key(BytesView key) {
     std::uint8_t k0[64];
     std::memset(k0, 0, sizeof(k0));
     if (key.size() > 64) {
@@ -17,22 +16,24 @@ Digest32 hmac_sha256(BytesView key, BytesView data) {
         std::memcpy(k0, key.data(), key.size());
     }
 
-    std::uint8_t ipad[64], opad[64];
-    for (int i = 0; i < 64; ++i) {
-        ipad[i] = k0[i] ^ 0x36;
-        opad[i] = k0[i] ^ 0x5c;
-    }
+    std::uint8_t pad[64];
+    for (int i = 0; i < 64; ++i) pad[i] = k0[i] ^ 0x36;
+    inner_.update(BytesView(pad, 64));
+    for (int i = 0; i < 64; ++i) pad[i] = k0[i] ^ 0x5c;
+    outer_.update(BytesView(pad, 64));
+}
 
-    Sha256 inner;
-    inner.update(BytesView(ipad, 64));
+Digest32 HmacSha256Key::mac(BytesView data) const {
+    Sha256 inner = inner_;  // resume from the padded-key midstate
     inner.update(data);
     Digest32 inner_digest = inner.finish();
 
-    Sha256 outer;
-    outer.update(BytesView(opad, 64));
+    Sha256 outer = outer_;
     outer.update(BytesView(inner_digest.data(), inner_digest.size()));
     return outer.finish();
 }
+
+Digest32 hmac_sha256(BytesView key, BytesView data) { return HmacSha256Key(key).mac(data); }
 
 Bytes hmac_sha256_tag(BytesView key, BytesView data, std::size_t tag_len) {
     NEO_ASSERT(tag_len >= 4 && tag_len <= 32);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
 
 namespace neo::crypto {
 
@@ -10,5 +11,22 @@ Digest32 hmac_sha256(BytesView key, BytesView data);
 
 /// Truncated tag, convenient for wire formats that carry short MACs.
 Bytes hmac_sha256_tag(BytesView key, BytesView data, std::size_t tag_len);
+
+/// Precomputed HMAC key: absorbing the padded key block costs 2 of the
+/// ~4 SHA-256 compressions a short-message HMAC pays, and is a pure
+/// function of the key. Holders that MAC many messages under one key
+/// (e.g. the TrustRoot's modeled-signature oracle) construct this once
+/// and pay only for the message bytes per call. Identical output to
+/// hmac_sha256() by construction.
+class HmacSha256Key {
+  public:
+    explicit HmacSha256Key(BytesView key);
+
+    Digest32 mac(BytesView data) const;
+
+  private:
+    Sha256 inner_;  // midstate after key ^ ipad
+    Sha256 outer_;  // midstate after key ^ opad
+};
 
 }  // namespace neo::crypto

@@ -9,21 +9,30 @@
 
 namespace neo::crypto {
 
-TrustRoot::TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs)
-    : mode_(mode), costs_(costs) {
+namespace {
+
+Bytes master_secret_from_seed(std::uint64_t seed) {
     Writer w(16);
     w.u64(seed);
     w.str("neo-trust-root");
     Digest32 d = sha256(w.bytes());
-    master_secret_.assign(d.begin(), d.end());
+    return Bytes(d.begin(), d.end());
 }
+
+}  // namespace
+
+TrustRoot::TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs)
+    : mode_(mode),
+      costs_(costs),
+      master_secret_(master_secret_from_seed(seed)),
+      master_key_(master_secret_) {}
 
 Bytes TrustRoot::derive(std::string_view label, std::uint64_t a, std::uint64_t b) const {
     Writer w(32);
     w.str(label);
     w.u64(a);
     w.u64(b);
-    Digest32 d = hmac_sha256(master_secret_, w.bytes());
+    Digest32 d = master_key_.mac(w.bytes());
     return Bytes(d.begin(), d.end());
 }
 
@@ -46,8 +55,13 @@ const EcdsaPublicKey& TrustRoot::public_key(NodeId node) const {
 SipKey TrustRoot::pair_key(NodeId a, NodeId b) const {
     NodeId lo = std::min(a, b);
     NodeId hi = std::max(a, b);
+    std::uint64_t slot = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    auto it = pair_keys_.find(slot);
+    if (it != pair_keys_.end()) return it->second;
     Bytes d = derive("pairwise-mac-key", lo, hi);
-    return SipKey::from_bytes(BytesView(d.data(), 16));
+    SipKey key = SipKey::from_bytes(BytesView(d.data(), 16));
+    pair_keys_.emplace(slot, key);
+    return key;
 }
 
 Bytes TrustRoot::modeled_sign(NodeId signer, BytesView msg) const {
@@ -56,7 +70,7 @@ Bytes TrustRoot::modeled_sign(NodeId signer, BytesView msg) const {
     Writer w(msg.size() + 8);
     w.u32(signer);
     w.raw(msg);
-    Digest32 tag = hmac_sha256(master_secret_, w.bytes());
+    Digest32 tag = master_key_.mac(w.bytes());
     Bytes out(kSignatureSize, 0);
     std::copy(tag.begin(), tag.end(), out.begin());
     return out;
@@ -71,7 +85,11 @@ bool TrustRoot::verify_unmetered(NodeId signer, BytesView msg, BytesView sig) co
     if (it == public_keys_.end()) return false;
     auto parsed = EcdsaSignature::parse(sig);
     if (!parsed) return false;
-    return ecdsa_verify(it->second, sha256(msg), *parsed);
+    Digest32 digest = sha256(msg);
+    if (const bool* memoed = memo_.find(signer, digest, sig)) return *memoed;
+    bool ok = ecdsa_verify(it->second, digest, *parsed);
+    memo_.insert(signer, digest, sig, ok);
+    return ok;
 }
 
 NodeCrypto::NodeCrypto(const TrustRoot* root, NodeId self, EcdsaPrivateKey priv)

@@ -24,8 +24,10 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "crypto/cost.hpp"
+#include "crypto/hmac_sha256.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/siphash.hpp"
+#include "crypto/verify_memo.hpp"
 
 namespace neo::crypto {
 
@@ -62,6 +64,10 @@ class TrustRoot {
     /// checkers in tests). Does not charge any cost meter.
     bool verify_unmetered(NodeId signer, BytesView msg, BytesView sig) const;
 
+    /// Host-time memo of (signer, digest, sig) verdicts used by the kReal
+    /// path. Exposed for instrumentation; callers still charge virtual cost.
+    const VerifyMemo& verify_memo() const { return memo_; }
+
   private:
     friend class NodeCrypto;
 
@@ -71,8 +77,19 @@ class TrustRoot {
     CryptoMode mode_;
     CryptoCosts costs_;
     Bytes master_secret_;
+    // Padded-key SHA-256 midstates for master_secret_: every derive() and
+    // modeled_sign() HMACs under this one key, so the key-block absorb is
+    // paid once per TrustRoot instead of per message.
+    HmacSha256Key master_key_;
     std::unordered_map<NodeId, EcdsaPublicKey> public_keys_;
     std::unordered_map<NodeId, bool> provisioned_;
+    // mutable: verify_unmetered is logically const (pure function of the
+    // key material); the memo is a host-side cache of its results.
+    mutable VerifyMemo memo_;
+    // pair_key() is a pure function of (lo, hi); re-deriving through
+    // HMAC-SHA256 on every MAC op dominated bench profiles. Same host-side
+    // memo rules as memo_: callers charge virtual cost regardless.
+    mutable std::unordered_map<std::uint64_t, SipKey> pair_keys_;
 };
 
 /// Per-node crypto context. All operations charge the node's CostMeter.

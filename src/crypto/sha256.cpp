@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/sha256_compress.hpp"
+
 namespace neo::crypto {
 
 namespace {
@@ -29,17 +31,9 @@ inline std::uint32_t maj(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
 
 }  // namespace
 
-void Sha256::reset() {
-    static constexpr std::uint32_t kInit[8] = {
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
-    };
-    std::memcpy(state_, kInit, sizeof(state_));
-    total_len_ = 0;
-    buf_len_ = 0;
-}
+namespace detail {
 
-void Sha256::compress(const std::uint8_t block[64]) {
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t block[64]) {
     std::uint32_t w[64];
     for (int i = 0; i < 16; ++i) {
         w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -51,16 +45,41 @@ void Sha256::compress(const std::uint8_t block[64]) {
         w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) + w[i - 16];
     }
 
-    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
     for (int i = 0; i < 64; ++i) {
         std::uint32_t t1 = h + big_sigma1(e) + ch(e, f, g) + kK[i] + w[i];
         std::uint32_t t2 = big_sigma0(a) + maj(a, b, c);
         h = g; g = f; f = e; e = d + t1;
         d = c; c = b; b = a; a = t1 + t2;
     }
-    state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
-    state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+}
+
+Sha256CompressFn sha256_compress_fn() {
+    // Resolved once; both backends are bit-identical (cross-checked in
+    // tests/crypto), so the choice is invisible to everything simulated.
+    static const Sha256CompressFn fn =
+        sha256_shani_available() ? &sha256_compress_shani : &sha256_compress_scalar;
+    return fn;
+}
+
+}  // namespace detail
+
+void Sha256::reset() {
+    static constexpr std::uint32_t kInit[8] = {
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+    };
+    std::memcpy(state_, kInit, sizeof(state_));
+    total_len_ = 0;
+    buf_len_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t block[64]) {
+    static const detail::Sha256CompressFn fn = detail::sha256_compress_fn();
+    fn(state_, block);
 }
 
 Sha256& Sha256::update(BytesView data) {

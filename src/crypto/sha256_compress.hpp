@@ -1,0 +1,30 @@
+// Internal: SHA-256 compression-function backends and their dispatch.
+//
+// Two interchangeable implementations of the FIPS 180-4 compression
+// function: the portable scalar one (sha256.cpp) and an x86 SHA-NI one
+// (sha256_shani.cpp, compiled with -msha only where the compiler supports
+// it). The backend is picked once per process from CPUID; both produce
+// bit-identical digests, so nothing simulated can depend on which ran —
+// only host wall-clock changes. tests/crypto cross-checks the two.
+#pragma once
+
+#include <cstdint>
+
+namespace neo::crypto::detail {
+
+/// Portable reference backend (always available).
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t block[64]);
+
+/// True iff the running CPU has the SHA extensions the hardware backend
+/// needs (SHA-NI + SSSE3 + SSE4.1). Always false on non-x86 builds.
+bool sha256_shani_available();
+
+/// Hardware backend. Only callable when sha256_shani_available().
+void sha256_compress_shani(std::uint32_t state[8], const std::uint8_t block[64]);
+
+using Sha256CompressFn = void (*)(std::uint32_t state[8], const std::uint8_t block[64]);
+
+/// The backend the process resolved at startup.
+Sha256CompressFn sha256_compress_fn();
+
+}  // namespace neo::crypto::detail

@@ -24,8 +24,8 @@ void Client::invoke(Bytes op, Callback cb) {
 
     Outstanding out;
     out.request_id = req.request_id;
-    out.request_wire = req.serialize();
-    out.aom_packet = sender_.make_packet(out.request_wire);
+    out.request_wire = sim::Packet(req.serialize());
+    out.aom_packet = sim::Packet(sender_.make_packet(out.request_wire.view()));
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
 
@@ -46,7 +46,7 @@ void Client::send_request() {
         // request to every replica so a faulty sequencer is detected.
         for (NodeId r : cfg_.replicas) send_to(r, outstanding_->request_wire);
         // Re-wrap: the route may have changed after a failover.
-        outstanding_->aom_packet = sender_.make_packet(outstanding_->request_wire);
+        outstanding_->aom_packet = sim::Packet(sender_.make_packet(outstanding_->request_wire.view()));
         send_request();
     }, "request_retry");
 }

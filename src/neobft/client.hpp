@@ -41,8 +41,8 @@ class Client : public sim::ProcessingNode {
   private:
     struct Outstanding {
         std::uint64_t request_id;
-        Bytes request_wire;   // serialized signed Request
-        Bytes aom_packet;     // aom-wrapped copy
+        sim::Packet request_wire;  // serialized signed Request (shared on resends)
+        sim::Packet aom_packet;    // aom-wrapped copy
         Callback cb;
         // Match key -> replicas that voted for it.
         struct Vote {

@@ -176,7 +176,7 @@ void Replica::send_reply(std::uint64_t slot) {
     reply.request_id = entry.request_id;
     reply.result = entry.result;
     reply.mac = crypto_->mac_for(entry.client, reply.mac_body());
-    Bytes wire = reply.serialize();
+    sim::Packet wire(reply.serialize());
 
     ClientRecord& rec = clients_[entry.client];
     rec.last_request_id = entry.request_id;
@@ -636,7 +636,7 @@ void Replica::fill_slot_with_oc(std::uint64_t slot, const aom::OrderingCert& oc)
         qr.view = view_;
         qr.slot = slot;
         qr.oc = log_.at(slot).oc;
-        Bytes wire = qr.serialize();
+        sim::Packet wire(qr.serialize());
         for (NodeId peer : it->second) send_to(peer, wire);
         pending_queries_.erase(it);
     }

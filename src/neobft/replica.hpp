@@ -213,7 +213,7 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     /// Client table: last executed request + cached reply per client.
     struct ClientRecord {
         std::uint64_t last_request_id = 0;
-        Bytes cached_reply;  // serialized Reply
+        sim::Packet cached_reply;  // serialized Reply (shared buffer on re-sends)
     };
     std::map<NodeId, ClientRecord> clients_;
     /// Requests seen by unicast but not yet via aom (sequencer suspicion).

@@ -1,0 +1,138 @@
+// Allocation-free callable types for the simulator hot path.
+//
+// EventFn replaces std::function for simulator events and node queue items:
+// move-only, with a small-buffer store sized so every closure on the
+// packet-delivery path (network delivery, drain scheduling, timer firing)
+// lives inline. Callables that outgrow the buffer still work — they fall
+// back to the heap — but the hot-path closures are statically checked to
+// fit (see the static_asserts at their construction sites).
+//
+// FunctionRef is the matching non-owning view for synchronous "call it now"
+// parameters (ProcessingNode::run_task): one pointer plus one thunk, never
+// an allocation, valid only for the duration of the call.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace neo::sim {
+
+class EventFn {
+  public:
+    /// Inline capacity. Sized for the network delivery closure (this + two
+    /// NodeIds + latency + a refcounted Packet) and the timer-fire closure
+    /// (this + id + label + a std::function) with headroom.
+    static constexpr std::size_t kInlineSize = 64;
+
+    /// True when F runs from the inline buffer (no heap allocation).
+    template <typename F>
+    static constexpr bool fits_inline =
+        sizeof(F) <= kInlineSize && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    EventFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                          std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like type
+        using Fn = std::decay_t<F>;
+        if constexpr (fits_inline<Fn>) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &inline_vtable<Fn>;
+        } else {
+            ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+            vt_ = &heap_vtable<Fn>;
+        }
+    }
+
+    EventFn(EventFn&& o) noexcept {
+        if (o.vt_ != nullptr) {
+            o.vt_->relocate(o.buf_, buf_);
+            vt_ = o.vt_;
+            o.vt_ = nullptr;
+        }
+    }
+
+    EventFn& operator=(EventFn&& o) noexcept {
+        if (this != &o) {
+            reset();
+            if (o.vt_ != nullptr) {
+                o.vt_->relocate(o.buf_, buf_);
+                vt_ = o.vt_;
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    void operator()() { vt_->call(buf_); }
+
+    void reset() {
+        if (vt_ != nullptr) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+  private:
+    struct VTable {
+        void (*call)(unsigned char*);
+        void (*destroy)(unsigned char*);
+        /// Move-constructs into `dst` and destroys the source (for inline
+        /// storage; heap storage just moves the pointer).
+        void (*relocate)(unsigned char* src, unsigned char* dst);
+    };
+
+    template <typename Fn>
+    static constexpr VTable inline_vtable{
+        [](unsigned char* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+        [](unsigned char* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
+        [](unsigned char* src, unsigned char* dst) {
+            Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+            s->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr VTable heap_vtable{
+        [](unsigned char* b) { (**std::launder(reinterpret_cast<Fn**>(b)))(); },
+        [](unsigned char* b) { delete *std::launder(reinterpret_cast<Fn**>(b)); },
+        [](unsigned char* src, unsigned char* dst) {
+            ::new (static_cast<void*>(dst)) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+        },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const VTable* vt_ = nullptr;
+};
+
+/// Non-owning callable reference (void() only). The referenced callable
+/// must outlive the call — pass temporaries only as immediate arguments.
+class FunctionRef {
+  public:
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                                          std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj) { (*static_cast<std::remove_reference_t<F>*>(obj))(); }) {}
+
+    void operator()() const { call_(obj_); }
+
+  private:
+    void* obj_;
+    void (*call_)(void*);
+};
+
+}  // namespace neo::sim

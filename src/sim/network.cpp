@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
 
@@ -74,15 +76,19 @@ void Network::register_metrics(obs::Registry& reg, const std::string& prefix) {
                             obs::drop_reason_name(static_cast<obs::DropReason>(i)),
                         static_cast<double>(drops_by_reason_[i]));
         }
-        for (const auto& [node, count] : std::map<NodeId, std::uint64_t>(delivered_to_.begin(),
-                                                                         delivered_to_.end())) {
+        // Dump keys in sorted order via a reused scratch vector (no ordered
+        // map rebuild per dump).
+        delivered_scratch_.assign(delivered_to_.begin(), delivered_to_.end());
+        std::sort(delivered_scratch_.begin(), delivered_scratch_.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [node, count] : delivered_scratch_) {
             r.set_value(prefix + ".delivered_to." + std::to_string(node),
                         static_cast<double>(count));
         }
     });
 }
 
-void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
+void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
     NEO_ASSERT(depart >= sim_.now());
     ++packets_sent_;
     bytes_sent_ += data.size();
@@ -104,10 +110,14 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
     }
 
     if (tamper_) {
-        if (tamper_(from, to, data) == TamperAction::kDrop) {
-            count_drop(obs::DropReason::kTampered, depart, from, to, data.size());
+        // Copy-on-write: the tamper hook mutates a private copy so the
+        // other receivers of a shared multicast buffer are unaffected.
+        Bytes mutated(data.view().begin(), data.view().end());
+        if (tamper_(from, to, mutated) == TamperAction::kDrop) {
+            count_drop(obs::DropReason::kTampered, depart, from, to, mutated.size());
             return;
         }
+        data = Packet(std::move(mutated));
     }
 
     if (obs::TraceSink* tr = sim_.trace()) tr->packet_send(depart, from, to, data.size());
@@ -116,7 +126,7 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
     if (cfg.jitter > 0) latency += static_cast<Time>(rng_.uniform(static_cast<std::uint64_t>(cfg.jitter)));
     latency += static_cast<Time>(cfg.ns_per_byte * static_cast<double>(data.size()));
 
-    sim_.at(depart + latency, [this, from, to, latency, data = std::move(data)]() {
+    auto deliver = [this, from, to, latency, data = std::move(data)]() {
         auto it = nodes_.find(to);
         if (it == nodes_.end()) {
             count_drop(obs::DropReason::kNoRoute, sim_.now(), from, to, data.size());
@@ -133,7 +143,14 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Bytes data) {
             tr->packet_deliver(sim_.now(), from, to, data.size());
         }
         it->second->on_packet(from, data);
-    });
+    };
+    // The whole point of the EventFn small-buffer store: a delivery event
+    // must never allocate. If this closure grows past the inline capacity,
+    // shrink it (or grow EventFn::kInlineSize) rather than silently
+    // spilling to the heap.
+    static_assert(EventFn::fits_inline<decltype(deliver)>,
+                  "packet-delivery closure must fit EventFn's inline buffer");
+    sim_.at(depart + latency, std::move(deliver));
 }
 
 }  // namespace neo::sim

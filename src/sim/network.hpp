@@ -3,6 +3,10 @@
 // Replaces the paper's 100 Gbps testbed fabric (see DESIGN.md §1). Latency,
 // jitter, serialisation delay and drops are applied per packet from a
 // deterministic per-network RNG stream.
+//
+// Packets are refcounted immutable buffers (sim/packet.hpp): a multicast
+// fan-out hands every destination the same buffer, and delivery closures
+// carry the refcount — not a copy — through the event queue.
 #pragma once
 
 #include <array>
@@ -11,11 +15,14 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
+#include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
 namespace neo::obs {
@@ -40,6 +47,9 @@ class Node;
 enum class TamperAction { kDeliver, kDrop };
 
 /// Inspects/mutates packets in flight; used by Byzantine-network tests.
+/// Runs on a private mutable copy of the shared packet buffer (copy-on-
+/// write), so tampering one delivery never corrupts the other receivers'
+/// view of a multicast.
 using TamperFn = std::function<TamperAction(NodeId from, NodeId to, Bytes& data)>;
 
 class Network {
@@ -73,10 +83,14 @@ class Network {
     void set_tamper(TamperFn fn) { tamper_ = std::move(fn); }
 
     /// Transmits at the current simulation time.
-    void send(NodeId from, NodeId to, Bytes data) { send_at(sim_.now(), from, to, std::move(data)); }
+    void send(NodeId from, NodeId to, Packet data) {
+        send_at(sim_.now(), from, to, std::move(data));
+    }
 
-    /// Transmits with the given departure timestamp (>= now).
-    void send_at(Time depart, NodeId from, NodeId to, Bytes data);
+    /// Transmits with the given departure timestamp (>= now). The packet
+    /// buffer is shared, not copied — callers multicast by passing the same
+    /// Packet for every destination.
+    void send_at(Time depart, NodeId from, NodeId to, Packet data);
 
     // Instrumentation.
     std::uint64_t packets_sent() const { return packets_sent_; }
@@ -130,6 +144,9 @@ class Network {
     std::array<std::uint64_t, static_cast<std::size_t>(obs::DropReason::kCount_)>
         drops_by_reason_{};
     std::unordered_map<NodeId, std::uint64_t> delivered_to_;
+    /// Scratch reused by register_metrics' collector so a registry dump
+    /// sorts `delivered_to_` without rebuilding an ordered map each time.
+    std::vector<std::pair<NodeId, std::uint64_t>> delivered_scratch_;
 };
 
 /// Base class for all simulated endpoints.
@@ -142,8 +159,10 @@ class Node {
     Simulator& sim() { return net_->simulator(); }
     bool attached() const { return net_ != nullptr; }
 
-    /// Raw packet delivery; called by the network at arrival time.
-    virtual void on_packet(NodeId from, BytesView data) = 0;
+    /// Raw packet delivery; called by the network at arrival time. The
+    /// packet buffer is shared — keep a Packet copy (refcount bump) to
+    /// retain the bytes beyond the call, never a deep copy.
+    virtual void on_packet(NodeId from, const Packet& pkt) = 0;
 
     /// CPU-model accounting, aggregated by Network::total_cpu_busy /
     /// total_queue_wait for the bench harness's latency breakdown. Nodes

@@ -7,10 +7,11 @@
 
 namespace neo::sim {
 
-void ProcessingNode::on_packet(NodeId from, BytesView data) {
+void ProcessingNode::on_packet(NodeId from, const Packet& pkt) {
+    BytesView data = pkt.view();
     ++rx_by_kind_[data.empty() ? 0 : data[0]];
-    queue_.push_back(QueuedItem{from, Bytes(data.begin(), data.end()), nullptr, 0, sim().now(),
-                                ""});
+    // Refcount bump only — the arrival queue shares the sender's buffer.
+    queue_.push_back(QueuedItem{from, pkt, {}, 0, sim().now(), ""});
     maybe_schedule_drain();
 }
 
@@ -56,15 +57,14 @@ void ProcessingNode::drain_one() {
         total_queue_wait_ += sim().now() - item.enqueued_at;
         Time recv_cost = cfg_.recv_overhead_ns +
                          static_cast<Time>(cfg_.io_ns_per_byte *
-                                           static_cast<double>(item.data.size()));
-        run_task(recv_cost, [&] { handle(item.from, item.data); }, "handle");
+                                           static_cast<double>(item.packet.size()));
+        run_task(recv_cost, [&] { handle(item.from, item.packet.view()); }, "handle");
     }
 
     maybe_schedule_drain();
 }
 
-void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work,
-                              const char* label) {
+void ProcessingNode::run_task(Time fixed_cost, FunctionRef work, const char* label) {
     NEO_ASSERT_MSG(!in_task_, "nested task execution");
     in_task_ = true;
     out_.clear();
@@ -103,7 +103,7 @@ void ProcessingNode::run_task(Time fixed_cost, const std::function<void()>& work
     in_task_ = false;
 }
 
-void ProcessingNode::send_to(NodeId to, Bytes data) {
+void ProcessingNode::send_to(NodeId to, Packet data) {
     if (in_task_) {
         out_.push_back(PendingSend{to, std::move(data)});
     } else {
@@ -112,7 +112,7 @@ void ProcessingNode::send_to(NodeId to, Bytes data) {
     }
 }
 
-void ProcessingNode::broadcast(const std::vector<NodeId>& dests, const Bytes& data) {
+void ProcessingNode::broadcast(const std::vector<NodeId>& dests, const Packet& data) {
     for (NodeId d : dests) send_to(d, data);
 }
 
@@ -120,7 +120,7 @@ ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void
                                                   const char* label) {
     TimerId tid = next_timer_++;
     if (obs::TraceSink* tr = sim().trace()) tr->timer_arm(sim().now(), id(), tid, label, delay);
-    sim().after(delay, [this, tid, label, fn = std::move(fn)] {
+    auto fire = [this, tid, label, fn = std::move(fn)]() mutable {
         if (net().is_down(id())) {
             cancelled_timers_.erase(tid);
             return;
@@ -133,9 +133,12 @@ ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void
         }
         // Timer work contends for the same CPU as message handling: enqueue
         // it behind whatever the node is currently processing.
-        queue_.push_back(QueuedItem{kInvalidNode, {}, fn, tid, sim().now(), label});
+        queue_.push_back(QueuedItem{kInvalidNode, {}, std::move(fn), tid, sim().now(), label});
         maybe_schedule_drain();
-    });
+    };
+    static_assert(EventFn::fits_inline<decltype(fire)>,
+                  "timer-fire closure must fit EventFn's inline buffer");
+    sim().after(delay, std::move(fire));
     return tid;
 }
 

@@ -10,6 +10,11 @@
 //
 // This is the mechanism that turns Table 1's "bottleneck complexity" into
 // the throughput saturation and queuing-delay knees of Fig 7.
+//
+// Host-efficiency notes: arrivals are queued as refcounted Packets (no
+// per-arrival byte copy), broadcast shares one buffer across every
+// destination, and timer tasks ride in EventFns so the queue never
+// heap-allocates for small callables.
 #pragma once
 
 #include <array>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "crypto/cost.hpp"
+#include "sim/event.hpp"
 #include "sim/network.hpp"
 
 namespace neo::obs {
@@ -52,7 +58,7 @@ class ProcessingNode : public Node {
 
     explicit ProcessingNode(ProcessingConfig cfg = {}) : cfg_(cfg) {}
 
-    void on_packet(NodeId from, BytesView data) final;
+    void on_packet(NodeId from, const Packet& pkt) final;
 
     /// Total virtual time this node's CPU has been busy (utilisation stats).
     Time busy_time() const { return total_busy_; }
@@ -86,9 +92,12 @@ class ProcessingNode : public Node {
     virtual void handle(NodeId from, BytesView data) = 0;
 
     /// Queues an outbound unicast (only valid inside handle()/timer fns).
-    void send_to(NodeId to, Bytes data);
-    /// Unicasts `data` to every destination (counts one send each).
-    void broadcast(const std::vector<NodeId>& dests, const Bytes& data);
+    /// Takes a Packet: `send_to(to, msg.serialize())` wraps the bytes once;
+    /// passing the same Packet to several calls shares the buffer.
+    void send_to(NodeId to, Packet data);
+    /// Multicasts one shared buffer to every destination (counts one send
+    /// each, but the payload is allocated exactly once).
+    void broadcast(const std::vector<NodeId>& dests, const Packet& data);
 
     /// One-shot timer. The callback runs through the same cost machinery as
     /// message handlers. Returns an id usable with cancel_timer(). `label`
@@ -108,20 +117,21 @@ class ProcessingNode : public Node {
   private:
     struct PendingSend {
         NodeId to;
-        Bytes data;
+        Packet data;
     };
 
-    void run_task(Time fixed_cost, const std::function<void()>& work, const char* label);
+    void run_task(Time fixed_cost, FunctionRef work, const char* label);
 
     ProcessingConfig cfg_;
     crypto::CostMeter* meter_ = nullptr;
 
     // Arrival queue: messages and timer tasks wait here while the CPU is
-    // busy. `task != nullptr` marks a timer item.
+    // busy. A valid `task` marks a timer item; messages hold a refcount on
+    // the arriving packet's shared buffer.
     struct QueuedItem {
         NodeId from;
-        Bytes data;
-        std::function<void()> task;
+        Packet packet;
+        EventFn task;
         TimerId timer_id;
         Time enqueued_at;
         const char* label;  // timer label; "" for messages

@@ -4,18 +4,50 @@
 
 namespace neo::sim {
 
+void Simulator::sift_up(std::size_t i) {
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!heap_[i].before(heap_[parent])) break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void Simulator::sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t left = 2 * i + 1;
+        if (left >= n) break;
+        std::size_t best = left;
+        std::size_t right = left + 1;
+        if (right < n && heap_[right].before(heap_[left])) best = right;
+        if (!heap_[best].before(heap_[i])) break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+Simulator::Event Simulator::pop_event() {
+    Event ev = std::move(heap_.front());
+    if (heap_.size() > 1) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        sift_down(0);
+    } else {
+        heap_.pop_back();
+    }
+    return ev;
+}
+
 void Simulator::at(Time t, Callback fn) {
     NEO_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+    sift_up(heap_.size() - 1);
 }
 
 bool Simulator::step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the callback handle instead (std::function copy is cheap
-    // relative to event work, and correctness beats micro-optimisation here).
-    Event ev = queue_.top();
-    queue_.pop();
+    if (heap_.empty()) return false;
+    Event ev = pop_event();
     NEO_ASSERT(ev.t >= now_);
     now_ = ev.t;
     ++executed_;
@@ -31,7 +63,7 @@ void Simulator::run() {
 
 void Simulator::run_until(Time t) {
     stopped_ = false;
-    while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+    while (!stopped_ && !heap_.empty() && heap_.front().t <= t) {
         step();
     }
     if (now_ < t) now_ = t;

@@ -4,13 +4,21 @@
 // single seed makes an entire run — including jitter, drops, and workload —
 // bit-for-bit reproducible. Events at the same timestamp fire in scheduling
 // order (a monotonic sequence number breaks ties).
+//
+// The event queue is a hand-rolled binary heap rather than a
+// std::priority_queue of std::function: callbacks are move-only EventFns
+// with inline storage (packet-delivery closures never touch the heap, see
+// sim/event.hpp), and pop() moves the top event out instead of copying it —
+// std::priority_queue::top() is const, which forced a per-event deep copy
+// of the callback. Pop order is governed solely by the strict total order
+// (t, seq), so the heap layout cannot leak into simulated results.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "sim/time.hpp"
 
 namespace neo::obs {
@@ -21,7 +29,7 @@ namespace neo::sim {
 
 class Simulator {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventFn;
 
     Time now() const { return now_; }
 
@@ -49,23 +57,26 @@ class Simulator {
     /// Makes run()/run_until() return after the current event.
     void stop() { stopped_ = true; }
 
-    std::size_t pending_events() const { return queue_.size(); }
+    std::size_t pending_events() const { return heap_.size(); }
     std::uint64_t executed_events() const { return executed_; }
 
   private:
     struct Event {
         Time t;
         std::uint64_t seq;
-        Callback fn;
-    };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const {
-            if (a.t != b.t) return a.t > b.t;
-            return a.seq > b.seq;
-        }
+        EventFn fn;
+
+        /// Strict weak "fires earlier" order; seq (unique) breaks ties, so
+        /// the order is total and pop order is implementation-independent.
+        bool before(const Event& o) const { return t != o.t ? t < o.t : seq < o.seq; }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+    /// Moves the earliest event out of the heap (heap must be non-empty).
+    Event pop_event();
+
+    std::vector<Event> heap_;  // min-heap on Event::before
     obs::TraceSink* trace_ = nullptr;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;

@@ -85,11 +85,12 @@ class EquivocatingSwitch : public SequencerSwitch {
     NodeId victim = Deployment::kReceiverBase;
 
   protected:
-    void emit(NodeId receiver, sim::Time depart, Bytes packet) override {
-        if (receiver == victim && !packet.empty() &&
-            packet[0] == static_cast<std::uint8_t>(Wire::kSeqHm)) {
+    void emit(NodeId receiver, sim::Time depart, sim::Packet packet) override {
+        BytesView data = packet.view();
+        if (receiver == victim && !data.empty() &&
+            data[0] == static_cast<std::uint8_t>(Wire::kSeqHm)) {
             try {
-                Reader r(BytesView(packet).subspan(1));
+                Reader r(data.subspan(1));
                 HmPacket pkt = HmPacket::parse(r);
                 // Re-author the packet with conflicting content, re-MACed
                 // for the victim (the Byzantine switch holds all HM keys,

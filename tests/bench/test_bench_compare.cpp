@@ -138,6 +138,53 @@ TEST(CompareSuites, WrongSchemaIsStructuralError) {
     EXPECT_FALSE(r.errors.empty());
 }
 
+TEST(CompareSuites, HostMetricsNeverGateAndNeverError) {
+    CompareConfig cfg;
+    // A 10x wall-clock blowup is reported but is not a regression.
+    CompareReport r = compare_suites(suite_with("p", "host_ns", 1e6),
+                                     suite_with("p", "host_ns", 1e7), cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.deltas.empty());
+    ASSERT_EQ(r.host_deltas.size(), 1u);
+    EXPECT_EQ(r.host_deltas[0].metric, "host_ns");
+    EXPECT_NEAR(r.host_deltas[0].rel_delta, 9.0, 1e-9);
+
+    // A baseline recorded with host_ns compared against a candidate without
+    // it (or vice versa) is not schema drift.
+    CompareReport missing = compare_suites(suite_with("p", "host_ns", 1e6),
+                                           suite_with("p", "tput_ops", 100), cfg);
+    EXPECT_TRUE(missing.errors.empty());
+    EXPECT_TRUE(missing.host_deltas.empty());
+}
+
+TEST(CompareSuites, StripHostMetricsRemovesOnlyHostFields) {
+    EXPECT_TRUE(is_host_metric("host_ns"));
+    EXPECT_TRUE(is_host_metric("host_rss_bytes"));
+    EXPECT_FALSE(is_host_metric("tput_ops"));
+    EXPECT_FALSE(is_host_metric("p99_us"));
+
+    Json s = suite_with("p", "tput_ops", 100);
+    Json m = Json::object();
+    m.set("mean", Json(5e6));
+    // suite_with built a one-metric object; rebuild the point with both.
+    Json metrics = Json::object();
+    metrics.set("tput_ops", s.at("points").items()[0].at("metrics").at("tput_ops"));
+    metrics.set("host_ns", m);
+    Json p = Json::object();
+    p.set("name", Json(std::string("p")));
+    p.set("metrics", metrics);
+    Json points = Json::array();
+    points.push_back(p);
+    s.set("points", points);
+
+    Json stripped = strip_host_metrics(s);
+    const Json& sm = stripped.at("points").items()[0].at("metrics");
+    EXPECT_NE(sm.find("tput_ops"), nullptr);
+    EXPECT_EQ(sm.find("host_ns"), nullptr);
+    // Stripping an already-clean suite is the identity.
+    EXPECT_EQ(strip_host_metrics(stripped).dump(), stripped.dump());
+}
+
 TEST(CompareSuites, Tolerance_boundary_is_inclusive) {
     // Exactly at tolerance must NOT regress (CI gates on strict excess).
     CompareConfig cfg;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/bench_json.hpp"
+#include "harness/compare.hpp"
 #include "harness/runner.hpp"
 
 using namespace neo;
@@ -64,7 +65,9 @@ std::string run_sweep(const std::string& jobs) {
     for (auto& s : strs) argv.push_back(s.data());
     BenchMain bm(static_cast<int>(argv.size()), argv.data(), "determinism_sweep");
     bm.run(sweep_points());
-    return bm.suite().to_json();
+    // host_* wall-clock metrics are the one sanctioned nondeterminism in a
+    // suite document; everything else must be byte-identical.
+    return strip_host_metrics(Json::parse(bm.suite().to_json())).dump() + "\n";
 }
 
 }  // namespace

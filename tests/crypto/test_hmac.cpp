@@ -62,5 +62,20 @@ TEST(HmacSha256, TruncatedTag) {
     EXPECT_TRUE(std::equal(tag.begin(), tag.end(), full.begin()));
 }
 
+// A precomputed key reused across many MACs must agree with the one-shot
+// function for every key-length class (short, exactly block-sized, hashed
+// long key) and across message sizes spanning block boundaries.
+TEST(HmacSha256, PrecomputedKeyMatchesOneShot) {
+    for (std::size_t key_len : {3u, 20u, 63u, 64u, 65u, 131u}) {
+        Bytes key(key_len, static_cast<std::uint8_t>(0x40 + key_len));
+        HmacSha256Key pre(key);
+        for (std::size_t msg_len : {0u, 1u, 55u, 56u, 64u, 200u}) {
+            Bytes msg(msg_len, 0xd1);
+            EXPECT_EQ(pre.mac(msg), hmac_sha256(key, msg))
+                << "key_len=" << key_len << " msg_len=" << msg_len;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace neo::crypto

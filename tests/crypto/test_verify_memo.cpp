@@ -1,0 +1,123 @@
+// The verified-signature memo: skips repeat EC math on the host while the
+// virtual-time cost model stays oblivious — a memo hit and a memo miss
+// charge the node's CostMeter identically, so simulated results cannot
+// depend on cache state.
+#include <gtest/gtest.h>
+
+#include "crypto/identity.hpp"
+#include "crypto/verify_memo.hpp"
+
+using namespace neo;
+using namespace neo::crypto;
+
+namespace {
+
+Bytes msg_bytes(const char* s) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s);
+    return Bytes(p, p + std::char_traits<char>::length(s));
+}
+
+TEST(VerifyMemo, RepeatVerificationHitsAndAgrees) {
+    TrustRoot root(CryptoMode::kReal, /*seed=*/11);
+    auto signer = root.provision(1);
+    auto checker = root.provision(2);
+
+    Bytes msg = msg_bytes("memoised message");
+    Bytes sig = signer->sign(msg);
+
+    EXPECT_TRUE(checker->verify(1, msg, sig));
+    std::uint64_t hits_after_first = root.verify_memo().hits();
+    EXPECT_TRUE(checker->verify(1, msg, sig));
+    EXPECT_TRUE(checker->verify(1, msg, sig));
+    EXPECT_EQ(root.verify_memo().hits(), hits_after_first + 2);
+}
+
+TEST(VerifyMemo, HitChargesFullVirtualCost) {
+    TrustRoot root(CryptoMode::kReal, /*seed=*/12);
+    auto signer = root.provision(1);
+    auto checker = root.provision(2);
+    CostMeter& meter = checker->meter();
+
+    Bytes msg = msg_bytes("cost model is host-blind");
+    Bytes sig = signer->sign(msg);
+
+    ASSERT_TRUE(checker->verify(1, msg, sig));  // miss: real EC math
+    std::int64_t miss_sync = meter.drain();
+    std::int64_t miss_async = meter.drain_async();
+
+    ASSERT_TRUE(checker->verify(1, msg, sig));  // hit: memo only
+    std::int64_t hit_sync = meter.drain();
+    std::int64_t hit_async = meter.drain_async();
+
+    EXPECT_GT(root.verify_memo().hits(), 0u);
+    EXPECT_EQ(hit_sync, miss_sync);
+    EXPECT_EQ(hit_async, miss_async);
+    EXPECT_EQ(hit_sync, root.costs().ecdsa_dispatch_ns);
+    EXPECT_EQ(hit_async, root.costs().ecdsa_verify_ns);
+    EXPECT_EQ(meter.verifies, 2u);  // op counters tick on hits too
+}
+
+TEST(VerifyMemo, InvalidSignaturesAreMemoisedAsInvalid) {
+    TrustRoot root(CryptoMode::kReal, /*seed=*/13);
+    auto signer = root.provision(1);
+    auto checker = root.provision(2);
+
+    Bytes msg = msg_bytes("tampered");
+    Bytes sig = signer->sign(msg);
+    sig[10] ^= 0x01;
+
+    EXPECT_FALSE(checker->verify(1, msg, sig));
+    std::uint64_t hits_after_first = root.verify_memo().hits();
+    EXPECT_FALSE(checker->verify(1, msg, sig));  // hit, still invalid
+    EXPECT_EQ(root.verify_memo().hits(), hits_after_first + 1);
+}
+
+TEST(VerifyMemo, KeyCoversSignerDigestAndSignature) {
+    TrustRoot root(CryptoMode::kReal, /*seed=*/14);
+    auto node1 = root.provision(1);
+    auto node2 = root.provision(2);
+    auto checker = root.provision(3);
+
+    Bytes msg = msg_bytes("same message");
+    Bytes sig1 = node1->sign(msg);
+
+    ASSERT_TRUE(checker->verify(1, msg, sig1));
+    // Same (digest, sig) attributed to a different signer must NOT hit the
+    // node-1 entry: it re-verifies against node 2's key and fails.
+    EXPECT_FALSE(checker->verify(2, msg, sig1));
+    // A different message under the same signer is its own entry.
+    Bytes other = msg_bytes("different message");
+    EXPECT_FALSE(checker->verify(1, other, sig1));
+}
+
+TEST(VerifyMemo, CollisionEvictionStaysCorrect) {
+    // A tiny table forces constant evictions; every verdict must still be
+    // correct (full-key compare on hit, re-verify on miss).
+    VerifyMemo memo(/*slots=*/2);
+    Digest32 d{};
+    Bytes sig(VerifyMemo::kSigBytes, 0);
+    for (std::uint32_t signer = 0; signer < 64; ++signer) {
+        d[0] = static_cast<std::uint8_t>(signer);
+        EXPECT_EQ(memo.find(signer, d, sig), nullptr);
+        memo.insert(signer, d, sig, signer % 2 == 0);
+    }
+    // Whatever survived must report the verdict it was stored with.
+    for (std::uint32_t signer = 0; signer < 64; ++signer) {
+        d[0] = static_cast<std::uint8_t>(signer);
+        const bool* v = memo.find(signer, d, sig);
+        if (v != nullptr) EXPECT_EQ(*v, signer % 2 == 0);
+    }
+}
+
+TEST(VerifyMemo, ModeledModeBypassesTheMemo) {
+    TrustRoot root(CryptoMode::kModeled, /*seed=*/15);
+    auto signer = root.provision(1);
+    auto checker = root.provision(2);
+    Bytes msg = msg_bytes("modeled tags are cheap already");
+    Bytes sig = signer->sign(msg);
+    EXPECT_TRUE(checker->verify(1, msg, sig));
+    EXPECT_TRUE(checker->verify(1, msg, sig));
+    EXPECT_EQ(root.verify_memo().hits() + root.verify_memo().misses(), 0u);
+}
+
+}  // namespace

@@ -16,7 +16,8 @@ class RecorderNode : public Node {
         Bytes data;
         Time at;
     };
-    void on_packet(NodeId from, BytesView data) override {
+    void on_packet(NodeId from, const Packet& pkt) override {
+        BytesView data = pkt.view();
         received.push_back({from, Bytes(data.begin(), data.end()), sim().now()});
     }
     std::vector<Received> received;

@@ -28,7 +28,7 @@ class EchoNode : public ProcessingNode {
 class SinkNode : public Node {
   public:
     std::vector<Time> arrivals;
-    void on_packet(NodeId, BytesView) override { arrivals.push_back(sim().now()); }
+    void on_packet(NodeId, const Packet&) override { arrivals.push_back(sim().now()); }
 };
 
 class ProcessingNodeTest : public ::testing::Test {

@@ -1,0 +1,98 @@
+#include "support/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace neo::test_alloc {
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_over{0};
+std::atomic<std::size_t> g_threshold{SIZE_MAX};
+
+void record(std::size_t size) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (size >= g_threshold.load(std::memory_order_relaxed)) {
+        g_over.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void* counted_alloc(std::size_t size) {
+    record(size);
+    return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+    record(size);
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, size ? size : 1) != 0) {
+        return nullptr;
+    }
+    return p;
+}
+
+}  // namespace
+
+Stats snapshot() {
+    Stats s;
+    s.count = g_count.load(std::memory_order_relaxed);
+    s.bytes = g_bytes.load(std::memory_order_relaxed);
+    s.over_threshold = g_over.load(std::memory_order_relaxed);
+    return s;
+}
+
+void set_threshold(std::size_t bytes) { g_threshold.store(bytes, std::memory_order_relaxed); }
+
+std::size_t threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+bool hook_active() { return true; }
+
+}  // namespace neo::test_alloc
+
+// ---- global operator new/delete interposition (this binary only) ----
+
+void* operator new(std::size_t size) {
+    void* p = neo::test_alloc::counted_alloc(size);
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size) {
+    void* p = neo::test_alloc::counted_alloc(size);
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return neo::test_alloc::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return neo::test_alloc::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    void* p = neo::test_alloc::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    void* p = neo::test_alloc::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

@@ -1,0 +1,37 @@
+// Allocation-counting test hook.
+//
+// Linking alloc_hook.cpp into a test binary replaces the global operator
+// new/delete with a counting interposer (per-binary: only binaries that
+// list alloc_hook.cpp in their sources are affected). Tests snapshot the
+// counters around a measured region and assert on the delta — e.g. that a
+// 64-way multicast performs exactly one payload-sized allocation.
+//
+// Counters are atomics with relaxed ordering: cheap enough to leave always
+// on, and safe under the thread-pool tests' concurrent simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neo::test_alloc {
+
+struct Stats {
+    std::uint64_t count = 0;           // operator-new calls
+    std::uint64_t bytes = 0;           // total requested bytes
+    std::uint64_t over_threshold = 0;  // calls with size >= threshold()
+};
+
+/// Current totals since process start.
+Stats snapshot();
+
+/// Size classifying an allocation as "payload-sized" for
+/// Stats::over_threshold. Set it BEFORE taking the base snapshot; counts
+/// taken under different thresholds are not comparable.
+void set_threshold(std::size_t bytes);
+std::size_t threshold();
+
+/// True iff the interposer is linked into this binary (always true when
+/// this header's implementation is; exists so a helper library could probe).
+bool hook_active();
+
+}  // namespace neo::test_alloc
