@@ -16,25 +16,27 @@ namespace {
 struct Family {
     std::string name;   // table heading
     std::string label;  // point-name prefix
-    std::function<std::unique_ptr<Deployment>(std::size_t batch, std::uint64_t seed)> make;
+    std::function<std::unique_ptr<Deployment>(std::size_t batch, const RunCtx& ctx)> make;
 };
 
 std::vector<Family> families() {
     return {
         {"PBFT", "pbft",
-         [](std::size_t batch, std::uint64_t seed) {
+         [](std::size_t batch, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = 256;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_max = batch;
              p.batch_delay = 2 * sim::kMillisecond;  // large batches need patience
              return make_pbft(p);
          }},
         {"HotStuff", "hotstuff",
-         [](std::size_t batch, std::uint64_t seed) {
+         [](std::size_t batch, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = 256;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_max = batch;
              p.batch_delay = 2 * sim::kMillisecond;
              return make_hotstuff(p);
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
                 fam.label + ".b" + std::to_string(batch),
                 {{"batch_max", static_cast<double>(batch)}},
                 [&fam, batch, warmup, measure](RunCtx& ctx) {
-                    auto d = fam.make(batch, ctx.seed());
+                    auto d = fam.make(batch, ctx);
                     auto obs = ctx.attach(*d);
                     Measured m = run_closed_loop(*d, echo_ops(64), warmup, measure);
                     return std::map<std::string, double>{{"tput_ops", m.throughput_ops},

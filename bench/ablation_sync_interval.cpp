@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                 NeoParams p;
                 p.n_clients = 64;
                 p.seed = ctx.seed();
+                p.sim_threads = ctx.sim_threads();
                 p.sync_interval = interval;
                 auto d = make_neobft(p);
                 auto obs = ctx.attach(*d);

@@ -43,17 +43,19 @@ std::function<std::function<Bytes(BytesView)>()> baseline_app_factory(
 }
 
 OpGen ycsb_ops(const std::shared_ptr<app::YcsbWorkload>& base_cfg) {
-    // One generator stream per client, deterministic.
-    auto gens = std::make_shared<std::map<int, std::shared_ptr<app::YcsbWorkload>>>();
+    // One generator stream per client, deterministic. Generators are built
+    // eagerly so the callback only ever touches its own client's entry —
+    // clients on different simulator partitions run concurrently, and a
+    // lazily-populated shared map would race.
+    auto gens = std::make_shared<std::vector<std::shared_ptr<app::YcsbWorkload>>>();
     auto cfg = base_cfg->config();
-    return [gens, cfg](int client, std::uint64_t) {
-        auto it = gens->find(client);
-        if (it == gens->end()) {
-            it = gens->emplace(client, std::make_shared<app::YcsbWorkload>(
-                                           cfg, 1000 + static_cast<std::uint64_t>(client)))
-                     .first;
-        }
-        return it->second->next_op().serialize();
+    gens->reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        gens->push_back(std::make_shared<app::YcsbWorkload>(
+            cfg, 1000 + static_cast<std::uint64_t>(c)));
+    }
+    return [gens](int client, std::uint64_t) {
+        return (*gens)[static_cast<std::size_t>(client)]->next_op().serialize();
     };
 }
 
@@ -63,17 +65,18 @@ struct Protocol {
     // Built inside the job: the workload template is per-run (load_into is
     // called from the deployment's constructor on the worker thread).
     std::function<std::unique_ptr<Deployment>(const std::shared_ptr<app::YcsbWorkload>& workload,
-                                              std::uint64_t seed)>
+                                              const RunCtx& ctx)>
         make;
     bool trace_candidate = false;
 };
 
 std::vector<Protocol> protocols() {
     auto neo = [](NeoVariant variant) {
-        return [variant](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+        return [variant](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
             NeoParams p;
             p.n_clients = kClients;
-            p.seed = seed;
+            p.seed = ctx.seed();
+            p.sim_threads = ctx.sim_threads();
             p.variant = variant;
             p.app_factory = neo_app_factory(workload);
             return make_neobft(p);
@@ -81,10 +84,11 @@ std::vector<Protocol> protocols() {
     };
     return {
         {"Unreplicated", "unreplicated",
-         [](const std::shared_ptr<app::YcsbWorkload>&, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>&, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              // The unreplicated server echoes; attaching KV semantics via
              // the baseline hook is not supported there -> report echo
              // service rate as the upper bound (documented in EXPERIMENTS.md).
@@ -94,44 +98,49 @@ std::vector<Protocol> protocols() {
         {"Neo-PK", "neo_pk", neo(NeoVariant::kPk)},
         {"Neo-BN", "neo_bn", neo(NeoVariant::kBn)},
         {"Zyzzyva", "zyzzyva",
-         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.baseline_app_factory = baseline_app_factory(workload);
              return make_zyzzyva(p);
          }},
         {"Zyzzyva-F", "zyzzyva_f",
-         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.faulty_replica = true;
              p.baseline_app_factory = baseline_app_factory(workload);
              return make_zyzzyva(p);
          }},
         {"PBFT", "pbft",
-         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.baseline_app_factory = baseline_app_factory(workload);
              return make_pbft(p);
          }},
         {"HotStuff", "hotstuff",
-         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_max = 32;
              p.baseline_app_factory = baseline_app_factory(workload);
              return make_hotstuff(p);
          }},
         {"MinBFT", "minbft",
-         [](const std::shared_ptr<app::YcsbWorkload>& workload, std::uint64_t seed) {
+         [](const std::shared_ptr<app::YcsbWorkload>& workload, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.baseline_app_factory = baseline_app_factory(workload);
              return make_minbft(p);
          }},
@@ -158,7 +167,7 @@ int main(int argc, char** argv) {
             [&proto, &bm, warmup, measure](RunCtx& ctx) {
                 auto workload =
                     std::make_shared<app::YcsbWorkload>(ycsb_config(bm.quick()), 17);
-                auto d = proto.make(workload, ctx.seed());
+                auto d = proto.make(workload, ctx);
                 auto obs = ctx.attach(*d);
                 Measured m = run_closed_loop(*d, ycsb_ops(workload), warmup, measure);
                 return std::map<std::string, double>{{"tput_ops", m.throughput_ops},

@@ -17,7 +17,8 @@ BenchPointSpec load_point(double load, bool quick) {
         "aom_hm.load" + fmt_double(load * 100, 0),
         {{"load_pct", load * 100}},
         [load, quick](RunCtx& ctx) {
-            AomBench bench(aom::AuthVariant::kHmacVector, kReceivers, ctx.seed());
+            AomBench bench(aom::AuthVariant::kHmacVector, kReceivers, ctx.seed(), {},
+                           ctx.sim_threads());
             sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, kReceivers);
             // Offered load as a fraction of the pipeline's saturation rate.
             auto gap = static_cast<sim::Time>(static_cast<double>(service) / load);

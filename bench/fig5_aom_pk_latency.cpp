@@ -17,7 +17,8 @@ BenchPointSpec load_point(double load, bool quick) {
         "aom_pk.load" + fmt_double(load * 100, 0),
         {{"load_pct", load * 100}},
         [load, quick](RunCtx& ctx) {
-            AomBench bench(aom::AuthVariant::kPublicKey, kReceivers, ctx.seed());
+            AomBench bench(aom::AuthVariant::kPublicKey, kReceivers, ctx.seed(), {},
+                           ctx.sim_threads());
             // The signer (1/kPkSignServiceNs pps) is the bottleneck resource.
             auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) / load);
             auto obs = ctx.attach(bench.simulator(),

@@ -19,7 +19,8 @@ BenchPointSpec hm_point(int receivers, bool quick) {
         "aom_hm.r" + std::to_string(receivers),
         {{"receivers", static_cast<double>(receivers)}},
         [receivers, quick](RunCtx& ctx) {
-            AomBench bench(aom::AuthVariant::kHmacVector, receivers, ctx.seed());
+            AomBench bench(aom::AuthVariant::kHmacVector, receivers, ctx.seed(), {},
+                           ctx.sim_threads());
             sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, receivers);
             // Drive slightly above capacity so the pipeline saturates;
             // tail-drop absorbs the excess.
@@ -41,7 +42,8 @@ BenchPointSpec pk_point(int receivers, bool quick) {
         "aom_pk.r" + std::to_string(receivers),
         {{"receivers", static_cast<double>(receivers)}},
         [receivers, quick](RunCtx& ctx) {
-            AomBench bench(aom::AuthVariant::kPublicKey, receivers, ctx.seed());
+            AomBench bench(aom::AuthVariant::kPublicKey, receivers, ctx.seed(), {},
+                           ctx.sim_threads());
             // Signing throughput: drive the signer at saturation and count
             // signatures per second (the paper reports signing throughput).
             auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) * 0.9);

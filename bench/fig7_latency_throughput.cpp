@@ -13,80 +13,89 @@ namespace {
 struct Protocol {
     std::string name;   // table heading
     std::string label;  // point-name prefix
-    std::function<std::unique_ptr<Deployment>(int clients, std::uint64_t seed)> make;
+    std::function<std::unique_ptr<Deployment>(int clients, const RunCtx& ctx)> make;
     bool trace_candidate = false;
 };
 
 std::vector<Protocol> protocols() {
     return {
         {"Unreplicated", "unreplicated",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_unreplicated(p);
          }},
         {"Neo-HM", "neo_hm",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              NeoParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.variant = NeoVariant::kHm;
              return make_neobft(p);
          },
          true},
         {"Neo-PK", "neo_pk",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              NeoParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.variant = NeoVariant::kPk;
              return make_neobft(p);
          }},
         {"Neo-BN (Byzantine network)", "neo_bn",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              NeoParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.variant = NeoVariant::kBn;
              return make_neobft(p);
          }},
         {"Zyzzyva", "zyzzyva",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_zyzzyva(p);
          }},
         {"Zyzzyva-F (one faulty replica)", "zyzzyva_f",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.faulty_replica = true;
              return make_zyzzyva(p);
          }},
         {"PBFT", "pbft",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_pbft(p);
          }},
         {"HotStuff", "hotstuff",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_max = 8;  // modest batching (the paper notes aggressive
              // batching lifts HotStuff's throughput but pushes latency >10ms)
              return make_hotstuff(p);
          }},
         {"MinBFT", "minbft",
-         [](int clients, std::uint64_t seed) {
+         [](int clients, const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = clients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_minbft(p);
          }},
     };
@@ -116,7 +125,7 @@ int main(int argc, char** argv) {
                 proto.label + ".c" + std::to_string(clients),
                 {{"clients", static_cast<double>(clients)}},
                 [&proto, clients, warmup, measure](RunCtx& ctx) {
-                    auto d = proto.make(clients, ctx.seed());
+                    auto d = proto.make(clients, ctx);
                     auto obs = ctx.attach(*d);
                     Measured m = run_closed_loop(*d, echo_ops(64), warmup, measure);
                     return measured_metrics(m);

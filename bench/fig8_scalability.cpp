@@ -25,6 +25,7 @@ BenchPointSpec scale_point(NeoVariant variant, int replicas) {
             p.software_sequencer = true;
             // Decorrelate the sweep points (as the fixed-seed version did).
             p.seed = ctx.seed() + static_cast<std::uint64_t>(replicas);
+            p.sim_threads = ctx.sim_threads();
             auto d = make_neobft(p);
             auto obs = ctx.attach(*d);
             Measured m = run_closed_loop(

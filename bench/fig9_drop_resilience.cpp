@@ -28,6 +28,7 @@ BenchPointSpec drop_point(NeoVariant variant, double drop_rate, bool quick) {
             // (drop-notifications gate delivery of everything behind them).
             p.receiver.gap_timeout = 100 * sim::kMicrosecond;
             p.seed = ctx.seed() + static_cast<std::uint64_t>(drop_rate * 1e7);
+            p.sim_threads = ctx.sim_threads();
             auto d = make_neobft(p);
             auto obs = ctx.attach(*d);
             Measured m = run_closed_loop(*d, echo_ops(64),

@@ -30,28 +30,44 @@ std::map<std::string, double> run_failover(RunCtx& ctx) {
     p.n_clients = 32;
     p.variant = NeoVariant::kHm;
     p.seed = ctx.seed();
+    p.sim_threads = ctx.sim_threads();
     auto d = make_neobft(p);
     auto obs = ctx.attach(*d);
     sim::Simulator& sim = d->simulator();
 
-    // Throughput sampled in 10ms buckets.
-    std::vector<std::uint64_t> buckets(static_cast<std::size_t>(kEnd / kBucket), 0);
+    // Throughput sampled in 10ms buckets. Client completions fire on the
+    // client's partition, so each client accumulates into its own row (and
+    // draws from its own RNG stream); rows are summed after the run.
+    const auto nbuckets = static_cast<std::size_t>(kEnd / kBucket);
+    auto per_client =
+        std::make_shared<std::vector<std::vector<std::uint64_t>>>(
+            static_cast<std::size_t>(p.n_clients), std::vector<std::uint64_t>(nbuckets, 0));
+    auto rngs = std::make_shared<std::vector<StreamRng>>();
+    for (int c = 0; c < p.n_clients; ++c) {
+        rngs->emplace_back(ctx.seed() + 1'000'003, static_cast<std::uint64_t>(c));
+    }
 
     auto issue = std::make_shared<std::function<void(int)>>();
-    auto rng = std::make_shared<Rng>(ctx.seed() + 1'000'003);
-    *issue = [&d, issue, &buckets, rng](int c) {
+    *issue = [&d, issue, per_client, rngs](int c) {
         if (d->simulator().now() >= kEnd) return;
-        d->invoke(c, rng->bytes(64), [&d, issue, &buckets, c](Bytes) {
-            auto idx = static_cast<std::size_t>(d->simulator().now() / kBucket);
-            if (idx < buckets.size()) ++buckets[idx];
-            (*issue)(c);
-        });
+        d->invoke(c, (*rngs)[static_cast<std::size_t>(c)].bytes(64),
+                  [&d, issue, per_client, c](Bytes) {
+                      auto& row = (*per_client)[static_cast<std::size_t>(c)];
+                      auto idx = static_cast<std::size_t>(d->simulator().now() / kBucket);
+                      if (idx < row.size()) ++row[idx];
+                      (*issue)(c);
+                  });
     };
     for (int c = 0; c < p.n_clients; ++c) (*issue)(c);
 
     sim.run_until(kFailAt);
     d->inject_sequencer_failure();
     sim.run_until(kEnd);
+
+    std::vector<std::uint64_t> buckets(nbuckets, 0);
+    for (const auto& row : *per_client) {
+        for (std::size_t i = 0; i < nbuckets; ++i) buckets[i] += row[i];
+    }
 
     // Recovery analysis: first bucket at >=80% of the pre-failure rate.
     std::size_t fail_bucket = static_cast<std::size_t>(kFailAt / kBucket);

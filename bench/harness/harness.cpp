@@ -28,8 +28,15 @@ constexpr GroupId kGroup = 7;
 }  // namespace
 
 OpGen echo_ops(std::size_t size) {
-    auto rng = std::make_shared<Rng>(99);
-    return [rng, size](int, std::uint64_t) { return rng->bytes(size); };
+    // Stateless: op (client, k) is generated from its own counter-based
+    // stream, so concurrent clients on different simulator partitions can
+    // generate ops without sharing generator state — and the bytes a client
+    // sends cannot depend on how other clients' requests interleave.
+    return [size](int client, std::uint64_t k) {
+        StreamRng rng(0x99u + static_cast<std::uint64_t>(client),
+                      0xec5e0000u ^ k);
+        return rng.bytes(size);
+    };
 }
 
 Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim::Time measure,
@@ -54,23 +61,28 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
         if (at_measure_start) at_measure_start();
     });
 
-    auto hist = std::make_shared<Histogram>();
-    auto completed = std::make_shared<std::uint64_t>(0);
-    auto per_client_k = std::make_shared<std::vector<std::uint64_t>>(
-        static_cast<std::size_t>(d.n_clients()), 0);
+    // Per-client accumulators: a client's done-callback runs inside that
+    // client node's event (possibly on a worker partition), so clients must
+    // never share a histogram or counter. Disjoint vector slots are safe;
+    // they are merged client-major after the run — an order independent of
+    // thread count, keeping metrics byte-identical across --sim-threads.
+    const std::size_t nclients = static_cast<std::size_t>(d.n_clients());
+    auto hists = std::make_shared<std::vector<Histogram>>(nclients);
+    auto completed = std::make_shared<std::vector<std::uint64_t>>(nclients, 0);
+    auto per_client_k = std::make_shared<std::vector<std::uint64_t>>(nclients, 0);
 
     // One self-rescheduling closed loop per client.
     auto issue = std::make_shared<std::function<void(int)>>();
-    *issue = [&d, &ops, issue, hist, completed, per_client_k, measure_from, deadline](int c) {
+    *issue = [&d, &ops, issue, hists, completed, per_client_k, measure_from, deadline](int c) {
         sim::Simulator& s = d.simulator();
         if (s.now() >= deadline) return;
         std::uint64_t k = (*per_client_k)[static_cast<std::size_t>(c)]++;
         sim::Time begin = s.now();
-        d.invoke(c, ops(c, k), [&d, issue, hist, completed, measure_from, deadline, begin, c](Bytes) {
+        d.invoke(c, ops(c, k), [&d, issue, hists, completed, measure_from, deadline, begin, c](Bytes) {
             sim::Time end = d.simulator().now();
             if (begin >= measure_from && end < deadline) {
-                hist->add(sim::to_us(end - begin));
-                ++*completed;
+                (*hists)[static_cast<std::size_t>(c)].add(sim::to_us(end - begin));
+                ++(*completed)[static_cast<std::size_t>(c)];
             }
             (*issue)(c);
         });
@@ -79,17 +91,24 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
 
     sim.run_until(deadline);
 
-    Measured m;
-    m.completed = *completed;
-    m.throughput_ops = static_cast<double>(*completed) / sim::to_sec(measure);
-    if (!hist->empty()) {
-        m.p50_us = hist->percentile(50);
-        m.mean_us = hist->mean();
-        m.p99_us = hist->percentile(99);
-        m.p999_us = hist->percentile(99.9);
+    Histogram hist;
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < nclients; ++c) {
+        hist.merge((*hists)[c]);
+        total += (*completed)[c];
     }
-    if (*completed > 0) {
-        double ops = static_cast<double>(*completed);
+
+    Measured m;
+    m.completed = total;
+    m.throughput_ops = static_cast<double>(total) / sim::to_sec(measure);
+    if (!hist.empty()) {
+        m.p50_us = hist.percentile(50);
+        m.mean_us = hist.mean();
+        m.p99_us = hist.percentile(99);
+        m.p999_us = hist.percentile(99.9);
+    }
+    if (total > 0) {
+        double ops = static_cast<double>(total);
         m.net_us_per_op = sim::to_us(d.network().transit_time() - base->net) / ops;
         m.cpu_us_per_op = sim::to_us(d.network().total_cpu_busy() - base->cpu) / ops;
         m.queue_us_per_op = sim::to_us(d.network().total_queue_wait() - base->queue) / ops;
@@ -212,7 +231,7 @@ namespace {
 class UnreplicatedDeployment : public Deployment {
   public:
     explicit UnreplicatedDeployment(const CommonParams& p)
-        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
         server_ = std::make_unique<baselines::UnreplicatedServer>(root_.provision(kServerId));
@@ -257,7 +276,7 @@ class UnreplicatedDeployment : public Deployment {
 class NeoDeployment : public Deployment {
   public:
     explicit NeoDeployment(const NeoParams& p)
-        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1), keys_(p.seed + 2) {
+        : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1), keys_(p.seed + 2) {
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
 
@@ -377,7 +396,7 @@ class BaselineDeployment : public Deployment {
     BaselineDeployment(const CommonParams& p, int n_replicas, std::size_t client_quorum,
                        const std::function<std::unique_ptr<ReplicaT>(
                            const CfgT&, std::unique_ptr<crypto::NodeCrypto>)>& make_replica)
-        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
 
@@ -442,7 +461,7 @@ class BaselineDeployment : public Deployment {
 class ZyzzyvaDeployment : public Deployment {
   public:
     explicit ZyzzyvaDeployment(const ZyzzyvaParams& p)
-        : net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
+        : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
         cfg_.f = (p.n_replicas - 1) / 3;

@@ -168,6 +168,9 @@ struct CommonParams {
     int n_clients = 8;
     crypto::CryptoMode crypto_mode = crypto::CryptoMode::kModeled;
     std::uint64_t seed = 42;
+    /// Simulator worker partitions (PDES). 1 = serial engine. Simulated
+    /// results are byte-identical for every value; only host time changes.
+    unsigned sim_threads = 1;
     double drop_rate = 0.0;
     std::size_t batch_max = 16;
     sim::Time batch_delay = 100 * sim::kMicrosecond;

@@ -55,6 +55,10 @@ BenchOptions BenchOptions::parse(int argc, char* const* argv) {
         int j = std::atoi(s.c_str());
         o.jobs = j <= 0 ? ThreadPool::default_jobs() : static_cast<unsigned>(j);
     }
+    if (!(s = flag_value(argc, argv, "--sim-threads", "NEO_BENCH_SIM_THREADS")).empty()) {
+        int j = std::atoi(s.c_str());
+        o.sim_threads = j <= 0 ? ThreadPool::default_jobs() : static_cast<unsigned>(j);
+    }
     o.quick = flag_present(argc, argv, "--quick") || std::getenv("NEO_BENCH_QUICK") != nullptr;
     return o;
 }
@@ -160,12 +164,14 @@ BenchMain::BenchMain(int argc, char** argv, std::string suite_name)
     suite_.quick = opt_.quick;
     if (flag_present(argc, argv, "--help") || flag_present(argc, argv, "-h")) {
         std::printf(
-            "usage: %s [--json <path>] [--seed <S>] [--seeds <N>] [--jobs <N>] [--quick]\n"
-            "          [--trace <path>] [--metrics <path>]\n"
+            "usage: %s [--json <path>] [--seed <S>] [--seeds <N>] [--jobs <N>]\n"
+            "          [--sim-threads <N>] [--quick] [--trace <path>] [--metrics <path>]\n"
             "  --json     write machine-readable results (neo-bench-suite@1)\n"
             "  --seed     base seed (default 42)\n"
             "  --seeds    seeds per point: S, S+1, ... (default 1)\n"
             "  --jobs     parallel runs; 0 = all cores (default 1)\n"
+            "  --sim-threads  partitions per simulation (PDES); 0 = all cores\n"
+            "             (default 1). Simulated results are identical for any N.\n"
             "  --quick    reduced-size sweep for CI smoke runs\n"
             "  --trace    Chrome-trace/JSONL timeline of one run (see docs/OBSERVABILITY.md)\n"
             "  --metrics  per-run counter JSON, labels namespaced '<point>.s<seed>'\n",
@@ -205,10 +211,12 @@ std::vector<PointResult> BenchMain::run(const std::vector<BenchPointSpec>& point
                 std::string label = spec.name + ".s" + std::to_string(seed);
                 auto fn = spec.run;
                 bool quick = opt_.quick;
+                unsigned sim_threads = opt_.sim_threads;
                 ObsSession* obs = &obs_;
                 futs[i].push_back(pool.async(
-                    [fn, obs, label = std::move(label), seed, want_trace, quick]() -> Metrics {
-                        RunCtx ctx(obs, label, seed, want_trace, quick);
+                    [fn, obs, label = std::move(label), seed, want_trace, quick,
+                     sim_threads]() -> Metrics {
+                        RunCtx ctx(obs, label, seed, want_trace, quick, sim_threads);
                         // Wall-clock per (point, seed). host_* metrics are
                         // nondeterministic by nature; bench_compare and the
                         // determinism tests ignore them (docs/BENCHMARKING.md).

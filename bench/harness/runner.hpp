@@ -13,6 +13,9 @@
 //   --seed <S>      base seed, default 42 (env NEO_BENCH_SEED)
 //   --seeds <N>     run every point under N seeds S, S+1, ... (default 1)
 //   --jobs <N>      worker threads, default 1; 0 = hardware concurrency
+//   --sim-threads <N>  partitions per simulation (PDES), default 1; 0 = all
+//                   cores (env NEO_BENCH_SIM_THREADS). Simulated results are
+//                   byte-identical for every N; only host_ns changes.
 //   --quick         reduced-size sweep for CI smoke runs (env NEO_BENCH_QUICK)
 #pragma once
 
@@ -31,6 +34,8 @@ struct BenchOptions {
     std::uint64_t base_seed = 42;
     int seeds = 1;
     unsigned jobs = 1;
+    /// Worker partitions inside each simulation (Simulator's thread count).
+    unsigned sim_threads = 1;
     bool quick = false;
 
     /// Parses the uniform flags from argv (unrecognised flags are left for
@@ -44,6 +49,9 @@ class RunCtx {
   public:
     std::uint64_t seed() const { return seed_; }
     bool quick() const { return quick_; }
+    /// --sim-threads: forward into CommonParams::sim_threads (or a
+    /// Simulator constructor) so the simulation itself runs partitioned.
+    unsigned sim_threads() const { return sim_threads_; }
     /// Label for metrics namespacing: "<point>.s<seed>" — the seed is part
     /// of the label so multi-seed metric dumps never collide.
     const std::string& label() const { return label_; }
@@ -61,15 +69,17 @@ class RunCtx {
 
   private:
     friend class BenchMain;
-    RunCtx(ObsSession* obs, std::string label, std::uint64_t seed, bool want_trace, bool quick)
+    RunCtx(ObsSession* obs, std::string label, std::uint64_t seed, bool want_trace, bool quick,
+           unsigned sim_threads)
         : obs_(obs), label_(std::move(label)), seed_(seed), want_trace_(want_trace),
-          quick_(quick) {}
+          quick_(quick), sim_threads_(sim_threads) {}
 
     ObsSession* obs_;
     std::string label_;
     std::uint64_t seed_;
     bool want_trace_;
     bool quick_;
+    unsigned sim_threads_ = 1;
 };
 
 /// One sweep point: a stable name ("aom_hm.r4"), its machine-readable sweep

@@ -5,6 +5,8 @@
 // determinism tests); these measure how fast the host gets them.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -113,6 +115,97 @@ void BM_MulticastFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_MulticastFanout)->Arg(4)->Arg(16)->Arg(64);
 
+// --------------------------------------------------------------------- PDES
+// Parallel-engine micro-benchmarks. These isolate the three costs the
+// conservative engine adds on top of the serial drain: the window barrier,
+// the cross-partition mailboxes, and the window-size sensitivity to
+// lookahead. All of them run the real engine (workers, epochs, parities).
+
+// Window-barrier overhead vs partition count: one self-reposting event per
+// partition, spaced exactly one lookahead apart, so every window executes
+// one event per partition and the measurement is dominated by the
+// dispatch/park cycle. ns/item is the per-window barrier cost.
+void BM_WindowBarrier(benchmark::State& state) {
+    const unsigned partitions = static_cast<unsigned>(state.range(0));
+    constexpr Time kLookahead = 1'000;
+    constexpr int kWindows = 512;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        Simulator sim(partitions);
+        sim.set_lookahead(kLookahead);
+        for (unsigned n = 0; n < partitions; ++n) {
+            auto self = std::make_shared<std::function<void()>>();
+            NodeId id = static_cast<NodeId>(n);
+            *self = [&sim, &fired, self, id] {
+                ++fired;
+                sim.at_node(sim.now() + kLookahead, id, [self] { (*self)(); });
+            };
+            sim.at_node(0, id, [self] { (*self)(); });
+        }
+        sim.run_until(kWindows * kLookahead);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kWindows);
+}
+BENCHMARK(BM_WindowBarrier)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Mailbox throughput: partition 0 pushes a batch of cross-partition events
+// to partition 1 every window (double-buffered outbox write, merge on the
+// consumer side). ns/item is the per-event mailbox cost.
+void BM_MailboxThroughput(benchmark::State& state) {
+    const std::size_t batch = static_cast<std::size_t>(state.range(0));
+    constexpr Time kLookahead = 1'000;
+    constexpr int kWindows = 128;
+    std::uint64_t received = 0;
+    for (auto _ : state) {
+        Simulator sim(2);
+        sim.set_lookahead(kLookahead);
+        auto pump = std::make_shared<std::function<void()>>();
+        *pump = [&sim, &received, pump, batch] {
+            for (std::size_t i = 0; i < batch; ++i) {
+                sim.at_node(sim.now() + kLookahead, 1, [&received] { ++received; });
+            }
+            sim.at_node(sim.now() + kLookahead, 0, [pump] { (*pump)(); });
+        };
+        sim.at_node(0, 0, [pump] { (*pump)(); });
+        sim.run_until(kWindows * kLookahead);
+    }
+    benchmark::DoNotOptimize(received);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kWindows *
+                            static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MailboxThroughput)->Arg(1)->Arg(16)->Arg(256);
+
+// Lookahead sensitivity: a fixed workload (4 partitions, events every
+// 1000ns) under a shrinking lookahead. Work per run is constant; only the
+// number of windows the engine must cut changes (1000/L windows per event
+// period), so the slowdown from Arg(1000) to Arg(125) is pure conservative-
+// synchronisation cost — the simulated results never change.
+void BM_LookaheadSensitivity(benchmark::State& state) {
+    const Time lookahead = static_cast<Time>(state.range(0));
+    constexpr Time kPeriod = 1'000;  // event spacing, fixed across args
+    constexpr int kRounds = 256;
+    constexpr unsigned kParts = 4;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        Simulator sim(kParts);
+        sim.set_lookahead(lookahead);
+        for (unsigned n = 0; n < kParts; ++n) {
+            auto self = std::make_shared<std::function<void()>>();
+            NodeId id = static_cast<NodeId>(n);
+            *self = [&sim, &fired, self, id] {
+                ++fired;
+                sim.at_node(sim.now() + kPeriod, id, [self] { (*self)(); });
+            };
+            sim.at_node(0, id, [self] { (*self)(); });
+        }
+        sim.run_until(kRounds * kPeriod);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRounds * kParts);
+}
+BENCHMARK(BM_LookaheadSensitivity)->Arg(1000)->Arg(500)->Arg(250)->Arg(125);
+
 }  // namespace
 
 // Custom main mirroring micro_crypto: accept the uniform runner flags
@@ -129,14 +222,15 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         bool takes_value = a == "--trace" || a == "--metrics" || a == "--json" || a == "--seed" ||
-                           a == "--seeds" || a == "--jobs";
+                           a == "--seeds" || a == "--jobs" || a == "--sim-threads";
         if (takes_value) {
             ++i;
             continue;
         }
         if (a == "--quick" || a.rfind("--trace=", 0) == 0 || a.rfind("--metrics=", 0) == 0 ||
             a.rfind("--json=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
-            a.rfind("--seeds=", 0) == 0 || a.rfind("--jobs=", 0) == 0) {
+            a.rfind("--seeds=", 0) == 0 || a.rfind("--jobs=", 0) == 0 ||
+            a.rfind("--sim-threads=", 0) == 0) {
             continue;
         }
         kept.push_back(a);

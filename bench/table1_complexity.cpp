@@ -40,7 +40,7 @@ std::map<std::string, double> measure(Deployment& d, sim::Time warmup, sim::Time
 struct Protocol {
     std::string name;   // table row
     std::string label;  // point-name component
-    std::function<std::unique_ptr<Deployment>(int n, std::uint64_t seed)> make;
+    std::function<std::unique_ptr<Deployment>(int n, const RunCtx& ctx)> make;
     bool trace_candidate = false;
 };
 
@@ -48,55 +48,61 @@ std::vector<Protocol> protocols() {
     constexpr int kClients = 16;
     return {
         {"NeoBFT-HM", "neobft_hm",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              NeoParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_neobft(p);
          },
          true},
         {"NeoBFT-PK", "neobft_pk",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              NeoParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.variant = NeoVariant::kPk;
              // The O(1) bottleneck claim is group-size agnostic for aom-pk;
              // aom-hm replicas receive ceil(N/4) subgroup packets (§6.3).
              return make_neobft(p);
          }},
         {"PBFT", "pbft",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              CommonParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_pbft(p);
          }},
         {"Zyzzyva", "zyzzyva",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_zyzzyva(p);
          }},
         {"HotStuff", "hotstuff",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              CommonParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_hotstuff(p);
          }},
         {"MinBFT", "minbft",
-         [](int n, std::uint64_t seed) {
+         [](int n, const RunCtx& ctx) {
              CommonParams p;
              p.n_replicas = n;
              p.n_clients = kClients;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_minbft(p);
          }},
     };
@@ -106,47 +112,52 @@ struct DelayRow {
     std::string name;
     std::string label;
     std::string paper_delays;
-    std::function<std::unique_ptr<Deployment>(std::uint64_t seed)> make;
+    std::function<std::unique_ptr<Deployment>(const RunCtx& ctx)> make;
 };
 
 std::vector<DelayRow> delay_rows() {
     return {
         {"NeoBFT-HM", "neobft_hm", "2",
-         [](std::uint64_t seed) {
+         [](const RunCtx& ctx) {
              NeoParams p;
              p.n_clients = 1;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              return make_neobft(p);
          }},
         {"Zyzzyva", "zyzzyva", "3",
-         [](std::uint64_t seed) {
+         [](const RunCtx& ctx) {
              ZyzzyvaParams p;
              p.n_clients = 1;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_delay = 10 * sim::kMicrosecond;
              return make_zyzzyva(p);
          }},
         {"PBFT", "pbft", "5",
-         [](std::uint64_t seed) {
+         [](const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = 1;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_delay = 10 * sim::kMicrosecond;
              return make_pbft(p);
          }},
         {"MinBFT", "minbft", "4",
-         [](std::uint64_t seed) {
+         [](const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = 1;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_delay = 10 * sim::kMicrosecond;
              return make_minbft(p);
          }},
         {"HotStuff", "hotstuff", "4",
-         [](std::uint64_t seed) {
+         [](const RunCtx& ctx) {
              CommonParams p;
              p.n_clients = 1;
-             p.seed = seed;
+             p.seed = ctx.seed();
+             p.sim_threads = ctx.sim_threads();
              p.batch_delay = 10 * sim::kMicrosecond;
              return make_hotstuff(p);
          }},
@@ -180,7 +191,7 @@ int main(int argc, char** argv) {
                 "n" + std::to_string(n) + "." + proto.label,
                 {{"replicas", static_cast<double>(n)}},
                 [&proto, n, warm, meas](RunCtx& ctx) {
-                    auto d = proto.make(n, ctx.seed());
+                    auto d = proto.make(n, ctx);
                     auto obs = ctx.attach(*d);
                     return measure(*d, warm, meas);
                 },
@@ -200,7 +211,7 @@ int main(int argc, char** argv) {
             "delay." + row.label,
             {},
             [&row, delay_meas](RunCtx& ctx) {
-                auto d = row.make(ctx.seed());
+                auto d = row.make(ctx);
                 auto obs = ctx.attach(*d);
                 Measured m = run_closed_loop(*d, echo_ops(64), 0, delay_meas);
                 return std::map<std::string, double>{{"latency_us", m.p50_us}};

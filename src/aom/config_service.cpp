@@ -75,7 +75,12 @@ void ConfigService::start_reconfig(GroupState& gs, EpochNum next_epoch) {
     gs.reconfig_in_progress = true;
     GroupId group = gs.cfg.group;
 
-    set_timer(reconfig_delay_, [this, group, next_epoch] {
+    // The commit mutates cross-node shared state — switch group tables and
+    // the directory entries clients read on every send — so it must run as
+    // a GLOBAL event (between parallel windows, workers parked), not a
+    // node-local timer. reconfig_delay_ (ms) dwarfs the lookahead (µs), so
+    // the node-scheduled-global contract holds.
+    sim().at_global(sim().now() + reconfig_delay_, [this, group, next_epoch] {
         auto it = groups_.find(group);
         if (it == groups_.end()) return;
         GroupState& gs2 = it->second;
@@ -98,7 +103,7 @@ void ConfigService::start_reconfig(GroupState& gs, EpochNum next_epoch) {
 
         NEO_INFO("config-service: group " << group << " failed over to switch "
                                           << ann.sequencer << " epoch " << next_epoch);
-    }, "reconfig");
+    });
     NEO_INFO("config-service: reconfiguring group " << gs.cfg.group << " for epoch "
                                                     << next_epoch);
 }

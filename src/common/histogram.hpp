@@ -12,6 +12,15 @@ namespace neo {
 class Histogram {
   public:
     void add(double v) { samples_.push_back(v); sorted_ = false; }
+
+    /// Appends another histogram's samples (in its recording order) —
+    /// merging per-client histograms after a run in a deterministic,
+    /// client-major order.
+    void merge(const Histogram& o) {
+        samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+        sorted_ = false;
+    }
+
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 

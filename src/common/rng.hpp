@@ -1,6 +1,14 @@
-// Deterministic PRNG used everywhere randomness is needed (jitter, drops,
+// Deterministic PRNGs used everywhere randomness is needed (jitter, drops,
 // workload generation, key generation in tests). A single seed makes every
 // simulation run reproducible.
+//
+// Two generators share one helper surface (RngOps):
+//  - Rng: sequential xoshiro256** — fast bulk stream for single-owner use.
+//  - StreamRng: counter-based splitmix64 stream keyed by (seed, stream id).
+//    Draw i is a pure function of (key, i), so per-node streams derived from
+//    (simulation seed, node id) are identical no matter which thread or
+//    partition owns the node — the property the parallel simulator's
+//    byte-identical-trace guarantee rests on.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +25,48 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
     return z ^ (z >> 31);
 }
 
+/// Distribution helpers layered over Derived::next() (CRTP, zero overhead).
+template <typename Derived>
+class RngOps {
+  public:
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t uniform(std::uint64_t bound) {
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = self().next();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double real() { return static_cast<double>(self().next() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial.
+    bool chance(double p) { return real() < p; }
+
+    /// Fills a buffer with random bytes (test key generation).
+    void fill(Bytes& out) {
+        for (auto& b : out) b = static_cast<std::uint8_t>(self().next());
+    }
+
+    Bytes bytes(std::size_t n) {
+        Bytes out(n);
+        fill(out);
+        return out;
+    }
+
+  private:
+    Derived& self() { return static_cast<Derived&>(*this); }
+};
+
 /// xoshiro256** — fast, high-quality, deterministic across platforms.
-class Rng {
+class Rng : public RngOps<Rng> {
   public:
     explicit Rng(std::uint64_t seed) {
         std::uint64_t sm = seed;
@@ -37,44 +85,41 @@ class Rng {
         return result;
     }
 
-    /// Uniform in [0, bound). bound must be > 0.
-    std::uint64_t uniform(std::uint64_t bound) {
-        // Rejection sampling to avoid modulo bias.
-        std::uint64_t threshold = (0 - bound) % bound;
-        for (;;) {
-            std::uint64_t r = next();
-            if (r >= threshold) return r % bound;
-        }
-    }
-
-    /// Uniform in [lo, hi] inclusive.
-    std::int64_t range(std::int64_t lo, std::int64_t hi) {
-        return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
-    }
-
-    /// Uniform double in [0, 1).
-    double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
-
-    /// Bernoulli trial.
-    bool chance(double p) { return real() < p; }
-
-    /// Fills a buffer with random bytes (test key generation).
-    void fill(Bytes& out) {
-        for (auto& b : out) b = static_cast<std::uint8_t>(next());
-    }
-
-    Bytes bytes(std::size_t n) {
-        Bytes out(n);
-        fill(out);
-        return out;
-    }
-
     /// Derives an independent stream (per node, per link...) from this one.
     Rng fork() { return Rng(next() ^ 0xa5a5a5a55a5a5a5aull); }
 
   private:
     static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
     std::uint64_t s_[4];
+};
+
+/// Counter-based stream: output i = finalize(key + i * golden). The state is
+/// one key plus one counter, the key mixes (seed, stream id) through two
+/// splitmix64 expansions, and consecutive outputs pass through the full
+/// splitmix64 finalizer — the same construction the Rng seeder trusts for
+/// decorrelating adjacent seeds.
+class StreamRng : public RngOps<StreamRng> {
+  public:
+    StreamRng() = default;
+    StreamRng(std::uint64_t seed, std::uint64_t stream) {
+        std::uint64_t a = seed;
+        std::uint64_t b = stream ^ 0xd2b74407b1ce6e93ull;
+        key_ = splitmix64(a) ^ (splitmix64(b) + 0x9e3779b97f4a7c15ull);
+    }
+
+    std::uint64_t next() {
+        std::uint64_t z = key_ + 0x9e3779b97f4a7c15ull * ++ctr_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Draws consumed so far — stream position, useful for regression tests.
+    std::uint64_t position() const { return ctr_; }
+
+  private:
+    std::uint64_t key_ = 0;
+    std::uint64_t ctr_ = 0;
 };
 
 }  // namespace neo

@@ -53,15 +53,12 @@ const EcdsaPublicKey& TrustRoot::public_key(NodeId node) const {
 }
 
 SipKey TrustRoot::pair_key(NodeId a, NodeId b) const {
+    // Pure function of (lo, hi) — no caching here, so concurrent calls from
+    // parallel partitions are safe; per-node caching lives in NodeCrypto.
     NodeId lo = std::min(a, b);
     NodeId hi = std::max(a, b);
-    std::uint64_t slot = (static_cast<std::uint64_t>(lo) << 32) | hi;
-    auto it = pair_keys_.find(slot);
-    if (it != pair_keys_.end()) return it->second;
     Bytes d = derive("pairwise-mac-key", lo, hi);
-    SipKey key = SipKey::from_bytes(BytesView(d.data(), 16));
-    pair_keys_.emplace(slot, key);
-    return key;
+    return SipKey::from_bytes(BytesView(d.data(), 16));
 }
 
 Bytes TrustRoot::modeled_sign(NodeId signer, BytesView msg) const {
@@ -106,11 +103,37 @@ Bytes NodeCrypto::sign(BytesView msg) {
     return sig.serialize();
 }
 
+bool NodeCrypto::verify_cached(NodeId signer, BytesView msg, BytesView sig) {
+    // Same logic as TrustRoot::verify_unmetered, but memoised in this
+    // node's private table so partitions never share mutable state.
+    if (sig.size() != kSignatureSize) return false;
+    if (root_->mode_ == CryptoMode::kModeled) {
+        return ct_equal(root_->modeled_sign(signer, msg), sig);
+    }
+    auto it = root_->public_keys_.find(signer);
+    if (it == root_->public_keys_.end()) return false;
+    auto parsed = EcdsaSignature::parse(sig);
+    if (!parsed) return false;
+    Digest32 digest = sha256(msg);
+    if (const bool* memoed = memo_.find(signer, digest, sig)) return *memoed;
+    bool ok = ecdsa_verify(it->second, digest, *parsed);
+    memo_.insert(signer, digest, sig, ok);
+    return ok;
+}
+
+const SipKey& NodeCrypto::peer_key(NodeId peer) {
+    auto it = peer_keys_.find(peer);
+    if (it == peer_keys_.end()) {
+        it = peer_keys_.emplace(peer, root_->pair_key(self_, peer)).first;
+    }
+    return it->second;
+}
+
 bool NodeCrypto::verify(NodeId signer, BytesView msg, BytesView sig) {
     meter_.verifies++;
     meter_.charge(root_->costs().ecdsa_dispatch_ns);
     meter_.charge_async(root_->costs().ecdsa_verify_ns);
-    return root_->verify_unmetered(signer, msg, sig);
+    return verify_cached(signer, msg, sig);
 }
 
 std::vector<bool> NodeCrypto::verify_batch(const std::vector<BatchItem>& items) {
@@ -120,7 +143,7 @@ std::vector<bool> NodeCrypto::verify_batch(const std::vector<BatchItem>& items) 
     for (const auto& item : items) {
         meter_.verifies++;
         meter_.charge_async(root_->costs().ecdsa_verify_ns);
-        out.push_back(root_->verify_unmetered(item.signer, item.msg, item.sig));
+        out.push_back(verify_cached(item.signer, item.msg, item.sig));
     }
     return out;
 }
@@ -128,7 +151,7 @@ std::vector<bool> NodeCrypto::verify_batch(const std::vector<BatchItem>& items) 
 Bytes NodeCrypto::mac_for(NodeId peer, BytesView msg) {
     meter_.macs++;
     meter_.charge(root_->costs().mac_ns);
-    SipKey key = root_->pair_key(self_, peer);
+    const SipKey& key = peer_key(peer);
     std::uint64_t tag = siphash24(key, msg);
     Bytes out(kMacSize);
     for (std::size_t i = 0; i < kMacSize; ++i) out[i] = static_cast<std::uint8_t>(tag >> (8 * i));
@@ -139,7 +162,7 @@ bool NodeCrypto::check_mac_from(NodeId peer, BytesView msg, BytesView tag) {
     meter_.macs++;
     meter_.charge(root_->costs().mac_ns);
     if (tag.size() != kMacSize) return false;
-    SipKey key = root_->pair_key(self_, peer);
+    const SipKey& key = peer_key(peer);
     std::uint64_t expect = siphash24(key, msg);
     Bytes eb(kMacSize);
     for (std::size_t i = 0; i < kMacSize; ++i) eb[i] = static_cast<std::uint8_t>(expect >> (8 * i));

@@ -42,7 +42,12 @@ constexpr std::size_t kMacSize = 8;
 class NodeCrypto;
 
 /// System-wide key directory. Create once per simulation, share between all
-/// nodes. Not thread-safe (the simulator is single-threaded by design).
+/// nodes. Const after setup: every mutating call (provision, key
+/// registration) happens before the simulation runs, so concurrent reads
+/// from parallel simulator workers are safe. Host-side caching of verify
+/// verdicts and pairwise keys lives in each NodeCrypto — node-private state
+/// that stays on the node's partition — except verify_unmetered's memo,
+/// which serves single-threaded external checkers only.
 class TrustRoot {
   public:
     TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs = {});
@@ -61,11 +66,13 @@ class TrustRoot {
     SipKey pair_key(NodeId a, NodeId b) const;
 
     /// Verifies a signature without a NodeCrypto context (e.g. external
-    /// checkers in tests). Does not charge any cost meter.
+    /// checkers in tests). Does not charge any cost meter. Single-threaded
+    /// callers only (its memo is shared process state); simulated nodes
+    /// verify through their own NodeCrypto.
     bool verify_unmetered(NodeId signer, BytesView msg, BytesView sig) const;
 
-    /// Host-time memo of (signer, digest, sig) verdicts used by the kReal
-    /// path. Exposed for instrumentation; callers still charge virtual cost.
+    /// Host-time memo of (signer, digest, sig) verdicts used by
+    /// verify_unmetered. Exposed for instrumentation.
     const VerifyMemo& verify_memo() const { return memo_; }
 
   private:
@@ -84,12 +91,10 @@ class TrustRoot {
     std::unordered_map<NodeId, EcdsaPublicKey> public_keys_;
     std::unordered_map<NodeId, bool> provisioned_;
     // mutable: verify_unmetered is logically const (pure function of the
-    // key material); the memo is a host-side cache of its results.
+    // key material); the memo is a host-side cache of its results. Only
+    // external single-threaded checkers touch it — node verification goes
+    // through NodeCrypto's private memo.
     mutable VerifyMemo memo_;
-    // pair_key() is a pure function of (lo, hi); re-deriving through
-    // HMAC-SHA256 on every MAC op dominated bench profiles. Same host-side
-    // memo rules as memo_: callers charge virtual cost regardless.
-    mutable std::unordered_map<std::uint64_t, SipKey> pair_keys_;
 };
 
 /// Per-node crypto context. All operations charge the node's CostMeter.
@@ -122,14 +127,26 @@ class NodeCrypto {
     /// SHA-256 with cost charging.
     Digest32 hash(BytesView msg);
 
+    /// This node's host-time memo of (signer, digest, sig) verdicts used by
+    /// the kReal verify path. Node-private — never shared across threads.
+    /// Exposed for instrumentation; callers still charge virtual cost.
+    const VerifyMemo& verify_memo() const { return memo_; }
+
   private:
     friend class TrustRoot;
     NodeCrypto(const TrustRoot* root, NodeId self, EcdsaPrivateKey priv);
+
+    bool verify_cached(NodeId signer, BytesView msg, BytesView sig);
+    const SipKey& peer_key(NodeId peer);
 
     const TrustRoot* root_;
     NodeId self_;
     EcdsaPrivateKey priv_;
     CostMeter meter_;
+    // Host-side caches, node-private so parallel partitions never contend:
+    // verification verdicts and the pairwise MAC keys this node talks with.
+    VerifyMemo memo_;
+    std::unordered_map<NodeId, SipKey> peer_keys_;
 };
 
 }  // namespace neo::crypto

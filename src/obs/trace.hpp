@@ -132,6 +132,11 @@ class TraceSink {
     std::size_t size() const { return events_.size(); }
     void clear() { events_.clear(); }
 
+    /// Appends an already-built record — the parallel simulator's
+    /// window-boundary merge copying per-partition buffers into the master
+    /// sink in event-key order.
+    void append(const TraceEvent& e) { events_.push_back(e); }
+
     /// One JSON object per line, recording order.
     void write_jsonl(std::ostream& os) const;
     /// Chrome trace_event JSON (object format). Events are stably sorted by

@@ -13,10 +13,26 @@ void Network::add_node(Node& node, NodeId id) {
     node.net_ = this;
     node.id_ = id;
     nodes_[id] = &node;
+    // Pre-build the sender stream so the map is never mutated from a worker
+    // thread once the simulation runs.
+    streams_.emplace(id, StreamRng(seed_, id));
+}
+
+StreamRng& Network::stream(NodeId from) {
+    auto it = streams_.find(from);
+    if (it == streams_.end()) it = streams_.emplace(from, StreamRng(seed_, from)).first;
+    return it->second;
+}
+
+void Network::refresh_lookahead() {
+    Time min_latency = default_link_.latency;
+    for (const auto& [k, cfg] : link_overrides_) min_latency = std::min(min_latency, cfg.latency);
+    sim_.set_lookahead(min_latency);
 }
 
 void Network::set_link(NodeId from, NodeId to, const LinkConfig& cfg) {
     link_overrides_[key(from, to)] = cfg;
+    refresh_lookahead();
 }
 
 const LinkConfig& Network::link(NodeId from, NodeId to) const {
@@ -33,15 +49,16 @@ void Network::set_node_down(NodeId id, bool down) {
 }
 
 std::uint64_t Network::delivered_to(NodeId id) const {
-    auto it = delivered_to_.find(id);
-    return it != delivered_to_.end() ? it->second : 0;
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+        auto it = s.delivered_to.find(id);
+        if (it != s.delivered_to.end()) total += it->second;
+    }
+    return total;
 }
 
 void Network::reset_counters() {
-    packets_sent_ = packets_delivered_ = packets_dropped_ = bytes_sent_ = 0;
-    transit_time_ = 0;
-    drops_by_reason_.fill(0);
-    delivered_to_.clear();
+    for (auto& s : shards_) s = Shard{};
 }
 
 Time Network::total_cpu_busy() const {
@@ -58,30 +75,45 @@ Time Network::total_queue_wait() const {
 
 void Network::count_drop(obs::DropReason reason, Time t, NodeId from, NodeId to,
                          std::size_t bytes) {
-    ++packets_dropped_;
-    ++drops_by_reason_[static_cast<std::size_t>(reason)];
+    Shard& s = shard();
+    ++s.packets_dropped;
+    ++s.drops_by_reason[static_cast<std::size_t>(reason)];
     if (obs::TraceSink* tr = sim_.trace()) tr->packet_drop(t, from, to, bytes, reason);
 }
 
 void Network::register_metrics(obs::Registry& reg, const std::string& prefix) {
     reg.add_collector([this, prefix](obs::Registry& r) {
-        r.set_value(prefix + ".packets_sent", static_cast<double>(packets_sent_));
-        r.set_value(prefix + ".packets_delivered", static_cast<double>(packets_delivered_));
-        r.set_value(prefix + ".packets_dropped", static_cast<double>(packets_dropped_));
-        r.set_value(prefix + ".bytes_sent", static_cast<double>(bytes_sent_));
-        r.set_value(prefix + ".transit_time_ns", static_cast<double>(transit_time_));
-        for (std::size_t i = 0; i < drops_by_reason_.size(); ++i) {
-            if (drops_by_reason_[i] == 0) continue;
+        r.set_value(prefix + ".packets_sent", static_cast<double>(packets_sent()));
+        r.set_value(prefix + ".packets_delivered", static_cast<double>(packets_delivered()));
+        r.set_value(prefix + ".packets_dropped", static_cast<double>(packets_dropped()));
+        r.set_value(prefix + ".bytes_sent", static_cast<double>(bytes_sent()));
+        r.set_value(prefix + ".transit_time_ns", static_cast<double>(transit_time()));
+        for (std::size_t i = 0; i < static_cast<std::size_t>(obs::DropReason::kCount_); ++i) {
+            std::uint64_t n = dropped_for(static_cast<obs::DropReason>(i));
+            if (n == 0) continue;
             r.set_value(prefix + ".drops." +
                             obs::drop_reason_name(static_cast<obs::DropReason>(i)),
-                        static_cast<double>(drops_by_reason_[i]));
+                        static_cast<double>(n));
         }
-        // Dump keys in sorted order via a reused scratch vector (no ordered
-        // map rebuild per dump).
-        delivered_scratch_.assign(delivered_to_.begin(), delivered_to_.end());
+        // Merge the per-shard delivered-to maps and dump keys in sorted
+        // order via a reused scratch vector (no ordered map rebuild per
+        // dump).
+        delivered_scratch_.clear();
+        for (const auto& s : shards_) {
+            for (const auto& [node, count] : s.delivered_to) {
+                delivered_scratch_.emplace_back(node, count);
+            }
+        }
         std::sort(delivered_scratch_.begin(), delivered_scratch_.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
-        for (const auto& [node, count] : delivered_scratch_) {
+        // Same destination may appear in several shards: fold runs of equal
+        // keys while emitting.
+        for (std::size_t i = 0; i < delivered_scratch_.size();) {
+            NodeId node = delivered_scratch_[i].first;
+            std::uint64_t count = 0;
+            for (; i < delivered_scratch_.size() && delivered_scratch_[i].first == node; ++i) {
+                count += delivered_scratch_[i].second;
+            }
             r.set_value(prefix + ".delivered_to." + std::to_string(node),
                         static_cast<double>(count));
         }
@@ -90,8 +122,11 @@ void Network::register_metrics(obs::Registry& reg, const std::string& prefix) {
 
 void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
     NEO_ASSERT(depart >= sim_.now());
-    ++packets_sent_;
-    bytes_sent_ += data.size();
+    {
+        Shard& s = shard();
+        ++s.packets_sent;
+        s.bytes_sent += data.size();
+    }
 
     if (is_down(from)) {
         count_drop(obs::DropReason::kSenderDown, depart, from, to, data.size());
@@ -102,9 +137,15 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
         return;
     }
 
+    // All randomness below comes from the sender's private counter-based
+    // stream, in a fixed per-packet draw order (drop gate, then jitter):
+    // the values depend only on this sender's send history, not on global
+    // event interleaving or thread count.
+    StreamRng& rng = stream(from);
+
     const LinkConfig& cfg = link(from, to);
     double effective_drop = cfg.drop_rate + global_drop_rate_;
-    if (effective_drop > 0.0 && rng_.chance(effective_drop)) {
+    if (effective_drop > 0.0 && rng.chance(effective_drop)) {
         count_drop(obs::DropReason::kLinkLoss, depart, from, to, data.size());
         return;
     }
@@ -123,7 +164,7 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
     if (obs::TraceSink* tr = sim_.trace()) tr->packet_send(depart, from, to, data.size());
 
     Time latency = cfg.latency;
-    if (cfg.jitter > 0) latency += static_cast<Time>(rng_.uniform(static_cast<std::uint64_t>(cfg.jitter)));
+    if (cfg.jitter > 0) latency += static_cast<Time>(rng.uniform(static_cast<std::uint64_t>(cfg.jitter)));
     latency += static_cast<Time>(cfg.ns_per_byte * static_cast<double>(data.size()));
 
     auto deliver = [this, from, to, latency, data = std::move(data)]() {
@@ -136,9 +177,10 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
             count_drop(obs::DropReason::kReceiverDown, sim_.now(), from, to, data.size());
             return;
         }
-        ++packets_delivered_;
-        ++delivered_to_[to];
-        transit_time_ += latency;
+        Shard& s = shard();
+        ++s.packets_delivered;
+        ++s.delivered_to[to];
+        s.transit_time += latency;
         if (obs::TraceSink* tr = sim_.trace()) {
             tr->packet_deliver(sim_.now(), from, to, data.size());
         }
@@ -150,7 +192,10 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
     // spilling to the heap.
     static_assert(EventFn::fits_inline<decltype(deliver)>,
                   "packet-delivery closure must fit EventFn's inline buffer");
-    sim_.at(depart + latency, std::move(deliver));
+    // Executes on the receiver's partition; latency >= cfg.latency >= the
+    // simulator lookahead, so the conservative contract holds for every
+    // cross-partition delivery.
+    sim_.at_node(depart + latency, to, std::move(deliver));
 }
 
 }  // namespace neo::sim

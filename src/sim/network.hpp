@@ -1,12 +1,26 @@
 // Simulated data-center network: nodes, links, loss, partitions, tampering.
 //
 // Replaces the paper's 100 Gbps testbed fabric (see DESIGN.md §1). Latency,
-// jitter, serialisation delay and drops are applied per packet from a
-// deterministic per-network RNG stream.
+// jitter and drops are applied per packet from a counter-based per-SENDER
+// RNG stream derived from (seed, sender id) — never from a shared global
+// stream — so the draw sequence each packet sees is a pure function of the
+// sender's own send order, independent of how nodes interleave across
+// partitions. This is what keeps simulated results identical between
+// --sim-threads 1 and --sim-threads N.
+//
+// Instrumentation counters are sharded per partition (plus one shard for
+// global-context sends): each increment lands in the executing partition's
+// shard without locks, and which shard that is is itself deterministic, so
+// aggregate AND per-shard sums are reproducible. Deliveries are scheduled
+// with Simulator::at_node(to, ...) and execute on the receiver's partition.
+//
+// The network also maintains the simulator's conservative lookahead as the
+// minimum configured link latency (see simulator.hpp).
 //
 // Packets are refcounted immutable buffers (sim/packet.hpp): a multicast
 // fan-out hands every destination the same buffer, and delivery closures
-// carry the refcount — not a copy — through the event queue.
+// carry the refcount — not a copy — through the event queue and across
+// partition mailboxes.
 #pragma once
 
 #include <array>
@@ -54,14 +68,23 @@ using TamperFn = std::function<TamperAction(NodeId from, NodeId to, Bytes& data)
 
 class Network {
   public:
-    Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+    Network(Simulator& sim, std::uint64_t seed)
+        : sim_(sim), seed_(seed), shards_(sim.partitions() + 1) {
+        refresh_lookahead();
+    }
 
     Simulator& simulator() { return sim_; }
 
     /// Registers a node under `id` and attaches it to this network.
     void add_node(Node& node, NodeId id);
 
-    void set_default_link(const LinkConfig& cfg) { default_link_ = cfg; }
+    /// Link configuration may only change from setup code or a global
+    /// event (never inside a node's event): it feeds the simulator's
+    /// lookahead, which must stay constant within a parallel window.
+    void set_default_link(const LinkConfig& cfg) {
+        default_link_ = cfg;
+        refresh_lookahead();
+    }
     const LinkConfig& default_link() const { return default_link_; }
     /// Directional per-pair override.
     void set_link(NodeId from, NodeId to, const LinkConfig& cfg);
@@ -92,19 +115,27 @@ class Network {
     /// Packet for every destination.
     void send_at(Time depart, NodeId from, NodeId to, Packet data);
 
-    // Instrumentation.
-    std::uint64_t packets_sent() const { return packets_sent_; }
-    std::uint64_t packets_delivered() const { return packets_delivered_; }
-    std::uint64_t packets_dropped() const { return packets_dropped_; }
-    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    // Instrumentation. Getters aggregate the per-partition shards; call
+    // them from setup code, global events, or after a run (not from node
+    // events racing with other partitions).
+    std::uint64_t packets_sent() const { return sum(&Shard::packets_sent); }
+    std::uint64_t packets_delivered() const { return sum(&Shard::packets_delivered); }
+    std::uint64_t packets_dropped() const { return sum(&Shard::packets_dropped); }
+    std::uint64_t bytes_sent() const { return sum(&Shard::bytes_sent); }
 
     /// Drop attribution: why each dropped packet was lost.
     std::uint64_t dropped_for(obs::DropReason reason) const {
-        return drops_by_reason_[static_cast<std::size_t>(reason)];
+        std::uint64_t total = 0;
+        for (const auto& s : shards_) total += s.drops_by_reason[static_cast<std::size_t>(reason)];
+        return total;
     }
     /// Total virtual time delivered packets spent in flight (latency +
     /// jitter + serialisation); the "network" share of end-to-end latency.
-    Time transit_time() const { return transit_time_; }
+    Time transit_time() const {
+        Time total = 0;
+        for (const auto& s : shards_) total += s.transit_time;
+        return total;
+    }
     /// Aggregate CPU busy time across attached nodes (CPU-model share).
     Time total_cpu_busy() const;
     /// Aggregate arrival-queue wait across attached nodes (queueing share).
@@ -124,28 +155,51 @@ class Network {
         return (static_cast<std::uint64_t>(from) << 32) | to;
     }
 
+    /// One partition's slice of the counters (index = executing partition;
+    /// the last shard belongs to global-context sends). 64-byte aligned so
+    /// partitions never false-share a cache line.
+    struct alignas(64) Shard {
+        std::uint64_t packets_sent = 0;
+        std::uint64_t packets_delivered = 0;
+        std::uint64_t packets_dropped = 0;
+        std::uint64_t bytes_sent = 0;
+        Time transit_time = 0;
+        std::array<std::uint64_t, static_cast<std::size_t>(obs::DropReason::kCount_)>
+            drops_by_reason{};
+        std::unordered_map<NodeId, std::uint64_t> delivered_to;
+    };
+
+    Shard& shard() { return shards_[sim_.current_shard()]; }
+    std::uint64_t sum(std::uint64_t Shard::* field) const {
+        std::uint64_t total = 0;
+        for (const auto& s : shards_) total += s.*field;
+        return total;
+    }
+
+    /// The per-sender deterministic stream. Senders are pre-registered by
+    /// add_node; sends from ids that were never attached (test scaffolding)
+    /// fall back to a lazy insert, which is only safe from setup code or a
+    /// global event — never from a node event on a worker thread.
+    StreamRng& stream(NodeId from);
+
+    void refresh_lookahead();
+    void count_drop(obs::DropReason reason, Time t, NodeId from, NodeId to, std::size_t bytes);
+
     Simulator& sim_;
-    Rng rng_;
+    std::uint64_t seed_;
     LinkConfig default_link_;
     std::map<std::uint64_t, LinkConfig> link_overrides_;
     std::unordered_map<NodeId, Node*> nodes_;
+    std::unordered_map<NodeId, StreamRng> streams_;
     std::unordered_set<std::uint64_t> blocked_;
     std::unordered_set<NodeId> down_;
     TamperFn tamper_;
     double global_drop_rate_ = 0.0;
 
-    void count_drop(obs::DropReason reason, Time t, NodeId from, NodeId to, std::size_t bytes);
-
-    std::uint64_t packets_sent_ = 0;
-    std::uint64_t packets_delivered_ = 0;
-    std::uint64_t packets_dropped_ = 0;
-    std::uint64_t bytes_sent_ = 0;
-    Time transit_time_ = 0;
-    std::array<std::uint64_t, static_cast<std::size_t>(obs::DropReason::kCount_)>
-        drops_by_reason_{};
-    std::unordered_map<NodeId, std::uint64_t> delivered_to_;
+    std::vector<Shard> shards_;
     /// Scratch reused by register_metrics' collector so a registry dump
-    /// sorts `delivered_to_` without rebuilding an ordered map each time.
+    /// sorts the merged delivered-to counts without rebuilding an ordered
+    /// map each time.
     std::vector<std::pair<NodeId, std::uint64_t>> delivered_scratch_;
 };
 

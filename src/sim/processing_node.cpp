@@ -38,7 +38,8 @@ void ProcessingNode::maybe_schedule_drain() {
     if (drain_scheduled_ || queue_.empty()) return;
     drain_scheduled_ = true;
     Time start = std::max(sim().now(), busy_until_);
-    sim().at(start, [this] { drain_one(); });
+    // Owner-routed: the drain must execute on this node's partition.
+    sim().at_node(start, id(), [this] { drain_one(); });
 }
 
 void ProcessingNode::drain_one() {
@@ -138,7 +139,7 @@ ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void
     };
     static_assert(EventFn::fits_inline<decltype(fire)>,
                   "timer-fire closure must fit EventFn's inline buffer");
-    sim().after(delay, std::move(fire));
+    sim().at_node(sim().now() + delay, id(), std::move(fire));
     return tid;
 }
 

@@ -26,10 +26,10 @@ TEST(VerifyMemo, RepeatVerificationHitsAndAgrees) {
     Bytes sig = signer->sign(msg);
 
     EXPECT_TRUE(checker->verify(1, msg, sig));
-    std::uint64_t hits_after_first = root.verify_memo().hits();
+    std::uint64_t hits_after_first = checker->verify_memo().hits();
     EXPECT_TRUE(checker->verify(1, msg, sig));
     EXPECT_TRUE(checker->verify(1, msg, sig));
-    EXPECT_EQ(root.verify_memo().hits(), hits_after_first + 2);
+    EXPECT_EQ(checker->verify_memo().hits(), hits_after_first + 2);
 }
 
 TEST(VerifyMemo, HitChargesFullVirtualCost) {
@@ -49,7 +49,7 @@ TEST(VerifyMemo, HitChargesFullVirtualCost) {
     std::int64_t hit_sync = meter.drain();
     std::int64_t hit_async = meter.drain_async();
 
-    EXPECT_GT(root.verify_memo().hits(), 0u);
+    EXPECT_GT(checker->verify_memo().hits(), 0u);
     EXPECT_EQ(hit_sync, miss_sync);
     EXPECT_EQ(hit_async, miss_async);
     EXPECT_EQ(hit_sync, root.costs().ecdsa_dispatch_ns);
@@ -67,9 +67,9 @@ TEST(VerifyMemo, InvalidSignaturesAreMemoisedAsInvalid) {
     sig[10] ^= 0x01;
 
     EXPECT_FALSE(checker->verify(1, msg, sig));
-    std::uint64_t hits_after_first = root.verify_memo().hits();
+    std::uint64_t hits_after_first = checker->verify_memo().hits();
     EXPECT_FALSE(checker->verify(1, msg, sig));  // hit, still invalid
-    EXPECT_EQ(root.verify_memo().hits(), hits_after_first + 1);
+    EXPECT_EQ(checker->verify_memo().hits(), hits_after_first + 1);
 }
 
 TEST(VerifyMemo, KeyCoversSignerDigestAndSignature) {
@@ -117,7 +117,7 @@ TEST(VerifyMemo, ModeledModeBypassesTheMemo) {
     Bytes sig = signer->sign(msg);
     EXPECT_TRUE(checker->verify(1, msg, sig));
     EXPECT_TRUE(checker->verify(1, msg, sig));
-    EXPECT_EQ(root.verify_memo().hits() + root.verify_memo().misses(), 0u);
+    EXPECT_EQ(checker->verify_memo().hits() + checker->verify_memo().misses(), 0u);
 }
 
 }  // namespace
