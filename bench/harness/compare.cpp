@@ -26,6 +26,8 @@ std::size_t CompareReport::regressions() const {
 
 bool is_host_metric(const std::string& name) { return name.rfind("host_", 0) == 0; }
 
+bool is_phase_metric(const std::string& name) { return name.rfind("phase_", 0) == 0; }
+
 Json strip_host_metrics(const Json& suite) {
     if (!suite.is_object()) return suite;
     Json out = Json::object();
@@ -131,9 +133,11 @@ CompareReport compare_suites(const Json& baseline, const Json& candidate,
         if (!base_metrics || !base_metrics->is_object()) continue;
         for (const auto& [metric, bstats] : base_metrics->members()) {
             const Json* cstats = cand_metrics ? cand_metrics->find(metric) : nullptr;
-            bool host = is_host_metric(metric);
+            // Informational metrics: reported alongside the gated deltas but
+            // never regressions, and free to come and go between suites.
+            bool host = is_host_metric(metric) || is_phase_metric(metric);
             if (!cstats) {
-                if (host) continue;  // wall-clock fields may come and go
+                if (host) continue;  // informational fields may come and go
                 rep.errors.push_back("candidate point \"" + name->string() +
                                      "\" is missing metric \"" + metric + "\"");
                 continue;

@@ -50,9 +50,9 @@ struct MetricDelta {
 
 struct CompareReport {
     std::vector<MetricDelta> deltas;
-    /// host_* metric deltas: informational only — never counted as
-    /// regressions, and a host metric missing on either side is not an
-    /// error (old baselines predate the host_ns field).
+    /// Informational deltas (host_* wall-clock and phase_* attribution):
+    /// never counted as regressions, and missing on either side is not an
+    /// error (old baselines predate these fields).
     std::vector<MetricDelta> host_deltas;
     std::vector<std::string> errors;  // missing points/metrics, schema drift
 
@@ -69,6 +69,14 @@ bool metric_lower_is_better(const std::string& name);
 /// True for wall-clock ("host_"-prefixed) metrics, which vary run to run
 /// even on identical simulated results.
 bool is_host_metric(const std::string& name);
+
+/// True for critical-path attribution ("phase_"-prefixed) metrics. They are
+/// deterministic — determinism tests keep them in byte comparisons — but
+/// attribution shares shift with any pipeline change, so the gate reports
+/// their deltas without ever counting them as regressions, and a phase
+/// metric missing on either side is not an error (old baselines predate
+/// them).
+bool is_phase_metric(const std::string& name);
 
 /// Copy of a neo-bench-suite@1 document with every host_* metric removed
 /// from every point — what determinism tests byte-compare.

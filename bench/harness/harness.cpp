@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "aom/config_service.hpp"
 #include "baselines/hotstuff.hpp"
@@ -13,8 +14,11 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/runner.hpp"
 #include "neobft/client.hpp"
 #include "neobft/replica.hpp"
+#include "obs/critical_path.hpp"
 
 namespace neo::bench {
 
@@ -45,6 +49,20 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
     const sim::Time start = sim.now();
     const sim::Time measure_from = start + warmup;
     const sim::Time deadline = measure_from + measure;
+
+    // Span capture for the critical-path metrics: when the run is not
+    // already traced, attach a spans-only sink for the duration of this
+    // run, so phase attribution is computed on every run, traced or not.
+    // The sink hangs off the simulator exactly like a full trace (PDES
+    // partitions buffer locally and merge in event-key order), keeping the
+    // span stream — and the phase_* metrics derived from it —
+    // byte-identical across --sim-threads values.
+    obs::TraceSink* master = sim.trace();
+    obs::TraceSink local_spans;
+    if (master == nullptr) {
+        local_spans.set_kind_mask(obs::kSpanKindMask);
+        sim.set_trace(&local_spans);
+    }
 
     // Baseline for the latency breakdown: snapshot the network / CPU-model /
     // queueing accumulators when the measurement window opens, so the deltas
@@ -90,6 +108,7 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
     for (int c = 0; c < d.n_clients(); ++c) (*issue)(c);
 
     sim.run_until(deadline);
+    if (master == nullptr) sim.set_trace(nullptr);
 
     Histogram hist;
     std::uint64_t total = 0;
@@ -112,6 +131,52 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
         m.net_us_per_op = sim::to_us(d.network().transit_time() - base->net) / ops;
         m.cpu_us_per_op = sim::to_us(d.network().total_cpu_busy() - base->cpu) / ops;
         m.queue_us_per_op = sim::to_us(d.network().total_queue_wait() - base->queue) / ops;
+    }
+
+    // Critical-path attribution over the measurement window. The window
+    // filter mirrors the histogram's rule (begin >= measure_from): a
+    // request span whose begin fell before the window loses its begin
+    // event here, so the analyzer skips it as uncommitted.
+    {
+        const obs::TraceSink& spans_src = master ? *master : local_spans;
+        std::vector<obs::SpanRecord> spans;
+        for (const obs::TraceEvent& e : spans_src.events()) {
+            if (e.kind != obs::EventKind::kSpanBegin && e.kind != obs::EventKind::kSpanEnd) {
+                continue;
+            }
+            if (e.t < measure_from) continue;
+            spans.push_back(
+                {e.t, e.node, e.kind == obs::EventKind::kSpanBegin, e.label, e.a, e.b});
+        }
+        obs::CriticalPathReport rep = obs::analyze_spans(spans);
+        if (rep.requests > 0) {
+            m.phase["phase_requests"] = static_cast<double>(rep.requests);
+            m.phase["phase_e2e_mean_us"] = rep.e2e_mean_us;
+            m.phase["phase_e2e_p50_us"] = rep.e2e_p50_us;
+            m.phase["phase_e2e_p99_us"] = rep.e2e_p99_us;
+            m.phase["phase_residual_us"] = rep.residual_us;
+            for (const obs::PhaseStat& ph : rep.phases) {
+                m.phase["phase_" + ph.phase + "_mean_us"] = ph.mean_us;
+                m.phase["phase_" + ph.phase + "_p50_us"] = ph.p50_us;
+                m.phase["phase_" + ph.phase + "_p99_us"] = ph.p99_us;
+                m.phase["phase_" + ph.phase + "_share_pct"] = ph.share_pct;
+            }
+        }
+    }
+
+    // Safety audit: every closed-loop run checks the deployment's
+    // invariants. A violation is a safety bug, so fail fast rather than
+    // report numbers measured on a divergent execution.
+    obs::Auditor& aud = d.auditor();
+    if (aud.configured()) {
+        aud.finalize();
+        aud.report(master);
+        if (!aud.ok()) {
+            for (const auto& v : aud.violations()) {
+                std::fprintf(stderr, "auditor: %s\n", v.to_string().c_str());
+            }
+            NEO_ASSERT_MSG(false, "safety invariant violated (obs::Auditor)");
+        }
     }
     return m;
 }
@@ -137,7 +202,14 @@ std::string arg_or_env(int argc, char* const* argv, const char* flag, const char
 
 ObsSession::ObsSession(int argc, char* const* argv)
     : trace_path_(arg_or_env(argc, argv, "--trace", "NEO_TRACE")),
-      metrics_path_(arg_or_env(argc, argv, "--metrics", "NEO_METRICS")) {}
+      metrics_path_(arg_or_env(argc, argv, "--metrics", "NEO_METRICS")) {
+    // Reuse the runner's uniform CLI parsing so the metrics file's "meta"
+    // header records the same seed / sim-threads values the runs used.
+    BenchOptions o = BenchOptions::parse(argc, argv);
+    meta_seed_ = o.base_seed;
+    meta_seeds_ = o.seeds;
+    meta_sim_threads_ = o.sim_threads;
+}
 
 ObsSession::~ObsSession() { flush(); }
 
@@ -207,9 +279,18 @@ void ObsSession::flush() {
     if (flushed_) return;
     flushed_ = true;
     if (metrics()) {
-        obs::Registry out;
-        for (const auto& [k, v] : merged_) out.set_value(k, v);
-        if (!out.write_json_file(metrics_path_)) {
+        // Same {"counters":{},"values":{...}} shape Registry::write_json
+        // produces, plus a "meta" header so archived files are
+        // self-describing (docs/OBSERVABILITY.md).
+        Json root = Json::object();
+        root.set("meta", run_meta_json(meta_seed_, meta_seeds_, meta_sim_threads_));
+        root.set("counters", Json::object());
+        Json values = Json::object();
+        for (const auto& [k, v] : merged_) values.set(k, Json(v));
+        root.set("values", std::move(values));
+        std::ofstream out(metrics_path_, std::ios::binary | std::ios::trunc);
+        if (out) out << root.dump() << "\n";
+        if (!out) {
             std::fprintf(stderr, "obs: cannot write metrics file %s\n", metrics_path_.c_str());
         }
     }
@@ -234,7 +315,9 @@ class UnreplicatedDeployment : public Deployment {
         : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1) {
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
+        auditor_.configure(sim_.partitions() + 1);
         server_ = std::make_unique<baselines::UnreplicatedServer>(root_.provision(kServerId));
+        server_->set_auditor(&auditor_);
         net_.add_node(*server_, kServerId);
         for (int i = 0; i < p.n_clients; ++i) {
             NodeId cid = kClientBase + static_cast<NodeId>(i);
@@ -315,9 +398,11 @@ class NeoDeployment : public Deployment {
         auto app_factory = p.app_factory
                                ? p.app_factory
                                : [] { return std::make_unique<app::EchoApp>(); };
+        auditor_.configure(sim_.partitions() + 1);
         for (NodeId rid : cfg.replicas) {
             auto rep = std::make_unique<neobft::Replica>(cfg, root_.provision(rid), &keys_,
                                                          app_factory(), p.receiver);
+            rep->set_auditor(&auditor_);
             net_.add_node(*rep, rid);
             rep->bootstrap(group, config_->current_sequencer(kGroup));
             replicas_.push_back(std::move(rep));
@@ -406,9 +491,11 @@ class BaselineDeployment : public Deployment {
         for (int i = 0; i < n_replicas; ++i) {
             cfg_.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
         }
+        auditor_.configure(sim_.partitions() + 1);
         for (NodeId rid : cfg_.replicas) {
             auto rep = make_replica(cfg_, root_.provision(rid));
             if (p.baseline_app_factory) rep->set_app(p.baseline_app_factory());
+            rep->set_auditor(&auditor_);
             net_.add_node(*rep, rid);
             replicas_.push_back(std::move(rep));
         }
@@ -470,9 +557,11 @@ class ZyzzyvaDeployment : public Deployment {
         for (int i = 0; i < p.n_replicas; ++i) {
             cfg_.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
         }
+        auditor_.configure(sim_.partitions() + 1);
         for (NodeId rid : cfg_.replicas) {
             auto rep = std::make_unique<baselines::ZyzzyvaReplica>(cfg_, root_.provision(rid));
             if (p.baseline_app_factory) rep->set_app(p.baseline_app_factory());
+            rep->set_auditor(&auditor_);
             net_.add_node(*rep, rid);
             replicas_.push_back(std::move(rep));
         }
@@ -602,7 +691,7 @@ std::string fmt_double(double v, int precision) {
 }
 
 std::map<std::string, double> measured_metrics(const Measured& m) {
-    return {
+    std::map<std::string, double> out = {
         {"tput_ops", m.throughput_ops},
         {"p50_us", m.p50_us},
         {"mean_us", m.mean_us},
@@ -613,6 +702,37 @@ std::map<std::string, double> measured_metrics(const Measured& m) {
         {"cpu_us_per_op", m.cpu_us_per_op},
         {"queue_us_per_op", m.queue_us_per_op},
     };
+    out.insert(m.phase.begin(), m.phase.end());
+    return out;
+}
+
+const char* build_git_describe() {
+#ifdef NEO_GIT_DESCRIBE
+    return NEO_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+const char* build_type_name() {
+#ifdef NEO_BUILD_TYPE
+    if (NEO_BUILD_TYPE[0] != '\0') return NEO_BUILD_TYPE;
+#endif
+    return "unspecified";
+}
+
+Json run_meta_json(std::uint64_t base_seed, int seeds, unsigned sim_threads) {
+    Json meta = Json::object();
+    meta.set("base_seed", Json(static_cast<double>(base_seed)));
+    meta.set("build_type", Json(std::string(build_type_name())));
+    meta.set("git_describe", Json(std::string(build_git_describe())));
+    Json seed_list = Json::array();
+    for (int s = 0; s < seeds; ++s) {
+        seed_list.push_back(Json(static_cast<double>(base_seed + static_cast<std::uint64_t>(s))));
+    }
+    meta.set("seeds", std::move(seed_list));
+    meta.set("sim_threads", Json(static_cast<double>(sim_threads)));
+    return meta;
 }
 
 }  // namespace neo::bench

@@ -17,6 +17,7 @@
 #include "common/histogram.hpp"
 #include "aom/receiver.hpp"
 #include "crypto/identity.hpp"
+#include "obs/auditor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/network.hpp"
@@ -38,6 +39,12 @@ struct Measured {
     double net_us_per_op = 0;
     double cpu_us_per_op = 0;
     double queue_us_per_op = 0;
+    /// Commit critical-path attribution over the measurement window's
+    /// request spans (keys are the final "phase_*" metric names; empty
+    /// when no request span completed inside the window). Deterministic:
+    /// derived from the span stream, which is byte-identical across
+    /// --sim-threads values.
+    std::map<std::string, double> phase;
 };
 
 /// Type-erased running system: owns all nodes; the driver only needs
@@ -68,6 +75,15 @@ class Deployment {
         (void)trace;
         network().register_metrics(reg, prefix + ".net");
     }
+
+    /// Online safety-invariant monitor. Every deployment constructor sizes
+    /// it (partitions + 1 shards) and wires its replicas' reporting hooks,
+    /// so commit/execute ordering is audited on EVERY bench and test run;
+    /// run_closed_loop() finalizes it and aborts on any violation.
+    obs::Auditor& auditor() { return auditor_; }
+
+  protected:
+    obs::Auditor auditor_;
 };
 
 /// Generates the operation a client issues next (k = per-client op index).
@@ -96,6 +112,10 @@ Measured run_closed_loop(Deployment& d, const OpGen& ops, sim::Time warmup, sim:
 ///  - trace: the FIRST run attached with want_trace=true (a process-wide
 ///    atomic claim), written as Chrome trace_event JSON — or JSONL when
 ///    the path ends in ".jsonl".
+///
+/// The metrics file carries a "meta" header (base seed, seed list,
+/// sim_threads, git describe, build type) so archived artifacts are
+/// self-describing.
 class ObsSession {
   public:
     ObsSession(int argc, char* const* argv);
@@ -159,6 +179,10 @@ class ObsSession {
     std::map<std::string, double> merged_;
     std::atomic<bool> trace_claimed_{false};
     bool flushed_ = false;
+    // Run parameters echoed into the metrics file's "meta" header.
+    std::uint64_t meta_seed_ = 42;
+    int meta_seeds_ = 1;
+    unsigned meta_sim_threads_ = 1;
 };
 
 // --------------------------------------------------------------- factories
@@ -220,7 +244,21 @@ class TablePrinter {
 std::string fmt_double(double v, int precision = 1);
 
 /// Measured -> metric map for the runner's BENCH_*.json points (the Fig 7
-/// column set: throughput, latency percentiles, net/cpu/queue breakdown).
+/// column set: throughput, latency percentiles, net/cpu/queue breakdown,
+/// plus the non-gating phase_* critical-path attribution).
 std::map<std::string, double> measured_metrics(const Measured& m);
+
+/// Build provenance baked in at configure time (NEO_GIT_DESCRIBE /
+/// NEO_BUILD_TYPE compile definitions); recorded in every suite/metrics
+/// JSON meta header so archived BENCH_*.json artifacts are self-describing.
+const char* build_git_describe();
+const char* build_type_name();
+
+class Json;
+/// The shared "meta" header object (base_seed, build_type, git_describe,
+/// seeds list, sim_threads) written into both the suite JSON and the
+/// --metrics JSON. Deliberately excludes --jobs: scheduling must never
+/// change output bytes (test_parallel_determinism).
+Json run_meta_json(std::uint64_t base_seed, int seeds, unsigned sim_threads);
 
 }  // namespace neo::bench

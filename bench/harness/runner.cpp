@@ -121,6 +121,7 @@ std::string BenchSuite::to_json() const {
     root.set("base_seed", Json(static_cast<double>(base_seed)));
     root.set("seeds", Json(static_cast<double>(seeds)));
     root.set("quick", Json(quick));
+    root.set("meta", run_meta_json(base_seed, seeds, sim_threads));
     Json pts = Json::array();
     for (const auto& p : points) {
         Json jp = Json::object();
@@ -162,6 +163,7 @@ BenchMain::BenchMain(int argc, char** argv, std::string suite_name)
     suite_.base_seed = opt_.base_seed;
     suite_.seeds = opt_.seeds;
     suite_.quick = opt_.quick;
+    suite_.sim_threads = opt_.sim_threads;
     if (flag_present(argc, argv, "--help") || flag_present(argc, argv, "-h")) {
         std::printf(
             "usage: %s [--json <path>] [--seed <S>] [--seeds <N>] [--jobs <N>]\n"

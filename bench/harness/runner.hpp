@@ -119,13 +119,18 @@ struct BenchSuite {
     std::uint64_t base_seed = 42;
     int seeds = 1;
     bool quick = false;
+    /// Simulation partition count, echoed into the "meta" header (see
+    /// run_meta_json — which adds the build's git describe / build type)
+    /// so archived BENCH_*.json files are self-describing.
+    unsigned sim_threads = 1;
     std::vector<PointResult> points;
 
     const PointResult* point(const std::string& name) const;
 
     /// Serialises to the "neo-bench-suite@1" schema. Output depends only
     /// on the results (not on scheduling), so a --jobs N run and a
-    /// --jobs 1 run of the same sweep produce byte-identical files.
+    /// --jobs 1 run of the same sweep produce byte-identical files —
+    /// which is also why the meta header has no "jobs" field.
     std::string to_json() const;
     bool write_json_file(const std::string& path) const;
 };

@@ -140,6 +140,7 @@ void AomReceiver::handle_hm(const HmPacket& pkt) {
         p.macs.assign(group_.receivers.size(), 0);
         p.n_subgroups = pkt.n_subgroups;
         p.have_packet = true;
+        p.first_seen = host_->aom_now();
     }
     for (std::size_t i = 0; i < pkt.macs.size(); ++i) {
         p.macs[static_cast<std::size_t>(base_slot) + i] = pkt.macs[i];
@@ -207,6 +208,7 @@ void AomReceiver::handle_pk(const PkPacket& pkt) {
             p.prev_chain = pkt.prev_chain;
             p.signature = pkt.signature;
             p.have_packet = true;
+            p.first_seen = host_->aom_now();
         } else if (p.signature.empty() && !pkt.signature.empty()) {
             p.signature = pkt.signature;
         }
@@ -405,6 +407,17 @@ void AomReceiver::try_deliver() {
         d.seq = next_seq_;
         d.payload = it->second.payload;
         d.cert = build_cert(next_seq_, it->second);
+        if (obs::TraceSink* tr = host_->aom_trace()) {
+            // "deliver" span: first packet for this seq -> in-order delivery
+            // to the application. Both events are recorded here (delivery
+            // time) on this node, keeping begin/end balanced and partition-
+            // local; the begin's t is the buffered first-arrival time.
+            std::uint64_t tid = obs::trace_id(d.payload);
+            sim::Time begin =
+                it->second.first_seen >= 0 ? it->second.first_seen : host_->aom_now();
+            tr->span_begin(begin, self_, "deliver", tid, next_seq_);
+            tr->span_end(host_->aom_now(), self_, "deliver", tid, next_seq_);
+        }
         pending_.erase(it);
         ++next_seq_;
         ++delivered_messages_;

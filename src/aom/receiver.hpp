@@ -119,6 +119,7 @@ class AomReceiver {
     struct Pending {
         Digest32 digest{};
         Bytes payload;
+        sim::Time first_seen = -1;  // arrival of the first packet for this seq
         // HM: subgroup assembly.
         std::vector<std::uint32_t> macs;        // full-vector slots (0 = missing)
         std::uint32_t subgroups_seen = 0;       // bitmask

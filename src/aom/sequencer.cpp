@@ -117,6 +117,12 @@ void SequencerSwitch::process_hm(GroupState& gs, const DataPacket& pkt, sim::Tim
     SeqNum seq = gs.next_seq++;
     if (obs::TraceSink* tr = sim().trace()) {
         tr->seq_stamp(sim().now(), id(), gs.cfg.group, seq, /*with_signature=*/false);
+        // Request-scoped "sequence" span: ingress -> stamped emission. Both
+        // boundaries are known here, so the end event (future t) is recorded
+        // immediately — exports order by t, not record order.
+        std::uint64_t tid = obs::trace_id(pkt.payload);
+        tr->span_begin(sim().now(), id(), "sequence", tid, seq);
+        tr->span_end(emit_time, id(), "sequence", tid, seq);
     }
     int receivers = static_cast<int>(gs.cfg.receivers.size());
     int subgroups = hm_subgroup_count(receivers);
@@ -199,6 +205,9 @@ void SequencerSwitch::process_pk(GroupState& gs, const DataPacket& pkt, sim::Tim
     ++gs.checkpoint_generation;
     if (obs::TraceSink* tr = sim().trace()) {
         tr->seq_stamp(sim().now(), id(), gs.cfg.group, seq, gs.head_signed);
+        std::uint64_t tid = obs::trace_id(pkt.payload);
+        tr->span_begin(sim().now(), id(), "sequence", tid, seq);
+        tr->span_end(depart, id(), "sequence", tid, seq);
     }
 
     sim::Packet wire(out.serialize());

@@ -2,6 +2,8 @@
 
 #include "common/assert.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/auditor.hpp"
+#include "obs/trace.hpp"
 
 namespace neo::baselines {
 
@@ -154,6 +156,31 @@ Digest32 batch_digest(const std::vector<Request>& batch) {
     return ctx.finish();
 }
 
+// ---------------- ExecProbe ----------------
+
+void ExecProbe::on_execute(sim::ProcessingNode& node, const Request& req) {
+    if (node.sim().trace() == nullptr && auditor_ == nullptr) {
+        ++next_slot_;
+        return;
+    }
+    on_execute_wire(node, req.serialize());
+}
+
+void ExecProbe::on_execute_wire(sim::ProcessingNode& node, BytesView wire) {
+    std::uint64_t slot = ++next_slot_;
+    obs::TraceSink* tr = node.sim().trace();
+    if (tr == nullptr && auditor_ == nullptr) return;
+    std::uint64_t tid = obs::trace_id(wire);
+    if (auditor_) {
+        auditor_->on_execute(node.sim().current_shard(), node.sim().now(), node.id(), slot,
+                             tid, /*noop=*/false);
+    }
+    if (tr) {
+        tr->span_begin(node.sim().now(), node.id(), "execute", tid, slot);
+        tr->span_end(node.sim().now(), node.id(), "execute", tid, slot);
+    }
+}
+
 // ---------------- QuorumClient ----------------
 
 QuorumClient::QuorumClient(BaseConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
@@ -177,6 +204,10 @@ void QuorumClient::invoke(Bytes op, Callback cb) {
     out.wire = sim::Packet(req.serialize());
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
+    if (obs::TraceSink* tr = sim().trace()) {
+        outstanding_->trace_id = obs::trace_id(outstanding_->wire.view());
+        tr->span_begin(sim().now(), id(), "request", outstanding_->trace_id);
+    }
     send_request(/*broadcast=*/false);
 }
 
@@ -202,9 +233,19 @@ void QuorumClient::handle(NodeId from, BytesView data) {
 
         auto& votes = outstanding_->votes[reply.result];
         votes.insert(from);
+        if (obs::TraceSink* tr = sim().trace();
+            tr != nullptr && !outstanding_->quorum_span_open) {
+            outstanding_->quorum_span_open = true;
+            tr->span_begin(sim().now(), id(), "quorum", outstanding_->trace_id, from);
+        }
         if (votes.size() >= required_) {
             Bytes result = reply.result;
             Callback cb = std::move(outstanding_->cb);
+            if (obs::TraceSink* tr = sim().trace()) {
+                // peer = the replica whose reply completed the quorum.
+                tr->span_end(sim().now(), id(), "quorum", outstanding_->trace_id, from);
+                tr->span_end(sim().now(), id(), "request", outstanding_->trace_id, from);
+            }
             cancel_timer(outstanding_->retry_timer);
             outstanding_.reset();
             ++completed_;
@@ -232,6 +273,7 @@ void UnreplicatedServer::handle(NodeId from, BytesView data) {
         r.expect_end();
         if (!crypto_->check_mac_from(from, op, mac)) return;
         ++handled_;
+        probe_.on_execute_wire(*this, data);
 
         Writer w(32 + op.size());
         w.u8(static_cast<std::uint8_t>(Kind::kUnrepReply));
@@ -258,7 +300,12 @@ void UnreplicatedClient::invoke(Bytes op, Callback cb) {
     w.u64(rid);
     w.blob(op);
     w.blob(crypto_->mac_for(server_, op));
-    send_to(server_, std::move(w).take());
+    Bytes wire = std::move(w).take();
+    if (obs::TraceSink* tr = sim().trace()) {
+        trace_id_ = obs::trace_id(wire);
+        tr->span_begin(sim().now(), id(), "request", trace_id_);
+    }
+    send_to(server_, std::move(wire));
 }
 
 void UnreplicatedClient::handle(NodeId from, BytesView data) {
@@ -275,6 +322,9 @@ void UnreplicatedClient::handle(NodeId from, BytesView data) {
         if (!outstanding_.has_value() || outstanding_->first != rid) return;
         if (!crypto_->check_mac_from(from, result, mac)) return;
         Callback cb = std::move(outstanding_->second);
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->span_end(sim().now(), id(), "request", trace_id_, from);
+        }
         outstanding_.reset();
         ++completed_;
         cb(std::move(result));

@@ -26,6 +26,10 @@
 #include "sim/costs.hpp"
 #include "sim/processing_node.hpp"
 
+namespace neo::obs {
+class Auditor;
+}
+
 namespace neo::baselines {
 
 enum class Kind : std::uint8_t {
@@ -152,6 +156,34 @@ class Batcher {
     std::vector<Request> pending_;
 };
 
+// ---------------- Execution probe ----------------
+
+/// Shared execute-side instrumentation for the baseline replicas: assigns a
+/// per-node execution index (the audited "slot"), reports each executed
+/// request to the deployment's safety Auditor, and emits a request-scoped
+/// "execute" span keyed by obs::trace_id over the request's canonical wire
+/// bytes (the same id the client derives, so spans correlate end to end).
+///
+/// All baselines execute requests in commit order, so the execution index is
+/// directly comparable across replicas: index k must carry the same request
+/// digest everywhere, or the run diverged.
+class ExecProbe {
+  public:
+    void set_auditor(obs::Auditor* a) { auditor_ = a; }
+
+    /// Call from inside the executing node's event, once per applied
+    /// request. Zero-duration execute spans still carry the phase cut the
+    /// critical-path analyzer keys on.
+    void on_execute(sim::ProcessingNode& node, const Request& req);
+    /// Variant for servers that never parse a Request (unreplicated echo):
+    /// `wire` is the request's full wire image, kind byte included.
+    void on_execute_wire(sim::ProcessingNode& node, BytesView wire);
+
+  private:
+    obs::Auditor* auditor_ = nullptr;
+    std::uint64_t next_slot_ = 0;
+};
+
 // ---------------- Generic client ----------------
 
 /// Closed-loop client for leader-directed protocols: sends the request to
@@ -177,6 +209,8 @@ class QuorumClient : public sim::ProcessingNode {
     struct Outstanding {
         std::uint64_t request_id;
         sim::Packet wire;  // serialized signed Request (shared on broadcast retry)
+        std::uint64_t trace_id = 0;      // obs::trace_id(wire); 0 = untraced
+        bool quorum_span_open = false;   // first matching reply seen
         Callback cb;
         std::map<Bytes, std::set<NodeId>> votes;  // result -> replicas
         TimerId retry_timer = 0;
@@ -204,9 +238,13 @@ class UnreplicatedServer : public sim::ProcessingNode {
   protected:
     void handle(NodeId from, BytesView data) override;
 
+  public:
+    void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
+
   private:
     std::unique_ptr<crypto::NodeCrypto> crypto_;
     std::uint64_t handled_ = 0;
+    ExecProbe probe_;
 };
 
 class UnreplicatedClient : public sim::ProcessingNode {
@@ -225,6 +263,7 @@ class UnreplicatedClient : public sim::ProcessingNode {
     std::unique_ptr<crypto::NodeCrypto> crypto_;
     std::uint64_t next_request_id_ = 1;
     std::optional<std::pair<std::uint64_t, Callback>> outstanding_;
+    std::uint64_t trace_id_ = 0;  // current request's span id (0 = untraced)
     std::uint64_t completed_ = 0;
 };
 

@@ -236,6 +236,7 @@ void HotStuffReplica::try_execute() {
             Bytes result = app_ ? app_(req.op) : req.op;
             charge(300);
             ++stats_.requests_executed;
+            probe_.on_execute(*this, req);
 
             Reply reply;
             reply.view = view_;

@@ -31,6 +31,8 @@ class HotStuffReplica : public sim::ProcessingNode {
     /// at every registry dump.
     void register_metrics(obs::Registry& reg, const std::string& prefix);
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
+    /// Report executed requests to the deployment's safety Auditor.
+    void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
 
   protected:
     void handle(NodeId from, BytesView data) override;
@@ -72,6 +74,7 @@ class HotStuffReplica : public sim::ProcessingNode {
     bool batch_timer_armed_ = false;
     std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     Stats stats_;
+    ExecProbe probe_;
 };
 
 }  // namespace neo::baselines

@@ -223,6 +223,7 @@ void PbftReplica::execute_batch(Slot& slot) {
         Bytes result = app_ ? app_(req.op) : req.op;
         charge(300);
         ++stats_.requests_executed;
+        probe_.on_execute(*this, req);
 
         Reply reply;
         reply.view = view_;

@@ -33,6 +33,8 @@ class PbftReplica : public sim::ProcessingNode {
     void set_app(AppFn app) { app_ = std::move(app); }
     std::uint64_t executed_seq() const { return last_executed_; }
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
+    /// Report executed requests to the deployment's safety Auditor.
+    void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
 
   protected:
     void handle(NodeId from, BytesView data) override;
@@ -80,6 +82,7 @@ class PbftReplica : public sim::ProcessingNode {
     std::uint64_t stable_checkpoint_ = 0;
     Stats stats_;
     AppFn app_;
+    ExecProbe probe_;
 };
 
 }  // namespace neo::baselines

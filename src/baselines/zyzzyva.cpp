@@ -1,6 +1,7 @@
 #include "baselines/zyzzyva.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include "common/assert.hpp"
 #include "crypto/sha256.hpp"
@@ -141,6 +142,7 @@ void ZyzzyvaReplica::execute_ordered(std::uint64_t seq, std::vector<Request> bat
         Bytes result = app_ ? app_(req.op) : req.op;
         charge(300);
         ++stats_.requests_executed;
+        probe_.on_execute(*this, req);
 
         // Speculative response: carries (view, seq, history) so the client
         // can detect divergence; MAC-authenticated to the client.
@@ -221,6 +223,10 @@ void ZyzzyvaClient::invoke(Bytes op, Callback cb) {
     out.wire = sim::Packet(req.serialize());
     out.cb = std::move(cb);
     outstanding_ = std::move(out);
+    if (obs::TraceSink* tr = sim().trace()) {
+        outstanding_->trace_id = obs::trace_id(outstanding_->wire.view());
+        tr->span_begin(sim().now(), id(), "request", outstanding_->trace_id);
+    }
     send_to(cfg_.primary(0), outstanding_->wire);
 
     outstanding_->fast_timer = set_timer(opts_.fast_path_timeout, [this] {
@@ -277,16 +283,21 @@ void ZyzzyvaClient::on_spec_response(NodeId from, Reader& r) {
     SpecVote& vote = outstanding_->votes[key.bytes()];
     vote.replicas.insert(from);
     vote.result = std::move(result);
-    try_fast_commit();
+    if (obs::TraceSink* tr = sim().trace();
+        tr != nullptr && !outstanding_->quorum_span_open) {
+        outstanding_->quorum_span_open = true;
+        tr->span_begin(sim().now(), id(), "quorum", outstanding_->trace_id, from);
+    }
+    try_fast_commit(from);
 }
 
-void ZyzzyvaClient::try_fast_commit() {
+void ZyzzyvaClient::try_fast_commit(NodeId from) {
     if (!outstanding_.has_value()) return;
     std::size_t all = static_cast<std::size_t>(3 * cfg_.f + 1);
     for (auto& [key, vote] : outstanding_->votes) {
         if (vote.replicas.size() >= all) {
             ++fast_commits_;
-            complete(vote.result);
+            complete(vote.result, from);
             return;
         }
     }
@@ -347,12 +358,20 @@ void ZyzzyvaClient::on_local_commit(NodeId from, Reader& r) {
     outstanding_->local_commits.insert(from);
     if (outstanding_->local_commits.size() >= static_cast<std::size_t>(2 * cfg_.f + 1)) {
         ++slow_commits_;
-        complete(outstanding_->votes[outstanding_->slow_key].result);
+        complete(outstanding_->votes[outstanding_->slow_key].result, from);
     }
 }
 
-void ZyzzyvaClient::complete(Bytes result) {
+void ZyzzyvaClient::complete(Bytes result, NodeId peer) {
     Callback cb = std::move(outstanding_->cb);
+    if (obs::TraceSink* tr = sim().trace()) {
+        // peer = the replica whose response completed the commit (fast or
+        // slow path alike).
+        if (outstanding_->quorum_span_open) {
+            tr->span_end(sim().now(), id(), "quorum", outstanding_->trace_id, peer);
+        }
+        tr->span_end(sim().now(), id(), "request", outstanding_->trace_id, peer);
+    }
     cancel_timer(outstanding_->fast_timer);
     cancel_timer(outstanding_->retry_timer);
     outstanding_.reset();

@@ -32,6 +32,8 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     /// at every registry dump.
     void register_metrics(obs::Registry& reg, const std::string& prefix);
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
+    /// Report executed requests to the deployment's safety Auditor.
+    void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
 
     /// Zyzzyva-F: the replica stops responding (but the protocol's safety
     /// must be unaffected).
@@ -65,6 +67,7 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     std::map<std::uint64_t, Digest32> history_at_;  // seq -> history hash after seq
     Stats stats_;
+    ExecProbe probe_;
 };
 
 struct ZyzzyvaClientOptions {
@@ -100,6 +103,8 @@ class ZyzzyvaClient : public sim::ProcessingNode {
     struct Outstanding {
         std::uint64_t request_id;
         sim::Packet wire;  // serialized signed Request (shared on broadcast retry)
+        std::uint64_t trace_id = 0;     // obs::trace_id(wire); 0 = untraced
+        bool quorum_span_open = false;  // first spec response seen
         Callback cb;
         // (seq, history, result digest) -> votes
         std::map<Bytes, SpecVote> votes;
@@ -112,9 +117,9 @@ class ZyzzyvaClient : public sim::ProcessingNode {
 
     void on_spec_response(NodeId from, Reader& r);
     void on_local_commit(NodeId from, Reader& r);
-    void try_fast_commit();
+    void try_fast_commit(NodeId from);
     void start_slow_path();
-    void complete(Bytes result);
+    void complete(Bytes result, NodeId peer);
 
     ZyzzyvaConfig cfg_;
     std::unique_ptr<crypto::NodeCrypto> crypto_;

@@ -31,6 +31,8 @@ void Client::invoke(Bytes op, Callback cb) {
 
     if (obs::TraceSink* tr = sim().trace()) {
         tr->phase(sim().now(), id(), "request_invoke", outstanding_->request_id);
+        outstanding_->trace_id = obs::trace_id(outstanding_->request_wire.view());
+        tr->span_begin(sim().now(), id(), "request", outstanding_->trace_id);
     }
     send_request();
 }
@@ -79,11 +81,21 @@ void Client::on_reply(NodeId from, Reader& r) {
     vote.replicas.insert(from);
     vote.result = reply.result;
 
+    if (obs::TraceSink* tr = sim().trace();
+        tr != nullptr && !outstanding_->quorum_span_open) {
+        outstanding_->quorum_span_open = true;
+        tr->span_begin(sim().now(), id(), "quorum", outstanding_->trace_id, from);
+    }
+
     if (vote.replicas.size() >= cfg_.quorum()) {
         Bytes result = vote.result;
         Callback cb = std::move(outstanding_->cb);
         if (obs::TraceSink* tr = sim().trace()) {
             tr->phase(sim().now(), id(), "request_complete", outstanding_->request_id);
+            // peer = the replica whose reply completed the quorum: the
+            // critical-path analyzer reads phase boundaries off its spans.
+            tr->span_end(sim().now(), id(), "quorum", outstanding_->trace_id, from);
+            tr->span_end(sim().now(), id(), "request", outstanding_->trace_id, from);
         }
         cancel_timer(outstanding_->retry_timer);
         outstanding_.reset();

@@ -43,6 +43,8 @@ class Client : public sim::ProcessingNode {
         std::uint64_t request_id;
         sim::Packet request_wire;  // serialized signed Request (shared on resends)
         sim::Packet aom_packet;    // aom-wrapped copy
+        std::uint64_t trace_id = 0;      // obs::trace_id(request_wire); 0 = untraced
+        bool quorum_span_open = false;   // first matching reply seen
         Callback cb;
         // Match key -> replicas that voted for it.
         struct Vote {

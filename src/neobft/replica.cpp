@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "sim/costs.hpp"
 #include "common/logging.hpp"
+#include "obs/auditor.hpp"
 #include "obs/metrics.hpp"
 
 namespace neo::neobft {
@@ -76,6 +77,12 @@ std::uint64_t Replica::slot_for(EpochNum epoch, SeqNum seq) const {
 }
 
 void Replica::on_delivery(aom::Delivery d) {
+    // Raw aom delivery order, before any queueing: drop-notifications
+    // consume a sequence number too, so reporting both kinds keeps the
+    // per-(node, epoch) sequence contiguous for the auditor.
+    if (auditor_) {
+        auditor_->on_aom_deliver(sim().current_shard(), sim().now(), id(), d.epoch, d.seq);
+    }
     // FIFO discipline: while anything is queued, new deliveries join the
     // queue (they must not overtake items parked during a block or view
     // change). The drain call is a no-op while blocked / mid-view-change.
@@ -137,6 +144,11 @@ void Replica::execute_slot(std::uint64_t slot) {
     LogEntry& entry = log_.at(slot);
     NEO_ASSERT(!entry.executed);
     entry.executed = true;
+    if (auditor_) {
+        auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot,
+                             entry.noop ? 0 : obs::trace_id(entry.oc.payload), entry.noop,
+                             audit_replay_);
+    }
     if (entry.noop || !entry.valid_request) {
         executed_ = slot;
         return;
@@ -156,12 +168,18 @@ void Replica::execute_slot(std::uint64_t slot) {
         return;
     }
 
+    obs::TraceSink* tr = sim().trace();
+    std::uint64_t tid = tr ? obs::trace_id(entry.oc.payload) : 0;
+    if (tr) tr->span_begin(sim().now(), id(), "execute", tid, slot);
     charge(app_->execute_cost_ns(req->op));
     entry.result = app_->execute(req->op);
     entry.applied = true;
     executed_ = slot;
     ++stats_.requests_executed;
-    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "execute", slot);
+    if (tr) {
+        tr->phase(sim().now(), id(), "execute", slot);
+        tr->span_end(sim().now(), id(), "execute", tid, slot);
+    }
     pending_client_requests_.erase(entry.client);
     send_reply(slot);
 }
@@ -654,6 +672,10 @@ void Replica::commit_noop(std::uint64_t slot, GapCertificate cert) {
         log_.append(std::move(entry));
         log_.at(slot).executed = true;
         executed_ = slot;
+        if (auditor_) {
+            auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot, 0, true,
+                                 audit_replay_);
+        }
         maybe_start_sync();
         return;
     }
@@ -692,8 +714,14 @@ void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replac
     log_.replace(slot, std::move(replacement));
 
     // Re-execute the tail; replies are re-sent with the new log hashes.
+    // These slots were all reported to the auditor once already, so the
+    // repeat records carry replay=true (frontier-check exempt).
     for (std::uint64_t s = slot; s <= log_.size(); ++s) {
         LogEntry& e = log_.at(s);
+        if (auditor_) {
+            auditor_->on_execute(sim().current_shard(), sim().now(), id(), s,
+                                 e.noop ? 0 : obs::trace_id(e.oc.payload), e.noop, true);
+        }
         if (e.noop || !e.valid_request) {
             e.executed = true;
             continue;

@@ -18,6 +18,10 @@
 #include "neobft/log.hpp"
 #include "sim/processing_node.hpp"
 
+namespace neo::obs {
+class Auditor;
+}
+
 namespace neo::neobft {
 
 class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
@@ -60,6 +64,11 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
 
     /// Fault injection for tests: a silent replica handles nothing.
     void set_silent(bool silent) { silent_ = silent; }
+
+    /// Online safety monitor (nullptr disables reporting). The replica
+    /// reports every executed slot, aom delivery and view decision; the
+    /// deployment finalizes the auditor after the run.
+    void set_auditor(obs::Auditor* a) { auditor_ = a; }
 
     /// Publishes protocol counters (Stats, receiver stats, per-kind rx
     /// counts) under `prefix` at every registry dump.
@@ -180,6 +189,11 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     Log log_;
     Stats stats_;
     bool silent_ = false;
+    obs::Auditor* auditor_ = nullptr;
+    /// True while re-executing slots already reported once (rollback, view
+    /// merge, state transfer): auditor records carry replay=true so the
+    /// frontier checks exempt them.
+    bool audit_replay_ = false;
 
     /// First slot of each epoch we have started.
     std::map<EpochNum, std::uint64_t> epoch_start_slot_;

@@ -4,6 +4,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "neobft/replica.hpp"
+#include "obs/auditor.hpp"
 
 namespace neo::neobft {
 
@@ -308,7 +309,23 @@ void Replica::adopt_view_start(const ViewStart& vs) {
         return;
     }
 
+    audit_replay_ = true;  // merge may re-append slots already reported
     apply_merged_log(vs.msgs, /*epoch_change=*/vs.new_view.epoch > view_.epoch);
+    audit_replay_ = false;
+    if (auditor_) {
+        // Frontier reset: an epoch-change merge may truncate the log below
+        // the previously reported frontier without re-appending anything.
+        auditor_->on_execute(sim().current_shard(), sim().now(), id(), log_.size(), 0, true,
+                             /*replay=*/true);
+        // The adopted log is a pure function of the VIEW-START message, so
+        // its canonical bytes stand in for the decision: two replicas
+        // reporting different digests at the same view means the leader
+        // equivocated.
+        auditor_->on_view_decision(
+            sim().current_shard(), sim().now(), id(),
+            (vs.new_view.epoch << 32) | (vs.new_view.leader & 0xffffffffu),
+            obs::trace_id(vs.signed_body()));
+    }
     enter_view(vs.new_view);
 }
 
@@ -641,6 +658,7 @@ void Replica::on_state_reply(NodeId from, Reader& r) {
         }
     }
     if (first_div != 0) {
+        audit_replay_ = true;  // state transfer rebuilds already-reported slots
         for (std::uint64_t s = log_.size(); s >= first_div && log_.has(s); --s) {
             LogEntry& e = log_.at(s);
             if (e.applied) {
@@ -665,6 +683,11 @@ void Replica::on_state_reply(NodeId from, Reader& r) {
             } else {
                 append_request(e.oc);
             }
+        }
+        audit_replay_ = false;
+        if (auditor_) {
+            auditor_->on_execute(sim().current_shard(), sim().now(), id(), log_.size(), 0,
+                                 true, /*replay=*/true);
         }
     }
     state_transfer_active_ = false;

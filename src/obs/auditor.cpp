@@ -1,0 +1,149 @@
+#include "obs/auditor.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace neo::obs {
+
+std::string Auditor::Violation::to_string() const {
+    std::string out = invariant;
+    out += " slot=" + std::to_string(slot);
+    out += " node=" + std::to_string(node_a);
+    if (node_b != 0) out += " vs node=" + std::to_string(node_b);
+    if (digest_a != 0 || digest_b != 0) {
+        out += " digest=" + std::to_string(digest_a) + " vs " + std::to_string(digest_b);
+    }
+    out += " t=" + std::to_string(t);
+    return out;
+}
+
+void Auditor::configure(std::size_t shards) {
+    shards_.assign(shards, {});
+    violations_.clear();
+    finalized_ = false;
+}
+
+std::size_t Auditor::records() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s.size();
+    return n;
+}
+
+void Auditor::finalize() {
+    violations_.clear();
+    finalized_ = true;
+
+    // Deterministic global order: shard buffers are append-only and each
+    // record's fields are pure functions of simulation data, so sorting by
+    // (t, node, stream, slot, digest) yields the same sequence whichever
+    // partition recorded it.
+    std::vector<Record> all;
+    all.reserve(records());
+    for (const auto& s : shards_) all.insert(all.end(), s.begin(), s.end());
+    std::sort(all.begin(), all.end(), [](const Record& a, const Record& b) {
+        if (a.t != b.t) return a.t < b.t;
+        if (a.node != b.node) return a.node < b.node;
+        if (a.stream != b.stream) return a.stream < b.stream;
+        if (a.slot != b.slot) return a.slot < b.slot;
+        return a.digest < b.digest;
+    });
+
+    struct SlotState {
+        std::uint64_t digest = 0;  // first non-noop digest
+        NodeId node = 0;
+        bool have_request = false;
+        bool flagged = false;
+    };
+    std::map<std::uint64_t, SlotState> slots;           // execute stream
+    std::map<NodeId, std::uint64_t> exec_frontier;      // per-node last slot
+    std::map<std::uint64_t, std::uint64_t> aom_next;    // (node<<32|epoch) -> next seq
+    struct ViewState {
+        std::uint64_t digest = 0;
+        NodeId node = 0;
+        bool have = false;
+        bool flagged = false;
+    };
+    std::map<std::uint64_t, ViewState> views;
+
+    for (const Record& r : all) {
+        switch (r.stream) {
+            case Stream::kExecute: {
+                if (!r.noop) {
+                    SlotState& st = slots[r.slot];
+                    if (!st.have_request) {
+                        st.have_request = true;
+                        st.digest = r.digest;
+                        st.node = r.node;
+                    } else if (st.digest != r.digest && !st.flagged) {
+                        st.flagged = true;
+                        violations_.push_back({"divergent_commit", r.slot, st.node, r.node,
+                                               st.digest, r.digest, r.t});
+                    }
+                }
+                auto [it, fresh] = exec_frontier.try_emplace(r.node, r.slot);
+                if (!fresh) {
+                    std::uint64_t last = it->second;
+                    if (r.replay) {
+                        // Rollback / view-merge / state-transfer re-execution
+                        // legitimately revisits committed slots — and may
+                        // leave the log SHORTER than before (epoch-change
+                        // truncation), so a replay record resets the frontier
+                        // rather than merely advancing it.
+                        it->second = r.slot;
+                    } else if (r.slot <= last) {
+                        violations_.push_back(
+                            {"seq_regression", r.slot, r.node, 0, r.slot, last, r.t});
+                    } else if (r.slot != last + 1) {
+                        violations_.push_back(
+                            {"seq_gap", r.slot, r.node, 0, r.slot, last, r.t});
+                        it->second = r.slot;
+                    } else {
+                        it->second = r.slot;
+                    }
+                }
+                break;
+            }
+            case Stream::kAomDeliver: {
+                std::uint64_t epoch = r.slot >> 32;
+                std::uint64_t seq = r.digest;
+                std::uint64_t key = (static_cast<std::uint64_t>(r.node) << 32) | epoch;
+                auto [it, fresh] = aom_next.try_emplace(key, seq + 1);
+                if (!fresh) {
+                    if (seq < it->second) {
+                        violations_.push_back(
+                            {"seq_regression", r.slot, r.node, 0, seq, it->second - 1, r.t});
+                    } else if (seq != it->second) {
+                        violations_.push_back(
+                            {"seq_gap", r.slot, r.node, 0, seq, it->second - 1, r.t});
+                        it->second = seq + 1;
+                    } else {
+                        it->second = seq + 1;
+                    }
+                }
+                break;
+            }
+            case Stream::kView: {
+                ViewState& st = views[r.slot];
+                if (!st.have) {
+                    st.have = true;
+                    st.digest = r.digest;
+                    st.node = r.node;
+                } else if (st.digest != r.digest && !st.flagged) {
+                    st.flagged = true;
+                    violations_.push_back({"view_conflict", r.slot, st.node, r.node, st.digest,
+                                           r.digest, r.t});
+                }
+                break;
+            }
+        }
+    }
+}
+
+void Auditor::report(TraceSink* tr) const {
+    if (tr == nullptr) return;
+    for (const Violation& v : violations_) {
+        tr->violation(v.t, v.node_a, v.invariant, v.slot, v.node_b);
+    }
+}
+
+}  // namespace neo::obs

@@ -1,0 +1,112 @@
+// Online safety-invariant monitor (ROADMAP item 3: "no divergent commits",
+// asserted continuously rather than only in figure checks).
+//
+// Every replica — NeoBFT and all baselines — reports its commit/execute,
+// aom-delivery and view-decision events into an Auditor owned by the
+// deployment. The Auditor cross-checks them against the protocol safety
+// invariants:
+//
+//  - divergent_commit: two replicas committed *different requests* at the
+//    same slot (request-vs-request digest conflict). A noop alongside a
+//    request is NOT a violation — NeoBFT's gap agreement legitimately
+//    commits a noop that a later ordering certificate supersedes (the
+//    rollback path only ever replaces noop<->request, never
+//    request->different-request).
+//  - seq_gap / seq_regression: a replica's execution frontier skipped a
+//    slot or moved backwards (rollback re-execution reports replay=true
+//    and is exempt), and aom delivery within an epoch was not contiguous.
+//  - view_conflict: two replicas entered the same view having adopted
+//    different merged logs.
+//
+// PDES-safety: reports append to per-shard buffers (shard =
+// Simulator::current_shard(), sized partitions+1 exactly like the
+// Network's sharded counters), so node events never contend on shared
+// state. All checking happens in finalize(), called from global context
+// (after run()/run_until()); it merge-sorts the shard buffers into one
+// deterministic record order, so the violation list is byte-identical
+// across --sim-threads values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace neo::obs {
+
+class Auditor {
+  public:
+    enum class Stream : std::uint8_t {
+        kExecute = 0,   // replica committed/executed a slot
+        kAomDeliver,    // aom receiver delivered (epoch, seq)
+        kView,          // replica entered a view with an adopted log
+    };
+
+    struct Record {
+        sim::Time t = 0;
+        NodeId node = 0;
+        Stream stream = Stream::kExecute;
+        std::uint64_t slot = 0;    // log slot | epoch<<32|seq | encoded view
+        std::uint64_t digest = 0;  // request/log content digest (0 = noop)
+        bool noop = false;
+        bool replay = false;       // rollback re-execution: exempt from ordering
+    };
+
+    struct Violation {
+        const char* invariant = "";  // static storage (trace label discipline)
+        std::uint64_t slot = 0;
+        NodeId node_a = 0;
+        NodeId node_b = 0;
+        std::uint64_t digest_a = 0;
+        std::uint64_t digest_b = 0;
+        sim::Time t = 0;  // virtual time of the offending record
+
+        std::string to_string() const;
+    };
+
+    /// Size the per-shard buffers; `shards` must be partitions + 1 (the
+    /// last shard takes reports from global context). Discards prior state.
+    void configure(std::size_t shards);
+    bool configured() const { return !shards_.empty(); }
+
+    // ---- reporting (from inside node events; shard = current_shard()) ----
+
+    void on_execute(std::size_t shard, sim::Time t, NodeId node, std::uint64_t slot,
+                    std::uint64_t digest, bool noop, bool replay = false) {
+        shards_[shard].push_back({t, node, Stream::kExecute, slot, digest, noop, replay});
+    }
+    void on_aom_deliver(std::size_t shard, sim::Time t, NodeId node, std::uint64_t epoch,
+                        std::uint64_t seq) {
+        shards_[shard].push_back(
+            {t, node, Stream::kAomDeliver, (epoch << 32) | (seq & 0xffffffffu), seq, false,
+             false});
+    }
+    void on_view_decision(std::size_t shard, sim::Time t, NodeId node, std::uint64_t view,
+                          std::uint64_t log_digest) {
+        shards_[shard].push_back({t, node, Stream::kView, view, log_digest, false, false});
+    }
+
+    // ---- checking (global context only) ----
+
+    /// Merge-sorts every shard buffer into one deterministic order and
+    /// replays all invariants from scratch. Idempotent.
+    void finalize();
+    bool finalized() const { return finalized_; }
+    /// True iff finalize() ran and found nothing.
+    bool ok() const { return finalized_ && violations_.empty(); }
+    const std::vector<Violation>& violations() const { return violations_; }
+    std::size_t records() const;
+
+    /// One structured kViolation trace event per violation; null-safe.
+    void report(TraceSink* tr) const;
+
+  private:
+    std::vector<std::vector<Record>> shards_;
+    std::vector<Violation> violations_;
+    bool finalized_ = false;
+};
+
+}  // namespace neo::obs

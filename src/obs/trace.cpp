@@ -35,6 +35,11 @@ const char* event_kind_name(EventKind k) {
         case EventKind::kBatch: return "batch";
         case EventKind::kCrypto: return "crypto";
         case EventKind::kCpuSpan: return "cpu_span";
+        case EventKind::kSpanBegin: return "span_begin";
+        case EventKind::kSpanEnd: return "span_end";
+        case EventKind::kTamper: return "tamper";
+        case EventKind::kViolation: return "violation";
+        case EventKind::kCount_: break;
     }
     return "?";
 }
@@ -114,6 +119,21 @@ void append_args(std::string& out, const TraceEvent& e) {
             out += "\"dur_ns\":";
             append_i64(out, e.dur);
             break;
+        case EventKind::kSpanBegin:
+        case EventKind::kSpanEnd:
+            field("trace_id", e.a, true);
+            field("peer", e.b);
+            break;
+        case EventKind::kTamper:
+            field("to", e.a, true);
+            field("bytes", e.b);
+            break;
+        case EventKind::kViolation:
+            field("a", e.a, true);
+            field("b", e.b);
+            break;
+        case EventKind::kCount_:
+            break;
     }
 }
 
@@ -172,23 +192,38 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
 
     for (const TraceEvent* ep : sorted) {
         const TraceEvent& e = *ep;
+        bool span = e.kind == EventKind::kSpanBegin || e.kind == EventKind::kSpanEnd;
         line.clear();
         line += ",\n{\"name\":\"";
         line += (e.label[0] != '\0' && e.kind != EventKind::kPacketDrop)
                     ? e.label
                     : event_kind_name(e.kind);
         line += "\",\"cat\":\"";
-        line += event_kind_name(e.kind);
+        // Begin/end halves of one async span must share a category — Chrome
+        // pairs async events by (cat, id, name).
+        line += span ? "span" : event_kind_name(e.kind);
         line += "\",\"ph\":\"";
-        line += (e.kind == EventKind::kCpuSpan) ? "X" : "i";
+        if (e.kind == EventKind::kCpuSpan) {
+            line += "X";
+        } else if (e.kind == EventKind::kSpanBegin) {
+            line += "b";
+        } else if (e.kind == EventKind::kSpanEnd) {
+            line += "e";
+        } else {
+            line += "i";
+        }
         line += "\",\"pid\":0,\"tid\":";
         append_u64(line, e.node);
+        if (span) {
+            line += ",\"id\":";
+            append_u64(line, e.a);
+        }
         line += ",\"ts\":";
         append_ts_us(line, e.t);
         if (e.kind == EventKind::kCpuSpan) {
             line += ",\"dur\":";
             append_ts_us(line, e.dur);
-        } else {
+        } else if (!span) {
             line += ",\"s\":\"t\"";
         }
         line += ",\"args\":{";

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "sim/time.hpp"
 
@@ -52,8 +53,38 @@ enum class EventKind : std::uint8_t {
     kBatch,          // batch sealed (label names the batch kind)
     kCrypto,         // modelled crypto cost charged to a task
     kCpuSpan,        // ProcessingNode task execution (duration event)
+    kSpanBegin,      // request-scoped causal span opened (label names it)
+    kSpanEnd,        // request-scoped causal span closed
+    kTamper,         // Byzantine tamper hook mutated a packet in flight
+    kViolation,      // safety-invariant violation (obs::Auditor)
+    kCount_,
 };
 const char* event_kind_name(EventKind k);
+
+/// Bit for `EventKind` in a TraceSink kind mask.
+constexpr std::uint32_t kind_bit(EventKind k) {
+    return 1u << static_cast<unsigned>(k);
+}
+/// Mask recording only request-scoped spans — what the critical-path
+/// analyzer needs when a run is not otherwise traced.
+constexpr std::uint32_t kSpanKindMask =
+    kind_bit(EventKind::kSpanBegin) | kind_bit(EventKind::kSpanEnd);
+/// Default mask: record everything.
+constexpr std::uint32_t kAllKindsMask = ~0u;
+
+/// Request-scoped trace id: FNV-1a over the serialized signed request
+/// bytes. Every protocol layer that holds those bytes (client submit, aom
+/// sequencer ingress, receiver delivery, replica execution) derives the
+/// same id without any wire-format change; the id is never zero so 0 can
+/// mean "no trace id". Pure function of simulation data — PDES-safe.
+constexpr std::uint64_t trace_id(BytesView bytes) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t byte : bytes) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    }
+    return h == 0 ? 1 : h;
+}
 
 /// One recorded event. `label` must point to a string with static storage
 /// duration (phase names, timer purposes) — the sink stores the pointer.
@@ -119,12 +150,47 @@ class TraceSink {
     void cpu_span(sim::Time t, NodeId node, const char* what, sim::Time dur) {
         push({t, dur, node, EventKind::kCpuSpan, what, 0, 0, 0});
     }
+    /// Request-scoped span open on `node`'s track; a=tid, b=peer node (or
+    /// phase-specific detail), label names the span ("request", "sequence",
+    /// "deliver", "execute", ...). Begin/end pair on the SAME node so
+    /// begin/end streams stay balanced per track.
+    void span_begin(sim::Time t, NodeId node, const char* name, std::uint64_t tid,
+                    std::uint64_t peer = 0) {
+        push({t, 0, node, EventKind::kSpanBegin, name, tid, peer, 0});
+    }
+    /// Span close; tid must match the open. b=peer carries the completing
+    /// peer where meaningful (e.g. the quorum-completing replica on the
+    /// client's "request" span).
+    void span_end(sim::Time t, NodeId node, const char* name, std::uint64_t tid,
+                  std::uint64_t peer = 0) {
+        push({t, 0, node, EventKind::kSpanEnd, name, tid, peer, 0});
+    }
+    /// Byzantine tamper hook rewrote a packet in flight (it still travels,
+    /// unlike the kTampered drop). a=to, b=bytes after mutation. Recorded on
+    /// the sender's track at send time, mirroring packet_send.
+    void tamper_mutate(sim::Time t, NodeId from, NodeId to, std::size_t bytes) {
+        push({t, 0, from, EventKind::kTamper, "mutate", to, bytes, 0});
+    }
+    /// Safety-invariant violation (obs::Auditor); label names the invariant,
+    /// a/b are invariant-specific (slot, conflicting node, ...).
+    void violation(sim::Time t, NodeId node, const char* invariant, std::uint64_t a,
+                   std::uint64_t b) {
+        push({t, 0, node, EventKind::kViolation, invariant, a, b, 0});
+    }
 
     // ---- configuration ----
 
     /// Human-readable track name for a node ("replica 1", "sequencer 910");
     /// exported as Chrome thread_name metadata.
     void set_node_name(NodeId node, std::string name) { node_names_[node] = std::move(name); }
+
+    /// Restricts recording to the masked kinds (bit i = EventKind i; see
+    /// kind_bit / kSpanKindMask). Filtering happens at push time, so a
+    /// spans-only sink costs one branch per suppressed event. Partition-local
+    /// buffers inherit the master sink's mask (sim::Simulator), keeping
+    /// serial and PDES recordings identical.
+    void set_kind_mask(std::uint32_t mask) { mask_ = mask; }
+    std::uint32_t kind_mask() const { return mask_; }
 
     // ---- access / export ----
 
@@ -147,10 +213,14 @@ class TraceSink {
     bool write_chrome_trace_file(const std::string& path) const;
 
   private:
-    void push(TraceEvent e) { events_.push_back(e); }
+    void push(TraceEvent e) {
+        if (!(mask_ & kind_bit(e.kind))) return;
+        events_.push_back(e);
+    }
 
     std::vector<TraceEvent> events_;
     std::map<NodeId, std::string> node_names_;
+    std::uint32_t mask_ = kAllKindsMask;
 };
 
 }  // namespace neo::obs

@@ -95,6 +95,9 @@ void Network::register_metrics(obs::Registry& reg, const std::string& prefix) {
                             obs::drop_reason_name(static_cast<obs::DropReason>(i)),
                         static_cast<double>(n));
         }
+        if (std::uint64_t n = tamper_mutations(); n != 0) {
+            r.set_value(prefix + ".tamper.mutations", static_cast<double>(n));
+        }
         // Merge the per-shard delivered-to maps and dump keys in sorted
         // order via a reused scratch vector (no ordered map rebuild per
         // dump).
@@ -158,7 +161,19 @@ void Network::send_at(Time depart, NodeId from, NodeId to, Packet data) {
             count_drop(obs::DropReason::kTampered, depart, from, to, mutated.size());
             return;
         }
-        data = Packet(std::move(mutated));
+        // Attribute actual mutations (the clone may come back unchanged —
+        // most hooks target one link): counter + structured trace event,
+        // identical on the serial and PDES paths. Untouched clones keep the
+        // original shared buffer.
+        bool changed = mutated.size() != data.size() ||
+                       !std::equal(mutated.begin(), mutated.end(), data.view().begin());
+        if (changed) {
+            ++shard().tamper_mutations;
+            if (obs::TraceSink* tr = sim_.trace()) {
+                tr->tamper_mutate(depart, from, to, mutated.size());
+            }
+            data = Packet(std::move(mutated));
+        }
     }
 
     if (obs::TraceSink* tr = sim_.trace()) tr->packet_send(depart, from, to, data.size());

@@ -122,6 +122,9 @@ class Network {
     std::uint64_t packets_delivered() const { return sum(&Shard::packets_delivered); }
     std::uint64_t packets_dropped() const { return sum(&Shard::packets_dropped); }
     std::uint64_t bytes_sent() const { return sum(&Shard::bytes_sent); }
+    /// Packets the Byzantine tamper hook rewrote but let through (the
+    /// dropped ones count under DropReason::kTampered instead).
+    std::uint64_t tamper_mutations() const { return sum(&Shard::tamper_mutations); }
 
     /// Drop attribution: why each dropped packet was lost.
     std::uint64_t dropped_for(obs::DropReason reason) const {
@@ -163,6 +166,7 @@ class Network {
         std::uint64_t packets_delivered = 0;
         std::uint64_t packets_dropped = 0;
         std::uint64_t bytes_sent = 0;
+        std::uint64_t tamper_mutations = 0;
         Time transit_time = 0;
         std::array<std::uint64_t, static_cast<std::size_t>(obs::DropReason::kCount_)>
             drops_by_reason{};

@@ -402,6 +402,10 @@ void Simulator::parallel_drain(Time limit) {
     if (trace_ != nullptr) {
         for (auto& p : parts_) {
             if (!p->tbuf) p->tbuf = std::make_unique<obs::TraceSink>();
+            // Partition-local buffers must filter exactly like the master
+            // sink, or a masked master would still pay (and later merge)
+            // suppressed kinds recorded inside windows.
+            p->tbuf->set_kind_mask(trace_->kind_mask());
         }
     }
     unsigned carry = carry_parity_;

@@ -1,0 +1,182 @@
+// Unit tests for the online safety-invariant monitor (obs::Auditor):
+// divergent commits at one slot, execution-frontier gaps/regressions with
+// the rollback-replay exemption, per-epoch aom delivery contiguity, and
+// view-decision conflicts. Records are pushed straight into shard 0 — the
+// simulator integration (sharded reporting, deterministic merge) is
+// exercised end-to-end by the harness tests.
+#include "obs/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace neo::obs {
+namespace {
+
+Auditor make_auditor() {
+    Auditor a;
+    a.configure(2);  // one partition + the global-context shard
+    return a;
+}
+
+std::size_t count(const Auditor& a, const char* invariant) {
+    std::size_t n = 0;
+    for (const auto& v : a.violations()) {
+        if (std::strcmp(v.invariant, invariant) == 0) ++n;
+    }
+    return n;
+}
+
+TEST(Auditor, CleanExecutionAcrossReplicasPasses) {
+    Auditor a = make_auditor();
+    for (NodeId n = 1; n <= 3; ++n) {
+        for (std::uint64_t s = 1; s <= 5; ++s) {
+            a.on_execute(0, static_cast<sim::Time>(10 * s), n, s, 100 + s, /*noop=*/false);
+        }
+    }
+    a.finalize();
+    EXPECT_TRUE(a.ok());
+    EXPECT_EQ(a.records(), 15u);
+    EXPECT_TRUE(a.violations().empty());
+}
+
+TEST(Auditor, OkRequiresFinalize) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 1, 1, 1, 42, false);
+    EXPECT_FALSE(a.ok());
+    a.finalize();
+    EXPECT_TRUE(a.ok());
+}
+
+TEST(Auditor, DivergentCommitAtOneSlotFlaggedOnce) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 111, false);
+    a.on_execute(0, 11, 2, 1, 222, false);  // conflicts with node 1
+    a.on_execute(0, 12, 3, 1, 333, false);  // same slot: already flagged
+    a.finalize();
+    EXPECT_FALSE(a.ok());
+    ASSERT_EQ(a.violations().size(), 1u);
+    const auto& v = a.violations()[0];
+    EXPECT_STREQ(v.invariant, "divergent_commit");
+    EXPECT_EQ(v.slot, 1u);
+    EXPECT_EQ(v.node_a, 1u);
+    EXPECT_EQ(v.node_b, 2u);
+    EXPECT_EQ(v.digest_a, 111u);
+    EXPECT_EQ(v.digest_b, 222u);
+}
+
+TEST(Auditor, NoopBesideRequestIsNotDivergent) {
+    // NeoBFT's gap agreement legitimately commits a noop at a slot where
+    // another replica (holding the ordering certificate) commits the
+    // request — in either observation order.
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 0, /*noop=*/true);
+    a.on_execute(0, 11, 2, 1, 42, /*noop=*/false);
+    a.on_execute(0, 12, 1, 2, 43, /*noop=*/false);
+    a.on_execute(0, 13, 2, 2, 0, /*noop=*/true);
+    a.finalize();
+    EXPECT_TRUE(a.ok());
+}
+
+TEST(Auditor, ExecutionGapDetected) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 101, false);
+    a.on_execute(0, 11, 1, 2, 102, false);
+    a.on_execute(0, 12, 1, 4, 104, false);  // skipped slot 3
+    a.finalize();
+    EXPECT_EQ(count(a, "seq_gap"), 1u);
+}
+
+TEST(Auditor, ExecutionRegressionDetected) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 101, false);
+    a.on_execute(0, 11, 1, 2, 102, false);
+    a.on_execute(0, 12, 1, 2, 102, false);  // frontier moved backwards
+    a.finalize();
+    EXPECT_EQ(count(a, "seq_regression"), 1u);
+}
+
+TEST(Auditor, ReplayResetsTheFrontier) {
+    // Epoch-change truncation can legitimately SHRINK the log; replay
+    // records reset the frontier so the re-execution from the merge point
+    // is not a regression.
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 101, false);
+    a.on_execute(0, 11, 1, 2, 102, false);
+    a.on_execute(0, 12, 1, 3, 103, false);
+    a.on_execute(0, 20, 1, 1, 101, false, /*replay=*/true);
+    a.on_execute(0, 21, 1, 2, 102, false, /*replay=*/true);
+    a.on_execute(0, 22, 1, 3, 103, false);  // resumes from the replayed frontier
+    a.on_execute(0, 23, 1, 4, 104, false);
+    a.finalize();
+    EXPECT_TRUE(a.ok()) << (a.violations().empty() ? "" : a.violations()[0].to_string());
+}
+
+TEST(Auditor, AomDeliveryContiguityPerEpoch) {
+    Auditor a = make_auditor();
+    a.on_aom_deliver(0, 10, 1, /*epoch=*/0, /*seq=*/1);
+    a.on_aom_deliver(0, 11, 1, 0, 2);
+    a.on_aom_deliver(0, 12, 1, 0, 4);  // gap within epoch 0
+    a.on_aom_deliver(0, 20, 1, 1, 7);  // a new epoch seeds a fresh frontier
+    a.on_aom_deliver(0, 21, 1, 1, 8);
+    a.finalize();
+    EXPECT_EQ(count(a, "seq_gap"), 1u);
+    EXPECT_EQ(count(a, "seq_regression"), 0u);
+}
+
+TEST(Auditor, ViewConflictDetected) {
+    Auditor a = make_auditor();
+    a.on_view_decision(0, 10, 1, /*view=*/1, /*log_digest=*/500);
+    a.on_view_decision(0, 11, 2, 1, 500);  // agrees
+    a.on_view_decision(0, 12, 3, 1, 501);  // adopted a different merged log
+    a.finalize();
+    EXPECT_EQ(count(a, "view_conflict"), 1u);
+}
+
+TEST(Auditor, FinalizeIsIdempotent) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 111, false);
+    a.on_execute(0, 11, 2, 1, 222, false);
+    a.finalize();
+    ASSERT_EQ(a.violations().size(), 1u);
+    a.finalize();
+    EXPECT_EQ(a.violations().size(), 1u);
+}
+
+TEST(Auditor, ReportEmitsOneViolationEventEach) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 111, false);
+    a.on_execute(0, 11, 2, 1, 222, false);
+    a.on_view_decision(0, 12, 1, 1, 1);
+    a.on_view_decision(0, 13, 2, 1, 2);
+    a.finalize();
+    ASSERT_EQ(a.violations().size(), 2u);
+
+    TraceSink sink;
+    a.report(&sink);
+    a.report(nullptr);  // null-safe
+    ASSERT_EQ(sink.events().size(), 2u);
+    for (const TraceEvent& e : sink.events()) {
+        EXPECT_EQ(e.kind, EventKind::kViolation);
+    }
+    EXPECT_STREQ(sink.events()[0].label, "divergent_commit");
+    EXPECT_STREQ(sink.events()[1].label, "view_conflict");
+}
+
+TEST(Auditor, ConfigureDiscardsPriorState) {
+    Auditor a = make_auditor();
+    a.on_execute(0, 10, 1, 1, 111, false);
+    a.on_execute(0, 11, 2, 1, 222, false);
+    a.finalize();
+    ASSERT_FALSE(a.ok());
+    a.configure(2);
+    EXPECT_EQ(a.records(), 0u);
+    EXPECT_FALSE(a.finalized());
+    a.finalize();
+    EXPECT_TRUE(a.ok());
+}
+
+}  // namespace
+}  // namespace neo::obs
