@@ -2,7 +2,10 @@
 // aggressive batching can further increase HotStuff's throughput to a level
 // comparable to NeoBFT; however, its latency also increases to more than
 // 10ms" (§6.2) — here visible as the throughput/latency trade as batch_max
-// grows.
+// grows. Since the leader batchers went adaptive (DESIGN.md §4.3),
+// batch_max is the controller's *cap*, not a fixed threshold — the sweep
+// still measures the same trade because the cap is what load-proportional
+// growth saturates against.
 #include <cstdio>
 #include <memory>
 

@@ -1,7 +1,10 @@
 // Ablation: Neo-BN's confirm-batching window (§6.2 "batch processing
 // confirm messages"). Small windows cost messages and CPU; large windows
 // cost latency. The paper's claim — high throughput at the expense of
-// latency — is the right-hand side of this sweep.
+// latency — is the right-hand side of this sweep. The confirm batcher is
+// adaptive now (DESIGN.md §4.3): confirm_flush_interval is the
+// controller's latency budget and confirm_batch_max its size cap, so the
+// swept knob remains the latency end of the trade.
 #include <cstdio>
 
 #include "harness/runner.hpp"

@@ -5,6 +5,11 @@
 //       [--tolerance <frac>]           default ±0.15 on every metric mean
 //       [--tol <metric>=<frac>]...     per-metric override; <metric> may be
 //                                      "name" or "point:name"
+//       [--micro]                      inputs are google-benchmark JSON
+//                                      (micro_crypto/micro_sim --json output);
+//                                      gates each benchmark's cpu_time,
+//                                      default tolerance widens to ±0.20
+//                                      (micro benches measure wall clock)
 //       [--verbose]                    print in-tolerance deltas too
 //       [--host-report]                print wall-clock (host_*) deltas;
 //                                      informational, never gates
@@ -27,7 +32,7 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> [--tolerance <frac>]\n"
-                 "       [--tol <metric>=<frac>]... [--verbose] [--host-report]\n",
+                 "       [--tol <metric>=<frac>]... [--micro] [--verbose] [--host-report]\n",
                  argv0);
     return 2;
 }
@@ -39,11 +44,16 @@ int main(int argc, char** argv) {
     CompareConfig cfg;
     bool verbose = false;
     bool host_report = false;
+    bool micro = false;
+    bool tolerance_set = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--tolerance" && i + 1 < argc) {
             cfg.tolerance = std::strtod(argv[++i], nullptr);
+            tolerance_set = true;
+        } else if (a == "--micro") {
+            micro = true;
         } else if (a == "--tol" && i + 1 < argc) {
             std::string kv = argv[++i];
             std::size_t eq = kv.rfind('=');
@@ -87,7 +97,8 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    CompareReport rep = compare_suites(base, cand, cfg);
+    if (micro && !tolerance_set) cfg.tolerance = 0.20;  // micro = wall clock
+    CompareReport rep = micro ? compare_micro(base, cand, cfg) : compare_suites(base, cand, cfg);
 
     for (const auto& err : rep.errors) {
         std::fprintf(stderr, "ERROR: %s\n", err.c_str());

@@ -20,7 +20,7 @@ BenchPointSpec hm_point(int receivers, bool quick) {
         {{"receivers", static_cast<double>(receivers)}},
         [receivers, quick](RunCtx& ctx) {
             AomBench bench(aom::AuthVariant::kHmacVector, receivers, ctx.seed(), {},
-                           ctx.sim_threads());
+                           ctx.sim_threads(), ctx.crypto_mode());
             sim::Time service = bench.service_ns(aom::AuthVariant::kHmacVector, receivers);
             // Drive slightly above capacity so the pipeline saturates;
             // tail-drop absorbs the excess.
@@ -43,7 +43,7 @@ BenchPointSpec pk_point(int receivers, bool quick) {
         {{"receivers", static_cast<double>(receivers)}},
         [receivers, quick](RunCtx& ctx) {
             AomBench bench(aom::AuthVariant::kPublicKey, receivers, ctx.seed(), {},
-                           ctx.sim_threads());
+                           ctx.sim_threads(), ctx.crypto_mode());
             // Signing throughput: drive the signer at saturation and count
             // signatures per second (the paper reports signing throughput).
             auto gap = static_cast<sim::Time>(static_cast<double>(sim::kPkSignServiceNs) * 0.9);

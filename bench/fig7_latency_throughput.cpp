@@ -25,6 +25,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              return make_unreplicated(p);
          }},
         {"Neo-HM", "neo_hm",
@@ -33,6 +34,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              p.variant = NeoVariant::kHm;
              return make_neobft(p);
          },
@@ -43,6 +45,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              p.variant = NeoVariant::kPk;
              return make_neobft(p);
          }},
@@ -52,6 +55,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              p.variant = NeoVariant::kBn;
              return make_neobft(p);
          }},
@@ -61,6 +65,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              return make_zyzzyva(p);
          }},
         {"Zyzzyva-F (one faulty replica)", "zyzzyva_f",
@@ -69,6 +74,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              p.faulty_replica = true;
              return make_zyzzyva(p);
          }},
@@ -78,6 +84,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              return make_pbft(p);
          }},
         {"HotStuff", "hotstuff",
@@ -86,6 +93,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              p.batch_max = 8;  // modest batching (the paper notes aggressive
              // batching lifts HotStuff's throughput but pushes latency >10ms)
              return make_hotstuff(p);
@@ -96,6 +104,7 @@ std::vector<Protocol> protocols() {
              p.n_clients = clients;
              p.seed = ctx.seed();
              p.sim_threads = ctx.sim_threads();
+             p.crypto_mode = ctx.crypto_mode();
              return make_minbft(p);
          }},
     };

@@ -30,7 +30,7 @@ struct RunOut {
 };
 
 RunOut run_once(NeoVariant variant, int replicas, unsigned sim_threads, std::uint64_t seed,
-                bool quick) {
+                bool quick, crypto::CryptoMode crypto_mode) {
     NeoParams p;
     p.n_replicas = replicas;
     p.n_clients = 16;
@@ -38,6 +38,7 @@ RunOut run_once(NeoVariant variant, int replicas, unsigned sim_threads, std::uin
     p.software_sequencer = true;
     p.seed = seed;
     p.sim_threads = sim_threads;
+    p.crypto_mode = crypto_mode;
     auto t0 = std::chrono::steady_clock::now();
     auto d = make_neobft(p);
     Measured m = run_closed_loop(*d, echo_ops(64), 2 * sim::kMillisecond,
@@ -80,8 +81,8 @@ int main(int argc, char** argv) {
                 {{"replicas", static_cast<double>(n)}},
                 [variant, n, par, quick = bm.quick()](RunCtx& ctx) {
                     std::uint64_t seed = ctx.seed() + static_cast<std::uint64_t>(n);
-                    RunOut serial = run_once(variant, n, 1, seed, quick);
-                    RunOut parallel = run_once(variant, n, par, seed, quick);
+                    RunOut serial = run_once(variant, n, 1, seed, quick, ctx.crypto_mode());
+                    RunOut parallel = run_once(variant, n, par, seed, quick, ctx.crypto_mode());
                     if (!same_results(serial, parallel)) {
                         std::fprintf(stderr,
                                      "fig8_10x: serial / %u-thread results DIVERGED at n=%d\n",

@@ -81,8 +81,9 @@ class AomBench {
     /// `sim_threads` is accepted for CLI uniformity; the zero-latency links
     /// give the engine no lookahead, so these fixtures always run serially.
     AomBench(aom::AuthVariant variant, int receivers, std::uint64_t seed = 17,
-             aom::SequencerConfig seq_cfg = {}, unsigned sim_threads = 1)
-        : sim_(sim_threads), net_(sim_, seed), root_(crypto::CryptoMode::kModeled, seed + 1),
+             aom::SequencerConfig seq_cfg = {}, unsigned sim_threads = 1,
+             crypto::CryptoMode crypto_mode = crypto::CryptoMode::kModeled)
+        : sim_(sim_threads), net_(sim_, seed), root_(crypto_mode, seed + 1),
           keys_(seed + 2) {
         sim::LinkConfig link;
         link.latency = 0;

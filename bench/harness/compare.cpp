@@ -194,4 +194,79 @@ CompareReport compare_suites(const Json& baseline, const Json& candidate,
     return rep;
 }
 
+namespace {
+
+const Json* checked_micro(const Json& doc, const char* which,
+                          std::vector<std::string>& errors) {
+    const Json* benchmarks = doc.find("benchmarks");
+    if (!benchmarks || !benchmarks->is_array()) {
+        errors.push_back(std::string(which) +
+                         ": not a google-benchmark JSON document (no benchmarks array)");
+        return nullptr;
+    }
+    return benchmarks;
+}
+
+/// Per-iteration rows only: with --benchmark_repetitions google-benchmark
+/// adds mean/median/stddev aggregate rows tagged by run_type.
+bool is_iteration_row(const Json& row) {
+    const Json* rt = row.find("run_type");
+    return !rt || !rt->is_string() || rt->string() == "iteration";
+}
+
+const Json* find_micro(const Json& benchmarks, const std::string& name) {
+    for (const auto& b : benchmarks.items()) {
+        const Json* n = b.find("name");
+        if (n && n->is_string() && n->string() == name && is_iteration_row(b)) return &b;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+CompareReport compare_micro(const Json& baseline, const Json& candidate,
+                            const CompareConfig& cfg) {
+    CompareReport rep;
+    const Json* base = checked_micro(baseline, "baseline", rep.errors);
+    const Json* cand = checked_micro(candidate, "candidate", rep.errors);
+    if (!base || !cand) return rep;
+
+    for (const auto& bb : base->items()) {
+        const Json* name = bb.find("name");
+        if (!name || !name->is_string() || !is_iteration_row(bb)) continue;
+        const Json* cb = find_micro(*cand, name->string());
+        if (!cb) {
+            rep.errors.push_back("candidate is missing benchmark \"" + name->string() + "\"");
+            continue;
+        }
+        MetricDelta d;
+        d.point = "micro";
+        d.metric = name->string();
+        d.lower_is_better = true;  // cpu_time per iteration
+        d.tolerance = tolerance_for(cfg, d.point, d.metric);
+        try {
+            d.base_mean = bb.at("cpu_time").number();
+            d.cand_mean = cb->at("cpu_time").number();
+        } catch (const JsonError& e) {
+            rep.errors.push_back("benchmark \"" + name->string() + "\": " + e.what());
+            continue;
+        }
+        if (std::fabs(d.base_mean) < kZeroEps) {
+            d.status = DeltaStatus::kZeroBaseline;
+            rep.deltas.push_back(d);
+            continue;
+        }
+        d.rel_delta = (d.cand_mean - d.base_mean) / std::fabs(d.base_mean);
+        if (d.rel_delta > d.tolerance) {
+            d.status = DeltaStatus::kRegressed;
+        } else if (-d.rel_delta > d.tolerance) {
+            d.status = DeltaStatus::kImproved;
+        } else {
+            d.status = DeltaStatus::kOk;
+        }
+        rep.deltas.push_back(d);
+    }
+    return rep;
+}
+
 }  // namespace neo::bench

@@ -92,4 +92,14 @@ double tolerance_for(const CompareConfig& cfg, const std::string& point,
 CompareReport compare_suites(const Json& baseline, const Json& candidate,
                              const CompareConfig& cfg);
 
+/// Diffs two google-benchmark JSON documents (the micro_crypto / micro_sim
+/// `--benchmark_out` format): every baseline `benchmarks[].name` must exist
+/// in the candidate, and its `cpu_time` is gated like a lower-is-better
+/// metric under `cfg` tolerances (point name "micro"). Aggregate rows
+/// (run_type != "iteration") are skipped. Micro benchmarks measure real
+/// wall-clock, so callers use a wider tolerance than the suite gate (CI
+/// passes ±20%).
+CompareReport compare_micro(const Json& baseline, const Json& candidate,
+                            const CompareConfig& cfg);
+
 }  // namespace neo::bench

@@ -196,6 +196,9 @@ struct CommonParams {
     /// results are byte-identical for every value; only host time changes.
     unsigned sim_threads = 1;
     double drop_rate = 0.0;
+    /// Adaptive-batching bounds for the baselines' leader batcher: cap on
+    /// the load-tracked seal threshold, and the latency budget bounding the
+    /// oldest request's wait (see sim::AdaptiveBatchController).
     std::size_t batch_max = 16;
     sim::Time batch_delay = 100 * sim::kMicrosecond;
     /// Replica application for NeoBFT (stateful, undo-capable).

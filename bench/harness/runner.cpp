@@ -60,6 +60,8 @@ BenchOptions BenchOptions::parse(int argc, char* const* argv) {
         o.sim_threads = j <= 0 ? ThreadPool::default_jobs() : static_cast<unsigned>(j);
     }
     o.quick = flag_present(argc, argv, "--quick") || std::getenv("NEO_BENCH_QUICK") != nullptr;
+    o.real_crypto = flag_present(argc, argv, "--real-crypto") ||
+                    std::getenv("NEO_BENCH_REAL_CRYPTO") != nullptr;
     return o;
 }
 
@@ -121,6 +123,7 @@ std::string BenchSuite::to_json() const {
     root.set("base_seed", Json(static_cast<double>(base_seed)));
     root.set("seeds", Json(static_cast<double>(seeds)));
     root.set("quick", Json(quick));
+    root.set("real_crypto", Json(real_crypto));
     root.set("meta", run_meta_json(base_seed, seeds, sim_threads));
     Json pts = Json::array();
     for (const auto& p : points) {
@@ -164,6 +167,7 @@ BenchMain::BenchMain(int argc, char** argv, std::string suite_name)
     suite_.seeds = opt_.seeds;
     suite_.quick = opt_.quick;
     suite_.sim_threads = opt_.sim_threads;
+    suite_.real_crypto = opt_.real_crypto;
     if (flag_present(argc, argv, "--help") || flag_present(argc, argv, "-h")) {
         std::printf(
             "usage: %s [--json <path>] [--seed <S>] [--seeds <N>] [--jobs <N>]\n"
@@ -175,6 +179,9 @@ BenchMain::BenchMain(int argc, char** argv, std::string suite_name)
             "  --sim-threads  partitions per simulation (PDES); 0 = all cores\n"
             "             (default 1). Simulated results are identical for any N.\n"
             "  --quick    reduced-size sweep for CI smoke runs\n"
+            "  --real-crypto  run with CryptoMode::kReal (actual secp256k1 /\n"
+            "             SipHash on the host). Simulated metrics are unchanged;\n"
+            "             only host_ns and trace signature bytes differ.\n"
             "  --trace    Chrome-trace/JSONL timeline of one run (see docs/OBSERVABILITY.md)\n"
             "  --metrics  per-run counter JSON, labels namespaced '<point>.s<seed>'\n",
             argv[0]);
@@ -214,11 +221,13 @@ std::vector<PointResult> BenchMain::run(const std::vector<BenchPointSpec>& point
                 auto fn = spec.run;
                 bool quick = opt_.quick;
                 unsigned sim_threads = opt_.sim_threads;
+                bool real_crypto = opt_.real_crypto;
                 ObsSession* obs = &obs_;
                 futs[i].push_back(pool.async(
                     [fn, obs, label = std::move(label), seed, want_trace, quick,
-                     sim_threads]() -> Metrics {
-                        RunCtx ctx(obs, label, seed, want_trace, quick, sim_threads);
+                     sim_threads, real_crypto]() -> Metrics {
+                        RunCtx ctx(obs, label, seed, want_trace, quick, sim_threads,
+                                   real_crypto);
                         // Wall-clock per (point, seed). host_* metrics are
                         // nondeterministic by nature; bench_compare and the
                         // determinism tests ignore them (docs/BENCHMARKING.md).

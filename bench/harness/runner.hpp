@@ -37,6 +37,13 @@ struct BenchOptions {
     /// Worker partitions inside each simulation (Simulator's thread count).
     unsigned sim_threads = 1;
     bool quick = false;
+    /// --real-crypto (env NEO_BENCH_REAL_CRYPTO): run every protocol point
+    /// with CryptoMode::kReal — actual secp256k1/SipHash on the host instead
+    /// of the modeled HMAC oracle. Virtual costs (and therefore simulated
+    /// metrics) are mode-independent; only host_ns and the signature bytes
+    /// in traces change. Used by the nightly workflow and the host-side
+    /// crypto wall-clock gate (docs/BENCHMARKING.md).
+    bool real_crypto = false;
 
     /// Parses the uniform flags from argv (unrecognised flags are left for
     /// other consumers, e.g. --trace/--metrics). `--jobs 0` resolves to
@@ -52,6 +59,11 @@ class RunCtx {
     /// --sim-threads: forward into CommonParams::sim_threads (or a
     /// Simulator constructor) so the simulation itself runs partitioned.
     unsigned sim_threads() const { return sim_threads_; }
+    /// --real-crypto: forward into CommonParams::crypto_mode so factories
+    /// build real-crypto deployments.
+    crypto::CryptoMode crypto_mode() const {
+        return real_crypto_ ? crypto::CryptoMode::kReal : crypto::CryptoMode::kModeled;
+    }
     /// Label for metrics namespacing: "<point>.s<seed>" — the seed is part
     /// of the label so multi-seed metric dumps never collide.
     const std::string& label() const { return label_; }
@@ -70,9 +82,9 @@ class RunCtx {
   private:
     friend class BenchMain;
     RunCtx(ObsSession* obs, std::string label, std::uint64_t seed, bool want_trace, bool quick,
-           unsigned sim_threads)
+           unsigned sim_threads, bool real_crypto)
         : obs_(obs), label_(std::move(label)), seed_(seed), want_trace_(want_trace),
-          quick_(quick), sim_threads_(sim_threads) {}
+          quick_(quick), sim_threads_(sim_threads), real_crypto_(real_crypto) {}
 
     ObsSession* obs_;
     std::string label_;
@@ -80,6 +92,7 @@ class RunCtx {
     bool want_trace_;
     bool quick_;
     unsigned sim_threads_ = 1;
+    bool real_crypto_ = false;
 };
 
 /// One sweep point: a stable name ("aom_hm.r4"), its machine-readable sweep
@@ -123,6 +136,9 @@ struct BenchSuite {
     /// run_meta_json — which adds the build's git describe / build type)
     /// so archived BENCH_*.json files are self-describing.
     unsigned sim_threads = 1;
+    /// Whether the suite ran with --real-crypto (echoed as a root field so
+    /// archived real-crypto suites are distinguishable from modeled ones).
+    bool real_crypto = false;
     std::vector<PointResult> points;
 
     const PointResult* point(const std::string& name) const;

@@ -9,7 +9,7 @@ namespace neo::aom {
 AomReceiver::AomReceiver(GroupConfig group, NodeId self, crypto::NodeCrypto* crypto,
                          const AomKeyService* keys, ReceiverHost* host, ReceiverOptions opts)
     : group_(std::move(group)), self_(self), crypto_(crypto), keys_(keys), host_(host),
-      opts_(opts) {
+      opts_(opts), confirm_ctrl_(opts.confirm_policy()) {
     NEO_ASSERT_MSG(group_.receiver_index(self_) >= 0, "receiver must be a group member");
 }
 
@@ -297,11 +297,11 @@ void AomReceiver::queue_own_confirm(SeqNum seq, const Digest32& digest) {
     e.signature = std::move(sig);
     confirm_outbox_.push_back(std::move(e));
 
-    if (confirm_outbox_.size() >= opts_.confirm_batch_max) {
+    if (confirm_outbox_.size() >= confirm_ctrl_.target()) {
         flush_confirms();
     } else if (!confirm_timer_armed_) {
         confirm_timer_armed_ = true;
-        host_->aom_set_timer(opts_.confirm_flush_interval, [this] {
+        host_->aom_set_timer(confirm_ctrl_.flush_delay(), [this] {
             confirm_timer_armed_ = false;
             flush_confirms();
         }, "confirm_flush");
@@ -310,6 +310,9 @@ void AomReceiver::queue_own_confirm(SeqNum seq, const Digest32& digest) {
 
 void AomReceiver::flush_confirms() {
     if (confirm_outbox_.empty()) return;
+    confirm_ctrl_.on_seal(confirm_outbox_.size(),
+                          confirm_outbox_.size() >= confirm_ctrl_.target());
+    crypto_->meter().charge(crypto_->root().costs().batch_seal_ns);
     if (obs::TraceSink* tr = host_->aom_trace()) {
         tr->batch(host_->aom_now(), self_, "confirm_batch", confirm_outbox_.size());
     }

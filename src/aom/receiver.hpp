@@ -23,6 +23,7 @@
 #include "aom/types.hpp"
 #include "aom/wire.hpp"
 #include "crypto/identity.hpp"
+#include "sim/adaptive_batch.hpp"
 #include "sim/time.hpp"
 
 namespace neo::obs {
@@ -56,9 +57,16 @@ struct ReceiverOptions {
     sim::Time gap_timeout = 1 * sim::kMillisecond;
     /// Confirm batching (Byzantine network mode). The paper sustains high
     /// Neo-BN throughput "by batch processing confirm messages" (§6.2) at
-    /// the expense of latency; the flush interval is that trade-off.
+    /// the expense of latency. These are the adaptive controller's bounds:
+    /// the flush interval is the latency budget (max wait of the oldest
+    /// queued confirm), the max is the threshold cap the controller may
+    /// grow to under load (see sim::AdaptiveBatchController).
     sim::Time confirm_flush_interval = 50 * sim::kMicrosecond;
     std::size_t confirm_batch_max = 256;
+
+    sim::AdaptiveBatchPolicy confirm_policy() const {
+        return sim::AdaptiveBatchPolicy{1, confirm_batch_max, confirm_flush_interval};
+    }
 };
 
 /// What the library hands up to the application.
@@ -91,6 +99,9 @@ class AomReceiver {
     void start_epoch(EpochNum epoch, NodeId sequencer);
 
     EpochNum epoch() const { return epoch_; }
+
+    /// Adaptive confirm-batching controller (instrumentation).
+    const sim::AdaptiveBatchController& confirm_controller() const { return confirm_ctrl_; }
     NodeId sequencer() const { return sequencer_for_epoch(epoch_); }
     NodeId sequencer_for_epoch(EpochNum e) const;
     SeqNum next_seq() const { return next_seq_; }
@@ -171,6 +182,7 @@ class AomReceiver {
     std::map<SeqNum, Bytes> auth_chain_sigs_;    // seq -> signature over C_seq
 
     std::vector<ConfirmPacket::Entry> confirm_outbox_;
+    sim::AdaptiveBatchController confirm_ctrl_;
     bool confirm_timer_armed_ = false;
 
     bool gap_timer_armed_ = false;

@@ -142,11 +142,26 @@ void SequencerSwitch::process_hm(GroupState& gs, const DataPacket& pkt, sim::Tim
         out.digest = pkt.digest;
         out.subgroup = static_cast<std::uint8_t>(sg);
         out.n_subgroups = static_cast<std::uint8_t>(subgroups);
-        for (int slot = sg * kHmSubgroupSize;
-             slot < std::min(receivers, (sg + 1) * kHmSubgroupSize); ++slot) {
-            crypto::HalfSipKey key =
-                keys_->hm_key(id(), gs.cfg.receivers[static_cast<std::size_t>(slot)]);
-            out.macs.push_back(crypto::halfsiphash24(key, input));
+        int lo = sg * kHmSubgroupSize;
+        int hi = std::min(receivers, (sg + 1) * kHmSubgroupSize);
+        if (hi - lo == kHmSubgroupSize) {
+            // Full subgroup: same input, four keys — one 4-lane SipHash
+            // dispatch (see crypto::halfsiphash24_x4) instead of four
+            // scalar passes over the input.
+            crypto::HalfSipKey keys[kHmSubgroupSize];
+            std::uint32_t macs[kHmSubgroupSize];
+            for (int slot = lo; slot < hi; ++slot) {
+                keys[slot - lo] =
+                    keys_->hm_key(id(), gs.cfg.receivers[static_cast<std::size_t>(slot)]);
+            }
+            crypto::halfsiphash24_x4(keys, input, macs);
+            out.macs.insert(out.macs.end(), macs, macs + kHmSubgroupSize);
+        } else {
+            for (int slot = lo; slot < hi; ++slot) {
+                crypto::HalfSipKey key =
+                    keys_->hm_key(id(), gs.cfg.receivers[static_cast<std::size_t>(slot)]);
+                out.macs.push_back(crypto::halfsiphash24(key, input));
+            }
         }
         out.payload = pkt.payload;
         wire_packets.push_back(out.serialize());

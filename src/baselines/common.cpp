@@ -181,6 +181,24 @@ void ExecProbe::on_execute_wire(sim::ProcessingNode& node, BytesView wire) {
     }
 }
 
+void trace_batch_add(sim::ProcessingNode& node, const Request& req) {
+    if (obs::TraceSink* tr = node.sim().trace()) {
+        tr->span_begin(node.sim().now(), node.id(), "batch", obs::trace_id(req.serialize()));
+    }
+}
+
+void trace_batch_seal(sim::ProcessingNode& node, const std::vector<Request>& batch) {
+    obs::TraceSink* tr = node.sim().trace();
+    if (tr == nullptr) return;
+    for (const Request& req : batch) {
+        tr->span_end(node.sim().now(), node.id(), "batch", obs::trace_id(req.serialize()));
+    }
+}
+
+void charge_batch_seal(crypto::NodeCrypto& crypto) {
+    crypto.meter().charge(crypto.root().costs().batch_seal_ns);
+}
+
 // ---------------- QuorumClient ----------------
 
 QuorumClient::QuorumClient(BaseConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,

@@ -23,6 +23,7 @@
 #include "common/codec.hpp"
 #include "common/types.hpp"
 #include "crypto/identity.hpp"
+#include "sim/adaptive_batch.hpp"
 #include "sim/costs.hpp"
 #include "sim/processing_node.hpp"
 
@@ -63,9 +64,16 @@ const char* kind_name(std::uint8_t kind);
 struct BaseConfig {
     std::vector<NodeId> replicas;
     int f = 1;
-    /// Batch seal bounds (size OR delay, whichever first).
+    /// Adaptive-batching bounds: `batch_max` caps the seal threshold the
+    /// controller may grow to, `batch_delay` is the latency budget the
+    /// oldest queued request can wait before a forced flush. The threshold
+    /// itself tracks load (see sim::AdaptiveBatchController).
     std::size_t batch_max = 16;
     sim::Time batch_delay = 100 * sim::kMicrosecond;
+
+    sim::AdaptiveBatchPolicy batch_policy() const {
+        return sim::AdaptiveBatchPolicy{1, batch_max, batch_delay};
+    }
 
     int n() const { return static_cast<int>(replicas.size()); }
     bool is_replica(NodeId node) const {
@@ -129,32 +137,49 @@ Digest32 batch_digest(const std::vector<Request>& batch);
 
 // ---------------- Batcher ----------------
 
-/// Accumulates client requests at the leader; seals a batch when `max`
-/// requests are waiting or `delay` elapsed since the first one.
+/// Accumulates client requests at the leader; seals a batch when the
+/// adaptive threshold is reached or the latency budget elapsed since the
+/// first one. The threshold grows with queue depth and decays when the
+/// timer flushes underfull batches (sim::AdaptiveBatchController), so low
+/// load pays no batching latency and saturation amortises per-batch
+/// protocol cost over up to `policy.max_batch` requests.
 class Batcher {
   public:
     using SealFn = std::function<void(std::vector<Request>)>;
 
-    Batcher(std::size_t max, sim::Time delay) : max_(max), delay_(delay) {}
+    explicit Batcher(sim::AdaptiveBatchPolicy policy) : ctrl_(policy) {}
 
-    /// Returns a batch to seal now, or nullopt (timer armed by caller).
     void add(Request req) { pending_.push_back(std::move(req)); }
-    bool should_seal_by_size() const { return pending_.size() >= max_; }
+    bool should_seal_by_size() const { return pending_.size() >= ctrl_.target(); }
     bool empty() const { return pending_.empty(); }
     std::size_t size() const { return pending_.size(); }
-    sim::Time delay() const { return delay_; }
+    sim::Time delay() const { return ctrl_.flush_delay(); }
+    const sim::AdaptiveBatchController& controller() const { return ctrl_; }
 
+    /// Seals the pending batch and feeds the controller. A queue at or
+    /// above the threshold counts as a size seal even when the flush timer
+    /// won the race to call this.
     std::vector<Request> seal() {
+        ctrl_.on_seal(pending_.size(), pending_.size() >= ctrl_.target());
         std::vector<Request> out = std::move(pending_);
         pending_.clear();
         return out;
     }
 
   private:
-    std::size_t max_;
-    sim::Time delay_;
+    sim::AdaptiveBatchController ctrl_;
     std::vector<Request> pending_;
 };
+
+/// Request-scoped "batch" spans: begin when the leader queues a request,
+/// end (for every request in the batch) at the seal. The critical-path
+/// analyzer reports the interval as the phase_batch wait. No-ops when
+/// tracing is off.
+void trace_batch_add(sim::ProcessingNode& node, const Request& req);
+void trace_batch_seal(sim::ProcessingNode& node, const std::vector<Request>& batch);
+
+/// Virtual cost of a seal decision, charged to the sealing node's meter.
+void charge_batch_seal(crypto::NodeCrypto& crypto);
 
 // ---------------- Execution probe ----------------
 

@@ -10,7 +10,7 @@ namespace neo::baselines {
 MinbftReplica::MinbftReplica(MinbftConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
                              std::uint64_t usig_seed)
     : cfg_(cfg), crypto_(std::move(crypto)), usig_(usig_seed, 0),
-      batcher_(cfg.batch_max, cfg.batch_delay) {
+      batcher_(cfg.batch_policy()) {
     set_meter(&crypto_->meter());
     set_processing_config(sim::host_processing());
 }
@@ -65,6 +65,7 @@ void MinbftReplica::on_request(NodeId from, Reader& r) {
     if (!is_primary()) return;
     if (!crypto_->check_mac_from(req.client, req.mac_body(), req.mac)) return;
 
+    trace_batch_add(*this, req);
     batcher_.add(std::move(req));
     if (batcher_.should_seal_by_size()) {
         seal_batch();
@@ -80,6 +81,8 @@ void MinbftReplica::on_request(NodeId from, Reader& r) {
 void MinbftReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
     if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
+    trace_batch_seal(*this, batch);
+    charge_batch_seal(*crypto_);
     Digest32 bd = batch_digest(batch);
     std::uint64_t seq = next_seq_++;
     Usig::UI ui = metered_create(prepare_digest(view_, seq, bd));

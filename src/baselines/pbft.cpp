@@ -7,7 +7,7 @@
 namespace neo::baselines {
 
 PbftReplica::PbftReplica(PbftConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto)
-    : cfg_(cfg), crypto_(std::move(crypto)), batcher_(cfg.batch_max, cfg.batch_delay) {
+    : cfg_(cfg), crypto_(std::move(crypto)), batcher_(cfg.batch_policy()) {
     set_meter(&crypto_->meter());
     set_processing_config(sim::host_processing());
 }
@@ -42,6 +42,7 @@ void PbftReplica::on_request(NodeId from, Reader& r) {
     if (!is_primary()) return;  // backups rely on the client retry/broadcast
     if (!crypto_->check_mac_from(req.client, req.mac_body(), req.mac)) return;
 
+    trace_batch_add(*this, req);
     batcher_.add(std::move(req));
     if (batcher_.should_seal_by_size()) {
         seal_batch();
@@ -77,6 +78,8 @@ Bytes PbftReplica::phase_body(std::string_view tag, std::uint64_t seq, const Dig
 void PbftReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
     if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
+    trace_batch_seal(*this, batch);
+    charge_batch_seal(*crypto_);
     std::uint64_t seq = next_seq_++;
     Digest32 digest = batch_digest(batch);
 

@@ -11,7 +11,7 @@ namespace neo::baselines {
 // ---------------------------------------------------------------- Replica
 
 ZyzzyvaReplica::ZyzzyvaReplica(ZyzzyvaConfig cfg, std::unique_ptr<crypto::NodeCrypto> crypto)
-    : cfg_(cfg), crypto_(std::move(crypto)), batcher_(cfg.batch_max, cfg.batch_delay) {
+    : cfg_(cfg), crypto_(std::move(crypto)), batcher_(cfg.batch_policy()) {
     set_meter(&crypto_->meter());
     set_processing_config(sim::host_processing());
 }
@@ -44,6 +44,7 @@ void ZyzzyvaReplica::on_request(NodeId from, Reader& r) {
     if (!is_primary()) return;
     if (!crypto_->check_mac_from(req.client, req.mac_body(), req.mac)) return;
 
+    trace_batch_add(*this, req);
     batcher_.add(std::move(req));
     if (batcher_.should_seal_by_size()) {
         seal_batch();
@@ -70,6 +71,8 @@ Bytes ZyzzyvaReplica::order_body(std::uint64_t seq, const Digest32& history,
 void ZyzzyvaReplica::seal_batch() {
     std::vector<Request> batch = batcher_.seal();
     if (obs::TraceSink* tr = sim().trace()) tr->batch(sim().now(), id(), "seal_batch", batch.size());
+    trace_batch_seal(*this, batch);
+    charge_batch_seal(*crypto_);
     std::uint64_t seq = next_seq_++;
     Digest32 digest = batch_digest(batch);
     Digest32 new_history =

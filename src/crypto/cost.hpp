@@ -28,6 +28,11 @@ struct CryptoCosts {
     // SHA-256: fully synchronous.
     std::int64_t hash_base_ns = 150;
     std::int64_t hash_per_byte_ns = 2;
+    // Sealing a message batch (leader request batches, confirm batches):
+    // assembling the batched message and handing it to the send path. Paid
+    // once per seal decision, so adaptive batching's fewer-but-larger
+    // batches show up as less virtual dispatch work under load.
+    std::int64_t batch_seal_ns = 250;
 };
 
 /// Per-node accumulator. Protocol handlers run, crypto ops tick the meter,

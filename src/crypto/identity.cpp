@@ -21,6 +21,11 @@ Bytes master_secret_from_seed(std::uint64_t seed) {
 
 }  // namespace
 
+HostCryptoTuning& host_crypto_tuning() {
+    static HostCryptoTuning tuning;
+    return tuning;
+}
+
 TrustRoot::TrustRoot(CryptoMode mode, std::uint64_t seed, CryptoCosts costs)
     : mode_(mode),
       costs_(costs),
@@ -40,10 +45,44 @@ std::unique_ptr<NodeCrypto> TrustRoot::provision(NodeId node) {
     Bytes seed = derive("node-signing-key", node, 0);
     EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(seed);
     if (mode_ == CryptoMode::kReal && !public_keys_.contains(node)) {
-        public_keys_.emplace(node, ecdsa_derive_public(priv));
+        auto it = public_keys_.emplace(node, ecdsa_derive_public(priv)).first;
+        // Built eagerly so the table map is const once simulation starts —
+        // verifiers on any partition read it without locks.
+        signer_tables_.emplace(node, std::make_unique<QTable>(it->second.q));
     }
     provisioned_[node] = true;
     return std::unique_ptr<NodeCrypto>(new NodeCrypto(this, node, priv));
+}
+
+const QTable* TrustRoot::signer_table(NodeId node) const {
+    auto it = signer_tables_.find(node);
+    return it == signer_tables_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t TrustRoot::shared_memo_hits() const {
+    std::uint64_t total = 0;
+    for (const MemoShard& shard : shared_memo_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        total += shard.memo.hits();
+    }
+    return total;
+}
+
+bool TrustRoot::shared_find(NodeId signer, const Digest32& digest, BytesView sig,
+                            bool* valid) const {
+    MemoShard& shard = shared_memo_[digest[0] % kMemoShards];
+    std::lock_guard<std::mutex> lock(shard.m);
+    const bool* verdict = shard.memo.find(signer, digest, sig);
+    if (verdict == nullptr) return false;
+    *valid = *verdict;
+    return true;
+}
+
+void TrustRoot::shared_insert(NodeId signer, const Digest32& digest, BytesView sig,
+                              bool valid) const {
+    MemoShard& shard = shared_memo_[digest[0] % kMemoShards];
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.memo.insert(signer, digest, sig, valid);
 }
 
 const EcdsaPublicKey& TrustRoot::public_key(NodeId node) const {
@@ -105,7 +144,11 @@ Bytes NodeCrypto::sign(BytesView msg) {
 
 bool NodeCrypto::verify_cached(NodeId signer, BytesView msg, BytesView sig) {
     // Same logic as TrustRoot::verify_unmetered, but memoised in this
-    // node's private table so partitions never share mutable state.
+    // node's private table so the fast path never takes a lock. On a
+    // private miss the cross-node shared memo is consulted (one short
+    // critical section) before paying for EC math: in a simulated
+    // deployment every replica verifies the same broadcast bytes, so all
+    // but the first verifier hit the shared table.
     if (sig.size() != kSignatureSize) return false;
     if (root_->mode_ == CryptoMode::kModeled) {
         return ct_equal(root_->modeled_sign(signer, msg), sig);
@@ -116,8 +159,19 @@ bool NodeCrypto::verify_cached(NodeId signer, BytesView msg, BytesView sig) {
     if (!parsed) return false;
     Digest32 digest = sha256(msg);
     if (const bool* memoed = memo_.find(signer, digest, sig)) return *memoed;
-    bool ok = ecdsa_verify(it->second, digest, *parsed);
+    const bool use_shared = host_crypto_tuning().shared_memo.load(std::memory_order_relaxed);
+    if (use_shared) {
+        bool shared_ok = false;
+        if (root_->shared_find(signer, digest, sig, &shared_ok)) {
+            memo_.insert(signer, digest, sig, shared_ok);
+            return shared_ok;
+        }
+    }
+    const QTable* table = use_shared ? root_->signer_table(signer) : nullptr;
+    bool ok = table != nullptr ? ecdsa_verify_with(*table, digest, *parsed)
+                               : ecdsa_verify(it->second, digest, *parsed);
     memo_.insert(signer, digest, sig, ok);
+    if (use_shared) root_->shared_insert(signer, digest, sig, ok);
     return ok;
 }
 
@@ -137,13 +191,70 @@ bool NodeCrypto::verify(NodeId signer, BytesView msg, BytesView sig) {
 }
 
 std::vector<bool> NodeCrypto::verify_batch(const std::vector<BatchItem>& items) {
+    // Virtual cost first, identically on every host-side path: one dispatch
+    // for the batch, full per-element verify cost. Whether the host then
+    // verifies one-at-a-time, hits a memo, or runs the shared-precomputation
+    // batch, the simulated timeline cannot tell the difference.
     meter_.charge(root_->costs().ecdsa_dispatch_ns);  // one dispatch for all
-    std::vector<bool> out;
-    out.reserve(items.size());
-    for (const auto& item : items) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
         meter_.verifies++;
         meter_.charge_async(root_->costs().ecdsa_verify_ns);
-        out.push_back(verify_cached(item.signer, item.msg, item.sig));
+    }
+
+    const bool batch = root_->mode_ == CryptoMode::kReal && items.size() > 1 &&
+                       host_crypto_tuning().batch_verify.load(std::memory_order_relaxed);
+    if (!batch) {
+        std::vector<bool> out;
+        out.reserve(items.size());
+        for (const auto& item : items) out.push_back(verify_cached(item.signer, item.msg, item.sig));
+        return out;
+    }
+
+    // Resolve each item: structural rejects and memo hits settle now; the
+    // remainder becomes one shared-precomputation batch with the signers'
+    // provision-time wNAF tables.
+    const bool use_shared = host_crypto_tuning().shared_memo.load(std::memory_order_relaxed);
+    std::vector<bool> out(items.size(), false);
+    std::vector<BatchVerifyItem> pending;
+    std::vector<std::size_t> pending_idx;
+    std::vector<NodeId> pending_signer;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const BatchItem& item = items[i];
+        if (item.sig.size() != kSignatureSize) continue;
+        auto it = root_->public_keys_.find(item.signer);
+        if (it == root_->public_keys_.end()) continue;
+        auto parsed = EcdsaSignature::parse(item.sig);
+        if (!parsed) continue;
+        Digest32 digest = sha256(item.msg);
+        if (const bool* memoed = memo_.find(item.signer, digest, item.sig)) {
+            out[i] = *memoed;
+            continue;
+        }
+        if (use_shared) {
+            bool shared_ok = false;
+            if (root_->shared_find(item.signer, digest, item.sig, &shared_ok)) {
+                memo_.insert(item.signer, digest, item.sig, shared_ok);
+                out[i] = shared_ok;
+                continue;
+            }
+        }
+        pending.push_back(BatchVerifyItem{&it->second, root_->signer_table(item.signer), digest,
+                                          *parsed});
+        pending_idx.push_back(i);
+        pending_signer.push_back(item.signer);
+    }
+
+    if (!pending.empty()) {
+        std::vector<bool> verdicts = ecdsa_verify_batch(pending, &batch_stats_);
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+            std::size_t i = pending_idx[j];
+            out[i] = verdicts[j];
+            memo_.insert(pending_signer[j], pending[j].digest, items[i].sig, verdicts[j]);
+            if (use_shared) {
+                root_->shared_insert(pending_signer[j], pending[j].digest, items[i].sig,
+                                     verdicts[j]);
+            }
+        }
     }
     return out;
 }

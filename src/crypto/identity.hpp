@@ -17,16 +17,20 @@
 //              inside the process) — documented in DESIGN.md.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "crypto/batch_verify.hpp"
 #include "crypto/cost.hpp"
 #include "crypto/hmac_sha256.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/siphash.hpp"
+#include "crypto/tuning.hpp"
 #include "crypto/verify_memo.hpp"
 
 namespace neo::crypto {
@@ -75,11 +79,34 @@ class TrustRoot {
     /// verify_unmetered. Exposed for instrumentation.
     const VerifyMemo& verify_memo() const { return memo_; }
 
+    /// Cached wNAF table for a provisioned signer's public key (kReal
+    /// only; built once at provision time, immutable afterwards — safe to
+    /// read from any partition without locks). Null when unknown.
+    const QTable* signer_table(NodeId node) const;
+
+    /// Total hits on the cross-node shared verdict memo (host-side
+    /// instrumentation; see NodeCrypto::verify).
+    std::uint64_t shared_memo_hits() const;
+
   private:
     friend class NodeCrypto;
 
     Bytes derive(std::string_view label, std::uint64_t a, std::uint64_t b) const;
     Bytes modeled_sign(NodeId signer, BytesView msg) const;
+
+    /// Cross-node shared verdict memo. Verification is a pure function of
+    /// (public key, digest, signature), and in a simulated deployment every
+    /// replica verifies the SAME broadcast bytes — node-private memos pay
+    /// the EC math once per node, this shard pays it once per process.
+    /// Mutex-sharded because parallel partitions hit it concurrently; a
+    /// miss costs one short critical section. Host-time only: each node
+    /// still charges full virtual cost, so simulated results are identical
+    /// with the shared memo on or off (HostCryptoTuning::shared_memo).
+    /// Returns true and fills *valid on a hit. The verdict is copied out
+    /// under the shard lock — never a pointer into the shard, which a
+    /// concurrent insert could recycle.
+    bool shared_find(NodeId signer, const Digest32& digest, BytesView sig, bool* valid) const;
+    void shared_insert(NodeId signer, const Digest32& digest, BytesView sig, bool valid) const;
 
     CryptoMode mode_;
     CryptoCosts costs_;
@@ -89,12 +116,19 @@ class TrustRoot {
     // paid once per TrustRoot instead of per message.
     HmacSha256Key master_key_;
     std::unordered_map<NodeId, EcdsaPublicKey> public_keys_;
+    std::unordered_map<NodeId, std::unique_ptr<QTable>> signer_tables_;
     std::unordered_map<NodeId, bool> provisioned_;
     // mutable: verify_unmetered is logically const (pure function of the
     // key material); the memo is a host-side cache of its results. Only
     // external single-threaded checkers touch it — node verification goes
     // through NodeCrypto's private memo.
     mutable VerifyMemo memo_;
+    struct MemoShard {
+        mutable std::mutex m;
+        mutable VerifyMemo memo{2048};
+    };
+    static constexpr std::size_t kMemoShards = 8;
+    mutable std::array<MemoShard, kMemoShards> shared_memo_;
 };
 
 /// Per-node crypto context. All operations charge the node's CostMeter.
@@ -132,6 +166,10 @@ class NodeCrypto {
     /// Exposed for instrumentation; callers still charge virtual cost.
     const VerifyMemo& verify_memo() const { return memo_; }
 
+    /// Host-side counters of this node's batch-verification activity
+    /// (fast-path batches, bisect descents, forged-leaf rechecks).
+    const BatchVerifyStats& batch_stats() const { return batch_stats_; }
+
   private:
     friend class TrustRoot;
     NodeCrypto(const TrustRoot* root, NodeId self, EcdsaPrivateKey priv);
@@ -146,6 +184,7 @@ class NodeCrypto {
     // Host-side caches, node-private so parallel partitions never contend:
     // verification verdicts and the pairwise MAC keys this node talks with.
     VerifyMemo memo_;
+    BatchVerifyStats batch_stats_;
     std::unordered_map<NodeId, SipKey> peer_keys_;
 };
 

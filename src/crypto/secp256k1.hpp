@@ -35,6 +35,14 @@ struct U256 {
 /// -1, 0, +1 three-way compare.
 int u256_cmp(const U256& a, const U256& b);
 
+/// out = a + b; returns the carry out of bit 255 (1 = overflowed 2^256).
+std::uint64_t u256_add(const U256& a, const U256& b, U256* out);
+
+/// The field prime p (2^256 - 2^32 - 977).
+const U256& field_prime_u256();
+/// The group order n.
+const U256& scalar_order_u256();
+
 /// Field element mod p, always fully reduced.
 class Fe {
   public:
@@ -54,10 +62,18 @@ class Fe {
     Fe add(const Fe& o) const;
     Fe sub(const Fe& o) const;
     Fe mul(const Fe& o) const;
-    Fe sqr() const { return mul(*this); }
+    /// Dedicated squaring (reuses the symmetric cross products; ~25% cheaper
+    /// than mul(*this), and point doublings are squaring-heavy).
+    Fe sqr() const;
     Fe negate() const;
     /// Multiplicative inverse via Fermat (x^(p-2)). Requires non-zero input.
+    /// Timing depends only on the fixed exponent, so it stays safe for
+    /// values derived from secrets (to_affine on the signing path).
     Fe inverse() const;
+    /// Variable-time inverse (binary extended GCD), several times faster
+    /// than Fermat. VERIFICATION-SIDE ONLY: the running time depends on the
+    /// value, so never call it on secret-derived data.
+    Fe inverse_vartime() const;
     Fe pow(const U256& e) const;
 
     friend bool operator==(const Fe&, const Fe&) = default;
@@ -66,7 +82,10 @@ class Fe {
     U256 n_;
 };
 
-/// Batch inversion (Montgomery's trick); every element must be non-zero.
+/// Batch inversion (Montgomery's trick): one inversion plus 3(count-1)
+/// multiplications; every element must be non-zero. The single inversion is
+/// variable-time — batch callers (table normalisation, verification) only
+/// ever invert public values.
 void fe_batch_inverse(Fe* elems, std::size_t count);
 
 /// Scalar mod the group order n, always fully reduced.
@@ -90,14 +109,27 @@ class Scalar {
 
     Scalar add(const Scalar& o) const;
     Scalar mul(const Scalar& o) const;
+    /// Dedicated squaring (see Fe::sqr).
+    Scalar sqr() const;
     Scalar negate() const;
+    /// Constant-exponent Fermat inverse — the signing path (nonce inverse)
+    /// uses this so its timing never depends on the secret value.
     Scalar inverse() const;
+    /// Variable-time inverse (binary extended GCD). VERIFICATION-SIDE ONLY:
+    /// s and r are public once a signature is on the wire.
+    Scalar inverse_vartime() const;
 
     friend bool operator==(const Scalar&, const Scalar&) = default;
 
   private:
     U256 n_;
 };
+
+/// Batch scalar inversion (Montgomery's trick, variable-time single
+/// inversion): the shared-precomputation step of batch ECDSA verification —
+/// all s_i inverted for the cost of one inversion. Every element must be
+/// non-zero; verification-side only (signature components are public).
+void scalar_batch_inverse(Scalar* elems, std::size_t count);
 
 /// Affine curve point; `infinity` is the group identity.
 struct AffinePoint {
@@ -125,6 +157,35 @@ AffinePoint point_add(const AffinePoint& p, const AffinePoint& q);
 /// u1*G + u2*Q — the ECDSA verification combination, shares one
 /// Jacobian accumulation.
 AffinePoint double_mul(const Scalar& u1, const AffinePoint& q, const Scalar& u2);
+
+/// Precomputed width-5 wNAF odd multiples {1,3,...,15}·Q of one public
+/// point, batch-normalised to affine. Building one costs a point doubling,
+/// seven additions and a batch inversion; reusing it makes every subsequent
+/// u1·G + u2·Q drop from ~128 data-dependent additions to ~37 sparse mixed
+/// additions. TrustRoot keeps one per provisioned signer (public keys are
+/// immutable after setup), and batch verification shares one per signer per
+/// batch. Immutable after construction — safe to read concurrently.
+class QTable {
+  public:
+    explicit QTable(const AffinePoint& q);
+
+    const AffinePoint& base() const { return base_; }
+
+    /// u1·G + u2·base() in affine coordinates (one field inversion).
+    AffinePoint double_mul(const Scalar& u1, const Scalar& u2) const;
+
+    /// ECDSA residual check without ANY field inversion: computes
+    /// P = u1·G + u2·base() in Jacobian coordinates and tests
+    /// x(P) ≡ r (mod n) projectively — X == r̃·Z² for r̃ ∈ {r, r+n if < p}.
+    /// Equivalent to (!P.infinity && x(P) mod n == r), i.e. exactly the
+    /// ecdsa_verify acceptance predicate.
+    bool double_mul_check_r(const Scalar& u1, const Scalar& u2, const Scalar& r) const;
+
+  private:
+    AffinePoint base_;
+    // odd_[i] = (2i+1)·Q.
+    std::array<AffinePoint, 8> odd_;
+};
 
 struct EcdsaSignature {
     Scalar r;
@@ -156,5 +217,9 @@ EcdsaPublicKey ecdsa_derive_public(const EcdsaPrivateKey& priv);
 EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& priv, const Digest32& msg_hash);
 
 bool ecdsa_verify(const EcdsaPublicKey& pub, const Digest32& msg_hash, const EcdsaSignature& sig);
+
+/// Verification against a prebuilt table for the signer's public key —
+/// the amortised hot path (identical verdict to ecdsa_verify).
+bool ecdsa_verify_with(const QTable& table, const Digest32& msg_hash, const EcdsaSignature& sig);
 
 }  // namespace neo::crypto

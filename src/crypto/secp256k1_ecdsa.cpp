@@ -81,19 +81,21 @@ EcdsaSignature ecdsa_sign(const EcdsaPrivateKey& priv, const Digest32& msg_hash)
 }
 
 bool ecdsa_verify(const EcdsaPublicKey& pub, const Digest32& msg_hash, const EcdsaSignature& sig) {
-    if (sig.r.is_zero() || sig.s.is_zero()) return false;
     if (pub.q.infinity || !pub.q.on_curve()) return false;
+    return ecdsa_verify_with(QTable(pub.q), msg_hash, sig);
+}
 
+bool ecdsa_verify_with(const QTable& table, const Digest32& msg_hash, const EcdsaSignature& sig) {
+    if (sig.r.is_zero() || sig.s.is_zero()) return false;
+    if (table.base().infinity) return false;
+
+    // All inputs are public: variable-time inversion and the projective
+    // x-comparison (no inversion at all) are safe here.
     Scalar z = hash_to_scalar(msg_hash);
-    Scalar w = sig.s.inverse();
+    Scalar w = sig.s.inverse_vartime();
     Scalar u1 = z.mul(w);
     Scalar u2 = sig.r.mul(w);
-    AffinePoint p = double_mul(u1, pub.q, u2);
-    if (p.infinity) return false;
-
-    Digest32 px = p.x.to_be_bytes();
-    Scalar rx = Scalar::from_be_bytes_reduce(BytesView(px.data(), px.size()));
-    return rx == sig.r;
+    return table.double_mul_check_r(u1, u2, sig.r);
 }
 
 }  // namespace neo::crypto

@@ -48,6 +48,42 @@ u64 sub4(const u64 a[4], const u64 b[4], u64 out[4]) {
     return borrow;
 }
 
+// Dedicated 4-limb squaring: the off-diagonal products are symmetric, so
+// compute each once and double. ~25% fewer 64x64 multiplies than mul4x4
+// with itself — and point doubling (the scalar-mul hot loop) is mostly
+// squarings.
+void sqr4(const u64 a[4], u64 t[8]) {
+    // Off-diagonal sum: sum_{i<j} a[i]*a[j] shifted into place.
+    u64 od[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (int j = i + 1; j < 4; ++j) {
+            u128 cur = (u128)a[i] * a[j] + od[i + j] + carry;
+            od[i + j] = (u64)cur;
+            carry = (u64)(cur >> 64);
+        }
+        od[i + 4] = carry;
+    }
+    // t = 2*od.
+    u64 carry = 0;
+    for (int i = 0; i < 8; ++i) {
+        u64 hi = od[i] >> 63;
+        t[i] = (od[i] << 1) | carry;
+        carry = hi;
+    }
+    // t += diagonal squares.
+    u128 c = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 sq = (u128)a[i] * a[i];
+        u128 lo = (u128)t[2 * i] + (u64)sq + (u64)c;
+        t[2 * i] = (u64)lo;
+        u128 hi = (u128)t[2 * i + 1] + (u64)(sq >> 64) + (u64)(lo >> 64);
+        t[2 * i + 1] = (u64)hi;
+        c = hi >> 64;
+    }
+    NEO_ASSERT(c == 0);  // a < 2^256 so a^2 < 2^512: no carry out of t[7]
+}
+
 // Schoolbook 4x4 -> 8 limb multiply.
 void mul4x4(const u64 a[4], const u64 b[4], u64 t[8]) {
     std::memset(t, 0, 8 * sizeof(u64));
@@ -85,6 +121,62 @@ u64 mp_add_into(u64* a, int na, const u64* b, int nb) {
         carry = cur >> 64;
     }
     return (u64)carry;
+}
+
+// x >>= 1 over 4 limbs, shifting `top` into bit 255.
+void shr1(u64 x[4], u64 top) {
+    for (int i = 0; i < 3; ++i) x[i] = (x[i] >> 1) | (x[i + 1] << 63);
+    x[3] = (x[3] >> 1) | (top << 63);
+}
+
+// Variable-time modular inverse (binary extended GCD) for an ODD modulus m;
+// requires gcd(x, m) == 1 and 0 < x < m. Several times faster than the
+// Fermat ladder but with value-dependent timing — verification-side only.
+U256 mod_inverse_vartime(const U256& x, const U256& m) {
+    u64 u[4], v[4], x1[4] = {1, 0, 0, 0}, x2[4] = {0, 0, 0, 0};
+    std::memcpy(u, x.v.data(), sizeof(u));
+    std::memcpy(v, m.v.data(), sizeof(v));
+
+    auto is_one = [](const u64 a[4]) { return a[0] == 1 && (a[1] | a[2] | a[3]) == 0; };
+    auto cmp = [](const u64 a[4], const u64 b[4]) {
+        for (int i = 3; i >= 0; --i) {
+            if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+        }
+        return 0;
+    };
+    // a = (a is even ? a : a + m) / 2  (mod-preserving halving; m is odd so
+    // exactly one of a, a+m is even).
+    auto half_mod = [&m](u64 a[4]) {
+        u64 top = 0;
+        if (a[0] & 1) top = add4(a, m.v.data(), a);
+        shr1(a, top);
+    };
+    // a = a - b mod m (a, b < m).
+    auto sub_mod = [&m](u64 a[4], const u64 b[4]) {
+        if (sub4(a, b, a)) add4(a, m.v.data(), a);
+    };
+
+    while (!is_one(u) && !is_one(v)) {
+        while ((u[0] & 1) == 0) {
+            shr1(u, 0);
+            half_mod(x1);
+        }
+        while ((v[0] & 1) == 0) {
+            shr1(v, 0);
+            half_mod(x2);
+        }
+        if (cmp(u, v) >= 0) {
+            sub4(u, v, u);
+            sub_mod(x1, x2);
+        } else {
+            sub4(v, u, v);
+            sub_mod(x2, x1);
+        }
+    }
+
+    U256 out;
+    std::memcpy(out.v.data(), is_one(u) ? x1 : x2, sizeof(x1));
+    return out;
 }
 
 // Reduce a 256-bit value that may be >= p (but < 2*p after ops) by
@@ -209,6 +301,13 @@ Digest32 U256::to_be_bytes() const {
     return out;
 }
 
+std::uint64_t u256_add(const U256& a, const U256& b, U256* out) {
+    return add4(a.v.data(), b.v.data(), out->v.data());
+}
+
+const U256& field_prime_u256() { return kP; }
+const U256& scalar_order_u256() { return kN; }
+
 int u256_cmp(const U256& a, const U256& b) {
     for (int i = 3; i >= 0; --i) {
         if (a.v[static_cast<std::size_t>(i)] < b.v[static_cast<std::size_t>(i)]) return -1;
@@ -274,6 +373,14 @@ Fe Fe::mul(const Fe& o) const {
     return out;
 }
 
+Fe Fe::sqr() const {
+    u64 t[8];
+    sqr4(n_.v.data(), t);
+    Fe out;
+    out.n_ = field_reduce_wide(t);
+    return out;
+}
+
 Fe Fe::negate() const {
     if (is_zero()) return *this;
     Fe out;
@@ -299,6 +406,13 @@ Fe Fe::inverse() const {
     return pow(e);
 }
 
+Fe Fe::inverse_vartime() const {
+    NEO_ASSERT_MSG(!is_zero(), "field inverse of zero");
+    Fe out;
+    out.n_ = mod_inverse_vartime(n_, kP);
+    return out;
+}
+
 void fe_batch_inverse(Fe* elems, std::size_t count) {
     if (count == 0) return;
     // Montgomery's trick: one inversion + 3(count-1) multiplications.
@@ -306,7 +420,7 @@ void fe_batch_inverse(Fe* elems, std::size_t count) {
     prefix[0] = elems[0];
     for (std::size_t i = 1; i < count; ++i) prefix[i] = prefix[i - 1].mul(elems[i]);
 
-    Fe inv = prefix[count - 1].inverse();
+    Fe inv = prefix[count - 1].inverse_vartime();
     for (std::size_t i = count; i-- > 1;) {
         Fe orig = elems[i];
         elems[i] = inv.mul(prefix[i - 1]);
@@ -362,6 +476,14 @@ Scalar Scalar::mul(const Scalar& o) const {
     return out;
 }
 
+Scalar Scalar::sqr() const {
+    u64 t[8];
+    sqr4(n_.v.data(), t);
+    Scalar out;
+    out.n_ = scalar_reduce_wide(t);
+    return out;
+}
+
 Scalar Scalar::negate() const {
     if (is_zero()) return *this;
     Scalar out;
@@ -377,10 +499,32 @@ Scalar Scalar::inverse() const {
     e.v[0] -= 2;
     Scalar result = Scalar::one();
     for (int i = 255; i >= 0; --i) {
-        result = result.mul(result);
+        result = result.sqr();
         if (e.bit(i)) result = result.mul(*this);
     }
     return result;
+}
+
+Scalar Scalar::inverse_vartime() const {
+    NEO_ASSERT_MSG(!is_zero(), "scalar inverse of zero");
+    Scalar out;
+    out.n_ = mod_inverse_vartime(n_, kN);
+    return out;
+}
+
+void scalar_batch_inverse(Scalar* elems, std::size_t count) {
+    if (count == 0) return;
+    std::vector<Scalar> prefix(count);
+    prefix[0] = elems[0];
+    for (std::size_t i = 1; i < count; ++i) prefix[i] = prefix[i - 1].mul(elems[i]);
+
+    Scalar inv = prefix[count - 1].inverse_vartime();
+    for (std::size_t i = count; i-- > 1;) {
+        Scalar orig = elems[i];
+        elems[i] = inv.mul(prefix[i - 1]);
+        inv = inv.mul(orig);
+    }
+    elems[0] = inv;
 }
 
 }  // namespace neo::crypto

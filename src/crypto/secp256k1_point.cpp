@@ -112,28 +112,30 @@ AffinePoint to_affine(const Jac& p) {
     return out;
 }
 
-// Generator precompute table: kTable[w][d-1] = d * 16^w * G in affine, for
-// w in [0, 64), d in [1, 16). A scalar multiplication of G is then the sum
-// of at most 64 table entries — additions only, no doublings. This is the
-// software twin of the FPGA "pre-computed stock" of generator multiples.
+// Generator precompute table: kTable[w][d-1] = d * 256^w * G in affine, for
+// w in [0, 32), d in [1, 256). A scalar multiplication of G is then the sum
+// of at most 32 table entries — additions only, no doublings. This is the
+// software twin of the FPGA "pre-computed stock" of generator multiples
+// (8-bit windows, ~590 KB: half the additions of the earlier 4-bit comb for
+// a table that still fits comfortably in memory).
 struct GenTable {
-    AffinePoint entries[64][15];
+    AffinePoint entries[32][255];
 };
 
 const GenTable& gen_table() {
     static const GenTable* table = [] {
         auto* t = new GenTable();
         std::vector<Jac> jac_entries;
-        jac_entries.reserve(64 * 15);
+        jac_entries.reserve(32 * 255);
 
         Jac window_base = to_jac(AffinePoint::generator());
-        for (int w = 0; w < 64; ++w) {
+        for (int w = 0; w < 32; ++w) {
             Jac cur = window_base;
-            for (int d = 1; d <= 15; ++d) {
+            for (int d = 1; d <= 255; ++d) {
                 jac_entries.push_back(cur);
-                if (d < 15) cur = jac_add(cur, window_base);
+                if (d < 255) cur = jac_add(cur, window_base);
             }
-            // Advance to 16^(w+1) * G = cur + base (cur is 15*16^w*G).
+            // Advance to 256^(w+1) * G = cur + base (cur is 255*256^w*G).
             window_base = jac_add(cur, window_base);
         }
 
@@ -147,7 +149,7 @@ const GenTable& gen_table() {
             a.x = jac_entries[i].x.mul(zinv2);
             a.y = jac_entries[i].y.mul(zinv2).mul(zs[i]);
             a.infinity = false;
-            t->entries[i / 15][i % 15] = a;
+            t->entries[i / 255][i % 255] = a;
         }
         return t;
     }();
@@ -157,9 +159,9 @@ const GenTable& gen_table() {
 Jac gen_mul_jac(const Scalar& k) {
     const GenTable& table = gen_table();
     Jac acc = Jac::identity();
-    for (int w = 0; w < 64; ++w) {
+    for (int w = 0; w < 32; ++w) {
         unsigned digit = static_cast<unsigned>(
-            (k.raw().v[static_cast<std::size_t>(w / 16)] >> (4 * (w % 16))) & 0xf);
+            (k.raw().v[static_cast<std::size_t>(w / 8)] >> (8 * (w % 8))) & 0xff);
         if (digit != 0) acc = jac_add_affine(acc, table.entries[w][digit - 1]);
     }
     return acc;
@@ -172,6 +174,47 @@ Jac point_mul_jac(const AffinePoint& p, const Scalar& k) {
         if (k.raw().bit(i)) acc = jac_add_affine(acc, p);
     }
     return acc;
+}
+
+// Width-5 wNAF recoding: digits are 0 or odd in [-15, 15]; at most one
+// nonzero digit in any 5 consecutive positions (average density 1/6).
+// Returns the digit count (<= 257).
+int wnaf5(const Scalar& s, std::int8_t digits[257]) {
+    // 5 limbs: the "k -= d" step with d < 0 adds up to 15, which can carry
+    // past 2^256 for scalars near the top of the range.
+    std::uint64_t k[5] = {s.raw().v[0], s.raw().v[1], s.raw().v[2], s.raw().v[3], 0};
+    auto is_zero = [&] { return (k[0] | k[1] | k[2] | k[3] | k[4]) == 0; };
+    auto shr1_5 = [&] {
+        for (int i = 0; i < 4; ++i) k[i] = (k[i] >> 1) | (k[i + 1] << 63);
+        k[4] >>= 1;
+    };
+    int len = 0;
+    while (!is_zero()) {
+        std::int8_t d = 0;
+        if (k[0] & 1) {
+            int m = static_cast<int>(k[0] & 31);  // k mod 32
+            d = static_cast<std::int8_t>(m > 16 ? m - 32 : m);
+            if (d >= 0) {
+                k[0] -= static_cast<std::uint64_t>(d);  // k odd, d <= k: no borrow past limb 0?
+                // d <= 15 and k odd >= 1; if k < d the scalar would already
+                // have fit in 5 bits and m == k, so d == k. Borrow-free.
+            } else {
+                std::uint64_t add = static_cast<std::uint64_t>(-d);
+                std::uint64_t carry = __builtin_add_overflow(k[0], add, &k[0]) ? 1u : 0u;
+                for (int i = 1; i < 5 && carry; ++i) {
+                    carry = __builtin_add_overflow(k[i], carry, &k[i]) ? 1u : 0u;
+                }
+            }
+        }
+        digits[len++] = d;
+        shr1_5();
+    }
+    return len;
+}
+
+AffinePoint affine_negate(const AffinePoint& p) {
+    if (p.infinity) return p;
+    return AffinePoint{p.x, p.y.negate(), false};
 }
 
 }  // namespace
@@ -231,6 +274,77 @@ AffinePoint double_mul(const Scalar& u1, const AffinePoint& q, const Scalar& u2)
     Jac acc = gen_mul_jac(u1);
     acc = jac_add(acc, point_mul_jac(q, u2));
     return to_affine(acc);
+}
+
+// ----------------------------------------------------------------- QTable
+
+QTable::QTable(const AffinePoint& q) : base_(q) {
+    if (q.infinity) {
+        for (auto& e : odd_) e = AffinePoint{};  // all identity; adds skip
+        return;
+    }
+    // odd_[i] = (2i+1)·Q via repeated addition of 2Q, then one batch
+    // normalisation. n is prime and > 15, so no odd multiple of a
+    // non-identity point can be the identity.
+    Jac q2 = jac_double(to_jac(q));
+    std::array<Jac, 8> jacs;
+    jacs[0] = to_jac(q);
+    for (std::size_t i = 1; i < jacs.size(); ++i) jacs[i] = jac_add(jacs[i - 1], q2);
+
+    std::array<Fe, 8> zs;
+    for (std::size_t i = 0; i < jacs.size(); ++i) zs[i] = jacs[i].z;
+    fe_batch_inverse(zs.data(), zs.size());
+    for (std::size_t i = 0; i < jacs.size(); ++i) {
+        Fe zinv2 = zs[i].sqr();
+        odd_[i].x = jacs[i].x.mul(zinv2);
+        odd_[i].y = jacs[i].y.mul(zinv2).mul(zs[i]);
+        odd_[i].infinity = false;
+    }
+}
+
+namespace {
+
+// Shared accumulation for QTable's two entry points: u1·G + u2·Q in
+// Jacobian coordinates, Q-side via wNAF-5 over the precomputed odd
+// multiples, G-side via the window comb (additions only, appended after the
+// doubling loop so doublings are paid once for the 256-bit length).
+Jac qtable_double_mul_jac(const std::array<AffinePoint, 8>& odd, const Scalar& u1,
+                          const Scalar& u2) {
+    std::int8_t digits[257];
+    int len = wnaf5(u2, digits);
+    Jac acc = Jac::identity();
+    for (int i = len - 1; i >= 0; --i) {
+        acc = jac_double(acc);
+        std::int8_t d = digits[i];
+        if (d > 0) {
+            acc = jac_add_affine(acc, odd[static_cast<std::size_t>((d - 1) / 2)]);
+        } else if (d < 0) {
+            acc = jac_add_affine(acc, affine_negate(odd[static_cast<std::size_t>((-d - 1) / 2)]));
+        }
+    }
+    return jac_add(acc, gen_mul_jac(u1));
+}
+
+}  // namespace
+
+AffinePoint QTable::double_mul(const Scalar& u1, const Scalar& u2) const {
+    return to_affine(qtable_double_mul_jac(odd_, u1, u2));
+}
+
+bool QTable::double_mul_check_r(const Scalar& u1, const Scalar& u2, const Scalar& r) const {
+    Jac p = qtable_double_mul_jac(odd_, u1, u2);
+    if (p.infinity()) return false;
+    // x(P) mod n == r  ⟺  x(P) == r̃ for r̃ in {r, r+n if r+n < p}
+    // (x < p < 2n, so at most one wrap). Projectively, x(P) == r̃ is
+    // X == r̃·Z² — no field inversion needed.
+    Fe z2 = p.z.sqr();
+    if (Fe::from_u256(r.raw()).mul(z2) == p.x) return true;
+    U256 rn;
+    if (u256_add(r.raw(), scalar_order_u256(), &rn) == 0 &&
+        u256_cmp(rn, field_prime_u256()) < 0) {
+        if (Fe::from_u256(rn).mul(z2) == p.x) return true;
+    }
+    return false;
 }
 
 }  // namespace neo::crypto

@@ -1,6 +1,7 @@
 #include "crypto/siphash.hpp"
 
 #include "common/assert.hpp"
+#include "crypto/tuning.hpp"
 
 namespace neo::crypto {
 
@@ -153,6 +154,15 @@ std::uint64_t halfsiphash24_64(const HalfSipKey& key, BytesView data) {
     std::uint32_t lo, hi;
     halfsiphash_core(key, data, /*wide=*/true, lo, hi);
     return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+void halfsiphash24_x4(const HalfSipKey keys[4], BytesView data, std::uint32_t out[4]) {
+    static const bool simd = detail::halfsiphash_x4_simd_available();
+    if (simd && host_crypto_tuning().simd_siphash.load(std::memory_order_relaxed)) {
+        detail::halfsiphash24_x4_simd(keys, data, out);
+        return;
+    }
+    for (int i = 0; i < 4; ++i) out[i] = halfsiphash24(keys[i], data);
 }
 
 }  // namespace neo::crypto

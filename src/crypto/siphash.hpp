@@ -44,4 +44,19 @@ std::uint32_t halfsiphash24(const HalfSipKey& key, BytesView data);
 /// HalfSipHash-2-4 with 64-bit output (two finalisation words).
 std::uint64_t halfsiphash24_64(const HalfSipKey& key, BytesView data);
 
+/// Four HalfSipHash-2-4 MACs over the SAME input under four DIFFERENT keys
+/// — the shape of the sequencer's per-subgroup MAC vector (kHmSubgroupSize
+/// is 4). Dispatches at runtime to a 4-lane SSE2 kernel when the host
+/// supports it and HostCryptoTuning::simd_siphash is on; falls back to four
+/// scalar calls. Output is bit-identical to four halfsiphash24 calls on
+/// every path (asserted by tests/crypto/test_siphash.cpp).
+void halfsiphash24_x4(const HalfSipKey keys[4], BytesView data, std::uint32_t out[4]);
+
+namespace detail {
+/// True when the SSE2 4-lane kernel is compiled in and usable on this host.
+bool halfsiphash_x4_simd_available();
+/// The SSE2 kernel itself (siphash_simd.cpp). Call only when available.
+void halfsiphash24_x4_simd(const HalfSipKey keys[4], BytesView data, std::uint32_t out[4]);
+}  // namespace detail
+
 }  // namespace neo::crypto

@@ -1,0 +1,105 @@
+// SSE2 4-lane HalfSipHash-2-4 kernel.
+//
+// The sequencer's aom-hm data plane computes one 32-bit MAC per receiver
+// slot over the SAME authenticated input with a DIFFERENT pairwise key per
+// slot (see SequencerSwitch::process_hm). HalfSipHash state is four 32-bit
+// words, so four independent keys pack exactly into one xmm register per
+// state word: lane i carries slot i's (v0..v3). Message words are shared
+// across lanes and broadcast with set1.
+//
+// Mirrors the sha256_shani.cpp structure: this TU holds the only SIMD code,
+// the portable dispatcher in siphash.cpp selects it at runtime, and a
+// non-x86 build compiles the stub at the bottom instead.
+#include "crypto/siphash.hpp"
+
+#if defined(__SSE2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <emmintrin.h>
+
+namespace neo::crypto::detail {
+
+namespace {
+
+inline __m128i rotl32x4(__m128i x, int b) {
+    return _mm_or_si128(_mm_slli_epi32(x, b), _mm_srli_epi32(x, 32 - b));
+}
+
+inline void halfsipround_x4(__m128i& v0, __m128i& v1, __m128i& v2, __m128i& v3) {
+    v0 = _mm_add_epi32(v0, v1);
+    v1 = rotl32x4(v1, 5);
+    v1 = _mm_xor_si128(v1, v0);
+    v0 = rotl32x4(v0, 16);
+    v2 = _mm_add_epi32(v2, v3);
+    v3 = rotl32x4(v3, 8);
+    v3 = _mm_xor_si128(v3, v2);
+    v0 = _mm_add_epi32(v0, v3);
+    v3 = rotl32x4(v3, 7);
+    v3 = _mm_xor_si128(v3, v0);
+    v2 = _mm_add_epi32(v2, v1);
+    v1 = rotl32x4(v1, 13);
+    v1 = _mm_xor_si128(v1, v2);
+    v2 = rotl32x4(v2, 16);
+}
+
+inline std::uint32_t load_u32_le(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+}  // namespace
+
+bool halfsiphash_x4_simd_available() { return true; }
+
+void halfsiphash24_x4_simd(const HalfSipKey keys[4], BytesView data, std::uint32_t out[4]) {
+    __m128i v0 = _mm_set_epi32(static_cast<int>(keys[3].k0), static_cast<int>(keys[2].k0),
+                               static_cast<int>(keys[1].k0), static_cast<int>(keys[0].k0));
+    __m128i v1 = _mm_set_epi32(static_cast<int>(keys[3].k1), static_cast<int>(keys[2].k1),
+                               static_cast<int>(keys[1].k1), static_cast<int>(keys[0].k1));
+    __m128i v2 = _mm_xor_si128(_mm_set1_epi32(0x6c796765), v0);
+    __m128i v3 = _mm_xor_si128(_mm_set1_epi32(0x74656462), v1);
+
+    const std::size_t n = data.size();
+    const std::size_t end = n - (n % 4);
+    for (std::size_t i = 0; i < end; i += 4) {
+        __m128i m = _mm_set1_epi32(static_cast<int>(load_u32_le(data.data() + i)));
+        v3 = _mm_xor_si128(v3, m);
+        halfsipround_x4(v0, v1, v2, v3);
+        halfsipround_x4(v0, v1, v2, v3);
+        v0 = _mm_xor_si128(v0, m);
+    }
+
+    std::uint32_t b = static_cast<std::uint32_t>(n & 0xff) << 24;
+    for (std::size_t i = end; i < n; ++i) {
+        b |= static_cast<std::uint32_t>(data[i]) << (8 * (i - end));
+    }
+    __m128i bm = _mm_set1_epi32(static_cast<int>(b));
+    v3 = _mm_xor_si128(v3, bm);
+    halfsipround_x4(v0, v1, v2, v3);
+    halfsipround_x4(v0, v1, v2, v3);
+    v0 = _mm_xor_si128(v0, bm);
+
+    v2 = _mm_xor_si128(v2, _mm_set1_epi32(0xff));
+    halfsipround_x4(v0, v1, v2, v3);
+    halfsipround_x4(v0, v1, v2, v3);
+    halfsipround_x4(v0, v1, v2, v3);
+    halfsipround_x4(v0, v1, v2, v3);
+
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_xor_si128(v1, v3));
+}
+
+}  // namespace neo::crypto::detail
+
+#else  // portable stub — the dispatcher never calls the kernel here
+
+namespace neo::crypto::detail {
+
+bool halfsiphash_x4_simd_available() { return false; }
+
+void halfsiphash24_x4_simd(const HalfSipKey keys[4], BytesView data, std::uint32_t out[4]) {
+    for (int i = 0; i < 4; ++i) out[i] = halfsiphash24(keys[i], data);
+}
+
+}  // namespace neo::crypto::detail
+
+#endif

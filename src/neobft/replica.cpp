@@ -849,6 +849,14 @@ void Replica::register_metrics(obs::Registry& reg, const std::string& prefix) {
                         static_cast<double>(receiver_->delivered_drops()));
             r.set_value(prefix + ".aom.rejected_packets",
                         static_cast<double>(receiver_->rejected_packets()));
+            // Adaptive confirm batching: how often the controller sealed by
+            // reaching its load-tracked threshold vs the latency budget.
+            const sim::AdaptiveBatchController& cc = receiver_->confirm_controller();
+            r.set_value(prefix + ".aom.confirm_seals", static_cast<double>(cc.seals()));
+            r.set_value(prefix + ".aom.confirm_size_seals",
+                        static_cast<double>(cc.size_seals()));
+            r.set_value(prefix + ".aom.confirm_batch_target",
+                        static_cast<double>(cc.target()));
         }
     });
     register_rx_metrics(reg, prefix, &msg_kind_name);

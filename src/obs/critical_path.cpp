@@ -8,7 +8,10 @@
 namespace neo::obs {
 
 const char* const kPhaseOrder[] = {
-    "client_submit",  // client invoke -> sequencer ingress
+    "client_submit",  // client invoke -> sequencer ingress (NeoBFT) or
+                      // arrival in the leader's batcher (baselines)
+    "batch",          // wait in the leader's adaptive batcher until seal
+                      // (baselines only; NeoBFT has no leader batching)
     "sequence",       // sequencer ingress -> stamped emission
     "net_fanout",     // emission -> first aom packet at the completing replica
     "aom_deliver",    // aom authentication/confirm -> delivery to the replica
@@ -28,6 +31,7 @@ struct PerTid {
     sim::Time req_b = kUnset, req_e = kUnset;
     NodeId completing = 0;
     sim::Time quorum_b = kUnset;
+    sim::Time batch_b = kUnset, batch_e = kUnset;
     sim::Time seq_b = kUnset, seq_e = kUnset;
     std::map<NodeId, sim::Time> deliver_b, deliver_e;
     std::map<NodeId, sim::Time> exec_b, exec_e;
@@ -57,6 +61,9 @@ CriticalPathReport analyze_spans(const std::vector<SpanRecord>& spans) {
             }
         } else if (s.name == "quorum") {
             if (s.begin) set_once(r.quorum_b, s.t);
+        } else if (s.name == "batch") {
+            if (s.begin) set_once(r.batch_b, s.t);
+            else set_once(r.batch_e, s.t);
         } else if (s.name == "sequence") {
             if (s.begin) set_once(r.seq_b, s.t);
             else set_once(r.seq_e, s.t);
@@ -85,7 +92,11 @@ CriticalPathReport analyze_spans(const std::vector<SpanRecord>& spans) {
             sim::Time t;
         };
         const Cut cuts[] = {
-            {"client_submit", r.seq_b},
+            // client_submit ends where the pipeline first takes custody of
+            // the request: the sequencer ingress (NeoBFT) or the leader's
+            // batcher (baselines, which have no sequence spans).
+            {"client_submit", r.batch_b != kUnset ? r.batch_b : r.seq_b},
+            {"batch", r.batch_e},
             {"sequence", r.seq_e},
             {"net_fanout", lookup(r.deliver_b, r.completing)},
             {"aom_deliver", lookup(r.deliver_e, r.completing)},

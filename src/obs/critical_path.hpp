@@ -7,6 +7,8 @@
 //                        event = the replica whose reply completed the
 //                        2f+1 quorum)
 //   client   "quorum"    first matching reply -> quorum completion
+//   leader   "batch"     request queued in the leader's adaptive batcher
+//                        -> batch sealed (baselines only)
 //   switch   "sequence"  sequencer ingress -> stamped emission
 //   replica  "deliver"   first aom packet for the seq -> app delivery
 //   replica  "execute"   delivery handler -> app execution done

@@ -1,0 +1,99 @@
+// Load-proportional batch sizing shared by the leader-side request
+// batchers (baselines) and the aom receiver's confirm batching.
+//
+// The fixed batch knobs the ablations used to sweep (batch_max,
+// batch_delay) pick one point on the §6.2 throughput/latency trade for the
+// whole run. Real systems sit on a moving load curve: a fixed small batch
+// wastes per-batch overhead at saturation, a fixed large one adds queueing
+// latency at low load. The controller here tracks queue pressure and grows
+// the seal threshold only while arrivals actually fill batches before the
+// latency budget expires:
+//
+//   - a batch sealed FULL (by size) means demand outpaced the threshold —
+//     double it, up to the configured cap;
+//   - a batch flushed by the TIMER at under half the threshold means the
+//     threshold overshot the offered load — halve it, down to the floor.
+//
+// Multiplicative in both directions, so the threshold settles within
+// log2(cap) seals of any load shift and oscillates at most one doubling
+// around the steady-state batch the offered load can fill.
+//
+// Determinism: the controller is a pure function of the seal sequence it
+// observes, which is itself a pure function of simulated arrival order —
+// never of host time or thread interleaving. Runs are byte-identical
+// across --sim-threads settings (asserted by the PDES determinism tests).
+//
+// The first item's wait is bounded by `latency_budget` no matter what the
+// threshold says: callers arm a flush timer for the budget when the first
+// item queues, exactly as the fixed-knob code did.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace neo::sim {
+
+/// Bounds for an adaptive batcher. The old fixed knobs map onto this as
+/// {min_batch = 1, max_batch = batch_max, latency_budget = batch_delay}.
+struct AdaptiveBatchPolicy {
+    std::size_t min_batch = 1;
+    std::size_t max_batch = 256;
+    /// Upper bound on how long the oldest queued item may wait before a
+    /// forced flush, regardless of the current threshold.
+    Time latency_budget = 100 * kMicrosecond;
+};
+
+/// Deterministic multiplicative-increase/multiplicative-decrease
+/// controller over the seal threshold. One instance per batching site
+/// (node-private state, PDES-safe).
+class AdaptiveBatchController {
+  public:
+    explicit AdaptiveBatchController(AdaptiveBatchPolicy policy) : policy_(policy) {
+        NEO_ASSERT(policy_.min_batch >= 1);
+        NEO_ASSERT(policy_.max_batch >= policy_.min_batch);
+        target_ = policy_.min_batch;
+    }
+
+    const AdaptiveBatchPolicy& policy() const { return policy_; }
+
+    /// Current seal-by-size threshold.
+    std::size_t target() const { return target_; }
+
+    /// Flush-timer delay for the first queued item.
+    Time flush_delay() const { return policy_.latency_budget; }
+
+    /// Records a sealed batch. `by_size` is true when the queue reached the
+    /// threshold (size seal), false when the latency-budget timer forced
+    /// the flush.
+    void on_seal(std::size_t sealed, bool by_size) {
+        ++seals_;
+        if (by_size) {
+            ++size_seals_;
+            if (target_ < policy_.max_batch) {
+                target_ = target_ * 2 < policy_.max_batch ? target_ * 2 : policy_.max_batch;
+            }
+        } else {
+            ++timer_seals_;
+            if (sealed * 2 < target_ && target_ > policy_.min_batch) {
+                target_ = target_ / 2 > policy_.min_batch ? target_ / 2 : policy_.min_batch;
+            }
+        }
+    }
+
+    // Instrumentation for tests and trace reports.
+    std::uint64_t seals() const { return seals_; }
+    std::uint64_t size_seals() const { return size_seals_; }
+    std::uint64_t timer_seals() const { return timer_seals_; }
+
+  private:
+    AdaptiveBatchPolicy policy_;
+    std::size_t target_ = 1;
+    std::uint64_t seals_ = 0;
+    std::uint64_t size_seals_ = 0;
+    std::uint64_t timer_seals_ = 0;
+};
+
+}  // namespace neo::sim

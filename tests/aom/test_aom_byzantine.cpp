@@ -77,6 +77,41 @@ TEST(AomByzantine, ConfirmsBatchAcrossMessages) {
     EXPECT_GT(confirm_packets, 0u);
 }
 
+TEST(AomByzantine, TamperedConfirmInBatchIsolatedByBisect) {
+    // Corrupt every confirm signature receiver 0 sends to receiver 1 (the
+    // last byte of a kConfirm packet is the final entry's signature tail).
+    // Receiver 1's batch verification must isolate the forged entries via
+    // the bisecting fallback and still deliver everything on the honest
+    // 2f+1 quorum from the remaining receivers.
+    Deployment d(4, AuthVariant::kHmacVector, NetworkTrust::kByzantine, 1);
+    const NodeId bad_src = Deployment::kReceiverBase;
+    const NodeId victim = Deployment::kReceiverBase + 1;
+    d.net.set_tamper([&](NodeId from, NodeId to, Bytes& data) {
+        if (from == bad_src && to == victim && !data.empty() &&
+            data[0] == static_cast<std::uint8_t>(Wire::kConfirm)) {
+            data.back() ^= 1;
+        }
+        return sim::TamperAction::kDeliver;
+    });
+    for (int i = 0; i < 64; ++i) d.sender->send_payload(to_bytes("t" + std::to_string(i)));
+    d.sim.run();
+
+    for (auto& host : d.hosts) {
+        std::size_t messages = 0;
+        for (const auto& del : host->deliveries) {
+            if (del.kind == Delivery::Kind::kMessage) ++messages;
+        }
+        EXPECT_EQ(messages, 64u);  // forged confirms never block delivery
+    }
+    // The victim's batches were not all-valid: the bisect descent ran and
+    // every forged leaf was rechecked one-shot before rejection.
+    const crypto::BatchVerifyStats& stats = d.hosts[1]->crypto().batch_stats();
+    EXPECT_GT(stats.bisect_batches, 0u);
+    EXPECT_GT(stats.leaf_rechecks, 0u);
+    // Honest receivers saw only valid signatures: pure fast path.
+    EXPECT_EQ(d.hosts[2]->crypto().batch_stats().bisect_batches, 0u);
+}
+
 // A sequencer that equivocates: sends receiver 0 a different payload (with
 // valid per-receiver authentication!) than everyone else for each seq.
 class EquivocatingSwitch : public SequencerSwitch {

@@ -64,7 +64,8 @@ TEST(BaselineWire, BatchDigestOrderSensitive) {
 }
 
 TEST(Batcher, SealBySize) {
-    Batcher b(3, sim::kMillisecond);
+    // Pin the threshold by making min == max: classic fixed-size sealing.
+    Batcher b(sim::AdaptiveBatchPolicy{3, 3, sim::kMillisecond});
     for (int i = 0; i < 2; ++i) {
         Request r;
         b.add(r);
@@ -76,6 +77,33 @@ TEST(Batcher, SealBySize) {
     auto batch = b.seal();
     EXPECT_EQ(batch.size(), 3u);
     EXPECT_TRUE(b.empty());
+}
+
+TEST(Batcher, AdaptiveThresholdTracksLoad) {
+    Batcher b(sim::AdaptiveBatchPolicy{1, 8, sim::kMillisecond});
+    EXPECT_EQ(b.controller().target(), 1u);
+
+    // Size seals double the threshold up to the cap.
+    for (std::size_t expect : {2u, 4u, 8u, 8u}) {
+        while (!b.should_seal_by_size()) b.add(Request{});
+        b.seal();
+        EXPECT_EQ(b.controller().target(), expect);
+    }
+
+    // Timer flushes at under half the threshold halve it down to the floor.
+    b.add(Request{});
+    b.seal();  // 1 < 8/2
+    EXPECT_EQ(b.controller().target(), 4u);
+    b.add(Request{});
+    b.add(Request{});
+    b.seal();  // 2 == 4/2: not underfull enough, threshold holds
+    EXPECT_EQ(b.controller().target(), 4u);
+    b.add(Request{});
+    b.seal();  // 1 < 4/2
+    EXPECT_EQ(b.controller().target(), 2u);
+    EXPECT_EQ(b.controller().seals(), 7u);
+    EXPECT_EQ(b.controller().size_seals(), 4u);
+    EXPECT_EQ(b.controller().timer_seals(), 3u);
 }
 
 TEST(BaseConfig, PrimaryRotationAndHelpers) {

@@ -193,3 +193,101 @@ TEST(CompareSuites, Tolerance_boundary_is_inclusive) {
                                      suite_with("p", "tput_ops", 85), cfg);
     EXPECT_EQ(r.deltas[0].status, DeltaStatus::kOk);
 }
+
+// ---------- micro mode (google-benchmark JSON) ----------
+
+namespace {
+
+/// A google-benchmark document with one iteration row per (name, cpu_time).
+Json micro_with(std::initializer_list<std::pair<const char*, double>> rows) {
+    Json benchmarks = Json::array();
+    for (const auto& [name, cpu] : rows) {
+        Json b = Json::object();
+        b.set("name", Json(std::string(name)));
+        b.set("run_type", Json(std::string("iteration")));
+        b.set("cpu_time", Json(cpu));
+        b.set("time_unit", Json(std::string("ns")));
+        benchmarks.push_back(b);
+    }
+    Json doc = Json::object();
+    doc.set("context", Json::object());
+    doc.set("benchmarks", benchmarks);
+    return doc;
+}
+
+}  // namespace
+
+TEST(CompareMicro, WithinToleranceIsOk) {
+    CompareConfig cfg;
+    cfg.tolerance = 0.20;
+    CompareReport rep = compare_micro(micro_with({{"BM_EcdsaVerify", 100000.0}}),
+                                      micro_with({{"BM_EcdsaVerify", 115000.0}}), cfg);
+    ASSERT_EQ(rep.deltas.size(), 1u);
+    EXPECT_EQ(rep.deltas[0].status, DeltaStatus::kOk);
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(CompareMicro, CpuTimeGrowthBeyondToleranceRegresses) {
+    CompareConfig cfg;
+    cfg.tolerance = 0.20;
+    CompareReport rep = compare_micro(micro_with({{"BM_Sha256/64", 500.0}}),
+                                      micro_with({{"BM_Sha256/64", 650.0}}), cfg);
+    ASSERT_EQ(rep.deltas.size(), 1u);
+    EXPECT_EQ(rep.deltas[0].status, DeltaStatus::kRegressed);
+    EXPECT_EQ(rep.regressions(), 1u);
+}
+
+TEST(CompareMicro, SpeedupImprovesNotRegresses) {
+    CompareConfig cfg;
+    cfg.tolerance = 0.20;
+    CompareReport rep = compare_micro(micro_with({{"BM_EcdsaVerifyBatch/16", 2000.0}}),
+                                      micro_with({{"BM_EcdsaVerifyBatch/16", 1000.0}}), cfg);
+    ASSERT_EQ(rep.deltas.size(), 1u);
+    EXPECT_EQ(rep.deltas[0].status, DeltaStatus::kImproved);
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(CompareMicro, MissingBenchmarkIsStructuralError) {
+    CompareConfig cfg;
+    CompareReport rep = compare_micro(micro_with({{"BM_A", 1.0}, {"BM_B", 2.0}}),
+                                      micro_with({{"BM_A", 1.0}}), cfg);
+    EXPECT_EQ(rep.errors.size(), 1u);
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(CompareMicro, ExtraCandidateBenchmarksIgnored) {
+    CompareConfig cfg;
+    CompareReport rep = compare_micro(micro_with({{"BM_A", 1.0}}),
+                                      micro_with({{"BM_A", 1.0}, {"BM_New", 9.0}}), cfg);
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.deltas.size(), 1u);
+}
+
+TEST(CompareMicro, AggregateRowsSkipped) {
+    // An aggregate row with a wildly different cpu_time must not gate:
+    // only the matching iteration row is compared.
+    Json agg = Json::object();
+    agg.set("name", Json(std::string("BM_A")));
+    agg.set("run_type", Json(std::string("aggregate")));
+    agg.set("cpu_time", Json(9e9));
+    Json benchmarks = Json::array();
+    benchmarks.push_back(agg);
+    Json row = Json::object();
+    row.set("name", Json(std::string("BM_A")));
+    row.set("run_type", Json(std::string("iteration")));
+    row.set("cpu_time", Json(100.0));
+    benchmarks.push_back(row);
+    Json cand = Json::object();
+    cand.set("benchmarks", benchmarks);
+    CompareConfig cfg;
+    CompareReport rep = compare_micro(micro_with({{"BM_A", 100.0}}), cand, cfg);
+    ASSERT_EQ(rep.deltas.size(), 1u);
+    EXPECT_EQ(rep.deltas[0].status, DeltaStatus::kOk);
+}
+
+TEST(CompareMicro, NotABenchmarkDocumentIsError) {
+    CompareConfig cfg;
+    CompareReport rep = compare_micro(suite_with("p", "tput_ops", 1),
+                                      micro_with({{"BM_A", 1.0}}), cfg);
+    EXPECT_FALSE(rep.errors.empty());
+}

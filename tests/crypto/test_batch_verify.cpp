@@ -1,0 +1,152 @@
+// Shared-precomputation batch ECDSA verification: fast path, bisecting
+// isolation of forged signatures, and equivalence with one-shot verify.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/batch_verify.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::crypto {
+namespace {
+
+struct KeyPair {
+    EcdsaPrivateKey priv;
+    EcdsaPublicKey pub;
+};
+
+KeyPair make_keys(std::uint64_t seed) {
+    Rng rng(seed);
+    EcdsaPrivateKey priv = EcdsaPrivateKey::from_seed(rng.bytes(32));
+    return {priv, ecdsa_derive_public(priv)};
+}
+
+BatchVerifyItem make_item(const KeyPair& kp, const std::string& msg) {
+    BatchVerifyItem item;
+    item.pub = &kp.pub;
+    item.digest = sha256(msg);
+    item.sig = ecdsa_sign(kp.priv, item.digest);
+    return item;
+}
+
+TEST(BatchVerify, AllValidTakesFastPath) {
+    KeyPair kp = make_keys(1);
+    std::vector<BatchVerifyItem> items;
+    for (int i = 0; i < 8; ++i) items.push_back(make_item(kp, "msg " + std::to_string(i)));
+
+    BatchVerifyStats stats;
+    std::vector<bool> out = ecdsa_verify_batch(items, &stats);
+    for (bool ok : out) EXPECT_TRUE(ok);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.items, 8u);
+    EXPECT_EQ(stats.fast_path_batches, 1u);
+    EXPECT_EQ(stats.bisect_batches, 0u);
+    EXPECT_EQ(stats.leaf_rechecks, 0u);
+    EXPECT_EQ(stats.tables_built, 1u);  // one distinct signer
+}
+
+TEST(BatchVerify, SingleForgedSignatureIsolated) {
+    KeyPair kp = make_keys(2);
+    std::vector<BatchVerifyItem> items;
+    for (int i = 0; i < 8; ++i) items.push_back(make_item(kp, "m" + std::to_string(i)));
+    // Forge exactly one: signature over a different message than claimed.
+    items[5].sig = ecdsa_sign(kp.priv, sha256("something else"));
+
+    BatchVerifyStats stats;
+    std::vector<bool> out = ecdsa_verify_batch(items, &stats);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i != 5) << i;
+    EXPECT_EQ(stats.fast_path_batches, 0u);
+    EXPECT_EQ(stats.bisect_batches, 1u);
+    EXPECT_EQ(stats.leaf_rechecks, 1u);  // only the forged singleton recheck
+    EXPECT_GT(stats.bisect_steps, 0u);
+}
+
+TEST(BatchVerify, AllForgedAllRejected) {
+    KeyPair signer = make_keys(3);
+    KeyPair other = make_keys(4);
+    std::vector<BatchVerifyItem> items;
+    for (int i = 0; i < 5; ++i) {
+        BatchVerifyItem item = make_item(other, "f" + std::to_string(i));
+        item.pub = &signer.pub;  // claimed signer never signed these
+        items.push_back(item);
+    }
+    BatchVerifyStats stats;
+    std::vector<bool> out = ecdsa_verify_batch(items, &stats);
+    for (bool ok : out) EXPECT_FALSE(ok);
+    EXPECT_EQ(stats.leaf_rechecks, 5u);
+}
+
+TEST(BatchVerify, MixedSignersShareTablesPerKey) {
+    KeyPair a = make_keys(5);
+    KeyPair b = make_keys(6);
+    std::vector<BatchVerifyItem> items;
+    for (int i = 0; i < 4; ++i) {
+        items.push_back(make_item(i % 2 ? a : b, "mix " + std::to_string(i)));
+    }
+    BatchVerifyStats stats;
+    std::vector<bool> out = ecdsa_verify_batch(items, &stats);
+    for (bool ok : out) EXPECT_TRUE(ok);
+    EXPECT_EQ(stats.tables_built, 2u);  // one per distinct public key
+}
+
+TEST(BatchVerify, CallerCachedTablesSkipBuilding) {
+    KeyPair kp = make_keys(7);
+    QTable table(kp.pub.q);
+    std::vector<BatchVerifyItem> items;
+    for (int i = 0; i < 4; ++i) {
+        BatchVerifyItem item = make_item(kp, "cached " + std::to_string(i));
+        item.table = &table;
+        items.push_back(item);
+    }
+    BatchVerifyStats stats;
+    std::vector<bool> out = ecdsa_verify_batch(items, &stats);
+    for (bool ok : out) EXPECT_TRUE(ok);
+    EXPECT_EQ(stats.tables_built, 0u);
+}
+
+TEST(BatchVerify, DegenerateItemsRejectedWithoutRecheck) {
+    KeyPair kp = make_keys(8);
+    std::vector<BatchVerifyItem> items;
+    items.push_back(make_item(kp, "good"));
+
+    BatchVerifyItem no_key = make_item(kp, "no key");
+    no_key.pub = nullptr;
+    items.push_back(no_key);
+
+    BatchVerifyItem zero_r = make_item(kp, "zero r");
+    zero_r.sig.r = Scalar();
+    items.push_back(zero_r);
+
+    std::vector<bool> out = ecdsa_verify_batch(items);
+    EXPECT_TRUE(out[0]);
+    EXPECT_FALSE(out[1]);
+    EXPECT_FALSE(out[2]);
+}
+
+TEST(BatchVerify, EmptyBatch) {
+    BatchVerifyStats stats;
+    EXPECT_TRUE(ecdsa_verify_batch({}, &stats).empty());
+    EXPECT_EQ(stats.batches, 0u);
+}
+
+TEST(BatchVerify, MatchesOneShotVerifyOnRandomBatches) {
+    // Randomised agreement check across valid/forged mixes: the batch path
+    // must return exactly what ecdsa_verify returns item by item.
+    Rng rng(99);
+    KeyPair kps[3] = {make_keys(10), make_keys(11), make_keys(12)};
+    for (int round = 0; round < 4; ++round) {
+        std::vector<BatchVerifyItem> items;
+        for (int i = 0; i < 9; ++i) {
+            const KeyPair& kp = kps[rng.uniform(3)];
+            BatchVerifyItem item = make_item(kp, "r" + std::to_string(round * 16 + i));
+            if (rng.uniform(3) == 0) item.digest = sha256("tampered");
+            items.push_back(item);
+        }
+        std::vector<bool> batch = ecdsa_verify_batch(items);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            EXPECT_EQ(batch[i], ecdsa_verify(*items[i].pub, items[i].digest, items[i].sig)) << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace neo::crypto

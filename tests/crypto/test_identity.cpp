@@ -150,5 +150,103 @@ TEST(IdentityModes, RealAndModeledSignaturesDiffer) {
     EXPECT_NE(ar->sign(to_bytes("m")), am->sign(to_bytes("m")));
 }
 
+// ---------- host-side fast paths must not change virtual charging ----------
+
+/// Flips one tuning switch for a scope and restores it on exit.
+struct SwitchGuard {
+    std::atomic<bool>& flag;
+    bool prev;
+    SwitchGuard(std::atomic<bool>& f, bool v) : flag(f), prev(f.exchange(v)) {}
+    ~SwitchGuard() { flag.store(prev); }
+};
+
+struct Charge {
+    std::int64_t sync, async;
+    std::uint64_t verifies;
+    friend bool operator==(const Charge&, const Charge&) = default;
+};
+
+Charge drain(NodeCrypto& c) {
+    Charge ch{c.meter().drain(), c.meter().drain_async(), c.meter().verifies};
+    c.meter().reset_counters();
+    return ch;
+}
+
+TEST(IdentityBatch, BatchAndMemoPathsChargeIdenticalVirtualCost) {
+    // Four host paths resolve the same verify_batch call: cold batch
+    // verification, warm node-private memo, warm shared memo, and plain
+    // per-item verification with every switch off. The virtual CostMeter
+    // charge must be identical on all of them — host optimisations are
+    // invisible to the simulation.
+    TrustRoot root{CryptoMode::kReal, 17};
+    auto signer = root.provision(1);
+    std::vector<NodeCrypto::BatchItem> items;
+    std::vector<Bytes> sigs;
+    for (int i = 0; i < 6; ++i) {
+        Bytes msg = to_bytes("batched message " + std::to_string(i));
+        sigs.push_back(signer->sign(msg));
+        items.push_back({1, msg, BytesView()});
+    }
+    for (int i = 0; i < 6; ++i) items[static_cast<std::size_t>(i)].sig = sigs[static_cast<std::size_t>(i)];
+
+    HostCryptoTuning& tuning = host_crypto_tuning();
+    auto verify_all = [&](NodeCrypto& c) {
+        std::vector<bool> out = c.verify_batch(items);
+        for (bool ok : out) EXPECT_TRUE(ok);
+        return drain(c);
+    };
+
+    auto cold = root.provision(2);
+    Charge batch_cold = verify_all(*cold);      // batch path, all misses
+    Charge memo_warm = verify_all(*cold);       // node-private memo hits
+    auto shared_warm_node = root.provision(3);  // fresh node: shared memo hits
+    Charge shared_warm = verify_all(*shared_warm_node);
+    Charge plain = [&] {
+        SwitchGuard g1(tuning.batch_verify, false);
+        SwitchGuard g2(tuning.shared_memo, false);
+        auto off = root.provision(4);
+        return verify_all(*off);
+    }();
+
+    const auto& costs = root.costs();
+    EXPECT_EQ(batch_cold.sync, costs.ecdsa_dispatch_ns);
+    EXPECT_EQ(batch_cold.async, 6 * costs.ecdsa_verify_ns);
+    EXPECT_EQ(batch_cold.verifies, 6u);
+    EXPECT_EQ(memo_warm, batch_cold);
+    EXPECT_EQ(shared_warm, batch_cold);
+    EXPECT_EQ(plain, batch_cold);
+
+    // And the host counters prove the paths actually differed.
+    EXPECT_EQ(cold->batch_stats().batches, 1u);
+    EXPECT_EQ(cold->batch_stats().fast_path_batches, 1u);
+    EXPECT_EQ(shared_warm_node->batch_stats().batches, 0u);  // memo short-circuit
+    EXPECT_GE(root.shared_memo_hits(), 6u);
+}
+
+TEST(IdentityBatch, ForgedSignatureIsolatedThroughNodeCrypto) {
+    TrustRoot root{CryptoMode::kReal, 18};
+    auto signer = root.provision(1);
+    auto other = root.provision(2);
+    auto verifier = root.provision(3);
+
+    std::vector<Bytes> msgs;
+    std::vector<Bytes> sigs;
+    for (int i = 0; i < 5; ++i) {
+        msgs.push_back(to_bytes("confirm " + std::to_string(i)));
+        sigs.push_back(signer->sign(msgs.back()));
+    }
+    sigs[3] = other->sign(msgs[3]);  // forged: wrong key for claimed signer
+
+    std::vector<NodeCrypto::BatchItem> items;
+    for (int i = 0; i < 5; ++i) {
+        items.push_back({1, msgs[static_cast<std::size_t>(i)], sigs[static_cast<std::size_t>(i)]});
+    }
+    std::vector<bool> out = verifier->verify_batch(items);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i != 3) << i;
+    EXPECT_EQ(verifier->batch_stats().bisect_batches, 1u);
+    EXPECT_EQ(verifier->batch_stats().leaf_rechecks, 1u);
+    EXPECT_EQ(verifier->meter().verifies, 5u);  // virtual count unaffected
+}
+
 }  // namespace
 }  // namespace neo::crypto

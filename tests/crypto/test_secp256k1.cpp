@@ -321,5 +321,84 @@ TEST(Point, MulDistributesOverAdd) {
     EXPECT_EQ(point_mul(point_add(p, q), k), point_add(point_mul(p, k), point_mul(q, k)));
 }
 
+// ---------- verification-side fast paths ----------
+
+TEST(Field, SqrMatchesMul) {
+    Rng rng(401);
+    for (int i = 0; i < 32; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        EXPECT_EQ(a.sqr(), a.mul(a)) << i;
+    }
+}
+
+TEST(Field, VartimeInverseMatchesFermat) {
+    Rng rng(402);
+    for (int i = 0; i < 16; ++i) {
+        Fe a = Fe::from_u256(U256::from_be_bytes(rng.bytes(32)));
+        if (a.is_zero()) continue;
+        EXPECT_EQ(a.inverse_vartime(), a.inverse()) << i;
+    }
+    EXPECT_EQ(Fe::one().inverse_vartime(), Fe::one());
+}
+
+TEST(Scalar, SqrMatchesMul) {
+    Rng rng(403);
+    for (int i = 0; i < 32; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        EXPECT_EQ(a.sqr(), a.mul(a)) << i;
+    }
+}
+
+TEST(Scalar, VartimeInverseMatchesFermat) {
+    Rng rng(404);
+    for (int i = 0; i < 16; ++i) {
+        Scalar a = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        if (a.is_zero()) continue;
+        EXPECT_EQ(a.inverse_vartime(), a.inverse()) << i;
+    }
+    EXPECT_EQ(Scalar::one().inverse_vartime(), Scalar::one());
+}
+
+TEST(Scalar, BatchInverseMatchesIndividual) {
+    Rng rng(405);
+    std::vector<Scalar> elems;
+    for (int i = 0; i < 9; ++i) elems.push_back(Scalar::from_be_bytes_reduce(rng.bytes(32)));
+    std::vector<Scalar> expect;
+    for (const Scalar& s : elems) expect.push_back(s.inverse());
+    scalar_batch_inverse(elems.data(), elems.size());
+    for (std::size_t i = 0; i < elems.size(); ++i) EXPECT_EQ(elems[i], expect[i]) << i;
+}
+
+TEST(QTable, DoubleMulMatchesGeneric) {
+    Rng rng(406);
+    AffinePoint q = generator_mul(Scalar::from_be_bytes_reduce(rng.bytes(32)));
+    QTable table(q);
+    for (int i = 0; i < 8; ++i) {
+        Scalar u1 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        Scalar u2 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        EXPECT_EQ(table.double_mul(u1, u2), double_mul(u1, q, u2)) << i;
+    }
+    // Small / degenerate scalars exercise the wNAF edge cases.
+    EXPECT_EQ(table.double_mul(Scalar(), Scalar::one()), q);
+    EXPECT_EQ(table.double_mul(Scalar::one(), Scalar()), AffinePoint::generator());
+    EXPECT_TRUE(table.double_mul(Scalar(), Scalar()).infinity);
+}
+
+TEST(QTable, CheckRMatchesAffineComparison) {
+    Rng rng(407);
+    AffinePoint q = generator_mul(Scalar::from_be_bytes_reduce(rng.bytes(32)));
+    QTable table(q);
+    for (int i = 0; i < 8; ++i) {
+        Scalar u1 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        Scalar u2 = Scalar::from_be_bytes_reduce(rng.bytes(32));
+        AffinePoint p = double_mul(u1, q, u2);
+        ASSERT_FALSE(p.infinity);
+        Digest32 px = p.x.to_be_bytes();
+        Scalar r = Scalar::from_be_bytes_reduce(BytesView(px.data(), px.size()));
+        EXPECT_TRUE(table.double_mul_check_r(u1, u2, r)) << i;
+        EXPECT_FALSE(table.double_mul_check_r(u1, u2, r.add(Scalar::one()))) << i;
+    }
+}
+
 }  // namespace
 }  // namespace neo::crypto

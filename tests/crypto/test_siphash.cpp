@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/hex.hpp"
+#include "crypto/tuning.hpp"
 
 namespace neo::crypto {
 namespace {
@@ -160,6 +161,39 @@ TEST(SipHash, CrossImplementationSweep) {
         EXPECT_EQ(siphash24(k, msg), alt::siphash_alt(k, msg)) << "len " << n;
         msg.push_back(static_cast<std::uint8_t>(n * 13 + 1));
     }
+}
+
+TEST(HalfSipHashX4, MatchesScalarLanesOnEveryLength) {
+    // The 4-lane kernel (SIMD when available, dispatched at runtime) must
+    // be bit-identical to four scalar calls for every message length and
+    // distinct per-lane keys.
+    HalfSipKey keys[4] = {{0x03020100u, 0x07060504u},
+                         {0xdeadbeefu, 0xcafef00du},
+                         {0u, 0u},
+                         {0xffffffffu, 0x80000001u}};
+    Bytes msg;
+    for (int n = 0; n < 70; ++n) {
+        std::uint32_t out[4];
+        halfsiphash24_x4(keys, msg, out);
+        for (int lane = 0; lane < 4; ++lane) {
+            EXPECT_EQ(out[lane], halfsiphash24(keys[lane], msg)) << "len " << n << " lane " << lane;
+        }
+        msg.push_back(static_cast<std::uint8_t>(n * 7 + 3));
+    }
+}
+
+TEST(HalfSipHashX4, SimdAndScalarDispatchAgree) {
+    HalfSipKey keys[4] = {{1u, 2u}, {3u, 4u}, {5u, 6u}, {7u, 8u}};
+    Bytes msg = to_bytes("aom auth input: group epoch seq digest.........");
+    crypto::HostCryptoTuning& tuning = host_crypto_tuning();
+    bool prev = tuning.simd_siphash.exchange(true);
+    std::uint32_t with_simd[4];
+    halfsiphash24_x4(keys, msg, with_simd);
+    tuning.simd_siphash.store(false);
+    std::uint32_t scalar[4];
+    halfsiphash24_x4(keys, msg, scalar);
+    tuning.simd_siphash.store(prev);
+    for (int lane = 0; lane < 4; ++lane) EXPECT_EQ(with_simd[lane], scalar[lane]) << lane;
 }
 
 }  // namespace
