@@ -1,0 +1,192 @@
+// Shard-scaling sweep: aggregate committed transaction throughput of the
+// multi-group sharded deployment as the shard count grows, at several
+// cross-shard transaction ratios. The 0% column is the headline scaling
+// claim (disjoint groups sequence independently, so aggregate Mops/s grows
+// with the shard count until clients stop saturating); the nonzero columns
+// price cross-shard 2PC — every cross-shard transaction pays two ordered
+// ops per participant plus a coordinator round.
+//
+// Every point runs TWICE — serial engine and --sim-threads N — with full
+// JSONL traces attached, and aborts unless the two runs are byte-identical
+// (metrics AND trace): the determinism contract, enforced per point.
+//
+// The binary fails (exit 1) if the 8-shard/0% point does not reach 3x the
+// 1-shard/0% aggregate committed throughput — the scaling acceptance gate.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hpp"
+
+using namespace neo;
+using namespace neo::bench;
+
+namespace {
+
+struct RunOut {
+    Measured m;
+    Deployment::TxnTotals window;  // committed in the measure window
+    std::uint64_t packets = 0;
+    std::uint64_t executed = 0;
+    std::string trace;
+    double host_ns = 0;
+};
+
+RunOut run_once(int shards, double cross_ratio, int n_clients, unsigned sim_threads,
+                std::uint64_t seed, bool quick, crypto::CryptoMode crypto_mode) {
+    ShardParams p;
+    p.n_shards = shards;
+    p.n_replicas = 4;
+    p.n_clients = n_clients;
+    p.seed = seed;
+    p.sim_threads = sim_threads;
+    p.crypto_mode = crypto_mode;
+
+    ShardTxnWorkload w;
+    w.n_shards = shards;
+    w.cross_shard_ratio = cross_ratio;
+    w.seed = seed;
+
+    const sim::Time warmup = 2 * sim::kMillisecond;
+    const sim::Time measure = quick ? 5 * sim::kMillisecond : 20 * sim::kMillisecond;
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto d = make_sharded_neobft(p);
+    OpGen gen = sharded_txn_ops(w, d->n_clients());
+
+    obs::TraceSink sink;
+    d->simulator().set_trace(&sink);
+    Deployment::TxnTotals at_start;
+    Measured m = run_closed_loop(*d, gen, warmup, measure,
+                                 [&] { at_start = d->txn_totals(); });
+    d->simulator().set_trace(nullptr);
+    auto t1 = std::chrono::steady_clock::now();
+
+    RunOut out;
+    out.m = m;
+    Deployment::TxnTotals end = d->txn_totals();
+    out.window.txns_started = end.txns_started - at_start.txns_started;
+    out.window.committed_txns = end.committed_txns - at_start.committed_txns;
+    out.window.aborted_txns = end.aborted_txns - at_start.aborted_txns;
+    out.window.committed_ops = end.committed_ops - at_start.committed_ops;
+    out.window.cross_shard_txns = end.cross_shard_txns - at_start.cross_shard_txns;
+    out.packets = d->network().packets_delivered();
+    out.executed = d->simulator().executed_events();
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    out.trace = os.str();
+    out.host_ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    return out;
+}
+
+bool same_results(const RunOut& a, const RunOut& b) {
+    return a.m.completed == b.m.completed && a.m.p50_us == b.m.p50_us &&
+           a.m.p99_us == b.m.p99_us && a.m.p999_us == b.m.p999_us && a.m.mean_us == b.m.mean_us &&
+           a.window.committed_txns == b.window.committed_txns &&
+           a.window.committed_ops == b.window.committed_ops &&
+           a.window.aborted_txns == b.window.aborted_txns && a.packets == b.packets &&
+           a.executed == b.executed && a.trace == b.trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    BenchMain bm(argc, argv, "fig_shard_scaling");
+    const unsigned par = bm.opt().sim_threads > 1 ? bm.opt().sim_threads : 8;
+    // Fixed client count across every shard count, sized so the 1-shard
+    // point saturates its single group: added shards then raise AGGREGATE
+    // throughput rather than just spreading an unsaturated load.
+    const int n_clients = bm.quick() ? 32 : 96;
+    const sim::Time measure = bm.quick() ? 5 * sim::kMillisecond : 20 * sim::kMillisecond;
+    std::printf("=== Shard scaling: aggregate committed Mops/s, %d closed-loop clients, "
+                "serial vs %u-way PDES per point ===\n\n",
+                n_clients, par);
+
+    const std::vector<int> shard_counts =
+        bm.quick() ? std::vector<int>{1, 2, 8} : std::vector<int>{1, 2, 4, 8, 16};
+    const std::vector<double> cross_ratios =
+        bm.quick() ? std::vector<double>{0.0, 0.20} : std::vector<double>{0.0, 0.01, 0.05, 0.20};
+
+    std::vector<BenchPointSpec> points;
+    for (double cross : cross_ratios) {
+        for (int s : shard_counts) {
+            const int pct = static_cast<int>(std::lround(cross * 100));
+            points.push_back({
+                "s" + std::to_string(s) + ".x" + std::to_string(pct),
+                {{"shards", static_cast<double>(s)}, {"cross_pct", static_cast<double>(pct)}},
+                [s, cross, n_clients, par, measure, quick = bm.quick()](RunCtx& ctx) {
+                    std::uint64_t seed = ctx.seed() + static_cast<std::uint64_t>(s) * 131;
+                    RunOut serial =
+                        run_once(s, cross, n_clients, 1, seed, quick, ctx.crypto_mode());
+                    RunOut parallel =
+                        run_once(s, cross, n_clients, par, seed, quick, ctx.crypto_mode());
+                    if (!same_results(serial, parallel)) {
+                        std::fprintf(stderr,
+                                     "fig_shard_scaling: serial / %u-thread runs DIVERGED at "
+                                     "shards=%d cross=%.2f\n",
+                                     par, s, cross);
+                        std::abort();  // determinism is the contract; fail loudly
+                    }
+                    const double secs =
+                        static_cast<double>(measure) / static_cast<double>(sim::kSecond);
+                    const auto& w = serial.window;
+                    const double decided =
+                        static_cast<double>(w.committed_txns + w.aborted_txns);
+                    return std::map<std::string, double>{
+                        {"committed_mops", static_cast<double>(w.committed_ops) / secs / 1e6},
+                        {"committed_txns", static_cast<double>(w.committed_txns)},
+                        {"abort_rate", decided > 0
+                                           ? static_cast<double>(w.aborted_txns) / decided
+                                           : 0.0},
+                        {"cross_txns", static_cast<double>(w.cross_shard_txns)},
+                        {"p50_us", serial.m.p50_us},
+                        {"p99_us", serial.m.p99_us},
+                        {"executed_events", static_cast<double>(serial.executed)},
+                        {"host_serial_ns", serial.host_ns},
+                        {"host_parallel_ns", parallel.host_ns},
+                        // host_ prefix: wall-clock-derived, so the baseline
+                        // gate reports it without ever gating on it.
+                        {"host_speedup", serial.host_ns / std::max(1.0, parallel.host_ns)},
+                    };
+                },
+                false,
+            });
+        }
+    }
+    std::vector<PointResult> results = bm.run(points);
+
+    std::size_t i = 0;
+    for (double cross : cross_ratios) {
+        std::printf("--- cross-shard ratio %.0f%% ---\n", cross * 100);
+        TablePrinter table({"shards", "committed_mops", "committed_txns", "abort_rate", "p50_us",
+                            "p99_us", "speedup"});
+        for (int s : shard_counts) {
+            (void)s;
+            const PointResult& r = results[i++];
+            table.row({fmt_double(r.params.at("shards"), 0), fmt_double(r.mean("committed_mops"), 3),
+                       fmt_double(r.mean("committed_txns"), 0), fmt_double(r.mean("abort_rate"), 3),
+                       fmt_double(r.mean("p50_us"), 1), fmt_double(r.mean("p99_us"), 1),
+                       fmt_double(r.mean("host_speedup"), 2)});
+        }
+        std::printf("\n");
+    }
+    std::printf("serial and %u-thread runs produced byte-identical traces at every point\n", par);
+
+    // Scaling acceptance gate: 8 shards at 0%% cross-shard must deliver at
+    // least 3x the 1-shard aggregate committed throughput.
+    const PointResult* one = bm.suite().point("s1.x0");
+    const PointResult* eight = bm.suite().point("s8.x0");
+    if (one && eight) {
+        const double ratio = eight->mean("committed_mops") / std::max(1e-12, one->mean("committed_mops"));
+        std::printf("scaling: 8 shards / 1 shard at 0%% cross = %.2fx (gate: >= 3.0x)\n", ratio);
+        if (ratio < 3.0) {
+            std::fprintf(stderr, "fig_shard_scaling: scaling gate FAILED (%.2fx < 3.0x)\n", ratio);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -360,6 +360,7 @@ class NeoDeployment : public Deployment {
   public:
     explicit NeoDeployment(const NeoParams& p)
         : sim_(p.sim_threads), net_(sim_, p.seed), root_(p.crypto_mode, p.seed + 1), keys_(p.seed + 2) {
+        if (p.placement) sim_.set_placement(p.placement);
         net_.set_default_link(sim::datacenter_link());
         net_.set_global_drop_rate(p.drop_rate);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/state_machine.hpp"
+#include "apps/ycsb.hpp"
 #include "common/bytes.hpp"
 #include "common/histogram.hpp"
 #include "aom/receiver.hpp"
@@ -65,6 +66,18 @@ class Deployment {
     /// protocols without a sequencer).
     virtual void inject_sequencer_failure() {}
     virtual std::uint64_t failovers() const { return 0; }
+
+    /// Client-observed transaction outcome totals (sharded deployments;
+    /// zero elsewhere). `committed_ops` counts single-key ops inside
+    /// committed transactions — the aggregate-throughput numerator.
+    struct TxnTotals {
+        std::uint64_t txns_started = 0;
+        std::uint64_t committed_txns = 0;
+        std::uint64_t aborted_txns = 0;
+        std::uint64_t committed_ops = 0;
+        std::uint64_t cross_shard_txns = 0;
+    };
+    virtual TxnTotals txn_totals() const { return {}; }
 
     /// Observability hook: publishes this deployment's counters under
     /// `prefix` and, when `trace` is non-null, names every node's track.
@@ -201,6 +214,11 @@ struct CommonParams {
     /// oldest request's wait (see sim::AdaptiveBatchController).
     std::size_t batch_max = 16;
     sim::Time batch_delay = 100 * sim::kMicrosecond;
+    /// PDES placement-policy override (node id -> host partition). Empty =
+    /// the deployment's default (id % nparts; group-affine for sharded
+    /// deployments). Placement is host-locality only — simulated results
+    /// are byte-identical for every policy (test_placement).
+    sim::Simulator::PlacementFn placement;
     /// Replica application for NeoBFT (stateful, undo-capable).
     std::function<std::unique_ptr<app::StateMachine>()> app_factory;
     /// Replica application for the baselines (one closure per replica).
@@ -222,6 +240,41 @@ struct NeoParams : CommonParams {
 std::unique_ptr<Deployment> make_unreplicated(const CommonParams& p);
 std::unique_ptr<Deployment> make_neobft(const NeoParams& p);
 std::unique_ptr<Deployment> make_pbft(const CommonParams& p);
+
+/// Multi-group sharded NeoBFT: `n_shards` independent sequencer groups, each
+/// a full NeoBFT replica group serving a contiguous slice of the key-hash
+/// space, fronted by per-client cross-shard 2PC coordinators
+/// (neobft::ShardClient). PDES placement is group-affine: a shard's
+/// replicas and home switch share a partition, as do all child clients of
+/// one logical client.
+struct ShardParams : CommonParams {
+    int n_shards = 2;
+    NeoVariant variant = NeoVariant::kHm;
+    aom::ReceiverOptions receiver{};
+    std::uint64_t sync_interval = 128;
+    /// Every replica's kv store is pre-loaded with this dataset (shared key
+    /// space; routing decides which keys each shard actually serves).
+    /// record_count = 0 skips the preload.
+    app::YcsbConfig dataset{10'000, 32, 0.5, 0.99};
+    /// Test hook: every replica of this shard runs the forged-prepare
+    /// equivocation double (claims PREPARED, stages nothing); -1 = honest.
+    int byzantine_prepare_shard = -1;
+};
+std::unique_ptr<Deployment> make_sharded_neobft(const ShardParams& p);
+
+/// Multi-key YCSB transaction workload for sharded deployments: each op is
+/// a serialized kTxnLocal KvTxnOp whose keys are drawn zipfian and redrawn
+/// so `cross_shard_ratio` of transactions span >= 2 shards. Per-client
+/// generator state is touched only from that client's partition, so the
+/// stream stays byte-identical across --sim-threads values.
+struct ShardTxnWorkload {
+    int n_shards = 2;
+    double cross_shard_ratio = 0.0;
+    std::size_t ops_per_txn = 4;
+    std::uint64_t seed = 42;
+    app::YcsbConfig dataset{10'000, 32, 0.5, 0.99};
+};
+OpGen sharded_txn_ops(const ShardTxnWorkload& w, int n_clients);
 
 struct ZyzzyvaParams : CommonParams {
     bool faulty_replica = false;  // Zyzzyva-F

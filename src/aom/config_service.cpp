@@ -5,15 +5,24 @@
 
 namespace neo::aom {
 
-void ConfigService::register_group(const GroupConfig& group) {
+void ConfigService::register_group(const GroupConfig& group, std::size_t initial_switch) {
     NEO_ASSERT_MSG(!pool_.empty(), "config service needs at least one switch");
     NEO_ASSERT_MSG(!groups_.contains(group.group), "group already registered");
+    NEO_ASSERT_MSG(initial_switch < pool_.size(), "initial switch outside the pool");
     GroupState gs;
     gs.cfg = group;
     gs.epoch = 1;
-    gs.switch_index = 0;
-    pool_[0]->install_group(group, gs.epoch);
+    gs.switch_index = initial_switch;
+    pool_[initial_switch]->install_group(group, gs.epoch);
     groups_[group.group] = std::move(gs);
+}
+
+std::vector<GroupConfig> ConfigService::sharded_groups() const {
+    std::vector<GroupConfig> out;
+    for (const auto& [gid, gs] : groups_) {
+        if (gs.cfg.key_lo != 0 || gs.cfg.key_hi != 0) out.push_back(gs.cfg);
+    }
+    return out;
 }
 
 NodeId ConfigService::current_sequencer(GroupId group) const {

@@ -29,8 +29,15 @@ class ConfigService : public sim::ProcessingNode, public SequencerDirectory {
                   sim::Time reconfig_delay = 50 * sim::kMillisecond)
         : keys_(keys), pool_(std::move(switch_pool)), reconfig_delay_(reconfig_delay) {}
 
-    /// Registers a group and installs it on the first pool switch at epoch 1.
-    void register_group(const GroupConfig& group);
+    /// Registers a group and installs it on pool switch `initial_switch`
+    /// at epoch 1. Sharded deployments spread their N groups across the
+    /// pool (one sequencer per shard); the pool is still shared, so a
+    /// failover moves a group to the next switch round-robin.
+    void register_group(const GroupConfig& group, std::size_t initial_switch = 0);
+
+    /// Every registered group that owns a keyspace range (key_lo/key_hi
+    /// set), in GroupId order — the table a ShardRouter is built from.
+    std::vector<GroupConfig> sharded_groups() const;
 
     // SequencerDirectory.
     NodeId current_sequencer(GroupId group) const override;

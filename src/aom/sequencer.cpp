@@ -24,15 +24,20 @@ void SequencerSwitch::install_group(const GroupConfig& group, EpochNum epoch) {
                        static_cast<int>(group.receivers.size()) <= kHmMaxReceivers ||
                        group.variant == AuthVariant::kPublicKey,
                    "HM variant supports at most 64 receivers (16 loopback ports)");
-    GroupState gs;
-    gs.cfg = group;
-    gs.epoch = epoch;
-    gs.next_seq = 1;
-    gs.chain = chain_genesis(group.group, epoch);
+    NEO_ASSERT_MSG(group.group < kMaxGroupId,
+                   "group address exceeds the dense routing-table bound");
+    auto gs = std::make_unique<GroupState>();
+    gs->cfg = group;
+    gs->epoch = epoch;
+    gs->next_seq = 1;
+    gs->chain = chain_genesis(group.group, epoch);
+    if (groups_.size() <= group.group) groups_.resize(group.group + 1);
     groups_[group.group] = std::move(gs);
 }
 
-void SequencerSwitch::remove_group(GroupId group) { groups_.erase(group); }
+void SequencerSwitch::remove_group(GroupId group) {
+    if (group < groups_.size()) groups_[group].reset();
+}
 
 void SequencerSwitch::register_metrics(obs::Registry& reg, const std::string& prefix) {
     reg.add_collector([this, prefix](obs::Registry& r) {
@@ -74,9 +79,9 @@ void SequencerSwitch::on_packet(NodeId from, const sim::Packet& wire) {
         return;  // malformed; switches drop silently
     }
 
-    auto it = groups_.find(pkt.group);
-    if (it == groups_.end()) return;  // no route for this group address
-    GroupState& gs = it->second;
+    GroupState* gsp = find_group(pkt.group);
+    if (!gsp) return;  // no route for this group address
+    GroupState& gs = *gsp;
 
     if (stalled_) return;  // faulty switch: blackholes traffic
 
@@ -232,13 +237,13 @@ void SequencerSwitch::process_pk(GroupState& gs, const DataPacket& pkt, sim::Tim
 }
 
 void SequencerSwitch::schedule_checkpoint(GroupId group) {
-    auto it = groups_.find(group);
-    if (it == groups_.end()) return;
-    std::uint64_t generation = it->second.checkpoint_generation;
+    GroupState* gsp = find_group(group);
+    if (!gsp) return;
+    std::uint64_t generation = gsp->checkpoint_generation;
     sim().after(cfg_.checkpoint_idle_ns, [this, group, generation] {
-        auto git = groups_.find(group);
-        if (git == groups_.end()) return;
-        GroupState& gs = git->second;
+        GroupState* git = find_group(group);
+        if (!git) return;
+        GroupState& gs = *git;
         if (gs.checkpoint_generation != generation || gs.head_signed || stalled_) return;
 
         refill_stock();

@@ -10,7 +10,7 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "aom/keys.hpp"
 #include "aom/types.hpp"
@@ -64,7 +64,9 @@ class SequencerSwitch : public sim::Node {
     /// sequencer for `group` starting at `epoch`. Resets counter and chain.
     void install_group(const GroupConfig& group, EpochNum epoch);
     void remove_group(GroupId group);
-    bool serves_group(GroupId group) const { return groups_.contains(group); }
+    bool serves_group(GroupId group) const {
+        return group < groups_.size() && groups_[group] != nullptr;
+    }
 
     /// Fault injection: a stalled switch accepts packets but emits nothing.
     void set_stall(bool stalled) { stalled_ = stalled; }
@@ -110,10 +112,19 @@ class SequencerSwitch : public sim::Node {
     void refill_stock();
     void schedule_checkpoint(GroupId group);
 
+    /// Per-packet hot-path lookup: dense array indexed by GroupId (bounds
+    /// check + pointer load, no hashing — measurable at 16 groups). Slots
+    /// are null for group ids this switch does not serve. Group ids are
+    /// small dense integers handed out by the configuration service;
+    /// kMaxGroupId bounds the table so a corrupt id cannot balloon it.
+    GroupState* find_group(GroupId group) {
+        return group < groups_.size() ? groups_[group].get() : nullptr;
+    }
+
     SequencerConfig cfg_;
     std::unique_ptr<crypto::NodeCrypto> crypto_;
     const AomKeyService* keys_;
-    std::unordered_map<GroupId, GroupState> groups_;
+    std::vector<std::unique_ptr<GroupState>> groups_;
 
     sim::Time pipe_busy_until_ = 0;
     sim::Time signer_busy_until_ = 0;

@@ -31,6 +31,11 @@ struct GroupConfig {
     /// Maximum number of Byzantine receivers tolerated (confirm quorum is
     /// 2f+1). Only meaningful under NetworkTrust::kByzantine.
     int f = 0;
+    /// Keyspace shard this group owns in a sharded deployment: the group
+    /// serves application keys whose 64-bit hash falls in [key_lo, key_hi]
+    /// (inclusive). Both zero = unsharded (the group serves everything).
+    std::uint64_t key_lo = 0;
+    std::uint64_t key_hi = 0;
 
     int receiver_index(NodeId node) const {
         for (std::size_t i = 0; i < receivers.size(); ++i) {
@@ -39,6 +44,11 @@ struct GroupConfig {
         return -1;
     }
 };
+
+/// Upper bound (exclusive) on group addresses. The sequencer's per-packet
+/// routing table is a dense array indexed by GroupId, so addresses must be
+/// small integers; the configuration service hands them out densely.
+constexpr GroupId kMaxGroupId = 4096;
 
 /// Maximum receivers per HMAC subgroup packet (4 parallel HalfSipHash
 /// instances per pipeline pass, §4.3).

@@ -7,6 +7,16 @@ namespace neo::app {
 namespace {
 constexpr std::size_t kMaxKey = 1'024;
 constexpr std::size_t kMaxValue = 64 * 1'024;
+constexpr std::size_t kMaxTxnOps = 1'024;
+
+/// Little-endian u32 at `off`, or 0 when the buffer is too short (cost
+/// estimation only; real parsing goes through Reader).
+std::uint32_t peek_u32(BytesView data, std::size_t off) {
+    if (data.size() < off + 4) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
+    return v;
+}
 }  // namespace
 
 Bytes KvOp::serialize() const {
@@ -33,6 +43,42 @@ std::optional<KvOp> KvOp::parse(BytesView data) {
     }
 }
 
+Bytes KvTxnOp::serialize() const {
+    Writer w(32);
+    w.u8(static_cast<std::uint8_t>(type));
+    if (type != KvOpType::kTxnLocal) w.u64(txn_id);
+    if (type == KvOpType::kTxnLocal || type == KvOpType::kTxnPrepare) {
+        w.u32(static_cast<std::uint32_t>(ops.size()));
+        for (const KvOp& op : ops) w.blob(op.serialize());
+    }
+    return std::move(w).take();
+}
+
+std::optional<KvTxnOp> KvTxnOp::parse(BytesView data) {
+    try {
+        Reader r(data);
+        KvTxnOp txn;
+        std::uint8_t t = r.u8();
+        if (t < 4 || t > 7) return std::nullopt;
+        txn.type = static_cast<KvOpType>(t);
+        if (txn.type != KvOpType::kTxnLocal) txn.txn_id = r.u64();
+        if (txn.type == KvOpType::kTxnLocal || txn.type == KvOpType::kTxnPrepare) {
+            std::uint32_t n = r.u32();
+            if (n == 0 || n > kMaxTxnOps) return std::nullopt;
+            txn.ops.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                auto op = KvOp::parse(r.blob(8 + kMaxKey + kMaxValue));
+                if (!op.has_value()) return std::nullopt;
+                txn.ops.push_back(std::move(*op));
+            }
+        }
+        r.expect_end();
+        return txn;
+    } catch (const CodecError&) {
+        return std::nullopt;
+    }
+}
+
 Bytes KvResult::serialize() const {
     Writer w(8 + value.size());
     w.u8(static_cast<std::uint8_t>(status));
@@ -45,7 +91,7 @@ std::optional<KvResult> KvResult::parse(BytesView data) {
         Reader r(data);
         KvResult res;
         std::uint8_t s = r.u8();
-        if (s > 2) return std::nullopt;
+        if (s > 5) return std::nullopt;
         res.status = static_cast<KvStatus>(s);
         res.value = r.blob(kMaxValue);
         r.expect_end();
@@ -55,26 +101,14 @@ std::optional<KvResult> KvResult::parse(BytesView data) {
     }
 }
 
-Bytes KvStateMachine::execute(BytesView op_bytes) {
-    ++executed_;
-    auto op = KvOp::parse(op_bytes);
-    UndoRecord undo;
+KvResult KvStateMachine::apply_single(const KvOp& op, UndoRecord& undo) {
+    undo.type = op.type;
+    undo.key = op.key;
     KvResult result;
 
-    if (!op.has_value()) {
-        // Malformed ops still consume a log position deterministically.
-        undo.type = KvOpType::kGet;
-        undo_log_.push_back(std::move(undo));
-        result.status = KvStatus::kBadRequest;
-        return result.serialize();
-    }
-
-    undo.type = op->type;
-    undo.key = op->key;
-
-    switch (op->type) {
+    switch (op.type) {
         case KvOpType::kGet: {
-            const Bytes* v = store_.get(op->key);
+            const Bytes* v = store_.get(op.key);
             if (v != nullptr) {
                 result.status = KvStatus::kOk;
                 result.value = *v;
@@ -84,32 +118,29 @@ Bytes KvStateMachine::execute(BytesView op_bytes) {
             break;
         }
         case KvOpType::kPut: {
-            const Bytes* old = store_.get(op->key);
+            const Bytes* old = store_.get(op.key);
             undo.existed = old != nullptr;
             if (old != nullptr) undo.old_value = *old;
-            store_.put(op->key, op->value);
+            store_.put(op.key, op.value);
             result.status = KvStatus::kOk;
             break;
         }
         case KvOpType::kDelete: {
-            const Bytes* old = store_.get(op->key);
+            const Bytes* old = store_.get(op.key);
             undo.existed = old != nullptr;
             if (old != nullptr) undo.old_value = *old;
-            bool erased = store_.erase(op->key);
+            bool erased = store_.erase(op.key);
             result.status = erased ? KvStatus::kOk : KvStatus::kNotFound;
             break;
         }
+        default:
+            result.status = KvStatus::kBadRequest;
+            break;
     }
-    undo_log_.push_back(std::move(undo));
-    return result.serialize();
+    return result;
 }
 
-void KvStateMachine::undo_last() {
-    NEO_ASSERT_MSG(!undo_log_.empty(), "undo without history");
-    UndoRecord rec = std::move(undo_log_.back());
-    undo_log_.pop_back();
-    --executed_;
-
+void KvStateMachine::undo_single(UndoRecord& rec) {
     switch (rec.type) {
         case KvOpType::kGet:
             break;  // reads mutate nothing
@@ -122,6 +153,195 @@ void KvStateMachine::undo_last() {
             break;
         case KvOpType::kDelete:
             if (rec.existed) store_.put(rec.key, rec.old_value);
+            break;
+        default:
+            break;
+    }
+}
+
+namespace {
+/// Positional per-op results: u32 n, then n x blob(KvResult).
+Bytes pack_results(const std::vector<KvResult>& results) {
+    Writer w(8 + results.size() * 16);
+    w.u32(static_cast<std::uint32_t>(results.size()));
+    for (const KvResult& r : results) w.blob(r.serialize());
+    return std::move(w).take();
+}
+}  // namespace
+
+Bytes KvStateMachine::txn_local(const KvTxnOp& txn, UndoRecord& undo) {
+    undo.type = KvOpType::kTxnLocal;
+    // A one-shot transaction conflicts with any in-flight 2PC lock: its
+    // keys could be part of a staged write-set, so touching them would
+    // break prepared-transaction isolation.
+    for (const KvOp& op : txn.ops) {
+        if (locks_.contains(op.key)) {
+            return KvResult{KvStatus::kTxnAborted, {}}.serialize();
+        }
+    }
+    std::vector<KvResult> results;
+    results.reserve(txn.ops.size());
+    for (const KvOp& op : txn.ops) {
+        UndoRecord sub;
+        results.push_back(apply_single(op, sub));
+        undo.multi.push_back(std::move(sub));
+    }
+    return KvResult{KvStatus::kOk, pack_results(results)}.serialize();
+}
+
+Bytes KvStateMachine::txn_prepare(const KvTxnOp& txn, UndoRecord& undo) {
+    undo.type = KvOpType::kTxnPrepare;
+    undo.txn_id = txn.txn_id;
+
+    if (byz_prepare_) {
+        // Equivocation: the reply claims PREPARED, but this replica records
+        // an abort vote and holds no locks — a later commit finds nothing
+        // staged (kTxnUnknown) while honest shards apply theirs.
+        notify_txn(txn.txn_id, 0, false);
+        return KvResult{KvStatus::kTxnPrepared, {}}.serialize();
+    }
+
+    for (const KvOp& op : txn.ops) {
+        auto it = locks_.find(op.key);
+        if (it != locks_.end() && it->second != txn.txn_id) {
+            notify_txn(txn.txn_id, 0, false);
+            return KvResult{KvStatus::kTxnAborted, {}}.serialize();
+        }
+    }
+
+    StagedTxn staged;
+    std::vector<KvResult> results;
+    results.reserve(txn.ops.size());
+    for (const KvOp& op : txn.ops) {
+        if (!locks_.contains(op.key)) {
+            locks_.emplace(op.key, txn.txn_id);
+            staged.locked_keys.push_back(op.key);
+        }
+        if (op.type == KvOpType::kGet) {
+            // Reads execute under the lock at prepare time (2PL): the
+            // values returned are the ones the commit point serialises.
+            UndoRecord scratch;
+            results.push_back(apply_single(op, scratch));
+        } else {
+            staged.writes.push_back(op);
+            results.push_back(KvResult{KvStatus::kOk, {}});
+        }
+    }
+    staged_[txn.txn_id] = std::move(staged);
+    undo.took_effect = true;
+    notify_txn(txn.txn_id, 0, true);
+    return KvResult{KvStatus::kTxnPrepared, pack_results(results)}.serialize();
+}
+
+Bytes KvStateMachine::txn_commit(const KvTxnOp& txn, UndoRecord& undo) {
+    undo.type = KvOpType::kTxnCommit;
+    undo.txn_id = txn.txn_id;
+
+    auto it = staged_.find(txn.txn_id);
+    if (it == staged_.end()) {
+        notify_txn(txn.txn_id, 1, false);
+        return KvResult{KvStatus::kTxnUnknown, {}}.serialize();
+    }
+    for (const KvOp& op : it->second.writes) {
+        UndoRecord sub;
+        apply_single(op, sub);
+        undo.multi.push_back(std::move(sub));
+    }
+    for (const Bytes& key : it->second.locked_keys) locks_.erase(key);
+    undo.took_effect = true;
+    undo.staged = std::move(it->second);
+    staged_.erase(it);
+    notify_txn(txn.txn_id, 1, true);
+    return KvResult{KvStatus::kOk, {}}.serialize();
+}
+
+Bytes KvStateMachine::txn_abort(const KvTxnOp& txn, UndoRecord& undo) {
+    undo.type = KvOpType::kTxnAbort;
+    undo.txn_id = txn.txn_id;
+
+    auto it = staged_.find(txn.txn_id);
+    if (it != staged_.end()) {
+        for (const Bytes& key : it->second.locked_keys) locks_.erase(key);
+        undo.took_effect = true;
+        undo.staged = std::move(it->second);
+        staged_.erase(it);
+    }
+    // Aborting an unknown transaction is the idempotent no-op the retry
+    // path relies on; both cases count as the abort taking effect.
+    notify_txn(txn.txn_id, 2, true);
+    return KvResult{KvStatus::kOk, {}}.serialize();
+}
+
+Bytes KvStateMachine::execute(BytesView op_bytes) {
+    ++executed_;
+    UndoRecord undo;
+    Bytes result_wire;
+
+    std::uint8_t t = op_bytes.empty() ? 0 : op_bytes[0];
+    if (t >= 1 && t <= 3) {
+        auto op = KvOp::parse(op_bytes);
+        if (op.has_value()) {
+            result_wire = apply_single(*op, undo).serialize();
+        }
+    } else if (t >= 4 && t <= 7) {
+        auto txn = KvTxnOp::parse(op_bytes);
+        if (txn.has_value()) {
+            switch (txn->type) {
+                case KvOpType::kTxnLocal: result_wire = txn_local(*txn, undo); break;
+                case KvOpType::kTxnPrepare: result_wire = txn_prepare(*txn, undo); break;
+                case KvOpType::kTxnCommit: result_wire = txn_commit(*txn, undo); break;
+                default: result_wire = txn_abort(*txn, undo); break;
+            }
+        }
+    }
+    if (result_wire.empty()) {
+        // Malformed ops still consume a log position deterministically.
+        undo = UndoRecord{};
+        result_wire = KvResult{KvStatus::kBadRequest, {}}.serialize();
+    }
+    undo_log_.push_back(std::move(undo));
+    return result_wire;
+}
+
+void KvStateMachine::undo_last() {
+    NEO_ASSERT_MSG(!undo_log_.empty(), "undo without history");
+    UndoRecord rec = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    --executed_;
+
+    switch (rec.type) {
+        case KvOpType::kTxnLocal:
+            for (auto it = rec.multi.rbegin(); it != rec.multi.rend(); ++it) undo_single(*it);
+            break;
+        case KvOpType::kTxnPrepare:
+            if (rec.took_effect) {
+                auto it = staged_.find(rec.txn_id);
+                NEO_ASSERT_MSG(it != staged_.end(), "prepare undo without stash");
+                for (const Bytes& key : it->second.locked_keys) locks_.erase(key);
+                staged_.erase(it);
+            }
+            break;
+        case KvOpType::kTxnCommit:
+            if (rec.took_effect) {
+                for (auto it = rec.multi.rbegin(); it != rec.multi.rend(); ++it) {
+                    undo_single(*it);
+                }
+                for (const Bytes& key : rec.staged.locked_keys) {
+                    locks_.emplace(key, rec.txn_id);
+                }
+                staged_[rec.txn_id] = std::move(rec.staged);
+            }
+            break;
+        case KvOpType::kTxnAbort:
+            if (rec.took_effect) {
+                for (const Bytes& key : rec.staged.locked_keys) {
+                    locks_.emplace(key, rec.txn_id);
+                }
+                staged_[rec.txn_id] = std::move(rec.staged);
+            }
+            break;
+        default:
+            undo_single(rec);
             break;
     }
 }
@@ -136,9 +356,23 @@ void KvStateMachine::commit_prefix(std::uint64_t n) {
 
 std::int64_t KvStateMachine::execute_cost_ns(BytesView op) const {
     // B-Tree traversal over ~100K records plus value copies: of the order
-    // of a microsecond on the testbed CPUs; writes cost a bit more.
-    if (!op.empty() && op[0] == static_cast<std::uint8_t>(KvOpType::kGet)) return 900;
-    return 1'400;
+    // of a microsecond on the testbed CPUs; writes cost a bit more, and
+    // multi-key transactions pay per touched key.
+    if (op.empty()) return 1'400;
+    switch (op[0]) {
+        case static_cast<std::uint8_t>(KvOpType::kGet):
+            return 900;
+        case static_cast<std::uint8_t>(KvOpType::kTxnLocal):
+            return 600 + 1'400 * static_cast<std::int64_t>(peek_u32(op, 1));
+        case static_cast<std::uint8_t>(KvOpType::kTxnPrepare):
+            return 800 + 1'400 * static_cast<std::int64_t>(peek_u32(op, 9));
+        case static_cast<std::uint8_t>(KvOpType::kTxnCommit):
+            return 1'600;
+        case static_cast<std::uint8_t>(KvOpType::kTxnAbort):
+            return 600;
+        default:
+            return 1'400;
+    }
 }
 
 }  // namespace neo::app

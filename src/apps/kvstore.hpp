@@ -1,10 +1,15 @@
 // Replicated key-value store (the paper's §6.5 application): a B-Tree
-// backed state machine with GET/PUT/DELETE operations and the undo support
-// speculative protocols need.
+// backed state machine with GET/PUT/DELETE operations, the undo support
+// speculative protocols need, and multi-key transactions for sharded
+// deployments — a one-shot local form plus the participant half of
+// two-phase commit (prepare locks + stages, commit/abort resolves), all
+// fully undo-capable so speculative rollback composes with 2PC.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "apps/btree.hpp"
 #include "apps/state_machine.hpp"
@@ -12,7 +17,16 @@
 
 namespace neo::app {
 
-enum class KvOpType : std::uint8_t { kGet = 1, kPut = 2, kDelete = 3 };
+enum class KvOpType : std::uint8_t {
+    kGet = 1,
+    kPut = 2,
+    kDelete = 3,
+    // Multi-key transactions (share the leading type-byte namespace).
+    kTxnLocal = 4,    // all keys on one shard: applied atomically in one op
+    kTxnPrepare = 5,  // 2PC phase 1: lock keys, read, stage writes, vote
+    kTxnCommit = 6,   // 2PC phase 2: apply the staged write-set
+    kTxnAbort = 7,    // 2PC phase 2: discard the staged write-set
+};
 
 struct KvOp {
     KvOpType type = KvOpType::kGet;
@@ -20,12 +34,33 @@ struct KvOp {
     Bytes value;  // kPut only
 
     Bytes serialize() const;
-    /// Returns nullopt on malformed input (Byzantine clients).
+    /// Returns nullopt on malformed input (Byzantine clients). Parses the
+    /// single-key forms only; transactions use KvTxnOp.
     static std::optional<KvOp> parse(BytesView data);
 };
 
+/// Transaction wire forms:
+///   kTxnLocal:   type, u32 n, n x blob(KvOp)
+///   kTxnPrepare: type, u64 txn_id, u32 n, n x blob(KvOp)
+///   kTxnCommit / kTxnAbort: type, u64 txn_id
+struct KvTxnOp {
+    KvOpType type = KvOpType::kTxnLocal;
+    std::uint64_t txn_id = 0;  // globally unique; 0 for kTxnLocal
+    std::vector<KvOp> ops;     // the single-key ops (empty for commit/abort)
+
+    Bytes serialize() const;
+    static std::optional<KvTxnOp> parse(BytesView data);
+};
+
 /// Result encoding: status byte + optional value.
-enum class KvStatus : std::uint8_t { kOk = 0, kNotFound = 1, kBadRequest = 2 };
+enum class KvStatus : std::uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kBadRequest = 2,
+    kTxnPrepared = 3,  // prepare vote: locks held, write-set staged
+    kTxnAborted = 4,   // prepare vote: lock conflict (or local-txn conflict)
+    kTxnUnknown = 5,   // commit for a transaction this shard never prepared
+};
 
 struct KvResult {
     KvStatus status = KvStatus::kOk;
@@ -41,21 +76,54 @@ class KvStateMachine : public StateMachine {
     void undo_last() override;
     void commit_prefix(std::uint64_t n) override;
     std::int64_t execute_cost_ns(BytesView op) const override;
+    void set_txn_observer(TxnObserver obs) override { txn_obs_ = std::move(obs); }
+
+    /// Byzantine test double: the prepare reply claims PREPARED while the
+    /// replica internally records an abort vote and stages nothing — the
+    /// forged-vote equivocation the auditor must catch.
+    void set_byzantine_prepare_equivocation(bool v) { byz_prepare_ = v; }
 
     const BTreeMap& store() const { return store_; }
     BTreeMap& store() { return store_; }
     std::uint64_t executed() const { return executed_; }
+    std::size_t locked_keys() const { return locks_.size(); }
+    std::size_t staged_txns() const { return staged_.size(); }
 
   private:
+    struct StagedTxn {
+        std::vector<KvOp> writes;       // puts/deletes to apply at commit
+        std::vector<Bytes> locked_keys; // every key the txn locked
+    };
+
     struct UndoRecord {
-        KvOpType type;
+        KvOpType type = KvOpType::kGet;
+        // Single-key ops.
         Bytes key;
         bool existed = false;
         Bytes old_value;
+        // Transactions.
+        std::uint64_t txn_id = 0;
+        std::vector<UndoRecord> multi;  // per-write undos, applied LIFO
+        bool took_effect = false;       // prepare locked / commit-abort had a stash
+        StagedTxn staged;               // stash to restore on commit/abort undo
     };
+
+    KvResult apply_single(const KvOp& op, UndoRecord& undo);
+    void undo_single(UndoRecord& rec);
+    Bytes txn_local(const KvTxnOp& txn, UndoRecord& undo);
+    Bytes txn_prepare(const KvTxnOp& txn, UndoRecord& undo);
+    Bytes txn_commit(const KvTxnOp& txn, UndoRecord& undo);
+    Bytes txn_abort(const KvTxnOp& txn, UndoRecord& undo);
+    void notify_txn(std::uint64_t txn_id, int phase, bool applied) {
+        if (txn_obs_) txn_obs_(txn_id, phase, applied);
+    }
 
     BTreeMap store_;
     std::deque<UndoRecord> undo_log_;
+    std::map<Bytes, std::uint64_t> locks_;    // key -> holding txn
+    std::map<std::uint64_t, StagedTxn> staged_;
+    TxnObserver txn_obs_;
+    bool byz_prepare_ = false;
     std::uint64_t executed_ = 0;
     std::uint64_t committed_ = 0;
 };

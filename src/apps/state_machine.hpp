@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/bytes.hpp"
@@ -18,6 +19,16 @@ namespace neo::app {
 class StateMachine {
   public:
     virtual ~StateMachine() = default;
+
+    /// Cross-shard transaction observation: fired from inside execute()
+    /// whenever a 2PC phase op is applied. `phase` is 0 = prepare,
+    /// 1 = commit, 2 = abort (matching obs::Auditor::TxnPhase); `applied`
+    /// = the phase took effect (prepare voted PREPARED / staged writes
+    /// applied / discarded), false = the phase was rejected (prepare lock
+    /// conflict, or commit for a transaction this shard never prepared).
+    /// Applications without transactions ignore the hook.
+    using TxnObserver = std::function<void(std::uint64_t txn_id, int phase, bool applied)>;
+    virtual void set_txn_observer(TxnObserver obs) { (void)obs; }
 
     /// Applies `op` deterministically and returns its result. Must record
     /// undo information until the operation is committed.

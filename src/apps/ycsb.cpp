@@ -59,6 +59,48 @@ void YcsbWorkload::load_into(KvStateMachine& sm) const {
     }
 }
 
+KvTxnOp YcsbWorkload::next_txn(const TxnConfig& tcfg,
+                               const std::function<std::size_t(BytesView)>& shard_of,
+                               std::size_t n_shards) {
+    NEO_ASSERT(tcfg.ops_per_txn > 0 && n_shards > 0);
+    const bool want_cross = n_shards > 1 && tcfg.ops_per_txn > 1 &&
+                            rng_.real() < tcfg.cross_shard_ratio;
+
+    KvTxnOp txn;
+    txn.type = KvOpType::kTxnLocal;
+    txn.ops.push_back(next_op());
+    const std::size_t home = shard_of(BytesView(txn.ops.front().key));
+
+    while (txn.ops.size() < tcfg.ops_per_txn) {
+        KvOp op = next_op();
+        if (!want_cross && n_shards > 1) {
+            // Keys hash uniformly across shards, so redrawing onto the home
+            // shard converges in ~n_shards tries; the fallback (reuse the
+            // first key) keeps the op count exact either way.
+            for (int tries = 0; tries < 256 && shard_of(BytesView(op.key)) != home; ++tries) {
+                op = next_op();
+            }
+            if (shard_of(BytesView(op.key)) != home) op.key = txn.ops.front().key;
+        }
+        txn.ops.push_back(std::move(op));
+    }
+
+    if (want_cross) {
+        bool cross = false;
+        for (const KvOp& op : txn.ops) {
+            if (shard_of(BytesView(op.key)) != home) { cross = true; break; }
+        }
+        for (int tries = 0; !cross && tries < 4096; ++tries) {
+            KvOp op = next_op();
+            if (shard_of(BytesView(op.key)) != home) {
+                txn.ops.back() = std::move(op);
+                cross = true;
+            }
+        }
+    }
+    return txn;
+}
+
 KvOp YcsbWorkload::next_op() {
     std::uint64_t record = zipf_.next(rng_);
     KvOp op;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "apps/kvstore.hpp"
@@ -55,6 +56,22 @@ class YcsbWorkload {
 
     /// The next transaction op (read or update per the workload mix).
     KvOp next_op();
+
+    /// Multi-key transaction shape for sharded deployments.
+    struct TxnConfig {
+        std::size_t ops_per_txn = 4;
+        /// Fraction of transactions forced to touch at least two shards
+        /// (the rest are redrawn onto their first key's shard).
+        double cross_shard_ratio = 0.0;
+    };
+
+    /// The next multi-key transaction in kTxnLocal form — the coordinator
+    /// decides whether 2PC is needed. `shard_of` maps a key to its shard
+    /// index (neobft::ShardRouter::shard_index); with one shard every
+    /// transaction is trivially single-shard.
+    KvTxnOp next_txn(const TxnConfig& tcfg,
+                     const std::function<std::size_t(BytesView)>& shard_of,
+                     std::size_t n_shards);
 
     const YcsbConfig& config() const { return cfg_; }
 

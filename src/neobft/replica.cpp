@@ -21,6 +21,22 @@ Replica::Replica(Config cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
     epoch_start_slot_[1] = 1;
 }
 
+void Replica::set_auditor(obs::Auditor* a) {
+    auditor_ = a;
+    if (a != nullptr) {
+        // 2PC phases execute inside app_->execute(), i.e. inside this
+        // replica's event, so current_shard()/now() and the replay flag all
+        // describe the executing slot.
+        app_->set_txn_observer([this](std::uint64_t txn_id, int phase, bool applied) {
+            auditor_->on_txn(sim().current_shard(), sim().now(), id(), cfg_.group, txn_id,
+                             static_cast<obs::Auditor::TxnPhase>(phase), applied,
+                             audit_replay_);
+        });
+    } else {
+        app_->set_txn_observer({});
+    }
+}
+
 void Replica::bootstrap(aom::GroupConfig group, NodeId sequencer) {
     NEO_ASSERT_MSG(attached(), "attach the replica to the network before bootstrap()");
     group_ = std::move(group);
@@ -147,7 +163,7 @@ void Replica::execute_slot(std::uint64_t slot) {
     if (auditor_) {
         auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot,
                              entry.noop ? 0 : obs::trace_id(entry.oc.payload), entry.noop,
-                             audit_replay_);
+                             audit_replay_, cfg_.group);
     }
     if (entry.noop || !entry.valid_request) {
         executed_ = slot;
@@ -674,7 +690,7 @@ void Replica::commit_noop(std::uint64_t slot, GapCertificate cert) {
         executed_ = slot;
         if (auditor_) {
             auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot, 0, true,
-                                 audit_replay_);
+                                 audit_replay_, cfg_.group);
         }
         maybe_start_sync();
         return;
@@ -720,7 +736,8 @@ void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replac
         LogEntry& e = log_.at(s);
         if (auditor_) {
             auditor_->on_execute(sim().current_shard(), sim().now(), id(), s,
-                                 e.noop ? 0 : obs::trace_id(e.oc.payload), e.noop, true);
+                                 e.noop ? 0 : obs::trace_id(e.oc.payload), e.noop, true,
+                                 cfg_.group);
         }
         if (e.noop || !e.valid_request) {
             e.executed = true;

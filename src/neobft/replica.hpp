@@ -66,9 +66,10 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     void set_silent(bool silent) { silent_ = silent; }
 
     /// Online safety monitor (nullptr disables reporting). The replica
-    /// reports every executed slot, aom delivery and view decision; the
-    /// deployment finalizes the auditor after the run.
-    void set_auditor(obs::Auditor* a) { auditor_ = a; }
+    /// reports every executed slot, aom delivery, view decision and
+    /// cross-shard transaction phase (via the application's txn observer);
+    /// the deployment finalizes the auditor after the run.
+    void set_auditor(obs::Auditor* a);
 
     /// Publishes protocol counters (Stats, receiver stats, per-kind rx
     /// counts) under `prefix` at every registry dump.

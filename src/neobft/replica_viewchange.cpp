@@ -316,7 +316,7 @@ void Replica::adopt_view_start(const ViewStart& vs) {
         // Frontier reset: an epoch-change merge may truncate the log below
         // the previously reported frontier without re-appending anything.
         auditor_->on_execute(sim().current_shard(), sim().now(), id(), log_.size(), 0, true,
-                             /*replay=*/true);
+                             /*replay=*/true, cfg_.group);
         // The adopted log is a pure function of the VIEW-START message, so
         // its canonical bytes stand in for the decision: two replicas
         // reporting different digests at the same view means the leader
@@ -324,7 +324,7 @@ void Replica::adopt_view_start(const ViewStart& vs) {
         auditor_->on_view_decision(
             sim().current_shard(), sim().now(), id(),
             (vs.new_view.epoch << 32) | (vs.new_view.leader & 0xffffffffu),
-            obs::trace_id(vs.signed_body()));
+            obs::trace_id(vs.signed_body()), cfg_.group);
     }
     enter_view(vs.new_view);
 }
@@ -687,7 +687,7 @@ void Replica::on_state_reply(NodeId from, Reader& r) {
         audit_replay_ = false;
         if (auditor_) {
             auditor_->on_execute(sim().current_shard(), sim().now(), id(), log_.size(), 0,
-                                 true, /*replay=*/true);
+                                 true, /*replay=*/true, cfg_.group);
         }
     }
     state_transfer_active_ = false;

@@ -1,0 +1,66 @@
+#include "neobft/shard_router.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace neo::neobft {
+
+std::uint64_t ShardRouter::key_hash(BytesView key) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t b : key) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    // FNV-1a avalanches the low bits poorly, and range routing slices on
+    // the HIGH bits — structured keys ("user000...NNN") would pile onto a
+    // few shards. A splitmix64-style finalizer spreads them uniformly.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+std::vector<aom::GroupConfig> ShardRouter::assign_ranges(std::vector<aom::GroupConfig> groups) {
+    NEO_ASSERT_MSG(!groups.empty(), "cannot shard across zero groups");
+    auto n = static_cast<unsigned __int128>(groups.size());
+    constexpr auto kSpace = static_cast<unsigned __int128>(1) << 64;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        groups[i].key_lo = static_cast<std::uint64_t>(kSpace * i / n);
+        std::uint64_t next = static_cast<std::uint64_t>(kSpace * (i + 1) / n);
+        groups[i].key_hi = i + 1 == groups.size() ? ~0ull : next - 1;
+    }
+    return groups;
+}
+
+ShardRouter::ShardRouter(const std::vector<aom::GroupConfig>& groups) {
+    ranges_.reserve(groups.size());
+    for (const aom::GroupConfig& g : groups) {
+        NEO_ASSERT_MSG(g.key_lo <= g.key_hi, "inverted key range");
+        ranges_.push_back({g.key_lo, g.key_hi, g.group});
+    }
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const Range& a, const Range& b) { return a.lo < b.lo; });
+    // Disjoint, gap-free, full cover: any hole would orphan keys and any
+    // overlap would let two groups claim one key — both are configuration
+    // bugs, not runtime conditions.
+    NEO_ASSERT_MSG(!ranges_.empty(), "router needs at least one group");
+    NEO_ASSERT_MSG(ranges_.front().lo == 0, "hash space not covered from 0");
+    for (std::size_t i = 1; i < ranges_.size(); ++i) {
+        NEO_ASSERT_MSG(ranges_[i - 1].hi + 1 == ranges_[i].lo,
+                       "group key ranges must tile the hash space");
+    }
+    NEO_ASSERT_MSG(ranges_.back().hi == ~0ull, "hash space not covered to 2^64-1");
+}
+
+std::size_t ShardRouter::index_of_hash(std::uint64_t h) const {
+    NEO_ASSERT_MSG(!ranges_.empty(), "routing with an empty table");
+    // Last range whose lo <= h; ranges tile the space, so it contains h.
+    auto it = std::upper_bound(ranges_.begin(), ranges_.end(), h,
+                               [](std::uint64_t v, const Range& r) { return v < r.lo; });
+    return static_cast<std::size_t>(it - ranges_.begin()) - 1;
+}
+
+}  // namespace neo::neobft

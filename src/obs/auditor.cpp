@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
+#include <utility>
 
 namespace neo::obs {
 
@@ -42,6 +44,7 @@ void Auditor::finalize() {
     for (const auto& s : shards_) all.insert(all.end(), s.begin(), s.end());
     std::sort(all.begin(), all.end(), [](const Record& a, const Record& b) {
         if (a.t != b.t) return a.t < b.t;
+        if (a.group != b.group) return a.group < b.group;
         if (a.node != b.node) return a.node < b.node;
         if (a.stream != b.stream) return a.stream < b.stream;
         if (a.slot != b.slot) return a.slot < b.slot;
@@ -54,7 +57,11 @@ void Auditor::finalize() {
         bool have_request = false;
         bool flagged = false;
     };
-    std::map<std::uint64_t, SlotState> slots;           // execute stream
+    // Sharded deployments run one independent log per replica group, so the
+    // slot and view spaces are scoped by group: shard 0's slot 5 and shard
+    // 1's slot 5 hold unrelated requests and must never cross-flag.
+    using GroupSlot = std::pair<GroupId, std::uint64_t>;
+    std::map<GroupSlot, SlotState> slots;               // execute stream
     std::map<NodeId, std::uint64_t> exec_frontier;      // per-node last slot
     std::map<std::uint64_t, std::uint64_t> aom_next;    // (node<<32|epoch) -> next seq
     struct ViewState {
@@ -63,13 +70,26 @@ void Auditor::finalize() {
         bool have = false;
         bool flagged = false;
     };
-    std::map<std::uint64_t, ViewState> views;
+    std::map<GroupSlot, ViewState> views;
+
+    // Cross-shard 2PC: the FINAL (latest, replay-aware) decision each node
+    // reported per transaction phase. Keyed (txn, group, node).
+    struct TxnNodeState {
+        bool have_vote = false;
+        bool vote_prepared = false;   // final kPrepare decision
+        sim::Time vote_t = 0;
+        // Final phase-2 outcome: 0 = none yet, 1 = commit applied,
+        // 2 = commit rejected (txn never prepared here), 3 = abort applied.
+        int outcome = 0;
+        sim::Time outcome_t = 0;
+    };
+    std::map<std::tuple<std::uint64_t, GroupId, NodeId>, TxnNodeState> txns;
 
     for (const Record& r : all) {
         switch (r.stream) {
             case Stream::kExecute: {
                 if (!r.noop) {
-                    SlotState& st = slots[r.slot];
+                    SlotState& st = slots[{r.group, r.slot}];
                     if (!st.have_request) {
                         st.have_request = true;
                         st.digest = r.digest;
@@ -123,7 +143,7 @@ void Auditor::finalize() {
                 break;
             }
             case Stream::kView: {
-                ViewState& st = views[r.slot];
+                ViewState& st = views[{r.group, r.slot}];
                 if (!st.have) {
                     st.have = true;
                     st.digest = r.digest;
@@ -134,6 +154,101 @@ void Auditor::finalize() {
                                            r.digest, r.t});
                 }
                 break;
+            }
+            case Stream::kTxn: {
+                auto phase = static_cast<TxnPhase>(r.digest >> 1);
+                bool applied = (r.digest & 1) != 0;
+                TxnNodeState& st = txns[{r.slot, r.group, r.node}];
+                // Records arrive time-sorted, so assignment keeps the final
+                // decision: speculative rollback legitimately flips a vote
+                // before the log stabilises, and only the stable value is a
+                // safety claim.
+                if (phase == TxnPhase::kPrepare) {
+                    st.have_vote = true;
+                    st.vote_prepared = applied;
+                    st.vote_t = r.t;
+                } else if (phase == TxnPhase::kCommit) {
+                    st.outcome = applied ? 1 : 2;
+                    st.outcome_t = r.t;
+                } else {
+                    if (applied) {
+                        st.outcome = 3;
+                        st.outcome_t = r.t;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    // Cross-shard 2PC invariants over the final per-node decisions.
+    //
+    //  - txn_vote_conflict: two replicas of the SAME group ended with
+    //    different prepare votes for one transaction. Honest groups execute
+    //    the ordered prepare op through a deterministic state machine, so
+    //    their final votes must agree.
+    //  - txn_divergent_decision: atomicity across groups — some group
+    //    applied the commit while another group's final outcome was an
+    //    abort or a commit-reject (the participant never held the prepared
+    //    write-set: the forged-vote signature).
+    {
+        struct GroupAgg {
+            bool have_vote = false;
+            bool vote_prepared = false;
+            NodeId vote_node = 0;
+            bool vote_flagged = false;
+            sim::Time vote_t = 0;
+        };
+        std::map<std::pair<std::uint64_t, GroupId>, GroupAgg> by_group;
+        struct TxnAgg {
+            NodeId commit_node = 0;
+            sim::Time commit_t = 0;
+            bool committed = false;
+            NodeId reject_node = 0;
+            sim::Time reject_t = 0;
+            int reject_outcome = 0;
+            bool flagged = false;
+        };
+        std::map<std::uint64_t, TxnAgg> by_txn;
+        for (const auto& [key, st] : txns) {
+            auto [txn, group, node] = key;
+            if (st.have_vote) {
+                GroupAgg& g = by_group[{txn, group}];
+                if (!g.have_vote) {
+                    g.have_vote = true;
+                    g.vote_prepared = st.vote_prepared;
+                    g.vote_node = node;
+                    g.vote_t = st.vote_t;
+                } else if (g.vote_prepared != st.vote_prepared && !g.vote_flagged) {
+                    g.vote_flagged = true;
+                    violations_.push_back({"txn_vote_conflict", txn, g.vote_node, node,
+                                           g.vote_prepared ? 1u : 0u, st.vote_prepared ? 1u : 0u,
+                                           std::max(g.vote_t, st.vote_t)});
+                }
+            }
+            if (st.outcome == 1) {
+                TxnAgg& a = by_txn[txn];
+                if (!a.committed || st.outcome_t < a.commit_t) {
+                    a.committed = true;
+                    a.commit_node = node;
+                    a.commit_t = st.outcome_t;
+                }
+            } else if (st.outcome == 2 || st.outcome == 3) {
+                TxnAgg& a = by_txn[txn];
+                if (a.reject_outcome == 0 || st.outcome_t < a.reject_t) {
+                    a.reject_node = node;
+                    a.reject_t = st.outcome_t;
+                    a.reject_outcome = st.outcome;
+                }
+            }
+        }
+        for (auto& [txn, a] : by_txn) {
+            if (a.committed && a.reject_outcome != 0 && !a.flagged) {
+                a.flagged = true;
+                violations_.push_back({"txn_divergent_decision", txn, a.commit_node,
+                                       a.reject_node, 1u,
+                                       static_cast<std::uint64_t>(a.reject_outcome),
+                                       std::max(a.commit_t, a.reject_t)});
             }
         }
     }

@@ -43,16 +43,25 @@ class Auditor {
         kExecute = 0,   // replica committed/executed a slot
         kAomDeliver,    // aom receiver delivered (epoch, seq)
         kView,          // replica entered a view with an adopted log
+        kTxn,           // cross-shard transaction phase decision
     };
+
+    /// kTxn phases (the 2PC verbs a participant shard applies in log order).
+    enum class TxnPhase : std::uint8_t { kPrepare = 0, kCommit = 1, kAbort = 2 };
 
     struct Record {
         sim::Time t = 0;
         NodeId node = 0;
         Stream stream = Stream::kExecute;
-        std::uint64_t slot = 0;    // log slot | epoch<<32|seq | encoded view
-        std::uint64_t digest = 0;  // request/log content digest (0 = noop)
+        std::uint64_t slot = 0;    // log slot | epoch<<32|seq | encoded view | txn id
+        std::uint64_t digest = 0;  // request/log content digest (0 = noop) | phase<<1|applied
         bool noop = false;
         bool replay = false;       // rollback re-execution: exempt from ordering
+        /// Replica group the reporting node belongs to. Sharded deployments
+        /// run N independent logs, so slot/view spaces are per-group: group
+        /// scopes the divergent_commit and view_conflict keys (0 for the
+        /// single-group protocols and all baselines).
+        GroupId group = 0;
     };
 
     struct Violation {
@@ -75,18 +84,34 @@ class Auditor {
     // ---- reporting (from inside node events; shard = current_shard()) ----
 
     void on_execute(std::size_t shard, sim::Time t, NodeId node, std::uint64_t slot,
-                    std::uint64_t digest, bool noop, bool replay = false) {
-        shards_[shard].push_back({t, node, Stream::kExecute, slot, digest, noop, replay});
+                    std::uint64_t digest, bool noop, bool replay = false, GroupId group = 0) {
+        shards_[shard].push_back(
+            {t, node, Stream::kExecute, slot, digest, noop, replay, group});
     }
     void on_aom_deliver(std::size_t shard, sim::Time t, NodeId node, std::uint64_t epoch,
                         std::uint64_t seq) {
         shards_[shard].push_back(
             {t, node, Stream::kAomDeliver, (epoch << 32) | (seq & 0xffffffffu), seq, false,
-             false});
+             false, 0});
     }
     void on_view_decision(std::size_t shard, sim::Time t, NodeId node, std::uint64_t view,
-                          std::uint64_t log_digest) {
-        shards_[shard].push_back({t, node, Stream::kView, view, log_digest, false, false});
+                          std::uint64_t log_digest, GroupId group = 0) {
+        shards_[shard].push_back(
+            {t, node, Stream::kView, view, log_digest, false, false, group});
+    }
+    /// A replica applied (or rejected) a cross-shard 2PC phase for `txn_id`
+    /// in its group's log order. `applied` for kPrepare means "voted
+    /// PREPARED (locked)"; for kCommit/kAbort it means the staged write-set
+    /// was applied / discarded, false meaning the phase arrived for a txn
+    /// this shard never prepared (the forged-vote signature). Speculative
+    /// rollback re-reports with replay=true; only the FINAL report per
+    /// (txn, group, node, phase) is judged.
+    void on_txn(std::size_t shard, sim::Time t, NodeId node, GroupId group,
+                std::uint64_t txn_id, TxnPhase phase, bool applied, bool replay = false) {
+        std::uint64_t digest =
+            (static_cast<std::uint64_t>(phase) << 1) | (applied ? 1u : 0u);
+        shards_[shard].push_back(
+            {t, node, Stream::kTxn, txn_id, digest, false, replay, group});
     }
 
     // ---- checking (global context only) ----

@@ -13,6 +13,9 @@ void Network::add_node(Node& node, NodeId id) {
     node.net_ = this;
     node.id_ = id;
     nodes_[id] = &node;
+    // Memoize the node's partition under the current placement policy
+    // (setup-time only; the table is immutable once workers run).
+    sim_.bind_node(id);
     // Pre-build the sender stream so the map is never mutated from a worker
     // thread once the simulation runs.
     streams_.emplace(id, StreamRng(seed_, id));

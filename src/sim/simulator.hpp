@@ -6,7 +6,8 @@
 // drops, and workload — bit-for-bit reproducible.
 //
 // Parallel mode (threads == N) partitions nodes across N worker threads
-// (partition of node = id % N), each with its own event heap and virtual
+// (pluggable placement policy, see set_placement(); round-robin id % N by
+// default), each with its own event heap and virtual
 // clock, and advances the simulation in conservative YAWNS-style windows:
 // with L = the minimum cross-node link latency ("lookahead", pushed down by
 // sim::Network whenever link configs change) every event a partition
@@ -52,6 +53,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -152,8 +154,38 @@ class Simulator {
     Simulator& operator=(const Simulator&) = delete;
 
     unsigned partitions() const { return nparts_; }
+
+    /// Node -> partition placement. Placement is a host-side locality knob
+    /// only: the EventKey total order never mentions partitions, so any
+    /// placement yields byte-identical simulated results (asserted by
+    /// tests/integration/test_placement) — a good one merely keeps chatty
+    /// nodes on one worker and off the cross-partition mailboxes.
+    /// Nodes bound by Network::add_node get the pluggable policy (below);
+    /// ids never bound fall back to the historical round-robin.
     unsigned partition_of(NodeId owner) const {
+        if (owner < placement_.size() && placement_[owner] != kUnplaced) {
+            return placement_[owner];
+        }
         return static_cast<unsigned>(owner % nparts_);
+    }
+
+    /// Pluggable placement policy, e.g. group-affine for sharded
+    /// deployments (all replicas of one shard co-located). Must be
+    /// installed from setup code BEFORE the nodes it should govern are
+    /// attached; already-bound nodes keep their partition. The returned
+    /// index is taken modulo partitions().
+    using PlacementFn = std::function<unsigned(NodeId, unsigned nparts)>;
+    void set_placement(PlacementFn policy) { placement_policy_ = std::move(policy); }
+
+    /// Memoizes `id`'s partition under the current policy. Called by
+    /// Network::add_node; setup code (single-threaded) only — the table
+    /// must be immutable by the time workers run.
+    void bind_node(NodeId id) {
+        unsigned p = placement_policy_
+                         ? placement_policy_(id, nparts_) % nparts_
+                         : static_cast<unsigned>(id % nparts_);
+        if (placement_.size() <= id) placement_.resize(id + 1, kUnplaced);
+        placement_[id] = p;
     }
 
     /// Shard index for per-partition instrumentation (e.g. Network's
@@ -248,8 +280,12 @@ class Simulator {
     void worker_main(unsigned index);
     void window_work(detail::Partition& p, Time wend, unsigned parity);
 
+    static constexpr unsigned kUnplaced = ~0u;
+
     unsigned nparts_;
     Time lookahead_ = 0;
+    PlacementFn placement_policy_;
+    std::vector<unsigned> placement_;  // NodeId-indexed; kUnplaced = policy fallback
     std::vector<std::unique_ptr<detail::Partition>> parts_;
     detail::EventHeap global_;
     obs::TraceSink* trace_ = nullptr;

@@ -1,0 +1,112 @@
+// ShardRouter unit tests: every key routes to exactly one shard (no
+// orphans), routing is a pure function of the key bytes (stable across
+// router instances and shard-count-preserving rebuilds), and assign_ranges
+// tiles the full 64-bit hash space without gaps or overlap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "aom/types.hpp"
+#include "common/bytes.hpp"
+#include "neobft/shard_router.hpp"
+
+namespace neo::neobft {
+namespace {
+
+std::vector<aom::GroupConfig> groups_of(std::size_t n, GroupId base = 7) {
+    std::vector<aom::GroupConfig> gs(n);
+    for (std::size_t i = 0; i < n; ++i) gs[i].group = base + static_cast<GroupId>(i);
+    return gs;
+}
+
+Bytes key(unsigned i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%012u", i);
+    return to_bytes(buf);
+}
+
+TEST(ShardRouter, AssignRangesTilesTheFullHashSpace) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 8u, 16u}) {
+        auto gs = ShardRouter::assign_ranges(groups_of(n));
+        ASSERT_EQ(gs.size(), n);
+        EXPECT_EQ(gs.front().key_lo, 0u);
+        EXPECT_EQ(gs.back().key_hi, ~0ull);
+        for (std::size_t i = 1; i < n; ++i) {
+            EXPECT_EQ(gs[i - 1].key_hi + 1, gs[i].key_lo) << "gap/overlap at range " << i;
+        }
+        // Even split: every range within one hash of 2^64 / n wide.
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_GE(gs[i].key_hi, gs[i].key_lo);
+            std::uint64_t width = gs[i].key_hi - gs[i].key_lo;  // inclusive - 1
+            std::uint64_t expect = ~0ull / n;                   // ~ 2^64/n - 1
+            EXPECT_LE(width > expect ? width - expect : expect - width, 1u);
+        }
+    }
+}
+
+TEST(ShardRouter, NoOrphanKeys) {
+    // Every key routes, and to the shard whose range holds its hash.
+    for (std::size_t n : {1u, 2u, 5u, 16u}) {
+        auto gs = ShardRouter::assign_ranges(groups_of(n));
+        ShardRouter r(gs);
+        ASSERT_EQ(r.shards(), n);
+        for (unsigned i = 0; i < 10'000; ++i) {
+            Bytes k = key(i);
+            std::size_t idx = r.shard_index(BytesView(k));
+            ASSERT_LT(idx, n);
+            std::uint64_t h = ShardRouter::key_hash(BytesView(k));
+            EXPECT_GE(h, gs[idx].key_lo);
+            EXPECT_LE(h, gs[idx].key_hi);
+            EXPECT_EQ(r.route(BytesView(k)), gs[idx].group);
+        }
+    }
+}
+
+TEST(ShardRouter, StableAcrossInstancesAndGroupIds) {
+    // shard_index depends only on the range tiling, not on group ids or
+    // which instance computes it — the workload generator relies on this
+    // to mirror the deployment's routing.
+    auto a = ShardRouter(ShardRouter::assign_ranges(groups_of(8, 7)));
+    auto b = ShardRouter(ShardRouter::assign_ranges(groups_of(8, 100)));
+    for (unsigned i = 0; i < 5'000; ++i) {
+        Bytes k = key(i * 31 + 5);
+        EXPECT_EQ(a.shard_index(BytesView(k)), b.shard_index(BytesView(k)));
+    }
+}
+
+TEST(ShardRouter, SpreadsKeysRoughlyEvenly) {
+    constexpr std::size_t kShards = 8;
+    constexpr unsigned kKeys = 40'000;
+    ShardRouter r(ShardRouter::assign_ranges(groups_of(kShards)));
+    std::map<std::size_t, unsigned> counts;
+    for (unsigned i = 0; i < kKeys; ++i) counts[r.shard_index(BytesView(key(i)))]++;
+    ASSERT_EQ(counts.size(), kShards) << "some shard received no keys";
+    for (const auto& [shard, count] : counts) {
+        // FNV-1a over structured keys: expect within 20% of uniform.
+        EXPECT_NEAR(static_cast<double>(count), kKeys / double(kShards),
+                    0.2 * kKeys / double(kShards))
+            << "shard " << shard;
+    }
+}
+
+TEST(ShardRouter, SingleShardOwnsEverything) {
+    ShardRouter r(ShardRouter::assign_ranges(groups_of(1)));
+    EXPECT_EQ(r.index_of_hash(0), 0u);
+    EXPECT_EQ(r.index_of_hash(~0ull), 0u);
+    EXPECT_EQ(r.route(BytesView(key(1))), 7u);
+}
+
+TEST(ShardRouter, BoundaryHashesRouteToAdjacentShards) {
+    auto gs = ShardRouter::assign_ranges(groups_of(4));
+    ShardRouter r(gs);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(r.index_of_hash(gs[i].key_lo), i);
+        EXPECT_EQ(r.index_of_hash(gs[i].key_hi), i);
+    }
+}
+
+}  // namespace
+}  // namespace neo::neobft
