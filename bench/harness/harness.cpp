@@ -19,6 +19,7 @@
 #include "neobft/client.hpp"
 #include "neobft/replica.hpp"
 #include "obs/critical_path.hpp"
+#include "scenario/byz_sequencer.hpp"
 
 namespace neo::bench {
 
@@ -369,6 +370,7 @@ class NeoDeployment : public Deployment {
         cfg.group = kGroup;
         cfg.config_service = kConfigId;
         cfg.sync_interval = p.sync_interval;
+        cfg.checkpoint_interval = p.checkpoint_interval;
         for (int i = 0; i < p.n_replicas; ++i) {
             cfg.replicas.push_back(kReplicaBase + static_cast<NodeId>(i));
         }
@@ -386,8 +388,15 @@ class NeoDeployment : public Deployment {
             p.software_sequencer ? aom::SequencerConfig::software_profile() : aom::SequencerConfig{};
         for (int s = 0; s < 2; ++s) {
             NodeId sid = kSwitchBase + static_cast<NodeId>(s);
-            switches_.push_back(
-                std::make_unique<aom::SequencerSwitch>(seq_cfg, root_.provision(sid), &keys_));
+            if (p.byz_sequencer) {
+                auto sw = std::make_unique<scenario::ByzSequencer>(seq_cfg, root_.provision(sid),
+                                                                   &keys_);
+                byz_switches_.push_back(sw.get());
+                switches_.push_back(std::move(sw));
+            } else {
+                switches_.push_back(
+                    std::make_unique<aom::SequencerSwitch>(seq_cfg, root_.provision(sid), &keys_));
+            }
             net_.add_node(*switches_.back(), sid);
         }
         std::vector<aom::SequencerSwitch*> pool;
@@ -438,6 +447,63 @@ class NeoDeployment : public Deployment {
     void inject_sequencer_failure() override { switches_[0]->set_stall(true); }
     std::uint64_t failovers() const override { return config_->failovers_performed(); }
 
+    bool crash_replica(NodeId id) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) {
+                r->crash();
+                return true;
+            }
+        }
+        return false;
+    }
+    bool recover_replica(NodeId id) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) {
+                r->recover();
+                return true;
+            }
+        }
+        return false;
+    }
+    bool set_replica_equivocate(NodeId id, bool on) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) {
+                r->set_equivocate(on);
+                return true;
+            }
+        }
+        return false;
+    }
+    bool sequencer_fault(const scenario::Adapter::SeqFault& f) override {
+        using scenario::FaultKind;
+        if (f.kind == FaultKind::kSeqStall) {
+            // Stall is supported by the stock switch too.
+            for (auto& sw : switches_) sw->set_stall(f.on);
+            return true;
+        }
+        if (byz_switches_.empty()) return false;
+        // Apply to every switch so the fault survives failover to the
+        // standby (the adversary compromised the sequencing layer, not one
+        // box).
+        for (scenario::ByzSequencer* sw : byz_switches_) {
+            scenario::ByzSequencer::Faults faults = sw->faults();
+            std::uint32_t mod = f.on ? f.mod : 0;
+            switch (f.kind) {
+                case FaultKind::kSeqDrop: faults.drop_mod = mod; break;
+                case FaultKind::kSeqDuplicate: faults.dup_mod = mod; break;
+                case FaultKind::kSeqCorrupt: faults.corrupt_mod = mod; break;
+                case FaultKind::kSeqStripSig: faults.strip_sig_mod = mod; break;
+                case FaultKind::kSeqEquivocate: faults.equivocate_mod = mod; break;
+                default: return false;
+            }
+            sw->set_faults(faults);
+        }
+        return true;
+    }
+    std::uint64_t client_completed(int c) const override {
+        return clients_[static_cast<std::size_t>(c)]->completed();
+    }
+
     void register_obs(obs::Registry& reg, const std::string& prefix,
                       obs::TraceSink* trace) override {
         net_.register_metrics(reg, prefix + ".net");
@@ -469,6 +535,7 @@ class NeoDeployment : public Deployment {
     crypto::TrustRoot root_;
     aom::AomKeyService keys_;
     std::vector<std::unique_ptr<aom::SequencerSwitch>> switches_;
+    std::vector<scenario::ByzSequencer*> byz_switches_;
     std::unique_ptr<aom::ConfigService> config_;
     std::vector<std::unique_ptr<neobft::Replica>> replicas_;
     std::vector<std::unique_ptr<neobft::Client>> clients_;
@@ -520,6 +587,18 @@ class BaselineDeployment : public Deployment {
             if (r->id() == id) return &r->node_crypto().meter();
         }
         return nullptr;
+    }
+    bool set_replica_equivocate(NodeId id, bool on) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) {
+                r->set_equivocate(on);
+                return true;
+            }
+        }
+        return false;
+    }
+    std::uint64_t client_completed(int c) const override {
+        return clients_[static_cast<std::size_t>(c)]->completed();
     }
 
     void register_obs(obs::Registry& reg, const std::string& prefix,
@@ -587,6 +666,18 @@ class ZyzzyvaDeployment : public Deployment {
             if (r->id() == id) return &r->node_crypto().meter();
         }
         return nullptr;
+    }
+    bool set_replica_equivocate(NodeId id, bool on) override {
+        for (auto& r : replicas_) {
+            if (r->id() == id) {
+                r->set_equivocate(on);
+                return true;
+            }
+        }
+        return false;
+    }
+    std::uint64_t client_completed(int c) const override {
+        return clients_[static_cast<std::size_t>(c)]->completed();
     }
 
     void register_obs(obs::Registry& reg, const std::string& prefix,

@@ -21,6 +21,7 @@
 #include "obs/auditor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/network.hpp"
 
 namespace neo::bench {
@@ -67,6 +68,20 @@ class Deployment {
     virtual void inject_sequencer_failure() {}
     virtual std::uint64_t failovers() const { return 0; }
 
+    /// Scenario-engine hooks (src/scenario). Defaults say "unsupported";
+    /// the engine degrades (crash -> fail-silent network window, sequencer
+    /// faults -> no-op). Only call from setup code or a global event.
+    virtual bool crash_replica(NodeId) { return false; }
+    virtual bool recover_replica(NodeId) { return false; }
+    virtual bool set_replica_equivocate(NodeId, bool) { return false; }
+    virtual bool sequencer_fault(const scenario::Adapter::SeqFault&) { return false; }
+    /// Requests this client has completed since construction (liveness
+    /// floor accounting; 0 when the deployment has no per-client counter).
+    virtual std::uint64_t client_completed(int) const { return 0; }
+    /// Drops client's in-flight cross-shard transaction without a decision
+    /// (coordinator crash between prepare and commit). Sharded only.
+    virtual bool abandon_coordinator(int) { return false; }
+
     /// Client-observed transaction outcome totals (sharded deployments;
     /// zero elsewhere). `committed_ops` counts single-key ops inside
     /// committed transactions — the aggregate-throughput numerator.
@@ -97,6 +112,22 @@ class Deployment {
 
   protected:
     obs::Auditor auditor_;
+};
+
+/// Bridges a Deployment to the scenario engine's Adapter interface.
+class ScenarioAdapter : public scenario::Adapter {
+  public:
+    explicit ScenarioAdapter(Deployment& d) : d_(d) {}
+    sim::Simulator& simulator() override { return d_.simulator(); }
+    sim::Network& network() override { return d_.network(); }
+    std::vector<NodeId> replica_ids() const override { return d_.replica_ids(); }
+    bool crash(NodeId n) override { return d_.crash_replica(n); }
+    bool recover(NodeId n) override { return d_.recover_replica(n); }
+    bool set_equivocate(NodeId n, bool on) override { return d_.set_replica_equivocate(n, on); }
+    bool sequencer_fault(const SeqFault& f) override { return d_.sequencer_fault(f); }
+
+  private:
+    Deployment& d_;
 };
 
 /// Generates the operation a client issues next (k = per-client op index).
@@ -235,6 +266,13 @@ struct NeoParams : CommonParams {
     aom::ReceiverOptions receiver{};
     /// State-sync period (§B.2) — ablations.
     std::uint64_t sync_interval = 128;
+    /// Replica checkpoint cadence (slots); 0 disables checkpointing and
+    /// log GC (the perf-figure default). Scenario runs set it so the
+    /// crash-recover lifecycle exercises checkpoint fetch.
+    std::uint64_t checkpoint_interval = 0;
+    /// Build the sequencer switches as scenario::ByzSequencer so the
+    /// scenario engine can inject drop/duplicate/corrupt/strip-sig faults.
+    bool byz_sequencer = false;
 };
 
 std::unique_ptr<Deployment> make_unreplicated(const CommonParams& p);
@@ -259,6 +297,11 @@ struct ShardParams : CommonParams {
     /// Test hook: every replica of this shard runs the forged-prepare
     /// equivocation double (claims PREPARED, stages nothing); -1 = honest.
     int byzantine_prepare_shard = -1;
+    /// 2PC liveness knobs, plumbed into every replica's KvStateMachine.
+    /// Defaults match the fixed protocol; regression tests flip them to
+    /// reproduce the pre-fix livelock / lock-leak behaviour.
+    bool wait_die = true;
+    std::uint64_t presumed_abort_after = 50'000;
 };
 std::unique_ptr<Deployment> make_sharded_neobft(const ShardParams& p);
 

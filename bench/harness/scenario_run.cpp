@@ -1,0 +1,117 @@
+#include "harness/scenario_run.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace neo::bench {
+
+std::string ScenarioOutcome::to_string() const {
+    std::string s = scenario + ": " + (ok ? "ok" : "FAIL");
+    s += " violations=[";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+        if (i) s += ",";
+        s += violations[i];
+    }
+    s += "] unexpected=[";
+    for (std::size_t i = 0; i < unexpected.size(); ++i) {
+        if (i) s += ",";
+        s += unexpected[i];
+    }
+    s += "] missing=[";
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+        if (i) s += ",";
+        s += missing[i];
+    }
+    s += "] completed=" + std::to_string(total_completed);
+    s += " min_client=" + std::to_string(min_client_completed);
+    s += " per_client=[";
+    for (std::size_t i = 0; i < client_completed.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(client_completed[i]);
+    }
+    s += "]";
+    return s;
+}
+
+ScenarioOutcome run_scenario(Deployment& d, const scenario::Scenario& sc, const OpGen& ops,
+                             sim::Time duration) {
+    sim::Simulator& sim = d.simulator();
+    const sim::Time deadline = sim.now() + duration;
+
+    // The adapter only needs to live until the last scheduled fault fires,
+    // which is inside run_until below.
+    ScenarioAdapter adapter(d);
+    scenario::apply(sc, adapter);
+
+    // Closed loop, one chain per client. Per-client slots only (a done
+    // callback runs on that client's partition); merged after the run.
+    const std::size_t nclients = static_cast<std::size_t>(d.n_clients());
+    auto completed = std::make_shared<std::vector<std::uint64_t>>(nclients, 0);
+    auto per_client_k = std::make_shared<std::vector<std::uint64_t>>(nclients, 0);
+    auto issue = std::make_shared<std::function<void(int)>>();
+    *issue = [&d, &ops, issue, completed, per_client_k, deadline](int c) {
+        if (d.simulator().now() >= deadline) return;
+        std::uint64_t k = (*per_client_k)[static_cast<std::size_t>(c)]++;
+        d.invoke(c, ops(c, k), [&d, issue, completed, deadline, c](Bytes) {
+            if (d.simulator().now() < deadline) ++(*completed)[static_cast<std::size_t>(c)];
+            (*issue)(c);
+        });
+    };
+    for (int c = 0; c < d.n_clients(); ++c) (*issue)(c);
+
+    sim.run_until(deadline);
+
+    ScenarioOutcome out;
+    out.scenario = sc.name;
+    out.client_completed = *completed;
+    out.min_client_completed = nclients ? ~0ull : 0;
+    for (std::uint64_t n : out.client_completed) {
+        out.total_completed += n;
+        out.min_client_completed = std::min(out.min_client_completed, n);
+    }
+
+    obs::Auditor& aud = d.auditor();
+    aud.finalize();
+    // Liveness floor rides on the auditor AFTER finalize (finalize clears
+    // the violation list): every client must have reached the scenario's
+    // commit floor by the deadline.
+    for (std::size_t c = 0; c < nclients; ++c) {
+        aud.expect_client_commits(static_cast<NodeId>(c), out.client_completed[c],
+                                  sc.min_commits_per_client, deadline);
+    }
+
+    // Names in first-appearance order, duplicates collapsed.
+    for (const auto& v : aud.violations()) {
+        std::string name = v.invariant;
+        if (std::find(out.violations.begin(), out.violations.end(), name) ==
+            out.violations.end()) {
+            out.violations.push_back(name);
+        }
+    }
+    for (const std::string& name : out.violations) {
+        bool expected = name == "liveness" ||
+                        std::find(sc.expect_violations.begin(), sc.expect_violations.end(),
+                                  name) != sc.expect_violations.end();
+        if (!expected) out.unexpected.push_back(name);
+    }
+    if (sc.violations_required) {
+        for (const std::string& name : sc.expect_violations) {
+            if (std::find(out.violations.begin(), out.violations.end(), name) ==
+                out.violations.end()) {
+                out.missing.push_back(name);
+            }
+        }
+    }
+
+    bool live = std::find(out.violations.begin(), out.violations.end(), "liveness") ==
+                out.violations.end();
+    out.ok = out.unexpected.empty() && out.missing.empty() && live;
+    if (!out.ok) {
+        for (const auto& v : aud.violations()) {
+            std::fprintf(stderr, "scenario %s: %s\n", sc.name.c_str(), v.to_string().c_str());
+        }
+    }
+    return out;
+}
+
+}  // namespace neo::bench

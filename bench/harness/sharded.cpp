@@ -107,6 +107,8 @@ class ShardedNeoDeployment : public Deployment {
                 if (s == p.byzantine_prepare_shard) {
                     app->set_byzantine_prepare_equivocation(true);
                 }
+                app->set_wait_die(p.wait_die);
+                app->set_presumed_abort_after(p.presumed_abort_after);
                 if (p.dataset.record_count > 0) preload.load_into(*app);
                 auto rep = std::make_unique<neobft::Replica>(cfg, root_.provision(rid), &keys_,
                                                              std::move(app), p.receiver);
@@ -140,6 +142,10 @@ class ShardedNeoDeployment : public Deployment {
     void invoke(int client, Bytes op, std::function<void(Bytes)> done) override {
         shard_clients_[static_cast<std::size_t>(client)]->invoke(std::move(op),
                                                                  std::move(done));
+    }
+    bool abandon_coordinator(int client) override {
+        shard_clients_[static_cast<std::size_t>(client)]->abandon();
+        return true;
     }
 
     std::vector<NodeId> replica_ids() const override {

@@ -39,6 +39,20 @@ void AomReceiver::start_epoch(EpochNum epoch, NodeId sequencer) {
     }
 }
 
+void AomReceiver::resume_mid_epoch(EpochNum epoch, NodeId sequencer) {
+    NEO_ASSERT_MSG(epoch >= epoch_, "epochs only move forward");
+    epoch_ = epoch;
+    if (sequencer != kInvalidNode) epoch_sequencers_[epoch] = sequencer;
+    next_seq_ = 0;  // adopt-first sentinel (resolved in try_deliver)
+    pending_.clear();
+    auth_chain_.clear();
+    auth_chain_sigs_.clear();
+    confirm_outbox_.clear();
+    // The host invalidated every timer at crash time; just drop the flags.
+    confirm_timer_armed_ = false;
+    gap_timer_armed_ = false;
+}
+
 VerifyContext AomReceiver::verify_context() const {
     VerifyContext ctx;
     ctx.cfg = &group_;
@@ -400,6 +414,18 @@ OrderingCert AomReceiver::build_cert(SeqNum seq, const Pending& p) const {
 }
 
 void AomReceiver::try_deliver() {
+    if (next_seq_ == 0) {
+        // Mid-epoch resume: adopt the lowest deliverable sequence number as
+        // the delivery frontier; everything below it is only reachable via
+        // the protocol's state transfer.
+        for (const auto& [seq, p] : pending_) {
+            if (deliverable(p)) {
+                next_seq_ = seq;
+                break;
+            }
+        }
+        if (next_seq_ == 0) return;
+    }
     while (true) {
         auto it = pending_.find(next_seq_);
         if (it == pending_.end() || !deliverable(it->second)) break;
@@ -443,6 +469,7 @@ void AomReceiver::try_deliver() {
 
 void AomReceiver::arm_gap_timer() {
     if (gap_timer_armed_) return;
+    if (next_seq_ == 0) return;  // mid-epoch resume: no frontier yet
     // A gap exists if anything beyond next_seq_ is waiting (a pending
     // packet, an authenticated chain value, or a confirm-only entry).
     bool has_later = false;
@@ -465,6 +492,7 @@ void AomReceiver::arm_gap_timer() {
 
 void AomReceiver::fire_gap_timer() {
     gap_timer_armed_ = false;
+    if (next_seq_ == 0) return;  // resumed since arming: no frontier yet
     if (gap_timer_seq_ != next_seq_) {
         arm_gap_timer();
         return;

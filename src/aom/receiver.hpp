@@ -98,6 +98,13 @@ class AomReceiver {
     /// protocol finishes its epoch-change agreement (§4.2 failover).
     void start_epoch(EpochNum epoch, NodeId sequencer);
 
+    /// Rejoins `epoch` mid-stream after a crash: all buffered state is
+    /// discarded and the delivery frontier is adopted from the first
+    /// deliverable packet (the log below it comes via state transfer).
+    /// Sequence numbers already confirmed by the peers before the resume
+    /// are unreachable live and must be fetched the same way.
+    void resume_mid_epoch(EpochNum epoch, NodeId sequencer);
+
     EpochNum epoch() const { return epoch_; }
 
     /// Adaptive confirm-batching controller (instrumentation).

@@ -91,7 +91,7 @@ std::optional<KvResult> KvResult::parse(BytesView data) {
         Reader r(data);
         KvResult res;
         std::uint8_t s = r.u8();
-        if (s > 5) return std::nullopt;
+        if (s > 6) return std::nullopt;
         res.status = static_cast<KvStatus>(s);
         res.value = r.blob(kMaxValue);
         r.expect_end();
@@ -201,15 +201,43 @@ Bytes KvStateMachine::txn_prepare(const KvTxnOp& txn, UndoRecord& undo) {
         return KvResult{KvStatus::kTxnPrepared, {}}.serialize();
     }
 
+    if (auto sit = staged_.find(txn.txn_id); sit != staged_.end()) {
+        // Duplicate prepare (coordinator retry after a lost vote): the
+        // stage already holds this transaction's locks. Re-read under them
+        // and refresh the stage age; no second undo stash is taken.
+        sit->second.staged_at = executed_;
+        std::vector<KvResult> results;
+        results.reserve(txn.ops.size());
+        for (const KvOp& op : txn.ops) {
+            if (op.type == KvOpType::kGet) {
+                UndoRecord scratch;
+                results.push_back(apply_single(op, scratch));
+            } else {
+                results.push_back(KvResult{KvStatus::kOk, {}});
+            }
+        }
+        return KvResult{KvStatus::kTxnPrepared, pack_results(results)}.serialize();
+    }
+
     for (const KvOp& op : txn.ops) {
         auto it = locks_.find(op.key);
         if (it != locks_.end() && it->second != txn.txn_id) {
+            if (wait_die_ && txn.txn_id < it->second) {
+                // Wait-die: an OLDER transaction (smaller id) blocked by a
+                // younger lock holder waits — no locks taken, no vote
+                // recorded; the coordinator retries the same txn_id, so its
+                // seniority is preserved and it cannot starve.
+                return KvResult{KvStatus::kTxnWait, {}}.serialize();
+            }
+            // Younger (or no-wait mode): die. Restarting with the same id
+            // keeps the transaction's age, so it eventually outranks.
             notify_txn(txn.txn_id, 0, false);
             return KvResult{KvStatus::kTxnAborted, {}}.serialize();
         }
     }
 
     StagedTxn staged;
+    staged.staged_at = executed_;
     std::vector<KvResult> results;
     results.reserve(txn.ops.size());
     for (const KvOp& op : txn.ops) {
@@ -272,10 +300,40 @@ Bytes KvStateMachine::txn_abort(const KvTxnOp& txn, UndoRecord& undo) {
     return KvResult{KvStatus::kOk, {}}.serialize();
 }
 
+void KvStateMachine::expire_stale_prepares(UndoRecord& undo) {
+    if (abort_after_ops_ == 0) return;
+    // std::map iteration = ascending txn_id: deterministic across replicas,
+    // which is what lets every replica presume the same aborts at the same
+    // log position without any coordination.
+    for (auto it = staged_.begin(); it != staged_.end();) {
+        if (executed_ - it->second.staged_at <= abort_after_ops_) {
+            ++it;
+            continue;
+        }
+        const std::uint64_t txn_id = it->first;
+        for (const Bytes& key : it->second.locked_keys) locks_.erase(key);
+        undo.expired.emplace_back(txn_id, std::move(it->second));
+        it = staged_.erase(it);
+        ++expired_txns_;
+        // Presumed abort: recorded as an applied abort so the auditor's
+        // orphan check sees every participant resolve the transaction.
+        notify_txn(txn_id, 2, true);
+    }
+}
+
 Bytes KvStateMachine::execute(BytesView op_bytes) {
     ++executed_;
     UndoRecord undo;
     Bytes result_wire;
+
+    // Presumed-abort sweep runs BEFORE the op: a decision arriving for an
+    // already-expired transaction is uniformly rejected on every replica.
+    std::vector<std::pair<std::uint64_t, StagedTxn>> expired;
+    {
+        UndoRecord sweep;
+        expire_stale_prepares(sweep);
+        expired = std::move(sweep.expired);
+    }
 
     std::uint8_t t = op_bytes.empty() ? 0 : op_bytes[0];
     if (t >= 1 && t <= 3) {
@@ -299,6 +357,7 @@ Bytes KvStateMachine::execute(BytesView op_bytes) {
         undo = UndoRecord{};
         result_wire = KvResult{KvStatus::kBadRequest, {}}.serialize();
     }
+    undo.expired = std::move(expired);
     undo_log_.push_back(std::move(undo));
     return result_wire;
 }
@@ -344,6 +403,14 @@ void KvStateMachine::undo_last() {
             undo_single(rec);
             break;
     }
+
+    // Reinstate prepares the op's presumed-abort sweep expired (the sweep
+    // ran first in execute(), so it is reverted last).
+    for (auto it = rec.expired.rbegin(); it != rec.expired.rend(); ++it) {
+        for (const Bytes& key : it->second.locked_keys) locks_.emplace(key, it->first);
+        staged_[it->first] = std::move(it->second);
+        --expired_txns_;
+    }
 }
 
 void KvStateMachine::commit_prefix(std::uint64_t n) {
@@ -352,6 +419,82 @@ void KvStateMachine::commit_prefix(std::uint64_t n) {
     committed_ = n;
     // Drop undo records for committed ops (oldest first).
     while (newly-- > 0 && !undo_log_.empty()) undo_log_.pop_front();
+}
+
+Bytes KvStateMachine::snapshot() const {
+    // Deterministic image of everything execute() can observe: every replica
+    // at the same log position serialises byte-identical state (BTreeMap
+    // iterates in key order, std::map in txn_id order). Config knobs
+    // (wait_die_, abort timeouts, Byzantine doubles) are NOT state.
+    Writer w(64 + store_.size() * 32);
+    w.u64(executed_);
+    w.u64(expired_txns_);
+    w.u64(static_cast<std::uint64_t>(store_.size()));
+    store_.for_each([&w](const Bytes& key, const Bytes& value) {
+        w.blob(key);
+        w.blob(value);
+    });
+    w.u32(static_cast<std::uint32_t>(locks_.size()));
+    for (const auto& [key, txn] : locks_) {
+        w.blob(key);
+        w.u64(txn);
+    }
+    w.u32(static_cast<std::uint32_t>(staged_.size()));
+    for (const auto& [txn_id, staged] : staged_) {
+        w.u64(txn_id);
+        w.u64(staged.staged_at);
+        w.u32(static_cast<std::uint32_t>(staged.writes.size()));
+        for (const KvOp& op : staged.writes) w.blob(op.serialize());
+        w.u32(static_cast<std::uint32_t>(staged.locked_keys.size()));
+        for (const Bytes& key : staged.locked_keys) w.blob(key);
+    }
+    return std::move(w).take();
+}
+
+void KvStateMachine::restore(BytesView snap) {
+    // The caller verified the image against a certified Merkle root, so a
+    // parse failure here is a local bug, not Byzantine input.
+    try {
+        Reader r(snap);
+        BTreeMap store;
+        std::map<Bytes, std::uint64_t> locks;
+        std::map<std::uint64_t, StagedTxn> staged;
+        const std::uint64_t executed = r.u64();
+        const std::uint64_t expired = r.u64();
+        for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+            Bytes key = r.blob(kMaxKey);
+            store.put(key, r.blob(kMaxValue));
+        }
+        for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+            Bytes key = r.blob(kMaxKey);
+            locks.emplace(std::move(key), r.u64());
+        }
+        for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+            const std::uint64_t txn_id = r.u64();
+            StagedTxn st;
+            st.staged_at = r.u64();
+            for (std::uint32_t j = 0, m = r.u32(); j < m; ++j) {
+                auto op = KvOp::parse(r.blob(8 + kMaxKey + kMaxValue));
+                NEO_ASSERT_MSG(op.has_value(), "kv restore: bad staged op");
+                st.writes.push_back(std::move(*op));
+            }
+            for (std::uint32_t j = 0, m = r.u32(); j < m; ++j)
+                st.locked_keys.push_back(r.blob(kMaxKey));
+            staged.emplace(txn_id, std::move(st));
+        }
+        r.expect_end();
+
+        store_ = std::move(store);
+        locks_ = std::move(locks);
+        staged_ = std::move(staged);
+        executed_ = executed;
+        expired_txns_ = expired;
+        // Restored state is a committed checkpoint: no rollback across it.
+        committed_ = executed;
+        undo_log_.clear();
+    } catch (const CodecError&) {
+        NEO_ASSERT_MSG(false, "kv restore: malformed snapshot");
+    }
 }
 
 std::int64_t KvStateMachine::execute_cost_ns(BytesView op) const {

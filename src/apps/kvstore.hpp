@@ -60,6 +60,8 @@ enum class KvStatus : std::uint8_t {
     kTxnPrepared = 3,  // prepare vote: locks held, write-set staged
     kTxnAborted = 4,   // prepare vote: lock conflict (or local-txn conflict)
     kTxnUnknown = 5,   // commit for a transaction this shard never prepared
+    kTxnWait = 6,      // wait-die: older txn blocked by a younger lock holder;
+                       // no locks were taken, the coordinator should retry
 };
 
 struct KvResult {
@@ -77,22 +79,43 @@ class KvStateMachine : public StateMachine {
     void commit_prefix(std::uint64_t n) override;
     std::int64_t execute_cost_ns(BytesView op) const override;
     void set_txn_observer(TxnObserver obs) override { txn_obs_ = std::move(obs); }
+    Bytes snapshot() const override;
+    void restore(BytesView snap) override;
 
     /// Byzantine test double: the prepare reply claims PREPARED while the
     /// replica internally records an abort vote and stages nothing — the
     /// forged-vote equivocation the auditor must catch.
     void set_byzantine_prepare_equivocation(bool v) { byz_prepare_ = v; }
 
+    /// Wait-die deadlock avoidance (on by default): a prepare that hits a
+    /// lock held by a YOUNGER transaction (larger txn_id) votes kTxnWait —
+    /// no locks taken, coordinator retries the same txn_id — instead of
+    /// aborting. A prepare blocked by an OLDER holder still dies
+    /// (kTxnAborted). Combined with canonical-order lock acquisition in
+    /// ShardClient this makes 2PC livelock-free under contention. Off =
+    /// the original no-wait 2PL (any conflict aborts).
+    void set_wait_die(bool v) { wait_die_ = v; }
+
+    /// Presumed-abort timeout for orphaned prepares: a staged transaction
+    /// whose decision has not arrived within `n` subsequent executed ops is
+    /// deterministically aborted (locks released, abort recorded with the
+    /// txn observer) — the coordinator-crash lock-leak fix. Deterministic
+    /// across replicas because it is driven by the executed-op count, not
+    /// time. 0 disables.
+    void set_presumed_abort_after(std::uint64_t n) { abort_after_ops_ = n; }
+
     const BTreeMap& store() const { return store_; }
     BTreeMap& store() { return store_; }
     std::uint64_t executed() const { return executed_; }
     std::size_t locked_keys() const { return locks_.size(); }
     std::size_t staged_txns() const { return staged_.size(); }
+    std::uint64_t expired_txns() const { return expired_txns_; }
 
   private:
     struct StagedTxn {
         std::vector<KvOp> writes;       // puts/deletes to apply at commit
         std::vector<Bytes> locked_keys; // every key the txn locked
+        std::uint64_t staged_at = 0;    // executed_ when the prepare ran
     };
 
     struct UndoRecord {
@@ -106,10 +129,14 @@ class KvStateMachine : public StateMachine {
         std::vector<UndoRecord> multi;  // per-write undos, applied LIFO
         bool took_effect = false;       // prepare locked / commit-abort had a stash
         StagedTxn staged;               // stash to restore on commit/abort undo
+        // Prepares presumed-aborted as a side effect of this op; restored
+        // (re-locked, re-staged) when this op is undone.
+        std::vector<std::pair<std::uint64_t, StagedTxn>> expired;
     };
 
     KvResult apply_single(const KvOp& op, UndoRecord& undo);
     void undo_single(UndoRecord& rec);
+    void expire_stale_prepares(UndoRecord& undo);
     Bytes txn_local(const KvTxnOp& txn, UndoRecord& undo);
     Bytes txn_prepare(const KvTxnOp& txn, UndoRecord& undo);
     Bytes txn_commit(const KvTxnOp& txn, UndoRecord& undo);
@@ -124,6 +151,9 @@ class KvStateMachine : public StateMachine {
     std::map<std::uint64_t, StagedTxn> staged_;
     TxnObserver txn_obs_;
     bool byz_prepare_ = false;
+    bool wait_die_ = true;
+    std::uint64_t abort_after_ops_ = 50'000;
+    std::uint64_t expired_txns_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t committed_ = 0;
 };

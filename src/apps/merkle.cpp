@@ -1,0 +1,95 @@
+#include "apps/merkle.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neo::app {
+
+namespace {
+
+Digest32 hash_pair(const Digest32& a, const Digest32& b) {
+    return crypto::sha256_pair(BytesView(a.data(), a.size()), BytesView(b.data(), b.size()));
+}
+
+}  // namespace
+
+Digest32 merkle_leaf_hash(std::uint32_t index, BytesView chunk) {
+    Bytes buf;
+    buf.reserve(4 + chunk.size());
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(index >> (8 * i)));
+    buf.insert(buf.end(), chunk.begin(), chunk.end());
+    return crypto::sha256(BytesView(buf.data(), buf.size()));
+}
+
+MerkleTree::MerkleTree(BytesView data, std::size_t chunk_size)
+    : data_(data.begin(), data.end()), chunk_size_(chunk_size) {
+    NEO_ASSERT_MSG(chunk_size_ > 0, "merkle: chunk_size must be positive");
+    const std::size_t n =
+        data_.empty() ? 1 : (data_.size() + chunk_size_ - 1) / chunk_size_;
+    std::vector<Digest32> leaves;
+    leaves.reserve(n);
+    // Slice directly: chunk() is unusable here — its bounds assert reads
+    // n_chunks(), which dereferences levels_.front() before any level
+    // exists.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t off = i * chunk_size_;
+        const std::size_t len =
+            off >= data_.size() ? 0 : std::min(chunk_size_, data_.size() - off);
+        leaves.push_back(merkle_leaf_hash(static_cast<std::uint32_t>(i),
+                                          BytesView(data_.data() + off, len)));
+    }
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const std::vector<Digest32>& below = levels_.back();
+        std::vector<Digest32> above;
+        above.reserve((below.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < below.size(); i += 2)
+            above.push_back(hash_pair(below[i], below[i + 1]));
+        if (below.size() % 2 != 0) above.push_back(below.back());  // promote unpaired
+        levels_.push_back(std::move(above));
+    }
+}
+
+BytesView MerkleTree::chunk(std::uint32_t index) const {
+    NEO_ASSERT_MSG(index < n_chunks(), "merkle: chunk index out of range");
+    const std::size_t off = static_cast<std::size_t>(index) * chunk_size_;
+    const std::size_t len = off >= data_.size() ? 0 : std::min(chunk_size_, data_.size() - off);
+    return BytesView(data_.data() + off, len);
+}
+
+MerkleProof MerkleTree::prove(std::uint32_t index) const {
+    NEO_ASSERT_MSG(index < n_chunks(), "merkle: proof index out of range");
+    MerkleProof proof;
+    proof.index = index;
+    proof.n_leaves = n_chunks();
+    std::size_t pos = index;
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+        const std::vector<Digest32>& nodes = levels_[level];
+        const std::size_t sibling = pos ^ 1;
+        if (sibling < nodes.size()) proof.siblings.push_back(nodes[sibling]);
+        // Unpaired nodes are promoted verbatim: no sibling at this level.
+        pos /= 2;
+    }
+    return proof;
+}
+
+bool merkle_verify(const Digest32& root, BytesView chunk, const MerkleProof& proof) {
+    if (proof.n_leaves == 0 || proof.index >= proof.n_leaves) return false;
+    Digest32 acc = merkle_leaf_hash(proof.index, chunk);
+    std::size_t pos = proof.index;
+    std::size_t width = proof.n_leaves;  // node count on the current level
+    std::size_t used = 0;
+    while (width > 1) {
+        const std::size_t sibling = pos ^ 1;
+        if (sibling < width) {
+            if (used >= proof.siblings.size()) return false;
+            const Digest32& sib = proof.siblings[used++];
+            acc = (pos % 2 == 0) ? hash_pair(acc, sib) : hash_pair(sib, acc);
+        }
+        pos /= 2;
+        width = (width + 1) / 2;
+    }
+    return used == proof.siblings.size() && acc == root;
+}
+
+}  // namespace neo::app

@@ -1,0 +1,65 @@
+// Chunked Merkle tree over an application snapshot.
+//
+// Checkpoint state transfer (DESIGN.md §6) ships a snapshot() image in
+// fixed-size chunks so a lagging replica can fetch them from untrusted
+// peers: the checkpoint certificate binds only the 32-byte root, and each
+// chunk carries an inclusion proof the receiver verifies against that root
+// before accepting a single byte. Trees are deterministic functions of the
+// snapshot bytes — every replica at the same checkpoint builds the same
+// root.
+//
+// Shape: leaves are sha256(chunk index || chunk bytes) — binding the index
+// defeats chunk-reordering — and interior nodes are sha256(left || right).
+// An odd node on any level is promoted unpaired (Bitcoin-style duplication
+// would let a malicious peer serve the duplicated chunk twice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace neo::app {
+
+/// Chunk size used by checkpoint state transfer. Small enough that one
+/// chunk fits comfortably in a simulated UDP-sized packet budget.
+inline constexpr std::size_t kMerkleChunkBytes = 1024;
+
+struct MerkleProof {
+    std::uint32_t index = 0;              // leaf (chunk) index
+    std::uint32_t n_leaves = 0;           // total leaf count in the tree
+    std::vector<Digest32> siblings;       // bottom-up sibling hashes
+};
+
+class MerkleTree {
+  public:
+    /// Builds the tree over `data` split into `chunk_size`-byte chunks.
+    /// Empty data still yields one (empty) leaf so the root commits to
+    /// "snapshot of zero bytes" rather than being undefined.
+    explicit MerkleTree(BytesView data, std::size_t chunk_size = kMerkleChunkBytes);
+
+    const Digest32& root() const { return levels_.back().front(); }
+    std::uint32_t n_chunks() const { return static_cast<std::uint32_t>(levels_.front().size()); }
+    std::size_t chunk_size() const { return chunk_size_; }
+
+    /// Bytes of chunk `index` (the last chunk may be short).
+    BytesView chunk(std::uint32_t index) const;
+
+    /// Inclusion proof for chunk `index`.
+    MerkleProof prove(std::uint32_t index) const;
+
+  private:
+    Bytes data_;
+    std::size_t chunk_size_;
+    // levels_[0] = leaf hashes, levels_.back() = {root}.
+    std::vector<std::vector<Digest32>> levels_;
+};
+
+/// Leaf hash for chunk `index` with content `chunk` (exposed for tests).
+Digest32 merkle_leaf_hash(std::uint32_t index, BytesView chunk);
+
+/// Verifies that `chunk` is leaf `proof.index` of the tree with the given
+/// root. Rejects out-of-range indices and wrong-length sibling paths.
+bool merkle_verify(const Digest32& root, BytesView chunk, const MerkleProof& proof);
+
+}  // namespace neo::app

@@ -48,6 +48,17 @@ class StateMachine {
         (void)op;
         return 300;
     }
+
+    /// Serializes the full application state (checkpointing / Merkle state
+    /// transfer). Must be a deterministic function of the executed op
+    /// sequence: every replica at the same log position produces identical
+    /// bytes. The default (empty) suits stateless applications.
+    virtual Bytes snapshot() const { return {}; }
+
+    /// Replaces the application state with a snapshot() image. The restored
+    /// state counts as fully committed: undo history is discarded and
+    /// undo_last() must not be asked to cross the restore point.
+    virtual void restore(BytesView snap) { (void)snap; }
 };
 
 /// Trivial echo application used by the paper's protocol-level benchmarks
@@ -60,6 +71,18 @@ class EchoApp : public StateMachine {
     }
     void undo_last() override { --executed_; }
     void commit_prefix(std::uint64_t n) override { committed_ = n; }
+
+    Bytes snapshot() const override {
+        Bytes b(8);
+        for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(executed_ >> (8 * i));
+        return b;
+    }
+    void restore(BytesView snap) override {
+        std::uint64_t n = 0;
+        for (std::size_t i = 0; i < 8 && i < snap.size(); ++i)
+            n |= static_cast<std::uint64_t>(snap[i]) << (8 * i);
+        executed_ = committed_ = n;
+    }
 
     std::uint64_t executed() const { return executed_; }
     std::uint64_t committed() const { return committed_; }

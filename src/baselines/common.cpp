@@ -172,8 +172,9 @@ void ExecProbe::on_execute_wire(sim::ProcessingNode& node, BytesView wire) {
     if (tr == nullptr && auditor_ == nullptr) return;
     std::uint64_t tid = obs::trace_id(wire);
     if (auditor_) {
+        std::uint64_t audited = equivocate_ ? (tid ^ 0x6571756976ull) : tid;
         auditor_->on_execute(node.sim().current_shard(), node.sim().now(), node.id(), slot,
-                             tid, /*noop=*/false);
+                             audited, /*noop=*/false);
     }
     if (tr) {
         tr->span_begin(node.sim().now(), node.id(), "execute", tid, slot);

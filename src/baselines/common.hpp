@@ -196,6 +196,12 @@ class ExecProbe {
   public:
     void set_auditor(obs::Auditor* a) { auditor_ = a; }
 
+    /// Byzantine strategy hook (scenario engine): report a poisoned digest
+    /// for every executed request so the audited execution stream diverges
+    /// from the honest replicas'. Request-scoped spans keep the honest id —
+    /// only the safety claim lies.
+    void set_equivocate(bool on) { equivocate_ = on; }
+
     /// Call from inside the executing node's event, once per applied
     /// request. Zero-duration execute spans still carry the phase cut the
     /// critical-path analyzer keys on.
@@ -207,6 +213,7 @@ class ExecProbe {
   private:
     obs::Auditor* auditor_ = nullptr;
     std::uint64_t next_slot_ = 0;
+    bool equivocate_ = false;
 };
 
 // ---------------- Generic client ----------------

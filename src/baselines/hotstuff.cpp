@@ -131,6 +131,7 @@ void HotStuffReplica::on_proposal(NodeId from, Reader& r) {
 
     if (view != view_ || from != cfg_.primary(view_)) return;
     if (phase < 0 || phase > 3) return;
+    if (seq <= stable_checkpoint_) return;  // pre-checkpoint: instance GC'd
     if (!crypto_->verify(from, proposal_body(phase, seq, digest), sig)) return;
 
     Instance& inst = instances_[seq];
@@ -179,6 +180,7 @@ void HotStuffReplica::on_vote(NodeId from, Reader& r) {
     if (view != view_ || !is_leader()) return;
     if (replica != from || !cfg_.is_replica(from)) return;
     if (phase < 0 || phase > 2) return;
+    if (seq <= stable_checkpoint_) return;  // stale vote for a GC'd instance
     Instance& inst = instances_[seq];
     if (inst.digest != digest) return;
     if (!crypto_->verify(from, vote_body(phase, seq, digest, replica), sig)) return;
@@ -260,6 +262,17 @@ void HotStuffReplica::try_execute() {
         // Garbage-collect decided instances.
         instances_.erase(instances_.begin(), instances_.find(last_executed_));
     }
+    maybe_checkpoint();
+}
+
+void HotStuffReplica::maybe_checkpoint() {
+    if (cfg_.checkpoint_interval == 0) return;
+    std::uint64_t target =
+        (last_executed_ / cfg_.checkpoint_interval) * cfg_.checkpoint_interval;
+    if (target == 0 || target <= stable_checkpoint_) return;
+    stable_checkpoint_ = target;
+    ++stats_.checkpoints;
+    instances_.erase(instances_.begin(), instances_.upper_bound(target));
 }
 
 
@@ -267,6 +280,7 @@ void HotStuffReplica::register_metrics(obs::Registry& reg, const std::string& pr
     reg.add_collector([this, prefix](obs::Registry& r) {
         r.set_value(prefix + ".batches_decided", static_cast<double>(stats_.batches_decided));
         r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
+        r.set_value(prefix + ".checkpoints", static_cast<double>(stats_.checkpoints));
         r.set_value(prefix + ".executed_seq", static_cast<double>(last_executed_));
     });
     register_rx_metrics(reg, prefix, &kind_name);

@@ -13,7 +13,13 @@
 
 namespace neo::baselines {
 
-struct HotStuffConfig : BaseConfig {};
+struct HotStuffConfig : BaseConfig {
+    /// Checkpoint cadence (sequence numbers): crossing a boundary advances
+    /// the stable floor, GCs instances below it and rejects stale
+    /// proposals/votes (which would otherwise recreate erased instances).
+    /// 0 disables.
+    std::uint64_t checkpoint_interval = 128;
+};
 
 class HotStuffReplica : public sim::ProcessingNode {
   public:
@@ -25,6 +31,7 @@ class HotStuffReplica : public sim::ProcessingNode {
     struct Stats {
         std::uint64_t batches_decided = 0;
         std::uint64_t requests_executed = 0;
+        std::uint64_t checkpoints = 0;
     };
     const Stats& stats() const { return stats_; }
     /// Publishes protocol counters (and per-kind rx counts) under `prefix`
@@ -33,6 +40,10 @@ class HotStuffReplica : public sim::ProcessingNode {
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
     /// Report executed requests to the deployment's safety Auditor.
     void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
+    /// Byzantine strategy hook: audited execution digests diverge from the
+    /// honest replicas' (the auditor must flag divergent_commit).
+    void set_equivocate(bool on) { probe_.set_equivocate(on); }
+    std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
 
   protected:
     void handle(NodeId from, BytesView data) override;
@@ -57,6 +68,7 @@ class HotStuffReplica : public sim::ProcessingNode {
     void send_vote(std::uint64_t seq, int phase, const Digest32& digest);
     void leader_try_advance(std::uint64_t seq);
     void try_execute();
+    void maybe_checkpoint();
 
     Bytes vote_body(int phase, std::uint64_t seq, const Digest32& digest, NodeId replica) const;
     Bytes proposal_body(int phase, std::uint64_t seq, const Digest32& digest) const;
@@ -70,6 +82,7 @@ class HotStuffReplica : public sim::ProcessingNode {
     std::uint64_t next_seq_ = 1;
     std::uint64_t last_executed_ = 0;
     std::map<std::uint64_t, Instance> instances_;
+    std::uint64_t stable_checkpoint_ = 0;
     Batcher batcher_;
     bool batch_timer_armed_ = false;
     std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;

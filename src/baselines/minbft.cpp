@@ -123,6 +123,7 @@ void MinbftReplica::on_prepare(NodeId from, Reader& r) {
     r.expect_end();
 
     if (view != view_ || from != cfg_.primary(view_)) return;
+    if (seq <= stable_checkpoint_) return;  // pre-checkpoint: slot GC'd
     Digest32 bd = batch_digest(batch);
     if (!metered_verify(from, prepare_digest(view, seq, bd), ui)) return;
     // Sequentiality: the trusted counter must strictly advance, so the
@@ -161,6 +162,7 @@ void MinbftReplica::on_commit(NodeId from, Reader& r) {
     r.expect_end();
 
     if (view != view_ || replica != from || !cfg_.is_replica(from)) return;
+    if (seq <= stable_checkpoint_) return;  // stale commit for a GC'd slot
     if (!metered_verify(from, digest, ui)) return;
 
     Slot& slot = slots_[seq];
@@ -211,6 +213,17 @@ void MinbftReplica::try_execute() {
         }
         slots_.erase(slots_.begin(), slots_.find(last_executed_));
     }
+    maybe_checkpoint();
+}
+
+void MinbftReplica::maybe_checkpoint() {
+    if (cfg_.checkpoint_interval == 0) return;
+    std::uint64_t target =
+        (last_executed_ / cfg_.checkpoint_interval) * cfg_.checkpoint_interval;
+    if (target == 0 || target <= stable_checkpoint_) return;
+    stable_checkpoint_ = target;
+    ++stats_.checkpoints;
+    slots_.erase(slots_.begin(), slots_.upper_bound(target));
 }
 
 
@@ -219,6 +232,7 @@ void MinbftReplica::register_metrics(obs::Registry& reg, const std::string& pref
         r.set_value(prefix + ".batches_committed", static_cast<double>(stats_.batches_committed));
         r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
         r.set_value(prefix + ".usig_calls", static_cast<double>(stats_.usig_calls));
+        r.set_value(prefix + ".checkpoints", static_cast<double>(stats_.checkpoints));
         r.set_value(prefix + ".executed_seq", static_cast<double>(last_executed_));
     });
     register_rx_metrics(reg, prefix, &kind_name);

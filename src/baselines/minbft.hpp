@@ -80,6 +80,10 @@ struct MinbftConfig : BaseConfig {
     /// Virtual cost of one USIG call (enclave transition + in-enclave HMAC;
     /// tens of microseconds on SGX-class hardware).
     sim::Time usig_call_ns = 18'000;
+    /// Checkpoint cadence (sequence numbers): crossing a boundary advances
+    /// the stable floor, GCs slots below it and rejects stale
+    /// prepares/commits. 0 disables.
+    std::uint64_t checkpoint_interval = 128;
 
     MinbftConfig() {
         // MinBFT tolerates f faults with 2f+1 replicas.
@@ -98,6 +102,7 @@ class MinbftReplica : public sim::ProcessingNode {
         std::uint64_t batches_committed = 0;
         std::uint64_t requests_executed = 0;
         std::uint64_t usig_calls = 0;
+        std::uint64_t checkpoints = 0;
     };
     const Stats& stats() const { return stats_; }
     /// Publishes protocol counters (and per-kind rx counts) under `prefix`
@@ -106,6 +111,10 @@ class MinbftReplica : public sim::ProcessingNode {
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
     /// Report executed requests to the deployment's safety Auditor.
     void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
+    /// Byzantine strategy hook: audited execution digests diverge from the
+    /// honest replicas' (the auditor must flag divergent_commit).
+    void set_equivocate(bool on) { probe_.set_equivocate(on); }
+    std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
 
   protected:
     void handle(NodeId from, BytesView data) override;
@@ -126,6 +135,7 @@ class MinbftReplica : public sim::ProcessingNode {
     void on_prepare(NodeId from, Reader& r);
     void on_commit(NodeId from, Reader& r);
     void try_execute();
+    void maybe_checkpoint();
     Usig::UI metered_create(const Digest32& digest);
     bool metered_verify(NodeId owner, const Digest32& digest, const Usig::UI& ui);
     Digest32 prepare_digest(std::uint64_t view, std::uint64_t seq, const Digest32& batch_d) const;
@@ -138,6 +148,7 @@ class MinbftReplica : public sim::ProcessingNode {
     std::uint64_t next_seq_ = 1;       // primary's batch sequence
     std::uint64_t last_executed_ = 0;
     std::map<std::uint64_t, Slot> slots_;  // keyed by batch sequence
+    std::uint64_t stable_checkpoint_ = 0;
     std::map<NodeId, std::uint64_t> peer_counters_;  // sequentiality enforcement
     Batcher batcher_;
     bool batch_timer_armed_ = false;

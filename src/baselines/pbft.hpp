@@ -35,6 +35,10 @@ class PbftReplica : public sim::ProcessingNode {
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
     /// Report executed requests to the deployment's safety Auditor.
     void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
+    /// Byzantine strategy hook: audited execution digests diverge from the
+    /// honest replicas' (the auditor must flag divergent_commit).
+    void set_equivocate(bool on) { probe_.set_equivocate(on); }
+    std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
 
   protected:
     void handle(NodeId from, BytesView data) override;

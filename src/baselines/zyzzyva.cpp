@@ -104,7 +104,7 @@ void ZyzzyvaReplica::on_order_req(NodeId from, Reader& r) {
     r.expect_end();
 
     if (view != view_ || from != cfg_.primary(view_)) return;
-    if (seq <= max_executed_) return;
+    if (seq <= max_executed_ || seq <= stable_checkpoint_) return;
     if (batch_digest(batch) != digest) return;
     if (!crypto_->verify(from, order_body(seq, history, digest), sig)) return;
 
@@ -170,8 +170,24 @@ void ZyzzyvaReplica::execute_ordered(std::uint64_t seq, std::vector<Request> bat
         send_to(req.client, std::move(wire));
     }
 
-    // Trim old history anchors.
+    maybe_checkpoint();
+    // Backstop when checkpointing is disabled: bound the history anchors.
     while (history_at_.size() > 8'192) history_at_.erase(history_at_.begin());
+}
+
+void ZyzzyvaReplica::maybe_checkpoint() {
+    if (cfg_.checkpoint_interval == 0) return;
+    std::uint64_t target =
+        (max_executed_ / cfg_.checkpoint_interval) * cfg_.checkpoint_interval;
+    if (target == 0 || target <= stable_checkpoint_) return;
+    stable_checkpoint_ = target;
+    ++stats_.checkpoints;
+    // Keep one interval of history anchors below the floor so slow-path
+    // commit certificates for just-checkpointed seqs still resolve.
+    std::uint64_t keep_above =
+        target > cfg_.checkpoint_interval ? target - cfg_.checkpoint_interval : 0;
+    history_at_.erase(history_at_.begin(), history_at_.upper_bound(keep_above));
+    pending_.erase(pending_.begin(), pending_.upper_bound(target));
 }
 
 void ZyzzyvaReplica::on_commit_cert(NodeId from, Reader& r) {
@@ -388,6 +404,7 @@ void ZyzzyvaReplica::register_metrics(obs::Registry& reg, const std::string& pre
         r.set_value(prefix + ".batches_ordered", static_cast<double>(stats_.batches_ordered));
         r.set_value(prefix + ".requests_executed", static_cast<double>(stats_.requests_executed));
         r.set_value(prefix + ".local_commits", static_cast<double>(stats_.local_commits));
+        r.set_value(prefix + ".checkpoints", static_cast<double>(stats_.checkpoints));
         r.set_value(prefix + ".executed_seq", static_cast<double>(max_executed_));
     });
     register_rx_metrics(reg, prefix, &kind_name);

@@ -13,7 +13,12 @@
 
 namespace neo::baselines {
 
-struct ZyzzyvaConfig : BaseConfig {};
+struct ZyzzyvaConfig : BaseConfig {
+    /// Checkpoint cadence (sequence numbers): crossing a boundary advances
+    /// the stable floor, GCs history anchors / pending batches below it and
+    /// rejects stale ordering messages. 0 disables.
+    std::uint64_t checkpoint_interval = 128;
+};
 
 class ZyzzyvaReplica : public sim::ProcessingNode {
   public:
@@ -26,6 +31,7 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
         std::uint64_t batches_ordered = 0;
         std::uint64_t requests_executed = 0;
         std::uint64_t local_commits = 0;
+        std::uint64_t checkpoints = 0;
     };
     const Stats& stats() const { return stats_; }
     /// Publishes protocol counters (and per-kind rx counts) under `prefix`
@@ -34,6 +40,10 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     crypto::NodeCrypto& node_crypto() { return *crypto_; }
     /// Report executed requests to the deployment's safety Auditor.
     void set_auditor(obs::Auditor* a) { probe_.set_auditor(a); }
+    /// Byzantine strategy hook: audited execution digests diverge from the
+    /// honest replicas' (the auditor must flag divergent_commit).
+    void set_equivocate(bool on) { probe_.set_equivocate(on); }
+    std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
 
     /// Zyzzyva-F: the replica stops responding (but the protocol's safety
     /// must be unaffected).
@@ -49,6 +59,7 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     void on_order_req(NodeId from, Reader& r);
     void execute_ordered(std::uint64_t seq, std::vector<Request> batch);
     void on_commit_cert(NodeId from, Reader& r);
+    void maybe_checkpoint();
 
     Bytes order_body(std::uint64_t seq, const Digest32& history, const Digest32& digest) const;
 
@@ -66,6 +77,7 @@ class ZyzzyvaReplica : public sim::ProcessingNode {
     std::map<std::uint64_t, std::pair<Digest32, std::vector<Request>>> pending_;  // ooo batches
     std::map<NodeId, std::pair<std::uint64_t, sim::Packet>> clients_;
     std::map<std::uint64_t, Digest32> history_at_;  // seq -> history hash after seq
+    std::uint64_t stable_checkpoint_ = 0;
     Stats stats_;
     ExecProbe probe_;
 };

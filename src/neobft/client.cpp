@@ -53,6 +53,18 @@ void Client::send_request() {
     }, "request_retry");
 }
 
+void Client::abandon() {
+    if (!outstanding_.has_value()) return;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "request_abandon", outstanding_->request_id);
+        if (outstanding_->quorum_span_open)
+            tr->span_end(sim().now(), id(), "quorum", outstanding_->trace_id);
+        tr->span_end(sim().now(), id(), "request", outstanding_->trace_id);
+    }
+    cancel_timer(outstanding_->retry_timer);
+    outstanding_.reset();
+}
+
 void Client::handle(NodeId from, BytesView data) {
     auto kind = aom::peek_kind(data);
     if (!kind || *kind != static_cast<std::uint8_t>(MsgKind::kReply)) return;

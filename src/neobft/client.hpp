@@ -30,6 +30,21 @@ class Client : public sim::ProcessingNode {
     /// One outstanding operation at a time (closed loop).
     void invoke(Bytes op, Callback cb);
 
+    /// Abandons the outstanding operation without firing its callback:
+    /// stops the retry timer and frees the in-flight slot. Late replies for
+    /// the abandoned request id are ignored. Used by ShardClient to model a
+    /// coordinator crash mid-2PC, and by the crash-recover lifecycle.
+    void abandon();
+
+    /// Schedules `fn` on this client's node after `delay` (a public wrapper
+    /// over the protected ProcessingNode timer, for coordinators that own
+    /// this client and share its simulator partition). Returns a timer id
+    /// for cancel_after().
+    TimerId run_after(sim::Time delay, std::function<void()> fn) {
+        return set_timer(delay, std::move(fn), "client-run-after");
+    }
+    void cancel_after(TimerId id) { cancel_timer(id); }
+
     bool busy() const { return outstanding_.has_value(); }
     std::uint64_t completed() const { return completed_; }
     std::uint64_t retries() const { return retries_; }

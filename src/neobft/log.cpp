@@ -1,5 +1,6 @@
 #include "neobft/log.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/assert.hpp"
@@ -9,12 +10,12 @@ namespace neo::neobft {
 
 const LogEntry& Log::at(std::uint64_t slot) const {
     NEO_ASSERT_MSG(has(slot), "log slot out of range");
-    return entries_[slot - 1];
+    return entries_[slot - base_ - 1];
 }
 
 LogEntry& Log::at(std::uint64_t slot) {
     NEO_ASSERT_MSG(has(slot), "log slot out of range");
-    return entries_[slot - 1];
+    return entries_[slot - base_ - 1];
 }
 
 Digest32 Log::entry_digest(const LogEntry& e, std::uint64_t slot) {
@@ -38,28 +39,45 @@ void Log::append(LogEntry entry) {
 
 void Log::replace(std::uint64_t slot, LogEntry entry) {
     NEO_ASSERT(has(slot));
-    entries_[slot - 1] = std::move(entry);
+    entries_[slot - base_ - 1] = std::move(entry);
     rechain_from(slot);
 }
 
 void Log::rechain_from(std::uint64_t slot) {
-    for (std::uint64_t s = slot; s <= size(); ++s) {
+    for (std::uint64_t s = std::max(slot, base_ + 1); s <= size(); ++s) {
         Digest32 prev = hash_at(s - 1);
-        Digest32 d = entry_digest(entries_[s - 1], s);
-        entries_[s - 1].cum_hash = crypto::sha256_pair(BytesView(prev.data(), prev.size()),
-                                                       BytesView(d.data(), d.size()));
+        Digest32 d = entry_digest(entries_[s - base_ - 1], s);
+        entries_[s - base_ - 1].cum_hash = crypto::sha256_pair(
+            BytesView(prev.data(), prev.size()), BytesView(d.data(), d.size()));
     }
 }
 
 Digest32 Log::hash_at(std::uint64_t slot) const {
     if (slot == 0) return Digest32{};
+    if (slot == base_) return base_hash_;
     NEO_ASSERT(has(slot));
-    return entries_[slot - 1].cum_hash;
+    return entries_[slot - base_ - 1].cum_hash;
 }
 
 void Log::truncate_to(std::uint64_t slot) {
     NEO_ASSERT(slot <= size());
-    entries_.resize(slot);
+    NEO_ASSERT_MSG(slot >= base_, "truncate below stable checkpoint");
+    entries_.resize(slot - base_);
+}
+
+void Log::gc_prefix(std::uint64_t slot) {
+    if (slot <= base_) return;
+    NEO_ASSERT_MSG(slot <= size(), "gc past log end");
+    base_hash_ = hash_at(slot);
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(slot - base_));
+    base_ = slot;
+}
+
+void Log::reset_base(std::uint64_t slot, const Digest32& hash) {
+    entries_.clear();
+    base_ = slot;
+    base_hash_ = hash;
 }
 
 WireLogEntry Log::wire_entry(std::uint64_t slot) const {
@@ -125,6 +143,9 @@ bool verify_sync_certificate(const SyncCertificate& cert, const Config& cfg,
         m.replica = replica;
         m.slot = cert.slot;
         m.log_hash = cert.log_hash;
+        // The signed body covers the app-state root too; leaving it out
+        // rejects every certificate taken with checkpointing enabled.
+        m.app_hash = cert.app_hash;
         return m.signed_body();
     });
 }

@@ -28,6 +28,15 @@ struct Config {
     /// State-sync period in log entries (§B.2's configurable N).
     std::uint64_t sync_interval = 128;
 
+    /// Checkpoint period in log entries; 0 disables checkpointing (the
+    /// protocol-level benchmarks run without it so the perf baselines are
+    /// undisturbed). When enabled it must be a multiple of sync_interval:
+    /// a checkpoint becomes stable when a sync certificate covering its
+    /// slot binds the application-state Merkle root, after which the log
+    /// prefix is garbage-collected and lagging replicas fetch the snapshot
+    /// via Merkle-verified chunks instead of replaying from slot 1.
+    std::uint64_t checkpoint_interval = 0;
+
     int n() const { return static_cast<int>(replicas.size()); }
     std::size_t quorum() const { return static_cast<std::size_t>(2 * f + 1); }
 
@@ -68,11 +77,15 @@ struct LogEntry {
     std::uint64_t request_id = 0;
 };
 
-/// 1-indexed append-only log (slot 0 is the empty prefix).
+/// 1-indexed append-only log (slot 0 is the empty prefix). Checkpointing
+/// garbage-collects a stable prefix: slots (0, base] are gone, only the
+/// cumulative hash at `base` survives, and slot numbers stay absolute.
 class Log {
   public:
-    std::uint64_t size() const { return entries_.size(); }
-    bool has(std::uint64_t slot) const { return slot >= 1 && slot <= size(); }
+    std::uint64_t size() const { return base_ + entries_.size(); }
+    /// First retained slot minus one; 0 until gc_prefix/reset_base.
+    std::uint64_t base() const { return base_; }
+    bool has(std::uint64_t slot) const { return slot > base_ && slot <= size(); }
 
     const LogEntry& at(std::uint64_t slot) const;
     LogEntry& at(std::uint64_t slot);
@@ -83,11 +96,21 @@ class Log {
     /// Replaces `slot` and recomputes the hash chain from there on.
     void replace(std::uint64_t slot, LogEntry entry);
 
-    /// Hash of the chain up to `slot` (slot 0 -> zero digest).
+    /// Hash of the chain up to `slot` (slot 0 -> zero digest). Valid for
+    /// retained slots and for the GC base itself.
     Digest32 hash_at(std::uint64_t slot) const;
 
-    /// Truncates everything after `slot` (view-change merges).
+    /// Truncates everything after `slot` (view-change merges). `slot` must
+    /// not be below the GC base — a stable checkpoint is never rolled back.
     void truncate_to(std::uint64_t slot);
+
+    /// Drops entries up to and including `slot` (stable-checkpoint GC);
+    /// records the cumulative hash at `slot` as the new chain anchor.
+    void gc_prefix(std::uint64_t slot);
+
+    /// Discards everything and restarts the chain at `slot` with the given
+    /// cumulative hash (installing a fetched checkpoint).
+    void reset_base(std::uint64_t slot, const Digest32& hash);
 
     WireLogEntry wire_entry(std::uint64_t slot) const;
 
@@ -95,6 +118,8 @@ class Log {
     void rechain_from(std::uint64_t slot);
     static Digest32 entry_digest(const LogEntry& e, std::uint64_t slot);
 
+    std::uint64_t base_ = 0;
+    Digest32 base_hash_{};  // cumulative hash at base_ (zero when base_ == 0)
     std::vector<LogEntry> entries_;
 };
 

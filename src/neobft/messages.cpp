@@ -25,6 +25,10 @@ const char* msg_kind_name(std::uint8_t kind) {
         case MsgKind::kPing: return "ping";
         case MsgKind::kPong: return "pong";
         case MsgKind::kGapCertReply: return "gap_cert_reply";
+        case MsgKind::kCkptReq: return "ckpt_req";
+        case MsgKind::kCkptMeta: return "ckpt_meta";
+        case MsgKind::kCkptChunkReq: return "ckpt_chunk_req";
+        case MsgKind::kCkptChunk: return "ckpt_chunk";
         default: return aom::wire_kind_name(kind);
     }
 }
@@ -415,22 +419,24 @@ GapCertReply GapCertReply::parse(Reader& r) {
 // ---------------- Sync ----------------
 
 Bytes SyncMsg::signed_body() const {
-    Writer w(88);
+    Writer w(120);
     w.str("neobft-sync");
     put_view(w, view);
     w.u32(replica);
     w.u64(slot);
     put_digest(w, log_hash);
+    put_digest(w, app_hash);
     return std::move(w).take();
 }
 
 Bytes SyncMsg::serialize() const {
-    Writer w(160);
+    Writer w(192);
     w.u8(static_cast<std::uint8_t>(MsgKind::kSync));
     put_view(w, view);
     w.u32(replica);
     w.u64(slot);
     put_digest(w, log_hash);
+    put_digest(w, app_hash);
     w.u32(static_cast<std::uint32_t>(drops.size()));
     for (const auto& d : drops) d.put(w);
     w.blob(signature);
@@ -443,6 +449,7 @@ SyncMsg SyncMsg::parse(Reader& r) {
     m.replica = r.u32();
     m.slot = r.u64();
     m.log_hash = r.digest32();
+    m.app_hash = r.digest32();
     std::uint32_t n = r.u32();
     if (n > kMaxQuorum) throw CodecError("oversized drop list");
     for (std::uint32_t i = 0; i < n; ++i) m.drops.push_back(GapCertificate::get(r));
@@ -455,6 +462,7 @@ void SyncCertificate::put(Writer& w) const {
     put_view(w, view);
     w.u64(slot);
     put_digest(w, log_hash);
+    put_digest(w, app_hash);
     put_signer_sigs(w, sigs);
 }
 
@@ -463,6 +471,7 @@ SyncCertificate SyncCertificate::get(Reader& r) {
     c.view = get_view(r);
     c.slot = r.u64();
     c.log_hash = r.digest32();
+    c.app_hash = r.digest32();
     c.sigs = get_signer_sigs(r);
     return c;
 }
@@ -698,6 +707,92 @@ StateReply StateReply::parse(Reader& r) {
     std::uint32_t n = r.u32();
     if (n > kMaxSuffix) throw CodecError("oversized state reply");
     for (std::uint32_t i = 0; i < n; ++i) m.entries.push_back(WireLogEntry::get(r));
+    r.expect_end();
+    return m;
+}
+
+// ---------------- Checkpoint transfer ----------------
+
+namespace {
+// 1 MiB chunks would already be generous; bound the count so a Byzantine
+// meta cannot make the requester allocate an absurd chunk table.
+constexpr std::uint32_t kMaxCkptChunks = 1u << 20;
+constexpr std::size_t kMaxMerklePath = 64;
+}  // namespace
+
+Bytes CkptReq::serialize() const {
+    Writer w(16);
+    w.u8(static_cast<std::uint8_t>(MsgKind::kCkptReq));
+    w.u64(min_slot);
+    return std::move(w).take();
+}
+
+CkptReq CkptReq::parse(Reader& r) {
+    CkptReq m;
+    m.min_slot = r.u64();
+    r.expect_end();
+    return m;
+}
+
+Bytes CkptMeta::serialize() const {
+    Writer w(256);
+    w.u8(static_cast<std::uint8_t>(MsgKind::kCkptMeta));
+    w.u64(slot);
+    w.u32(n_chunks);
+    w.u32(chunk_size);
+    cert.put(w);
+    return std::move(w).take();
+}
+
+CkptMeta CkptMeta::parse(Reader& r) {
+    CkptMeta m;
+    m.slot = r.u64();
+    m.n_chunks = r.u32();
+    m.chunk_size = r.u32();
+    if (m.n_chunks > kMaxCkptChunks) throw CodecError("oversized chunk count");
+    m.cert = SyncCertificate::get(r);
+    r.expect_end();
+    return m;
+}
+
+Bytes CkptChunkReq::serialize() const {
+    Writer w(16);
+    w.u8(static_cast<std::uint8_t>(MsgKind::kCkptChunkReq));
+    w.u64(slot);
+    w.u32(index);
+    return std::move(w).take();
+}
+
+CkptChunkReq CkptChunkReq::parse(Reader& r) {
+    CkptChunkReq m;
+    m.slot = r.u64();
+    m.index = r.u32();
+    r.expect_end();
+    return m;
+}
+
+Bytes CkptChunk::serialize() const {
+    Writer w(64 + chunk.size() + 32 * siblings.size());
+    w.u8(static_cast<std::uint8_t>(MsgKind::kCkptChunk));
+    w.u64(slot);
+    w.u32(index);
+    w.u32(n_chunks);
+    w.blob(chunk);
+    w.u32(static_cast<std::uint32_t>(siblings.size()));
+    for (const auto& d : siblings) put_digest(w, d);
+    return std::move(w).take();
+}
+
+CkptChunk CkptChunk::parse(Reader& r) {
+    CkptChunk m;
+    m.slot = r.u64();
+    m.index = r.u32();
+    m.n_chunks = r.u32();
+    if (m.n_chunks > kMaxCkptChunks) throw CodecError("oversized chunk count");
+    m.chunk = r.blob(kMaxOp);
+    std::uint32_t n = r.u32();
+    if (n > kMaxMerklePath) throw CodecError("oversized merkle path");
+    for (std::uint32_t i = 0; i < n; ++i) m.siblings.push_back(r.digest32());
     r.expect_end();
     return m;
 }

@@ -33,6 +33,10 @@ enum class MsgKind : std::uint8_t {
     kPing = 0x30,
     kPong = 0x31,
     kGapCertReply = 0x32,
+    kCkptReq = 0x33,
+    kCkptMeta = 0x34,
+    kCkptChunkReq = 0x35,
+    kCkptChunk = 0x36,
 };
 
 /// Stable name for a NeoBFT wire kind (falls through to the aom layer's
@@ -215,14 +219,17 @@ struct GapCertReply {
 
 // --------------------------------------------------- State sync (§B.2)
 
-/// Signature covers (view, replica, slot, log_hash) so 2f+1 syncs form a
-/// transferable commitment certificate; the attached gap certificates are
-/// self-certifying.
+/// Signature covers (view, replica, slot, log_hash, app_hash) so 2f+1
+/// syncs form a transferable commitment certificate; the attached gap
+/// certificates are self-certifying. `app_hash` is the Merkle root of the
+/// replica's checkpoint payload when `slot` is a checkpoint boundary, zero
+/// otherwise (checkpointing disabled, or a non-checkpoint sync).
 struct SyncMsg {
     ViewId view;
     NodeId replica = 0;
     std::uint64_t slot = 0;
     Digest32 log_hash{};
+    Digest32 app_hash{};
     std::vector<GapCertificate> drops;
     Bytes signature;
 
@@ -232,11 +239,13 @@ struct SyncMsg {
 };
 
 /// 2f+1 matching sync signatures: proof that the log prefix up to `slot`
-/// (with hash `log_hash`) is committed.
+/// (with hash `log_hash`) is committed, and — when app_hash is nonzero —
+/// that `app_hash` is the agreed application-state root at `slot`.
 struct SyncCertificate {
     ViewId view;
     std::uint64_t slot = 0;
     Digest32 log_hash{};
+    Digest32 app_hash{};
     std::vector<SignerSig> sigs;
 
     void put(Writer& w) const;
@@ -354,6 +363,55 @@ struct StateReply {
 
     Bytes serialize() const;
     static StateReply parse(Reader& r);
+};
+
+// ------------------------------------------- Checkpoint transfer (§B.2)
+//
+// A replica whose log starts above the slot a peer needs (stable-checkpoint
+// GC) answers with checkpoint metadata instead of log entries. The payload
+// travels as Merkle-verified chunks: the sync certificate binds the root
+// (app_hash), so each chunk is independently checkable and a Byzantine
+// server cannot substitute state.
+
+/// "Send me a checkpoint at or above `min_slot`."
+struct CkptReq {
+    std::uint64_t min_slot = 0;
+
+    Bytes serialize() const;
+    static CkptReq parse(Reader& r);
+};
+
+/// Checkpoint offer: the certificate proves (slot, log_hash, app_hash);
+/// chunking parameters let the requester schedule kCkptChunkReq pulls.
+struct CkptMeta {
+    std::uint64_t slot = 0;
+    std::uint32_t n_chunks = 0;
+    std::uint32_t chunk_size = 0;
+    SyncCertificate cert;
+
+    Bytes serialize() const;
+    static CkptMeta parse(Reader& r);
+};
+
+struct CkptChunkReq {
+    std::uint64_t slot = 0;
+    std::uint32_t index = 0;
+
+    Bytes serialize() const;
+    static CkptChunkReq parse(Reader& r);
+};
+
+/// One payload chunk plus its Merkle authentication path (sibling hashes
+/// bottom-up; verified against the certificate's app_hash).
+struct CkptChunk {
+    std::uint64_t slot = 0;
+    std::uint32_t index = 0;
+    std::uint32_t n_chunks = 0;
+    Bytes chunk;
+    std::vector<Digest32> siblings;
+
+    Bytes serialize() const;
+    static CkptChunk parse(Reader& r);
 };
 
 }  // namespace neo::neobft

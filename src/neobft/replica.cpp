@@ -3,6 +3,9 @@
 // replica_viewchange.cpp.
 #include "neobft/replica.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/assert.hpp"
 #include "sim/costs.hpp"
 #include "common/logging.hpp"
@@ -19,6 +22,11 @@ Replica::Replica(Config cfg, std::unique_ptr<crypto::NodeCrypto> crypto,
     set_meter(&crypto_->meter());
     set_processing_config(sim::host_processing());
     epoch_start_slot_[1] = 1;
+    genesis_snapshot_ = app_->snapshot();
+    NEO_ASSERT_MSG(cfg_.checkpoint_interval == 0 ||
+                       (cfg_.sync_interval != 0 &&
+                        cfg_.checkpoint_interval % cfg_.sync_interval == 0),
+                   "checkpoint_interval must be a multiple of sync_interval");
 }
 
 void Replica::set_auditor(obs::Auditor* a) {
@@ -44,6 +52,7 @@ void Replica::bootstrap(aom::GroupConfig group, NodeId sequencer) {
                                                    recv_opts_);
     receiver_->set_deliver([this](aom::Delivery d) { on_delivery(std::move(d)); });
     receiver_->set_on_new_epoch([this](EpochNum, NodeId) { maybe_enter_epoch(); });
+    sequencer_ = sequencer;
     receiver_->start_epoch(1, sequencer);
     arm_progress_timer();
 }
@@ -75,6 +84,10 @@ void Replica::handle(NodeId from, BytesView data) {
             case MsgKind::kEpochStart: on_epoch_start(from, r); break;
             case MsgKind::kStateReq: on_state_req(from, r); break;
             case MsgKind::kStateReply: on_state_reply(from, r); break;
+            case MsgKind::kCkptReq: on_ckpt_req(from, r); break;
+            case MsgKind::kCkptMeta: on_ckpt_meta(from, r); break;
+            case MsgKind::kCkptChunkReq: on_ckpt_chunk_req(from, r); break;
+            case MsgKind::kCkptChunk: on_ckpt_chunk(from, r); break;
             case MsgKind::kPing: on_ping(from, r); break;
             case MsgKind::kPong: on_pong(from, r); break;
             default: break;
@@ -112,9 +125,25 @@ void Replica::on_delivery(aom::Delivery d) {
 
 void Replica::process_delivery(aom::Delivery& d) {
     if (d.epoch != view_.epoch) return;  // stale epoch traffic
+    if (!epoch_start_slot_.contains(d.epoch)) return;  // epoch not started here
     std::uint64_t slot = slot_for(d.epoch, d.seq);
     if (slot <= log_.size()) return;  // already resolved (e.g. via gap agreement)
-    NEO_ASSERT_MSG(slot == log_.size() + 1, "aom delivered out of order");
+    if (slot > log_.size() + 1) {
+        // A recovered replica that rejoined the aom stream mid-epoch can see
+        // the live sequence numbers run ahead of its rebuilt log. Park the
+        // delivery and catch up via checkpoint / state transfer instead of
+        // asserting contiguity.
+        backlog_.push_front(std::move(d));
+        if (!recovering_) {
+            recovering_ = true;
+            status_ = Status::kStateTransfer;
+            CkptReq req;
+            req.min_slot = log_.size() + 1;
+            broadcast(cfg_.others(id()), req.serialize());
+            continue_recovery();
+        }
+        return;
+    }
 
     if (d.kind == aom::Delivery::Kind::kMessage) {
         append_request(std::move(d.cert));
@@ -153,6 +182,7 @@ void Replica::append_request(aom::OrderingCert oc) {
 
     std::uint64_t slot = log_.size();
     execute_slot(slot);
+    maybe_take_checkpoint(slot);
     maybe_start_sync();
 }
 
@@ -162,8 +192,7 @@ void Replica::execute_slot(std::uint64_t slot) {
     entry.executed = true;
     if (auditor_) {
         auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot,
-                             entry.noop ? 0 : obs::trace_id(entry.oc.payload), entry.noop,
-                             audit_replay_, cfg_.group);
+                             audit_digest(entry), entry.noop, audit_replay_, cfg_.group);
     }
     if (entry.noop || !entry.valid_request) {
         executed_ = slot;
@@ -209,11 +238,16 @@ void Replica::send_reply(std::uint64_t slot) {
     reply.log_hash = log_.hash_at(slot);
     reply.request_id = entry.request_id;
     reply.result = entry.result;
+    // Equivocation fault injection: this replica's replies diverge from the
+    // honest ones (a poison byte, properly MAC'd). Clients still commit off
+    // the honest 2f+1 matching replies.
+    if (equivocate_) reply.result.push_back(0xEB);
     reply.mac = crypto_->mac_for(entry.client, reply.mac_body());
     sim::Packet wire(reply.serialize());
 
     ClientRecord& rec = clients_[entry.client];
     rec.last_request_id = entry.request_id;
+    rec.last_result = entry.result;
     rec.cached_reply = wire;
     send_to(entry.client, std::move(wire));
     ++stats_.replies_sent;
@@ -663,13 +697,15 @@ void Replica::fill_slot_with_oc(std::uint64_t slot, const aom::OrderingCert& oc)
     if (log_.has(slot)) return;  // already present (request can't overwrite no-op)
     NEO_ASSERT(slot == log_.size() + 1);
     append_request(oc);
-    // Serve replicas whose queries we had parked.
+    // Serve replicas whose queries we had parked. Reply from the argument,
+    // not log_.at(slot): append_request may have executed the slot and
+    // taken a checkpoint that GC'd it out of the log already.
     auto it = pending_queries_.find(slot);
     if (it != pending_queries_.end()) {
         QueryReply qr;
         qr.view = view_;
         qr.slot = slot;
-        qr.oc = log_.at(slot).oc;
+        qr.oc = oc;
         sim::Packet wire(qr.serialize());
         for (NodeId peer : it->second) send_to(peer, wire);
         pending_queries_.erase(it);
@@ -692,6 +728,7 @@ void Replica::commit_noop(std::uint64_t slot, GapCertificate cert) {
             auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot, 0, true,
                                  audit_replay_, cfg_.group);
         }
+        maybe_take_checkpoint(slot);
         maybe_start_sync();
         return;
     }
@@ -718,6 +755,8 @@ void Replica::unblock(std::uint64_t slot) {
 void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replacement) {
     ++stats_.rollbacks;
     if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "rollback", slot);
+    // An eager snapshot covering the rolled-back suffix is void.
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot >= slot) pending_ckpt_.reset();
     // Undo every applied application op at slots >= `slot` (LIFO).
     for (std::uint64_t s = log_.size(); s >= slot; --s) {
         LogEntry& e = log_.at(s);
@@ -731,16 +770,20 @@ void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replac
 
     // Re-execute the tail; replies are re-sent with the new log hashes.
     // These slots were all reported to the auditor once already, so the
-    // repeat records carry replay=true (frontier-check exempt).
+    // repeat records carry replay=true (frontier-check exempt). The frontier
+    // tracks the replay so checkpoint boundaries inside the tail snapshot
+    // the exact re-executed state.
+    executed_ = slot - 1;
     for (std::uint64_t s = slot; s <= log_.size(); ++s) {
         LogEntry& e = log_.at(s);
         if (auditor_) {
-            auditor_->on_execute(sim().current_shard(), sim().now(), id(), s,
-                                 e.noop ? 0 : obs::trace_id(e.oc.payload), e.noop, true,
-                                 cfg_.group);
+            auditor_->on_execute(sim().current_shard(), sim().now(), id(), s, audit_digest(e),
+                                 e.noop, true, cfg_.group);
         }
         if (e.noop || !e.valid_request) {
             e.executed = true;
+            executed_ = s;
+            maybe_take_checkpoint(s);
             continue;
         }
         auto req = Request::parse_payload(e.oc.payload);
@@ -749,7 +792,9 @@ void Replica::rollback_and_reexecute_replace(std::uint64_t slot, LogEntry replac
         e.result = app_->execute(req->op);
         e.executed = true;
         e.applied = true;
+        executed_ = s;
         send_reply(s);
+        maybe_take_checkpoint(s);
     }
     executed_ = log_.size();
 }
@@ -767,6 +812,12 @@ void Replica::maybe_start_sync() {
     m.replica = id();
     m.slot = target;
     m.log_hash = log_.hash_at(target);
+    // Bind the application-state root when this boundary carries an eager
+    // snapshot: 2f+1 matching (log_hash, app_hash) pairs make the
+    // checkpoint stable and transferable.
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot == target) {
+        m.app_hash = pending_ckpt_->tree->root();
+    }
     // Ship gap certificates for no-ops committed this view above the sync
     // point so lagging replicas overwrite divergent speculation (§B.2).
     for (const auto& cert : view_noop_certs_) {
@@ -809,11 +860,20 @@ void Replica::try_complete_sync(std::uint64_t slot) {
         }
     }
 
-    // Then count matching-hash signatures.
+    // Then count signatures matching BOTH our log hash and our app-state
+    // root at this boundary (zero when no eager snapshot is held — e.g. a
+    // replica whose frontier jumped over the boundary during a merge; it
+    // skips this certificate and catches up at the next one).
     Digest32 my_hash = log_.hash_at(slot);
+    Digest32 my_app{};
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot == slot) {
+        my_app = pending_ckpt_->tree->root();
+    }
     std::vector<SignerSig> sigs;
     for (const auto& [node, msg] : it->second) {
-        if (msg.log_hash == my_hash) sigs.push_back(SignerSig{node, msg.signature});
+        if (msg.log_hash == my_hash && msg.app_hash == my_app) {
+            sigs.push_back(SignerSig{node, msg.signature});
+        }
     }
     if (sigs.size() < cfg_.quorum()) return;
     sigs.resize(cfg_.quorum());
@@ -822,6 +882,7 @@ void Replica::try_complete_sync(std::uint64_t slot) {
     sync_cert_.view = view_;
     sync_cert_.slot = slot;
     sync_cert_.log_hash = my_hash;
+    sync_cert_.app_hash = my_app;
     sync_cert_.sigs = std::move(sigs);
     ++stats_.syncs_completed;
     if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "sync_complete", slot);
@@ -838,6 +899,404 @@ void Replica::try_complete_sync(std::uint64_t slot) {
     pending_syncs_.erase(pending_syncs_.begin(), pending_syncs_.upper_bound(slot));
     std::erase_if(view_noop_certs_, [slot](const GapCertificate& c) { return c.slot <= slot; });
     std::erase_if(gaps_, [slot](const auto& kv) { return kv.first <= slot && kv.second.resolved; });
+
+    // Checkpoint promotion: the certificate binds our snapshot's root, so
+    // the eager snapshot becomes the stable checkpoint and the log prefix
+    // it covers is garbage-collected.
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot == slot && my_app != Digest32{}) {
+        pending_ckpt_->log_hash = my_hash;
+        pending_ckpt_->cert = sync_cert_;
+        stable_ckpt_ = std::move(pending_ckpt_);
+        pending_ckpt_.reset();
+        log_.gc_prefix(slot);
+        ++stats_.checkpoints_stable;
+        if (obs::TraceSink* tr = sim().trace()) {
+            tr->phase(sim().now(), id(), "ckpt_stable", slot);
+        }
+    }
+}
+
+// --------------------------------------- checkpointing + crash recovery
+
+std::uint64_t Replica::audit_digest(const LogEntry& e) const {
+    if (e.noop) return 0;
+    std::uint64_t d = obs::trace_id(e.oc.payload);
+    // Equivocation fault injection: report a corrupted execution digest so
+    // this replica disagrees with the honest ones at the same slot.
+    return equivocate_ ? (d ^ 0x6571756976ULL) : d;
+}
+
+void Replica::maybe_take_checkpoint(std::uint64_t slot) {
+    if (cfg_.checkpoint_interval == 0) return;
+    if (slot == 0 || slot % cfg_.checkpoint_interval != 0) return;
+    if (executed_ != slot) return;  // snapshot only at the exact frontier
+    if (slot < committed_ops_slot_) return;
+    if (stable_ckpt_.has_value() && slot <= stable_ckpt_->slot) return;
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot >= slot) return;
+
+    Checkpoint ck;
+    ck.slot = slot;
+    ck.applied_ops = committed_ops_;
+    for (std::uint64_t s = committed_ops_slot_ + 1; s <= slot; ++s) {
+        if (log_.at(s).applied) ++ck.applied_ops;
+    }
+    ck.payload = build_checkpoint_payload(slot, ck.applied_ops);
+    ck.tree = std::make_unique<app::MerkleTree>(
+        BytesView(ck.payload.data(), ck.payload.size()));
+    ck.log_hash = log_.hash_at(slot);
+    // Snapshot + tree construction cost: one hash per chunk for the leaves
+    // plus roughly as many again for the interior levels.
+    crypto_->meter().charge(static_cast<std::int64_t>(2 * ck.tree->n_chunks()) *
+                            crypto_->root().costs().hash_base_ns);
+    pending_ckpt_ = std::move(ck);
+    ++stats_.checkpoints_taken;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "ckpt_take", slot);
+}
+
+Bytes Replica::build_checkpoint_payload(std::uint64_t slot, std::uint64_t applied_ops) const {
+    Writer w(256);
+    w.u64(slot);
+    w.u64(applied_ops);
+    w.blob(app_->snapshot());
+    w.u32(static_cast<std::uint32_t>(clients_.size()));
+    for (const auto& [client, rec] : clients_) {
+        w.u32(client);
+        w.u64(rec.last_request_id);
+        w.blob(rec.last_result);
+    }
+    // Only epochs that started at or before the boundary: later entries may
+    // exist on a subset of the replicas, and the payload must be a
+    // deterministic function of the committed prefix.
+    std::uint32_t n_epochs = 0;
+    for (const auto& [epoch, start] : epoch_start_slot_) {
+        if (start <= slot) ++n_epochs;
+    }
+    w.u32(n_epochs);
+    for (const auto& [epoch, start] : epoch_start_slot_) {
+        if (start <= slot) {
+            w.u64(epoch);
+            w.u64(start);
+        }
+    }
+    return std::move(w).take();
+}
+
+void Replica::install_checkpoint(std::uint64_t slot, const Digest32& log_hash,
+                                 const SyncCertificate& cert, const Bytes& payload,
+                                 bool adopt_as_stable) {
+    // Parse everything first (CodecError propagates to the dispatcher and
+    // the packet is dropped without touching replica state).
+    Reader r(BytesView(payload.data(), payload.size()));
+    std::uint64_t pslot = r.u64();
+    std::uint64_t applied_ops = r.u64();
+    Bytes snap = r.blob();
+    std::uint32_t n_clients = r.u32();
+    std::vector<std::tuple<NodeId, std::uint64_t, Bytes>> client_rows;
+    client_rows.reserve(n_clients);
+    for (std::uint32_t i = 0; i < n_clients; ++i) {
+        NodeId client = r.u32();
+        std::uint64_t last = r.u64();
+        client_rows.emplace_back(client, last, r.blob());
+    }
+    std::uint32_t n_epochs = r.u32();
+    std::vector<std::pair<EpochNum, std::uint64_t>> epoch_rows;
+    epoch_rows.reserve(n_epochs);
+    for (std::uint32_t i = 0; i < n_epochs; ++i) {
+        EpochNum epoch = r.u64();
+        std::uint64_t start = r.u64();
+        epoch_rows.emplace_back(epoch, start);
+    }
+    r.expect_end();
+    if (pslot != slot) throw CodecError("checkpoint payload/slot mismatch");
+
+    app_->restore(BytesView(snap.data(), snap.size()));
+    log_.reset_base(slot, log_hash);
+    executed_ = slot;
+    sync_point_ = slot;
+    committed_ops_ = applied_ops;
+    committed_ops_slot_ = slot;
+    app_->commit_prefix(committed_ops_);
+    sync_cert_ = cert;
+    last_sync_broadcast_slot_ = std::max(last_sync_broadcast_slot_, slot);
+
+    clients_.clear();
+    for (auto& [client, last, result] : client_rows) {
+        ClientRecord rec;
+        rec.last_request_id = last;
+        rec.last_result = std::move(result);
+        // cached_reply stays empty: replies carry per-replica MACs and are
+        // not transferable; duplicate re-sends are answered by peers.
+        clients_[client] = std::move(rec);
+    }
+    for (const auto& [epoch, start] : epoch_rows) {
+        epoch_start_slot_.insert({epoch, start});  // merge; never overwrite
+    }
+
+    gaps_.clear();
+    blocked_slot_.reset();
+    pending_queries_.clear();
+    pending_syncs_.erase(pending_syncs_.begin(), pending_syncs_.upper_bound(slot));
+    std::erase_if(view_noop_certs_, [slot](const GapCertificate& c) { return c.slot <= slot; });
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot <= slot) pending_ckpt_.reset();
+
+    if (adopt_as_stable && (!stable_ckpt_.has_value() || stable_ckpt_->slot < slot)) {
+        Checkpoint ck;
+        ck.slot = slot;
+        ck.applied_ops = applied_ops;
+        ck.payload = payload;
+        ck.tree = std::make_unique<app::MerkleTree>(
+            BytesView(ck.payload.data(), ck.payload.size()));
+        ck.log_hash = log_hash;
+        ck.cert = cert;
+        stable_ckpt_ = std::move(ck);
+    }
+    ++stats_.ckpt_installs;
+    if (auditor_) {
+        // Restore marker: a replay no-op record at the new frontier resets
+        // the auditor's per-replica execution frontier so the recovering
+        // replica's next live slot is not flagged as a regression.
+        auditor_->on_execute(sim().current_shard(), sim().now(), id(), slot, 0, true, true,
+                             cfg_.group);
+    }
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "ckpt_install", slot);
+}
+
+void Replica::send_ckpt_meta(NodeId to) {
+    if (!stable_ckpt_.has_value()) return;
+    CkptMeta m;
+    m.slot = stable_ckpt_->slot;
+    m.n_chunks = stable_ckpt_->tree->n_chunks();
+    m.chunk_size = static_cast<std::uint32_t>(stable_ckpt_->tree->chunk_size());
+    m.cert = stable_ckpt_->cert;
+    send_to(to, m.serialize());
+}
+
+void Replica::on_ckpt_req(NodeId from, Reader& r) {
+    CkptReq req = CkptReq::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (!stable_ckpt_.has_value() || stable_ckpt_->slot < req.min_slot) return;
+    send_ckpt_meta(from);
+}
+
+void Replica::on_ckpt_meta(NodeId from, Reader& r) {
+    CkptMeta m = CkptMeta::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (cfg_.checkpoint_interval == 0) return;
+    if (m.slot <= log_.size() || m.slot <= sync_point_) return;  // nothing to gain
+    if (ckpt_fetch_.has_value() && ckpt_fetch_->slot >= m.slot) return;
+    if (m.n_chunks == 0 || m.chunk_size == 0) return;
+    if (m.cert.slot != m.slot || m.cert.app_hash == Digest32{}) return;
+    if (!verify_sync_certificate(m.cert, cfg_, *crypto_)) return;
+
+    CkptFetch f;
+    f.slot = m.slot;
+    f.cert = m.cert;
+    f.n_chunks = m.n_chunks;
+    f.chunks.resize(m.n_chunks);
+    f.have.assign(m.n_chunks, false);
+    f.source = from;
+    ckpt_fetch_ = std::move(f);
+    for (std::uint32_t i = 0; i < m.n_chunks; ++i) {
+        CkptChunkReq cr;
+        cr.slot = m.slot;
+        cr.index = i;
+        send_to(from, cr.serialize());
+    }
+}
+
+void Replica::on_ckpt_chunk_req(NodeId from, Reader& r) {
+    CkptChunkReq req = CkptChunkReq::parse(r);
+    if (!cfg_.is_replica(from)) return;
+    if (!stable_ckpt_.has_value() || stable_ckpt_->slot != req.slot) return;
+    if (req.index >= stable_ckpt_->tree->n_chunks()) return;
+    CkptChunk c;
+    c.slot = req.slot;
+    c.index = req.index;
+    c.n_chunks = stable_ckpt_->tree->n_chunks();
+    BytesView chunk = stable_ckpt_->tree->chunk(req.index);
+    c.chunk.assign(chunk.data(), chunk.data() + chunk.size());
+    c.siblings = stable_ckpt_->tree->prove(req.index).siblings;
+    send_to(from, c.serialize());
+}
+
+void Replica::on_ckpt_chunk(NodeId from, Reader& r) {
+    CkptChunk c = CkptChunk::parse(r);
+    (void)from;
+    if (!ckpt_fetch_.has_value()) return;
+    CkptFetch& f = *ckpt_fetch_;
+    if (c.slot != f.slot || c.n_chunks != f.n_chunks) return;
+    if (c.index >= f.n_chunks || f.have[c.index]) return;
+
+    app::MerkleProof proof;
+    proof.index = c.index;
+    proof.n_leaves = f.n_chunks;
+    proof.siblings = c.siblings;
+    crypto_->meter().charge(static_cast<std::int64_t>(proof.siblings.size() + 1) *
+                            crypto_->root().costs().hash_base_ns);
+    if (!app::merkle_verify(f.cert.app_hash, BytesView(c.chunk.data(), c.chunk.size()),
+                            proof)) {
+        return;  // Byzantine server: chunk does not belong to the root
+    }
+    f.chunks[c.index] = std::move(c.chunk);
+    f.have[c.index] = true;
+    if (++f.n_have < f.n_chunks) return;
+
+    Bytes payload;
+    for (const auto& ch : f.chunks) payload.insert(payload.end(), ch.begin(), ch.end());
+    std::uint64_t slot = f.slot;
+    SyncCertificate cert = f.cert;
+    ckpt_fetch_.reset();
+    install_checkpoint(slot, cert.log_hash, cert, payload, /*adopt_as_stable=*/true);
+
+    if (recovering_) {
+        continue_recovery();
+    } else if (pending_view_start_.has_value()) {
+        // The view-change state transfer was answered with a checkpoint:
+        // retry the deferred VIEW-START against the restored log.
+        ViewStart vs = *pending_view_start_;
+        pending_view_start_.reset();
+        status_ = Status::kViewChange;
+        state_transfer_active_ = false;
+        adopt_view_start(vs);
+    } else {
+        state_transfer_active_ = false;
+    }
+}
+
+void Replica::crash() {
+    if (crashed_) return;
+    crashed_ = true;
+    ++stats_.crashes;
+    if (obs::TraceSink* tr = sim().trace()) tr->phase(sim().now(), id(), "crash", log_.size());
+    net().set_node_down(id(), true);
+    invalidate_timers();
+
+    // Volatile state is lost. Durable across the crash: crypto keys, the
+    // view/epoch bookkeeping (view_, target_view_, epoch_start_slot_,
+    // epoch_certs_, sequencer_) and the latest stable checkpoint.
+    log_ = Log{};
+    executed_ = 0;
+    sync_point_ = 0;
+    committed_ops_ = 0;
+    committed_ops_slot_ = 0;
+    sync_cert_ = SyncCertificate{};
+    last_sync_broadcast_slot_ = 0;
+    pending_syncs_.clear();
+    view_noop_certs_.clear();
+    gaps_.clear();
+    blocked_slot_.reset();
+    backlog_.clear();
+    pending_queries_.clear();
+    clients_.clear();
+    pending_client_requests_.clear();
+    view_changes_.clear();
+    pending_view_start_.reset();
+    vc_rebroadcast_armed_ = false;
+    progress_timer_armed_ = false;
+    epoch_starts_.clear();
+    waiting_epoch_.reset();
+    probe_join_view_.reset();
+    state_transfer_active_ = false;
+    pending_ckpt_.reset();
+    ckpt_fetch_.reset();
+    recovering_ = false;
+    status_ = Status::kNormal;
+    app_->restore(BytesView(genesis_snapshot_.data(), genesis_snapshot_.size()));
+}
+
+void Replica::recover() {
+    if (!crashed_) return;
+    crashed_ = false;
+    ++stats_.recoveries;
+    net().set_node_down(id(), false);
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "recover", stable_checkpoint_slot());
+    }
+
+    if (stable_ckpt_.has_value()) {
+        Bytes payload = stable_ckpt_->payload;
+        install_checkpoint(stable_ckpt_->slot, stable_ckpt_->log_hash, stable_ckpt_->cert,
+                           payload, /*adopt_as_stable=*/false);
+    } else if (auditor_) {
+        // No durable checkpoint: the frontier resets to genesis.
+        auditor_->on_execute(sim().current_shard(), sim().now(), id(), 0, 0, true, true,
+                             cfg_.group);
+    }
+    // Rejoin the aom stream mid-epoch: the receiver adopts the live sequence
+    // number from the first authenticated packet (HMAC mode; a PK hash
+    // chain cannot be rejoined mid-epoch — see docs/SCENARIOS.md).
+    receiver_->resume_mid_epoch(view_.epoch, sequencer_);
+    if (auditor_) {
+        auditor_->on_aom_resume(sim().current_shard(), sim().now(), id());
+    }
+    recovering_ = true;
+    status_ = Status::kStateTransfer;
+    recovery_last_size_ = log_.size();
+    recovery_idle_polls_ = 0;
+    recovery_poll_round_ = 0;
+    CkptReq req;
+    req.min_slot = log_.size() + 1;
+    broadcast(cfg_.others(id()), req.serialize());
+    continue_recovery();
+    arm_progress_timer();
+}
+
+void Replica::continue_recovery() {
+    if (!recovering_ || crashed_) return;
+
+    // Finished when the parked live stream is contiguous with the log tip
+    // (drain_backlog then carries us forward), or the cluster looks idle
+    // and peers have nothing beyond our tip.
+    if (!backlog_.empty()) {
+        const aom::Delivery& d = backlog_.front();
+        auto it = epoch_start_slot_.find(d.epoch);
+        if (d.epoch == view_.epoch && it != epoch_start_slot_.end() &&
+            it->second + d.seq - 1 <= log_.size() + 1) {
+            finish_recovery();
+            return;
+        }
+    } else if (log_.size() == recovery_last_size_) {
+        if (++recovery_idle_polls_ >= 3) {
+            finish_recovery();
+            return;
+        }
+    }
+    if (log_.size() != recovery_last_size_) {
+        recovery_last_size_ = log_.size();
+        recovery_idle_polls_ = 0;
+    }
+
+    if (ckpt_fetch_.has_value()) {
+        // Re-request chunks still missing (loss on the fetch path).
+        for (std::uint32_t i = 0; i < ckpt_fetch_->n_chunks; ++i) {
+            if (ckpt_fetch_->have[i]) continue;
+            CkptChunkReq cr;
+            cr.slot = ckpt_fetch_->slot;
+            cr.index = i;
+            send_to(ckpt_fetch_->source, cr.serialize());
+        }
+    } else {
+        // Pull log entries above our tip from a rotating peer; also re-ask
+        // for a checkpoint in case peers GC'd past our tip meanwhile.
+        std::vector<NodeId> peers = cfg_.others(id());
+        NodeId target = peers[recovery_poll_round_ % peers.size()];
+        ++recovery_poll_round_;
+        request_state(target, log_.size(), log_.size() + 4'096);
+        CkptReq req;
+        req.min_slot = log_.size() + 1;
+        send_to(target, req.serialize());
+    }
+    set_timer(cfg_.query_retry, [this] { continue_recovery(); }, "recovery_poll");
+}
+
+void Replica::finish_recovery() {
+    recovering_ = false;
+    status_ = Status::kNormal;
+    if (obs::TraceSink* tr = sim().trace()) {
+        tr->phase(sim().now(), id(), "recover_done", log_.size());
+    }
+    drain_backlog();
+    maybe_start_sync();
 }
 
 // ------------------------------------------------------------------ metrics
@@ -857,6 +1316,16 @@ void Replica::register_metrics(obs::Registry& reg, const std::string& prefix) {
                     static_cast<double>(stats_.view_changes_started));
         r.set_value(prefix + ".views_entered", static_cast<double>(stats_.views_entered));
         r.set_value(prefix + ".syncs_completed", static_cast<double>(stats_.syncs_completed));
+        r.set_value(prefix + ".checkpoints_taken",
+                    static_cast<double>(stats_.checkpoints_taken));
+        r.set_value(prefix + ".checkpoints_stable",
+                    static_cast<double>(stats_.checkpoints_stable));
+        r.set_value(prefix + ".ckpt_installs", static_cast<double>(stats_.ckpt_installs));
+        r.set_value(prefix + ".crashes", static_cast<double>(stats_.crashes));
+        r.set_value(prefix + ".recoveries", static_cast<double>(stats_.recoveries));
+        r.set_value(prefix + ".stable_ckpt_slot",
+                    static_cast<double>(stable_checkpoint_slot()));
+        r.set_value(prefix + ".log_base", static_cast<double>(log_.base()));
         r.set_value(prefix + ".executed_frontier", static_cast<double>(executed_));
         r.set_value(prefix + ".sync_point", static_cast<double>(sync_point_));
         if (receiver_) {

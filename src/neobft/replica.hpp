@@ -14,6 +14,7 @@
 #include <set>
 
 #include "aom/receiver.hpp"
+#include "apps/merkle.hpp"
 #include "apps/state_machine.hpp"
 #include "neobft/log.hpp"
 #include "sim/processing_node.hpp"
@@ -43,6 +44,11 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
         std::uint64_t view_changes_started = 0;
         std::uint64_t views_entered = 0;
         std::uint64_t syncs_completed = 0;
+        std::uint64_t checkpoints_taken = 0;   // eager snapshots at boundaries
+        std::uint64_t checkpoints_stable = 0;  // certified + log prefix GC'd
+        std::uint64_t ckpt_installs = 0;       // snapshots restored (own or fetched)
+        std::uint64_t crashes = 0;
+        std::uint64_t recoveries = 0;
     };
 
     Replica(Config cfg, std::unique_ptr<crypto::NodeCrypto> crypto, const aom::AomKeyService* keys,
@@ -64,6 +70,28 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
 
     /// Fault injection for tests: a silent replica handles nothing.
     void set_silent(bool silent) { silent_ = silent; }
+
+    /// Byzantine fault injection: an equivocating replica reports corrupted
+    /// execution digests to the auditor and appends a poison byte to every
+    /// client reply result. Honest 2f+1 quorums still commit (liveness
+    /// holds); the auditor flags the divergent digests.
+    void set_equivocate(bool b) { equivocate_ = b; }
+
+    /// Crash-recover lifecycle (scenario engine; call from at_global
+    /// events only — these mutate network node-down state). crash() takes
+    /// the node down and wipes all volatile state; durable state survives:
+    /// crypto keys, view/epoch bookkeeping, and the latest stable
+    /// checkpoint. recover() brings the node back up, restores from the
+    /// stable checkpoint (or genesis), resumes the aom stream mid-epoch and
+    /// catches up via checkpoint + state transfer.
+    void crash();
+    void recover();
+    bool crashed() const { return crashed_; }
+    bool recovering() const { return recovering_; }
+    /// Slot of the latest stable (certified, GC'd) checkpoint; 0 = none.
+    std::uint64_t stable_checkpoint_slot() const {
+        return stable_ckpt_.has_value() ? stable_ckpt_->slot : 0;
+    }
 
     /// Online safety monitor (nullptr disables reporting). The replica
     /// reports every executed slot, aom delivery, view decision and
@@ -155,6 +183,29 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     void on_sync(NodeId from, Reader& r);
     void try_complete_sync(std::uint64_t slot);
 
+    // ---- checkpointing + crash recovery ----
+    struct Checkpoint {
+        std::uint64_t slot = 0;
+        std::uint64_t applied_ops = 0;  // applied app ops in slots 1..slot
+        Bytes payload;                  // serialized checkpoint image
+        std::unique_ptr<app::MerkleTree> tree;  // over payload; root = app_hash
+        Digest32 log_hash{};
+        SyncCertificate cert;           // empty until stable
+    };
+    std::uint64_t audit_digest(const LogEntry& e) const;
+    void maybe_take_checkpoint(std::uint64_t slot);
+    Bytes build_checkpoint_payload(std::uint64_t slot, std::uint64_t applied_ops) const;
+    void install_checkpoint(std::uint64_t slot, const Digest32& log_hash,
+                            const SyncCertificate& cert, const Bytes& payload,
+                            bool adopt_as_stable);
+    void send_ckpt_meta(NodeId to);
+    void on_ckpt_req(NodeId from, Reader& r);
+    void on_ckpt_meta(NodeId from, Reader& r);
+    void on_ckpt_chunk_req(NodeId from, Reader& r);
+    void on_ckpt_chunk(NodeId from, Reader& r);
+    void continue_recovery();
+    void finish_recovery();
+
     // ---- view change (§5.5, §B.1) ----
     void arm_progress_timer();
     void on_progress_timeout();
@@ -229,6 +280,11 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
     struct ClientRecord {
         std::uint64_t last_request_id = 0;
         sim::Packet cached_reply;  // serialized Reply (shared buffer on re-sends)
+        /// Raw result bytes of the last reply. Checkpointed (cached_reply
+        /// carries a per-replica MAC and cannot be transferred); a restored
+        /// replica keeps at-most-once semantics but leaves duplicate
+        /// re-sends to peers that still hold the MAC'd reply.
+        Bytes last_result;
     };
     std::map<NodeId, ClientRecord> clients_;
     /// Requests seen by unicast but not yet via aom (sequencer suspicion).
@@ -261,6 +317,31 @@ class Replica : public sim::ProcessingNode, public aom::ReceiverHost {
 
     // State transfer.
     bool state_transfer_active_ = false;
+
+    // Checkpointing.
+    std::optional<Checkpoint> pending_ckpt_;  // taken at a boundary, awaiting cert
+    std::optional<Checkpoint> stable_ckpt_;   // certified; log prefix GC'd (durable)
+    /// In-flight checkpoint fetch (Merkle-verified chunk pulls).
+    struct CkptFetch {
+        std::uint64_t slot = 0;
+        SyncCertificate cert;
+        std::uint32_t n_chunks = 0;
+        std::vector<Bytes> chunks;
+        std::vector<bool> have;
+        std::uint32_t n_have = 0;
+        NodeId source = kInvalidNode;
+    };
+    std::optional<CkptFetch> ckpt_fetch_;
+
+    // Crash-recover lifecycle.
+    bool crashed_ = false;
+    bool recovering_ = false;
+    bool equivocate_ = false;
+    Bytes genesis_snapshot_;          // app snapshot at construction
+    NodeId sequencer_ = kInvalidNode; // last sequencer handed to the receiver
+    std::uint64_t recovery_last_size_ = 0;
+    int recovery_idle_polls_ = 0;
+    std::uint64_t recovery_poll_round_ = 0;
 };
 
 }  // namespace neo::neobft

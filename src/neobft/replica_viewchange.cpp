@@ -299,7 +299,9 @@ void Replica::adopt_view_start(const ViewStart& vs) {
         }
     }
 
-    if (base_slot > 0 &&
+    // A baseline below our GC base is already covered by our stable
+    // checkpoint's certificate — nothing to fetch or compare there.
+    if (base_slot > log_.base() &&
         (log_.size() < base_slot || log_.hash_at(base_slot) != base_hash)) {
         // Our committed prefix is behind/divergent: fetch it, then retry.
         pending_view_start_ = vs;
@@ -334,6 +336,9 @@ void Replica::apply_merged_log(const std::vector<ViewChange>& msgs, bool epoch_c
     for (const auto& vc : msgs) {
         base_slot = std::max(base_slot, vc.sync_cert.empty() ? 0 : vc.sync_cert.slot);
     }
+    // Never merge below our stable-checkpoint GC base: those slots are
+    // certified committed and no longer held as entries.
+    base_slot = std::max(base_slot, log_.base());
 
     // Step 1 (§B.1): the largest epoch with a valid certificate.
     EpochNum max_epoch = 0;
@@ -452,6 +457,7 @@ void Replica::apply_merged_log(const std::vector<ViewChange>& msgs, bool epoch_c
     }
 
     // Undo application ops from the top down to the divergence point.
+    if (pending_ckpt_.has_value() && pending_ckpt_->slot >= first_div) pending_ckpt_.reset();
     for (std::uint64_t s = log_.size(); s >= first_div && s >= 1; --s) {
         if (!log_.has(s)) break;
         LogEntry& e = log_.at(s);
@@ -586,6 +592,7 @@ void Replica::maybe_enter_epoch() {
 
     auto sequencer = receiver_->announced_sequencer(e);
     if (!sequencer.has_value()) return;  // config service still reconfiguring
+    sequencer_ = *sequencer;
 
     EpochCertificate cert;
     cert.epoch = e;
@@ -623,6 +630,12 @@ void Replica::on_state_req(NodeId from, Reader& r) {
     StateReq req = StateReq::parse(r);
     if (!cfg_.is_replica(from)) return;
     if (req.to_slot <= req.from_slot) return;
+    if (req.from_slot < log_.base()) {
+        // The requested prefix was garbage-collected: offer the stable
+        // checkpoint instead (Merkle-verified chunk transfer).
+        send_ckpt_meta(from);
+        return;
+    }
     std::uint64_t to = std::min<std::uint64_t>(req.to_slot, log_.size());
     if (to <= req.from_slot) return;
     constexpr std::uint64_t kMaxBatch = 4'096;
@@ -640,6 +653,7 @@ void Replica::on_state_reply(NodeId from, Reader& r) {
     (void)from;
     StateReply reply = StateReply::parse(r);
     if (!state_transfer_active_) return;
+    if (reply.base_slot > log_.size()) return;  // non-contiguous: useless
 
     // Validate and apply entries extending or overwriting our suffix.
     std::uint64_t first_div = 0;
@@ -657,8 +671,10 @@ void Replica::on_state_reply(NodeId from, Reader& r) {
             first_div = slot;
         }
     }
+    if (first_div != 0 && first_div <= log_.base()) return;  // stable prefix never rolls back
     if (first_div != 0) {
         audit_replay_ = true;  // state transfer rebuilds already-reported slots
+        if (pending_ckpt_.has_value() && pending_ckpt_->slot >= first_div) pending_ckpt_.reset();
         for (std::uint64_t s = log_.size(); s >= first_div && log_.has(s); --s) {
             LogEntry& e = log_.at(s);
             if (e.applied) {

@@ -62,7 +62,12 @@ void ShardClient::invoke(Bytes txn_op, Callback cb) {
     Pending p;
     p.txn_id = (coordinator_tag_ << 32) | next_txn_++;
     p.n_ops = n_ops;
+    p.wait_retries_left = max_wait_retries_;
     p.cb = std::move(cb);
+    // by_shard is a std::map: participants come out in ascending shard
+    // index — the canonical lock-acquisition order every coordinator
+    // shares, so concurrent transactions collide on a common prefix
+    // instead of deadlocking on disjoint ones.
     for (auto& [shard, ops] : by_shard) {
         app::KvTxnOp prep;
         prep.type = app::KvOpType::kTxnPrepare;
@@ -71,24 +76,48 @@ void ShardClient::invoke(Bytes txn_op, Callback cb) {
         p.participants.push_back(shard);
         p.prepare_wires.push_back(prep.serialize());
     }
-    p.waiting = p.participants.size();
     pending_ = std::move(p);
 
-    // Phase 1: PREPARE on every participant in parallel. Each child has
-    // its own in-flight slot, so the fan-out does not serialise.
-    for (std::size_t i = 0; i < pending_->participants.size(); ++i) {
-        children_[pending_->participants[i]]->invoke(
-            std::move(pending_->prepare_wires[i]),
-            [this](Bytes reply) { on_prepare_vote(parse_status(reply)); });
-    }
+    // Phase 1: PREPARE each participant in canonical order, one at a time.
+    send_next_prepare();
+}
+
+void ShardClient::send_next_prepare() {
+    NEO_ASSERT(pending_.has_value());
+    pending_->backoff_timer = 0;
+    pending_->backoff_child = nullptr;
+    const std::size_t i = pending_->next_prepare;
+    // Retries resend the same wire, so keep it (copy, don't move).
+    children_[pending_->participants[i]]->invoke(
+        pending_->prepare_wires[i],
+        [this](Bytes reply) { on_prepare_vote(parse_status(reply)); });
 }
 
 void ShardClient::on_prepare_vote(app::KvStatus vote) {
-    NEO_ASSERT(pending_.has_value() && pending_->waiting > 0);
-    // Anything other than an explicit PREPARED vote (lock conflict, bad
-    // request) is an abort vote.
-    if (vote != app::KvStatus::kTxnPrepared) pending_->any_abort = true;
-    if (--pending_->waiting == 0) start_phase2();
+    NEO_ASSERT(pending_.has_value());
+    if (vote == app::KvStatus::kTxnPrepared) {
+        if (++pending_->next_prepare == pending_->participants.size()) {
+            start_phase2();
+        } else {
+            send_next_prepare();
+        }
+        return;
+    }
+    if (vote == app::KvStatus::kTxnWait && pending_->wait_retries_left-- > 0) {
+        // Wait-die: we are older than the lock holder; retry the same shard
+        // with the same txn_id after a backoff. Seniority is preserved, so
+        // the wait is bounded by the holder's 2PC round.
+        ++stats_.wait_retries;
+        Client* child = children_[pending_->participants[pending_->next_prepare]];
+        pending_->backoff_child = child;
+        pending_->backoff_timer =
+            child->run_after(wait_backoff_, [this] { send_next_prepare(); });
+        return;
+    }
+    // Abort vote (lock conflict with an older holder, bad request, or the
+    // wait-retry budget ran out).
+    pending_->any_abort = true;
+    start_phase2();
 }
 
 void ShardClient::start_phase2() {
@@ -109,6 +138,16 @@ void ShardClient::start_phase2() {
 void ShardClient::on_phase2_done() {
     NEO_ASSERT(pending_.has_value() && pending_->waiting > 0);
     if (--pending_->waiting == 0) finish(!pending_->any_abort);
+}
+
+void ShardClient::abandon() {
+    if (!pending_.has_value()) return;
+    if (pending_->backoff_timer != 0 && pending_->backoff_child != nullptr) {
+        pending_->backoff_child->cancel_after(pending_->backoff_timer);
+    }
+    for (Client* c : children_) c->abandon();
+    ++stats_.abandoned_txns;
+    pending_.reset();
 }
 
 void ShardClient::finish(bool committed) {

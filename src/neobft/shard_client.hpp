@@ -13,6 +13,17 @@
 //     PREPARED, else ABORT. The coordinator is the client; the decision is
 //     durable because each phase is itself replicated via NeoBFT.
 //
+// Deadlock/livelock freedom: prepares are issued SEQUENTIALLY in ascending
+// shard-index order (a canonical order derived from the key hash tiling),
+// so two transactions can only collide on their common first shard instead
+// of locking disjoint prefixes and aborting each other forever. On a
+// kTxnWait vote (wait-die: this txn is older than the lock holder) the
+// coordinator retries the same shard with the same txn_id after a fixed
+// backoff — seniority is preserved, so the oldest transaction always
+// eventually runs. abandon() models a coordinator crash between prepare
+// and decision; participants then rely on the state machine's
+// presumed-abort timeout to release the orphaned locks.
+//
 // Concurrency contract: all child clients of one ShardClient MUST be placed
 // on the same simulator partition (the deployment's placement policy does
 // this) — phase callbacks fire inside child-node events and mutate the
@@ -41,6 +52,8 @@ class ShardClient {
         /// committed-throughput numerator for fig_shard_scaling).
         std::uint64_t committed_ops = 0;
         std::uint64_t cross_shard_txns = 0;
+        std::uint64_t wait_retries = 0;    // kTxnWait votes that were retried
+        std::uint64_t abandoned_txns = 0;  // dropped by abandon() mid-flight
     };
 
     /// `children[s]` serves shard s (router order); `coordinator_tag` must
@@ -54,6 +67,17 @@ class ShardClient {
     /// outstanding transaction at a time (closed loop).
     void invoke(Bytes txn_op, Callback cb);
 
+    /// Drops the in-flight transaction without firing its callback or
+    /// sending a decision — a coordinator crash between prepare and
+    /// decision. Child clients abandon their outstanding ops; any locks
+    /// already taken on participants are released by the state machine's
+    /// presumed-abort timeout.
+    void abandon();
+
+    /// Wait-die retry knobs (defaults suit the simulated latency profile).
+    void set_wait_backoff(sim::Time t) { wait_backoff_ = t; }
+    void set_max_wait_retries(int n) { max_wait_retries_ = n; }
+
     bool busy() const { return pending_.has_value(); }
     const Stats& stats() const { return stats_; }
     std::size_t n_shards() const { return children_.size(); }
@@ -64,12 +88,17 @@ class ShardClient {
         std::uint64_t txn_id = 0;
         std::vector<std::size_t> participants;          // dense shard indices
         std::vector<Bytes> prepare_wires;               // per participant
-        std::size_t waiting = 0;
+        std::size_t next_prepare = 0;  // phase-1 cursor (canonical order)
+        std::size_t waiting = 0;       // phase-2 decisions outstanding
         bool any_abort = false;
+        int wait_retries_left = 0;
+        sim::ProcessingNode::TimerId backoff_timer = 0;  // pending wait-die retry
+        Client* backoff_child = nullptr;
         std::size_t n_ops = 0;
         Callback cb;
     };
 
+    void send_next_prepare();
     void on_prepare_vote(app::KvStatus vote);
     void start_phase2();
     void on_phase2_done();
@@ -79,6 +108,8 @@ class ShardClient {
     std::vector<Client*> children_;
     std::uint64_t coordinator_tag_;
     std::uint64_t next_txn_ = 1;
+    sim::Time wait_backoff_ = 300 * sim::kMicrosecond;
+    int max_wait_retries_ = 32;
     std::optional<Pending> pending_;
     Stats stats_;
 };

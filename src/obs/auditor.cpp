@@ -142,6 +142,18 @@ void Auditor::finalize() {
                 }
                 break;
             }
+            case Stream::kAomResume: {
+                // The recovered receiver re-adopts the delivery frontier from
+                // the live stream (resume_mid_epoch): drop its contiguity
+                // state for every epoch so the first post-resume delivery
+                // re-seeds instead of flagging a false seq_gap. The exec
+                // stream needs no equivalent — recovery emits a replay-marked
+                // restore record there.
+                std::uint64_t lo = static_cast<std::uint64_t>(r.node) << 32;
+                aom_next.erase(aom_next.lower_bound(lo),
+                               aom_next.lower_bound(lo + (1ull << 32)));
+                break;
+            }
             case Stream::kView: {
                 ViewState& st = views[{r.group, r.slot}];
                 if (!st.have) {
@@ -250,6 +262,21 @@ void Auditor::finalize() {
                                        static_cast<std::uint64_t>(a.reject_outcome),
                                        std::max(a.commit_t, a.reject_t)});
             }
+        }
+    }
+
+    // txn_orphan_prepare (liveness): a participant whose final vote was
+    // PREPARED holds its write locks until a phase-2 verdict lands. The
+    // presumed-abort sweep guarantees an eventual local abort even when the
+    // coordinator died mid-protocol, so a prepared vote with no outcome
+    // past the grace window is a leaked lock.
+    if (txn_orphan_grace_ != 0) {
+        for (const auto& [key, st] : txns) {
+            auto [txn, group, node] = key;
+            if (!st.have_vote || !st.vote_prepared || st.outcome != 0) continue;
+            if (st.vote_t + txn_orphan_grace_ > end_time_) continue;
+            violations_.push_back({"txn_orphan_prepare", txn, node, 0,
+                                   static_cast<std::uint64_t>(group), 0, st.vote_t});
         }
     }
 }

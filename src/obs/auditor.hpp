@@ -44,6 +44,7 @@ class Auditor {
         kAomDeliver,    // aom receiver delivered (epoch, seq)
         kView,          // replica entered a view with an adopted log
         kTxn,           // cross-shard transaction phase decision
+        kAomResume,     // receiver rejoined the stream mid-epoch (crash recovery)
     };
 
     /// kTxn phases (the 2PC verbs a participant shard applies in log order).
@@ -94,6 +95,13 @@ class Auditor {
             {t, node, Stream::kAomDeliver, (epoch << 32) | (seq & 0xffffffffu), seq, false,
              false, 0});
     }
+    /// A crash-recovered receiver rejoined the aom stream mid-epoch: its
+    /// delivery sequence restarts from whatever the live stream carries
+    /// next, so the per-(node, epoch) contiguity tracking resets here
+    /// instead of flagging a false seq_gap.
+    void on_aom_resume(std::size_t shard, sim::Time t, NodeId node) {
+        shards_[shard].push_back({t, node, Stream::kAomResume, 0, 0, false, true, 0});
+    }
     void on_view_decision(std::size_t shard, sim::Time t, NodeId node, std::uint64_t view,
                           std::uint64_t log_digest, GroupId group = 0) {
         shards_[shard].push_back(
@@ -114,6 +122,16 @@ class Auditor {
             {t, node, Stream::kTxn, txn_id, digest, false, replay, group});
     }
 
+    /// Enables the txn_orphan_prepare check: any participant whose FINAL
+    /// prepare vote was PREPARED must also record a phase-2 outcome
+    /// (commit or abort — the presumed-abort sweep guarantees one) unless
+    /// the vote landed within `grace` of `end_time` (still legitimately in
+    /// flight when the run stopped). grace = 0 disables the check.
+    void set_txn_orphan_grace(sim::Time grace, sim::Time end_time) {
+        txn_orphan_grace_ = grace;
+        end_time_ = end_time;
+    }
+
     // ---- checking (global context only) ----
 
     /// Merge-sorts every shard buffer into one deterministic order and
@@ -128,10 +146,21 @@ class Auditor {
     /// One structured kViolation trace event per violation; null-safe.
     void report(TraceSink* tr) const;
 
+    /// Liveness assertion hook (scenario engine; call AFTER finalize()):
+    /// records a violation when an honest client ended the run with fewer
+    /// committed requests than the scenario requires.
+    void expect_client_commits(NodeId client, std::uint64_t completed,
+                               std::uint64_t required, sim::Time t) {
+        if (completed >= required) return;
+        violations_.push_back({"liveness", required, client, 0, completed, required, t});
+    }
+
   private:
     std::vector<std::vector<Record>> shards_;
     std::vector<Violation> violations_;
     bool finalized_ = false;
+    sim::Time txn_orphan_grace_ = 0;
+    sim::Time end_time_ = 0;
 };
 
 }  // namespace neo::obs

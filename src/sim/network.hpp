@@ -93,6 +93,7 @@ class Network {
     /// Applies an additional drop probability to every link (Fig 9's
     /// "simulated drop rate" knob).
     void set_global_drop_rate(double rate) { global_drop_rate_ = rate; }
+    double global_drop_rate() const { return global_drop_rate_; }
 
     /// Partitions: blocked directional pairs deliver nothing.
     void block(NodeId from, NodeId to) { blocked_.insert(key(from, to)); }

@@ -122,7 +122,7 @@ ProcessingNode::TimerId ProcessingNode::set_timer(Time delay, std::function<void
     TimerId tid = next_timer_++;
     if (obs::TraceSink* tr = sim().trace()) tr->timer_arm(sim().now(), id(), tid, label, delay);
     auto fire = [this, tid, label, fn = std::move(fn)]() mutable {
-        if (net().is_down(id())) {
+        if (net().is_down(id()) || tid < min_valid_timer_) {
             cancelled_timers_.erase(tid);
             return;
         }

@@ -105,6 +105,12 @@ class ProcessingNode : public Node {
     TimerId set_timer(Time delay, std::function<void()> fn, const char* label = "timer");
     void cancel_timer(TimerId id);
 
+    /// Drops every timer armed so far (ids below the current watermark) —
+    /// their callbacks are suppressed at fire time. Used by the crash-
+    /// recover lifecycle: a timer armed before a crash must not run against
+    /// post-recovery state, even if the node is back up when it fires.
+    void invalidate_timers() { min_valid_timer_ = next_timer_; }
+
     /// Attach the node's crypto cost meter so handler crypto charges CPU
     /// time automatically.
     void set_meter(crypto::CostMeter* meter) { meter_ = meter; }
@@ -149,6 +155,7 @@ class ProcessingNode : public Node {
     bool in_task_ = false;
 
     TimerId next_timer_ = 1;
+    TimerId min_valid_timer_ = 0;
     std::unordered_set<TimerId> cancelled_timers_;
 
     void maybe_schedule_drain();

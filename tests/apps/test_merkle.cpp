@@ -1,0 +1,125 @@
+// Chunked Merkle tree used by checkpoint state transfer: proof round
+// trips, tamper rejection, index binding, odd-leaf promotion, and the
+// determinism contract (same snapshot bytes -> same root on every
+// replica). Includes the constructor regression: building a tree must not
+// touch accessors that read levels_ before any level exists.
+#include "apps/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace neo::app {
+namespace {
+
+Bytes pattern_bytes(std::size_t n, std::uint8_t seed = 7) {
+    Bytes b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = static_cast<std::uint8_t>(seed + i * 31);
+    }
+    return b;
+}
+
+BytesView view(const Bytes& b) { return BytesView(b.data(), b.size()); }
+
+TEST(Merkle, ConstructorHandlesEveryChunkCountShape) {
+    // Regression: the constructor used to call chunk(), whose bounds
+    // assert reads n_chunks() -> levels_.front() on a still-empty levels_
+    // vector (UB; crashed the first checkpoint ever taken). Constructing
+    // over the boundary shapes must simply work.
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{64 * 7}, std::size_t{64 * 7 + 1}}) {
+        Bytes data = pattern_bytes(n);
+        MerkleTree t(view(data), 64);
+        std::uint32_t want =
+            n == 0 ? 1 : static_cast<std::uint32_t>((n + 63) / 64);
+        EXPECT_EQ(t.n_chunks(), want) << "data size " << n;
+    }
+}
+
+TEST(Merkle, EmptySnapshotHasOneEmptyLeaf) {
+    MerkleTree t(BytesView(), 64);
+    ASSERT_EQ(t.n_chunks(), 1u);
+    EXPECT_EQ(t.chunk(0).size(), 0u);
+    EXPECT_TRUE(merkle_verify(t.root(), t.chunk(0), t.prove(0)));
+}
+
+TEST(Merkle, RootIsDeterministic) {
+    Bytes data = pattern_bytes(1000);
+    MerkleTree a(view(data), 64);
+    MerkleTree b(view(data), 64);
+    EXPECT_EQ(a.root(), b.root());
+    data[500] ^= 1;
+    MerkleTree c(view(data), 64);
+    EXPECT_NE(a.root(), c.root());
+}
+
+TEST(Merkle, EveryChunkProofVerifies) {
+    // 9 chunks of 64 with a short tail: exercises unpaired promotion at
+    // several levels.
+    Bytes data = pattern_bytes(8 * 64 + 17);
+    MerkleTree t(view(data), 64);
+    ASSERT_EQ(t.n_chunks(), 9u);
+    EXPECT_EQ(t.chunk(8).size(), 17u);
+    for (std::uint32_t i = 0; i < t.n_chunks(); ++i) {
+        EXPECT_TRUE(merkle_verify(t.root(), t.chunk(i), t.prove(i))) << "chunk " << i;
+    }
+}
+
+TEST(Merkle, TamperedChunkRejected) {
+    Bytes data = pattern_bytes(6 * 64);
+    MerkleTree t(view(data), 64);
+    for (std::uint32_t i = 0; i < t.n_chunks(); ++i) {
+        BytesView c = t.chunk(i);
+        Bytes bad(c.begin(), c.end());
+        bad[0] ^= 0xA5;
+        EXPECT_FALSE(merkle_verify(t.root(), view(bad), t.prove(i))) << "chunk " << i;
+    }
+}
+
+TEST(Merkle, ChunkServedUnderWrongIndexRejected) {
+    // The leaf hash binds the index, so a malicious peer cannot answer a
+    // request for chunk 2 with (valid) chunk 3 plus chunk 3's proof
+    // re-labelled.
+    Bytes data = pattern_bytes(4 * 64);
+    MerkleTree t(view(data), 64);
+    MerkleProof p = t.prove(3);
+    p.index = 2;
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(3), p));
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(3), t.prove(2)));
+}
+
+TEST(Merkle, MalformedProofsRejected) {
+    Bytes data = pattern_bytes(5 * 64);
+    MerkleTree t(view(data), 64);
+
+    MerkleProof p = t.prove(1);
+    p.siblings.push_back(Digest32{});  // trailing garbage
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(1), p));
+
+    p = t.prove(1);
+    p.siblings.pop_back();  // truncated path
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(1), p));
+
+    p = t.prove(1);
+    p.index = p.n_leaves;  // out of range
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(1), p));
+
+    p = t.prove(1);
+    p.n_leaves = 0;
+    EXPECT_FALSE(merkle_verify(t.root(), t.chunk(1), p));
+}
+
+TEST(Merkle, SingleChunkTreeHasEmptyProof) {
+    Bytes data = pattern_bytes(10);
+    MerkleTree t(view(data), 64);
+    ASSERT_EQ(t.n_chunks(), 1u);
+    MerkleProof p = t.prove(0);
+    EXPECT_TRUE(p.siblings.empty());
+    EXPECT_TRUE(merkle_verify(t.root(), t.chunk(0), p));
+}
+
+}  // namespace
+}  // namespace neo::app

@@ -1,0 +1,137 @@
+// Checkpointing + crash recovery lifecycle (DESIGN.md §6): periodic
+// checkpoints become stable via sync certificates and GC the log prefix; a
+// crashed replica recovers by installing the latest stable checkpoint over
+// Merkle-verified state transfer and rejoins the live stream.
+#include <gtest/gtest.h>
+
+#include "neobft_test_util.hpp"
+
+namespace neo::neobft {
+namespace {
+
+using testutil::DeploymentOptions;
+using testutil::NeoDeployment;
+
+DeploymentOptions checkpoint_opts(std::uint64_t interval = 128) {
+    DeploymentOptions opts;
+    opts.protocol.sync_interval = 128;
+    opts.protocol.checkpoint_interval = interval;
+    return opts;
+}
+
+/// Prefix consistency over the retained window only (GC'd slots are gone;
+/// the shared chain anchor at each base stands in for them).
+void expect_retained_suffix_consistent(const NeoDeployment& d) {
+    for (std::size_t a = 0; a < d.replicas.size(); ++a) {
+        for (std::size_t b = a + 1; b < d.replicas.size(); ++b) {
+            const Log& la = d.replicas[a]->log();
+            const Log& lb = d.replicas[b]->log();
+            std::uint64_t from = std::max(la.base(), lb.base());
+            std::uint64_t to = std::min(la.size(), lb.size());
+            ASSERT_EQ(la.hash_at(from), lb.hash_at(from)) << "anchor " << from;
+            for (std::uint64_t s = from + 1; s <= to; ++s) {
+                ASSERT_EQ(la.hash_at(s), lb.hash_at(s))
+                    << "slot " << s << " replicas " << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, StableCheckpointsGcTheLogPrefix) {
+    NeoDeployment d(checkpoint_opts());
+    auto results = d.run_workload(2, 200);  // 400 slots: several boundaries
+    ASSERT_EQ(results[0].size(), 200u);
+    ASSERT_EQ(results[1].size(), 200u);
+
+    for (auto& rep : d.replicas) {
+        EXPECT_GT(rep->stats().checkpoints_taken, 0u);
+        EXPECT_GT(rep->stats().checkpoints_stable, 0u);
+        EXPECT_GE(rep->stable_checkpoint_slot(), 128u);
+        EXPECT_EQ(rep->stable_checkpoint_slot() % 128, 0u);
+        // The stable prefix is gone; slot numbering stays absolute.
+        EXPECT_EQ(rep->log().base(), rep->stable_checkpoint_slot());
+        EXPECT_GE(rep->log().size(), 400u);
+        EXPECT_FALSE(rep->log().has(rep->log().base()));
+    }
+    expect_retained_suffix_consistent(d);
+}
+
+TEST(Checkpoint, DisabledByDefault) {
+    NeoDeployment d;  // checkpoint_interval = 0
+    d.run_workload(2, 150);
+    for (auto& rep : d.replicas) {
+        EXPECT_EQ(rep->stats().checkpoints_taken, 0u);
+        EXPECT_EQ(rep->stable_checkpoint_slot(), 0u);
+        EXPECT_EQ(rep->log().base(), 0u);
+    }
+}
+
+TEST(Checkpoint, CrashedReplicaRecoversViaStateTransfer) {
+    NeoDeployment d(checkpoint_opts());
+    // run_until advances the clock to the full deadline, so each phase
+    // gets its own window.
+    d.run_workload(2, 100, 1 * sim::kSecond);  // 200 slots, checkpoint at 128 stable
+
+    Replica& victim = *d.replicas.back();
+    victim.crash();
+    EXPECT_TRUE(victim.crashed());
+    const std::uint64_t crash_size = victim.log().size();
+
+    // The group keeps committing without the victim (f = 1 tolerated).
+    d.run_workload(2, 100, 2 * sim::kSecond);
+    victim.recover();
+    // Recovery needs live traffic to observe the current stream position.
+    auto results = d.run_workload(2, 100, 3 * sim::kSecond);
+    for (const auto& r : results) ASSERT_EQ(r.size(), 100u);
+
+    EXPECT_FALSE(victim.crashed());
+    EXPECT_FALSE(victim.recovering());
+    // It rejoined: log advanced well past the crash point and tracks the
+    // live group within one sync window.
+    EXPECT_GT(victim.log().size(), crash_size);
+    std::uint64_t group_size = d.replicas.front()->log().size();
+    EXPECT_GE(victim.log().size() + 128, group_size);
+    // It came back via checkpoint install, not genesis replay: the log
+    // base is a checkpoint boundary past zero.
+    EXPECT_GT(victim.log().base(), 0u);
+    EXPECT_EQ(victim.log().base() % 128, 0u);
+    EXPECT_GT(victim.stats().requests_executed, 0u);
+    expect_retained_suffix_consistent(d);
+}
+
+TEST(Checkpoint, RecoveryWorksOnThePkVariant) {
+    DeploymentOptions opts = checkpoint_opts();
+    opts.variant = aom::AuthVariant::kPublicKey;
+    NeoDeployment d(opts);
+    d.run_workload(2, 100, 1 * sim::kSecond);
+
+    Replica& victim = *d.replicas.back();
+    victim.crash();
+    d.run_workload(2, 80, 2 * sim::kSecond);
+    victim.recover();
+    auto results = d.run_workload(2, 80, 3 * sim::kSecond);
+    for (const auto& r : results) ASSERT_EQ(r.size(), 80u);
+
+    EXPECT_FALSE(victim.crashed());
+    EXPECT_GT(victim.log().base(), 0u);
+    expect_retained_suffix_consistent(d);
+}
+
+TEST(Checkpoint, RepeatedCrashRecoverCycles) {
+    NeoDeployment d(checkpoint_opts());
+    sim::Time t = 1 * sim::kSecond;
+    d.run_workload(2, 100, t);
+    Replica& victim = *d.replicas.back();
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        victim.crash();
+        d.run_workload(1, 60, t += sim::kSecond);
+        victim.recover();
+        auto results = d.run_workload(1, 60, t += sim::kSecond);
+        ASSERT_EQ(results[0].size(), 60u) << "cycle " << cycle;
+        EXPECT_FALSE(victim.crashed()) << "cycle " << cycle;
+    }
+    expect_retained_suffix_consistent(d);
+}
+
+}  // namespace
+}  // namespace neo::neobft

@@ -82,6 +82,71 @@ TEST(NeoLog, TruncateRemovesTail) {
     EXPECT_FALSE(log.has(3));
 }
 
+TEST(NeoLog, GcPrefixDropsEntriesButKeepsTheChain) {
+    Log log, full;
+    for (int i = 0; i < 8; ++i) {
+        log.append(request_entry("op" + std::to_string(i)));
+        full.append(request_entry("op" + std::to_string(i)));
+    }
+    log.gc_prefix(5);
+    EXPECT_EQ(log.base(), 5u);
+    EXPECT_EQ(log.size(), 8u);  // slot numbers stay absolute
+    EXPECT_FALSE(log.has(5));
+    EXPECT_TRUE(log.has(6));
+    // The chain anchor survives: hashes of retained slots (and the base
+    // itself) match an un-GC'd log with the same history.
+    for (std::uint64_t s = 5; s <= 8; ++s) EXPECT_EQ(log.hash_at(s), full.hash_at(s));
+    // Appending after GC continues the same chain.
+    log.append(request_entry("tail"));
+    full.append(request_entry("tail"));
+    EXPECT_EQ(log.hash_at(9), full.hash_at(9));
+}
+
+TEST(NeoLog, GcPrefixIsIdempotentAndMonotonic) {
+    Log log;
+    for (int i = 0; i < 6; ++i) log.append(request_entry(std::to_string(i)));
+    log.gc_prefix(4);
+    Digest32 anchor = log.hash_at(4);
+    log.gc_prefix(4);  // same slot: no-op
+    log.gc_prefix(2);  // below base: no-op
+    EXPECT_EQ(log.base(), 4u);
+    EXPECT_EQ(log.hash_at(4), anchor);
+    log.gc_prefix(6);  // advance further
+    EXPECT_EQ(log.base(), 6u);
+    EXPECT_EQ(log.size(), 6u);
+}
+
+TEST(NeoLog, ResetBaseInstallsAFetchedCheckpoint) {
+    // A recovering replica that fetched checkpoint state at slot 100
+    // restarts its log there with the certified cumulative hash.
+    Log donor;
+    for (int i = 0; i < 10; ++i) donor.append(request_entry(std::to_string(i)));
+    Digest32 anchor = donor.hash_at(10);
+
+    Log log;
+    log.append(request_entry("stale"));
+    log.reset_base(10, anchor);
+    EXPECT_EQ(log.base(), 10u);
+    EXPECT_EQ(log.size(), 10u);
+    EXPECT_EQ(log.hash_at(10), anchor);
+    // The chain continues identically on both replicas from here.
+    donor.append(request_entry("next"));
+    log.append(request_entry("next"));
+    EXPECT_EQ(log.hash_at(11), donor.hash_at(11));
+}
+
+TEST(NeoLog, TruncateRespectsTheGcBase) {
+    Log log;
+    for (int i = 0; i < 8; ++i) log.append(request_entry(std::to_string(i)));
+    log.gc_prefix(4);
+    log.truncate_to(6);  // tail rollback above the base is fine
+    EXPECT_EQ(log.size(), 6u);
+    EXPECT_EQ(log.base(), 4u);
+    log.truncate_to(4);  // down to exactly the base: empty retained window
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_FALSE(log.has(4));
+}
+
 TEST(NeoLog, WireEntryRoundTrips) {
     Log log;
     log.append(request_entry("payload"));
@@ -190,6 +255,31 @@ TEST_F(CertValidation, SyncCert) {
     }
     EXPECT_TRUE(verify_sync_certificate(cert, cfg, *verifier));
     cert.log_hash = crypto::sha256("other");
+    EXPECT_FALSE(verify_sync_certificate(cert, cfg, *verifier));
+}
+
+TEST_F(CertValidation, SyncCertCoversTheAppHash) {
+    // Regression: verification used to rebuild the signed body with a zero
+    // app_hash, rejecting every certificate taken with checkpointing
+    // enabled — which wedged crash recovery (on_ckpt_meta dropped all
+    // offers) and view changes carrying checkpoint certs.
+    SyncCertificate cert;
+    cert.view = {1, 0};
+    cert.slot = 128;
+    cert.log_hash = crypto::sha256("prefix");
+    cert.app_hash = crypto::sha256("snapshot-root");
+    for (NodeId r : {2u, 3u, 4u}) {
+        SyncMsg m;
+        m.view = cert.view;
+        m.replica = r;
+        m.slot = cert.slot;
+        m.log_hash = cert.log_hash;
+        m.app_hash = cert.app_hash;
+        cert.sigs.push_back({r, nodes[r]->sign(m.signed_body())});
+    }
+    EXPECT_TRUE(verify_sync_certificate(cert, cfg, *verifier));
+    // And the root is bound: a substituted snapshot root must not verify.
+    cert.app_hash = crypto::sha256("evil-root");
     EXPECT_FALSE(verify_sync_certificate(cert, cfg, *verifier));
 }
 

@@ -178,5 +178,85 @@ TEST(Auditor, ConfigureDiscardsPriorState) {
     EXPECT_TRUE(a.ok());
 }
 
+TEST(Auditor, AomDeliverySequenceGapFlagged) {
+    Auditor a = make_auditor();
+    a.on_aom_deliver(0, 10, 1, /*epoch=*/0, /*seq=*/1);
+    a.on_aom_deliver(0, 11, 1, 0, 2);
+    a.on_aom_deliver(0, 12, 1, 0, 10);  // skipped 3..9
+    a.finalize();
+    EXPECT_EQ(count(a, "seq_gap"), 1u);
+}
+
+TEST(Auditor, AomResumeResetsTheDeliveryFrontier) {
+    // A crash-recovered receiver rejoins mid-epoch: its next delivery is
+    // wherever the live stream is, which would read as a giant seq_gap
+    // without the resume marker (checkpoint-truncated logs never replay
+    // the GC'd prefix).
+    Auditor a = make_auditor();
+    a.on_aom_deliver(0, 10, 1, 0, 1);
+    a.on_aom_deliver(0, 11, 1, 0, 2);
+    a.on_aom_resume(0, 12, 1);
+    a.on_aom_deliver(0, 13, 1, 0, 40);  // rejoined far ahead: legitimate
+    a.on_aom_deliver(0, 14, 1, 0, 41);
+    a.finalize();
+    EXPECT_TRUE(a.ok()) << (a.violations().empty() ? "" : a.violations()[0].to_string());
+}
+
+TEST(Auditor, AomResumeIsPerNode) {
+    Auditor a = make_auditor();
+    a.on_aom_deliver(0, 10, 1, 0, 1);
+    a.on_aom_deliver(0, 10, 2, 0, 1);
+    a.on_aom_resume(0, 11, 1);
+    a.on_aom_deliver(0, 12, 1, 0, 40);  // node 1 resumed: fine
+    a.on_aom_deliver(0, 12, 2, 0, 40);  // node 2 did not: gap
+    a.finalize();
+    EXPECT_EQ(count(a, "seq_gap"), 1u);
+    EXPECT_EQ(a.violations()[0].node_a, 2u);
+}
+
+TEST(Auditor, OrphanPrepareFlaggedPastTheGraceWindow) {
+    Auditor a = make_auditor();
+    // txn 1: prepared at t=100, no phase-2 outcome ever -> leaked locks.
+    a.on_txn(0, 100, 1, 7, 1, Auditor::TxnPhase::kPrepare, true);
+    // txn 2: prepared and committed -> clean.
+    a.on_txn(0, 100, 1, 7, 2, Auditor::TxnPhase::kPrepare, true);
+    a.on_txn(0, 200, 1, 7, 2, Auditor::TxnPhase::kCommit, true);
+    // txn 3: prepare vote was an abort (nothing staged) -> nothing leaks.
+    a.on_txn(0, 100, 1, 7, 3, Auditor::TxnPhase::kPrepare, false);
+    a.set_txn_orphan_grace(1'000, 10'000);
+    a.finalize();
+    EXPECT_EQ(count(a, "txn_orphan_prepare"), 1u);
+    EXPECT_FALSE(a.ok());
+}
+
+TEST(Auditor, OrphanPrepareStillInFlightAtRunEndIsNotFlagged) {
+    Auditor a = make_auditor();
+    // Prepared just before the run stopped: the decision is legitimately
+    // still in the network.
+    a.on_txn(0, 9'500, 1, 7, 1, Auditor::TxnPhase::kPrepare, true);
+    a.set_txn_orphan_grace(1'000, 10'000);
+    a.finalize();
+    EXPECT_EQ(count(a, "txn_orphan_prepare"), 0u);
+}
+
+TEST(Auditor, OrphanPrepareCheckDisabledByDefault) {
+    Auditor a = make_auditor();
+    a.on_txn(0, 100, 1, 7, 1, Auditor::TxnPhase::kPrepare, true);
+    a.finalize();
+    EXPECT_TRUE(a.ok());
+}
+
+TEST(Auditor, ExpectClientCommitsRecordsLivenessViolations) {
+    Auditor a = make_auditor();
+    a.finalize();
+    ASSERT_TRUE(a.ok());
+    a.expect_client_commits(/*client=*/3, /*completed=*/5, /*required=*/1, 1'000);
+    EXPECT_TRUE(a.ok()) << "floor met: no violation";
+    a.expect_client_commits(/*client=*/4, /*completed=*/0, /*required=*/1, 1'000);
+    EXPECT_FALSE(a.ok());
+    ASSERT_EQ(count(a, "liveness"), 1u);
+    EXPECT_EQ(a.violations()[0].node_a, 4u);
+}
+
 }  // namespace
 }  // namespace neo::obs

@@ -1,0 +1,207 @@
+// Scenario engine unit tests: the declarative library's shapes (targets,
+// ordering, expectations), seed-determinism of the fuzzer, and the
+// apply() dispatch semantics — lifecycle faults reach the adapter,
+// unsupported crashes degrade to fail-silent network windows, loss bursts
+// restore the baseline drop rate, sequencer faults are forwarded verbatim.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace neo::scenario {
+namespace {
+
+const std::vector<NodeId> kReplicas = {1, 2, 3, 4};
+constexpr sim::Time kHorizon = 1'000'000;  // 1ms virtual
+
+/// Adapter over a real (empty) simulator+network that records every
+/// lifecycle / sequencer hook invocation instead of running a protocol.
+struct RecordingAdapter : Adapter {
+    sim::Simulator sim;
+    sim::Network net{sim, 99};
+    bool lifecycle_supported = true;
+    std::vector<std::string> calls;
+    std::vector<SeqFault> seq_faults;
+
+    sim::Simulator& simulator() override { return sim; }
+    sim::Network& network() override { return net; }
+    std::vector<NodeId> replica_ids() const override { return kReplicas; }
+
+    bool crash(NodeId n) override { return record("crash", n); }
+    bool recover(NodeId n) override { return record("recover", n); }
+    bool set_equivocate(NodeId n, bool on) override {
+        return record(on ? "equivocate" : "honest", n);
+    }
+    bool sequencer_fault(const SeqFault& f) override {
+        seq_faults.push_back(f);
+        return true;
+    }
+
+    bool record(const std::string& what, NodeId n) {
+        if (!lifecycle_supported) return false;
+        calls.push_back(what + ":" + std::to_string(n));
+        return true;
+    }
+};
+
+bool targets_within(const Scenario& sc, const std::vector<NodeId>& replicas) {
+    for (const FaultEvent& e : sc.events) {
+        for (NodeId t : e.targets) {
+            if (std::find(replicas.begin(), replicas.end(), t) == replicas.end()) return false;
+        }
+    }
+    return true;
+}
+
+TEST(ScenarioLibrary, StandardSuiteIsWellFormed) {
+    std::vector<Scenario> suite = standard_suite(kReplicas, kHorizon);
+    ASSERT_GE(suite.size(), 9u);
+
+    std::set<std::string> names;
+    for (const Scenario& sc : suite) {
+        EXPECT_TRUE(names.insert(sc.name).second) << "duplicate name " << sc.name;
+        EXPECT_FALSE(sc.events.empty()) << sc.name;
+        EXPECT_TRUE(sc.violations_required) << sc.name;
+        EXPECT_GE(sc.min_commits_per_client, 1u) << sc.name;
+        EXPECT_TRUE(targets_within(sc, kReplicas)) << sc.name;
+        for (const FaultEvent& e : sc.events) {
+            EXPECT_LT(e.at, kHorizon) << sc.name << " schedules past the horizon";
+        }
+    }
+}
+
+TEST(ScenarioLibrary, NodeFaultsNeverTargetTheViewZeroPrimary) {
+    // Curated single-victim scenarios must pick a backup: crashing the
+    // view-0 primary tests view change (covered elsewhere), not the
+    // recovery lifecycle these scenarios are about.
+    for (const Scenario& sc : standard_suite(kReplicas, kHorizon)) {
+        for (const FaultEvent& e : sc.events) {
+            if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kEquivocate ||
+                e.kind == FaultKind::kSilence) {
+                for (NodeId t : e.targets) EXPECT_NE(t, kReplicas.front()) << sc.name;
+            }
+        }
+    }
+}
+
+TEST(ScenarioLibrary, EquivocationExpectsTheDetectorToFire) {
+    Scenario sc = equivocating_replica(kReplicas, kHorizon / 4);
+    ASSERT_EQ(sc.expect_violations.size(), 1u);
+    EXPECT_EQ(sc.expect_violations[0], "divergent_commit");
+}
+
+TEST(ScenarioLibrary, FaultKindNamesAreDistinct) {
+    std::set<std::string> names;
+    for (int k = 0; k <= static_cast<int>(FaultKind::kSeqEquivocate); ++k) {
+        const char* n = fault_kind_name(static_cast<FaultKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_TRUE(names.insert(n).second) << "duplicate fault name " << n;
+    }
+}
+
+TEST(ScenarioFuzz, DeterministicPerSeed) {
+    for (std::uint64_t seed : {0ull, 1ull, 7ull, 42ull, 12345ull}) {
+        Scenario a = fuzz(seed, kReplicas, kHorizon);
+        Scenario b = fuzz(seed, kReplicas, kHorizon);
+        ASSERT_EQ(a.events.size(), b.events.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < a.events.size(); ++i) {
+            EXPECT_EQ(a.events[i].at, b.events[i].at);
+            EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+            EXPECT_EQ(a.events[i].targets, b.events[i].targets);
+            EXPECT_EQ(a.events[i].duration, b.events[i].duration);
+            EXPECT_EQ(a.events[i].rate, b.events[i].rate);
+            EXPECT_EQ(a.events[i].mod, b.events[i].mod);
+        }
+    }
+}
+
+TEST(ScenarioFuzz, BoundedAndSorted) {
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        Scenario sc = fuzz(seed, kReplicas, kHorizon);
+        EXPECT_FALSE(sc.violations_required) << "fuzz expectations must be allowed, not required";
+        EXPECT_FALSE(sc.events.empty());
+        EXPECT_TRUE(targets_within(sc, kReplicas));
+        for (std::size_t i = 0; i < sc.events.size(); ++i) {
+            EXPECT_LT(sc.events[i].at, kHorizon);
+            if (i > 0) {
+                EXPECT_GE(sc.events[i].at, sc.events[i - 1].at) << "unsorted seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(ScenarioFuzz, SeedsProduceDifferentCompositions) {
+    std::set<std::string> shapes;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        Scenario sc = fuzz(seed, kReplicas, kHorizon);
+        std::string shape;
+        for (const FaultEvent& e : sc.events) {
+            shape += std::string(fault_kind_name(e.kind)) + "@" + std::to_string(e.at) + ";";
+        }
+        shapes.insert(shape);
+    }
+    EXPECT_GT(shapes.size(), 8u) << "fuzzer barely varies across seeds";
+}
+
+TEST(ScenarioApply, LifecycleFaultsReachTheAdapter) {
+    RecordingAdapter ad;
+    Scenario sc = crash_recover(kReplicas, kHorizon / 4, kHorizon);
+    apply(sc, ad);
+    ad.sim.run_until(kHorizon);
+
+    ASSERT_EQ(ad.calls.size(), 2u);
+    EXPECT_EQ(ad.calls[0], "crash:" + std::to_string(kReplicas.back()));
+    EXPECT_EQ(ad.calls[1], "recover:" + std::to_string(kReplicas.back()));
+    EXPECT_FALSE(ad.net.is_down(kReplicas.back())) << "supported crash must not touch the net";
+}
+
+TEST(ScenarioApply, UnsupportedCrashDegradesToFailSilentWindow) {
+    RecordingAdapter ad;
+    ad.lifecycle_supported = false;
+    Scenario sc = crash_recover(kReplicas, kHorizon / 4, kHorizon);
+    ASSERT_GE(sc.events.size(), 2u);
+    const sim::Time mid = (sc.events[0].at + sc.events[1].at) / 2;
+
+    bool down_mid_window = false;
+    apply(sc, ad);
+    ad.sim.at_global(mid, [&] { down_mid_window = ad.net.is_down(kReplicas.back()); });
+    ad.sim.run_until(kHorizon);
+
+    EXPECT_TRUE(down_mid_window);
+    EXPECT_FALSE(ad.net.is_down(kReplicas.back())) << "recover must bring the node back";
+    EXPECT_TRUE(ad.calls.empty());
+}
+
+TEST(ScenarioApply, LossBurstRestoresBaselineDropRate) {
+    RecordingAdapter ad;
+    Scenario sc = loss_bursts(kHorizon / 8, kHorizon / 4, kHorizon / 16, 0.5, 2);
+    ASSERT_FALSE(sc.events.empty());
+    const sim::Time mid = sc.events[0].at + sc.events[0].duration / 2;
+
+    double rate_mid_burst = -1.0;
+    apply(sc, ad);
+    ad.sim.at_global(mid, [&] { rate_mid_burst = ad.net.global_drop_rate(); });
+    ad.sim.run_until(kHorizon);
+
+    EXPECT_DOUBLE_EQ(rate_mid_burst, 0.5);
+    EXPECT_DOUBLE_EQ(ad.net.global_drop_rate(), 0.0) << "burst never restored the baseline";
+}
+
+TEST(ScenarioApply, SequencerFaultsForwardedVerbatim) {
+    RecordingAdapter ad;
+    Scenario sc = seq_skips(kHorizon / 8, 16);
+    apply(sc, ad);
+    ad.sim.run_until(kHorizon);
+
+    ASSERT_FALSE(ad.seq_faults.empty());
+    EXPECT_EQ(ad.seq_faults[0].kind, FaultKind::kSeqDrop);
+    EXPECT_EQ(ad.seq_faults[0].mod, 16u);
+    EXPECT_TRUE(ad.seq_faults[0].on);
+}
+
+}  // namespace
+}  // namespace neo::scenario

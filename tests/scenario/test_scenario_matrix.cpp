@@ -1,0 +1,146 @@
+// Byzantine scenario matrix: every canonical fault scenario runs over
+// every protocol in the evaluation, with the auditor checking safety
+// (expected violations must fire, anything else fails) and the liveness
+// floor on each cell — plus the engine's determinism contract: same-seed
+// scenario outcomes are byte-identical across --sim-threads {1, 8}.
+//
+// tsan label: scenario faults mutate cross-node shared state (network
+// blocks, node-down flags, sequencer fault knobs) from global events
+// between PDES windows while replicas run on partition workers — exactly
+// the cross-thread pattern the ThreadSanitizer job exists to check.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "harness/scenario_run.hpp"
+#include "scenario/scenario.hpp"
+
+namespace neo::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 777;
+constexpr sim::Time kHorizon = 20 * sim::kMillisecond;
+
+std::unique_ptr<Deployment> make_proto(const std::string& proto, unsigned sim_threads = 1) {
+    if (proto == "neo_hm" || proto == "neo_pk") {
+        NeoParams p;
+        p.variant = proto == "neo_pk" ? NeoVariant::kPk : NeoVariant::kHm;
+        p.n_clients = 4;
+        p.seed = kSeed;
+        p.sim_threads = sim_threads;
+        p.byz_sequencer = true;
+        p.checkpoint_interval = 128;
+        return make_neobft(p);
+    }
+    if (proto == "zyzzyva") {
+        ZyzzyvaParams p;
+        p.n_clients = 4;
+        p.seed = kSeed;
+        p.sim_threads = sim_threads;
+        return make_zyzzyva(p);
+    }
+    CommonParams p;
+    p.n_clients = 4;
+    p.seed = kSeed;
+    p.sim_threads = sim_threads;
+    if (proto == "pbft") return make_pbft(p);
+    if (proto == "hotstuff") return make_hotstuff(p);
+    return make_minbft(p);
+}
+
+scenario::Scenario scenario_by_name(const std::string& name,
+                                    const std::vector<NodeId>& replicas) {
+    for (auto& sc : scenario::standard_suite(replicas, kHorizon)) {
+        if (sc.name == name) return sc;
+    }
+    ADD_FAILURE() << "unknown scenario " << name;
+    return {};
+}
+
+std::vector<std::string> scenario_names() {
+    std::vector<std::string> names;
+    for (const auto& sc : scenario::standard_suite({1, 2, 3, 4}, kHorizon)) {
+        names.push_back(sc.name);
+    }
+    return names;
+}
+
+using Cell = std::tuple<std::string, std::string>;  // (protocol, scenario)
+
+class ScenarioMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ScenarioMatrix, PassesSafetyAndLiveness) {
+    const auto& [proto, name] = GetParam();
+    auto d = make_proto(proto);
+    scenario::Scenario sc = scenario_by_name(name, d->replica_ids());
+    ScenarioOutcome out = run_scenario(*d, sc, echo_ops(64), kHorizon);
+    EXPECT_TRUE(out.ok) << proto << " " << out.to_string();
+}
+
+std::vector<Cell> all_cells() {
+    std::vector<Cell> cells;
+    for (const std::string& proto :
+         {"neo_hm", "neo_pk", "pbft", "zyzzyva", "hotstuff", "minbft"}) {
+        for (const std::string& name : scenario_names()) cells.push_back({proto, name});
+    }
+    return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ScenarioMatrix, ::testing::ValuesIn(all_cells()),
+                         [](const ::testing::TestParamInfo<Cell>& info) {
+                             return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+                         });
+
+TEST(ScenarioDeterminism, OutcomeByteIdenticalAcrossThreadCounts) {
+    // The engine schedules every fault as a global event, so a scenario
+    // run — faults, recovery, auditor stream and all — must be a pure
+    // function of (seed, scenario), independent of worker threads.
+    for (const std::string& proto : {"neo_hm", "neo_pk"}) {
+        for (const std::string& name : {"crash_recover", "seq_equivocate"}) {
+            std::string ref;
+            std::size_t ref_records = 0;
+            for (unsigned threads : {1u, 8u}) {
+                auto d = make_proto(proto, threads);
+                scenario::Scenario sc = scenario_by_name(name, d->replica_ids());
+                ScenarioOutcome out = run_scenario(*d, sc, echo_ops(64), kHorizon);
+                if (threads == 1) {
+                    ref = out.to_string();
+                    ref_records = d->auditor().records();
+                } else {
+                    EXPECT_EQ(out.to_string(), ref) << proto << " threads=" << threads;
+                    EXPECT_EQ(d->auditor().records(), ref_records) << proto;
+                }
+            }
+        }
+    }
+}
+
+TEST(ScenarioDeterminism, FuzzCompositionsStableAcrossThreadCounts) {
+    for (std::uint64_t seed : {3ull, 11ull}) {
+        std::string ref;
+        for (unsigned threads : {1u, 8u}) {
+            NeoParams p;
+            p.n_clients = 4;
+            p.seed = seed;
+            p.sim_threads = threads;
+            p.byz_sequencer = true;
+            p.checkpoint_interval = 128;
+            auto d = make_neobft(p);
+            scenario::Scenario sc = scenario::fuzz(seed, d->replica_ids(), kHorizon);
+            ScenarioOutcome out = run_scenario(*d, sc, echo_ops(64), kHorizon);
+            EXPECT_TRUE(out.ok) << out.to_string();
+            if (threads == 1) {
+                ref = out.to_string();
+            } else {
+                EXPECT_EQ(out.to_string(), ref) << "fuzz seed " << seed;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace neo::bench
